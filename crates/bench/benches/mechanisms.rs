@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the DP mechanisms: analytic-Gaussian calibration and
+//! the additive Gaussian release (Algorithm 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dprov_dp::budget::Budget;
+use dprov_dp::mechanism::{additive_gaussian_release, analytic_gaussian_sigma, AnalyticGaussian};
+use dprov_dp::rng::DpRng;
+use dprov_dp::sensitivity::Sensitivity;
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_gaussian_calibration");
+    for &eps in &[0.1, 1.0, 6.4] {
+        group.bench_function(format!("sigma(eps={eps})"), |b| {
+            b.iter(|| analytic_gaussian_sigma(black_box(eps), black_box(1e-9), 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_release");
+    let budget = Budget::new(1.0, 1e-9).unwrap();
+    let mechanism = AnalyticGaussian::calibrate(budget, Sensitivity::COUNT).unwrap();
+    let truth = vec![100.0; 128];
+    group.bench_function("analytic_vector_128", |b| {
+        let mut rng = DpRng::seed_from_u64(1);
+        b.iter(|| mechanism.release_vector(black_box(&truth), &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_additive_gm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("additive_gaussian");
+    let truth = vec![100.0; 128];
+    for &n in &[2usize, 6] {
+        let budgets: Vec<Budget> = (1..=n)
+            .map(|i| Budget::new(0.2 * i as f64, 1e-9).unwrap())
+            .collect();
+        group.bench_function(format!("release_{n}_analysts_128_bins"), |b| {
+            let mut rng = DpRng::seed_from_u64(2);
+            b.iter(|| {
+                additive_gaussian_release(
+                    black_box(&truth),
+                    Sensitivity::COUNT,
+                    black_box(&budgets),
+                    &mut rng,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration, bench_release, bench_additive_gm);
+criterion_main!(benches);

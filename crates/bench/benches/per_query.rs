@@ -1,0 +1,54 @@
+//! End-to-end per-query latency per system — the micro view of the
+//! "Per Query Perf" column of Tables 1 and 3.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use dprov_bench::setup::{build_system, default_privileges, Dataset, SystemKind};
+use dprov_core::analyst::AnalystId;
+use dprov_core::config::SystemConfig;
+use dprov_core::processor::QueryRequest;
+use dprov_engine::query::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_request(rng: &mut StdRng) -> QueryRequest {
+    let lo = rng.gen_range(17..70i64);
+    let hi = (lo + rng.gen_range(1..20i64)).min(90);
+    let variance = rng.gen_range(5_000.0..50_000.0);
+    QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, hi), variance)
+}
+
+fn bench_per_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_query_latency");
+    group.sample_size(30);
+    let db = Dataset::Adult.build(10_000, 1);
+    let config = SystemConfig::new(6.4).unwrap().with_seed(5);
+
+    for kind in [
+        SystemKind::DProvDb,
+        SystemKind::Vanilla,
+        SystemKind::SPrivateSql,
+        SystemKind::Chorus,
+    ] {
+        group.bench_function(format!("submit_10_{}", kind.label()), |b| {
+            b.iter_batched(
+                || {
+                    let system = build_system(kind, &db, &default_privileges(), &config).unwrap();
+                    let rng = StdRng::seed_from_u64(9);
+                    (system, rng)
+                },
+                |(mut system, mut rng)| {
+                    for _ in 0..10 {
+                        let request = random_request(&mut rng);
+                        let _ = black_box(system.submit(AnalystId(1), &request).unwrap());
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_query);
+criterion_main!(benches);

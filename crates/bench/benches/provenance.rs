@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the privacy provenance table: constraint checking
+//! and charging for both mechanisms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dprov_core::analyst::AnalystId;
+use dprov_core::provenance::ProvenanceTable;
+
+fn build_table(analysts: usize, views: usize) -> ProvenanceTable {
+    let mut table = ProvenanceTable::new(100.0);
+    for a in 0..analysts {
+        table.add_analyst(AnalystId(a), 50.0);
+    }
+    for v in 0..views {
+        table.add_view(&format!("view-{v}"), 100.0);
+    }
+    // Populate with some existing charges.
+    for a in 0..analysts {
+        for v in 0..views {
+            table.charge(AnalystId(a), &format!("view-{v}"), 0.01 * (a + v) as f64);
+        }
+    }
+    table
+}
+
+fn bench_constraint_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_constraint_check");
+    for &(analysts, views) in &[(2usize, 13usize), (6, 13), (6, 64)] {
+        let table = build_table(analysts, views);
+        group.bench_function(format!("vanilla_{analysts}x{views}"), |b| {
+            b.iter(|| table.check_vanilla(black_box(AnalystId(1)), black_box("view-3"), 0.05))
+        });
+        group.bench_function(format!("additive_{analysts}x{views}"), |b| {
+            b.iter(|| table.check_additive(black_box(AnalystId(1)), black_box("view-3"), 0.05))
+        });
+    }
+    group.finish();
+}
+
+fn bench_charging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_update");
+    group.bench_function("charge_and_compose", |b| {
+        let mut table = build_table(6, 13);
+        b.iter(|| {
+            table.charge(AnalystId(2), "view-5", 1e-6);
+            black_box(table.total_of_column_maxes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraint_checks, bench_charging);
+criterion_main!(benches);

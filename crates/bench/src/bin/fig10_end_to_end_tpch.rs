@@ -1,0 +1,59 @@
+//! Figure 10 — end-to-end comparison on the TPC-H dataset (RRQ task).
+//!
+//! The TPC-H counterpart of Fig. 3: #queries answered and nDCFG vs the
+//! overall budget, round-robin and randomized interleavings, five systems.
+//!
+//! Scale knobs: `DPROV_ROWS` (default 20000), `DPROV_QUERIES` (default 400),
+//! `DPROV_SEEDS` (default 2).
+
+use dprov_bench::harness::{run_rrq_comparison, ComparisonSpec};
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{env_usize, Dataset};
+use dprov_workloads::rrq::{generate, RrqConfig};
+use dprov_workloads::sequence::Interleaving;
+
+fn main() {
+    let rows = env_usize("DPROV_ROWS", 20_000);
+    let queries = env_usize("DPROV_QUERIES", 400);
+    let seeds = env_usize("DPROV_SEEDS", 2);
+    let epsilons = [0.4, 0.8, 1.6, 3.2, 6.4];
+
+    let db = Dataset::Tpch.build(rows, 42);
+    let workload = generate(&db, &RrqConfig::new(Dataset::Tpch.table(), queries, 7), 2)
+        .expect("workload generation");
+
+    for (interleaving, label) in [
+        (Interleaving::RoundRobin, "round-robin"),
+        (Interleaving::Random { seed: 99 }, "randomized"),
+    ] {
+        banner(&format!(
+            "Fig. 10 ({label}): #queries answered and nDCFG vs overall budget (TPC-H, {queries} queries/analyst)"
+        ));
+        let mut answered_table =
+            Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
+        let mut fairness_table =
+            Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
+
+        for &eps in &epsilons {
+            let mut spec = ComparisonSpec::new(eps);
+            spec.interleaving = interleaving;
+            spec.seeds = (1..=seeds as u64).collect();
+            let results = run_rrq_comparison(&db, &workload, &spec).expect("comparison run");
+            let mut answered_row = vec![format!("{eps}")];
+            answered_row.extend(
+                results
+                    .iter()
+                    .map(|(_, agg)| fmt_f64(agg.mean_answered, 1)),
+            );
+            answered_table.add_row(&answered_row);
+            let mut fairness_row = vec![format!("{eps}")];
+            fairness_row.extend(results.iter().map(|(_, agg)| fmt_f64(agg.mean_ndcfg, 3)));
+            fairness_table.add_row(&fairness_row);
+        }
+
+        println!("\n#queries answered:");
+        answered_table.print();
+        println!("\nnDCFG fairness:");
+        fairness_table.print();
+    }
+}

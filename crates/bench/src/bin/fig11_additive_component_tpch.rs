@@ -1,0 +1,111 @@
+//! Figure 11 — component comparison of the additive GM on TPC-H.
+//!
+//! The TPC-H counterpart of Fig. 6: #queries answered vs #analysts (ε = 3.2)
+//! and vs the overall budget (2 analysts), for DProvDB-l_max, DProvDB-l_sum
+//! and Vanilla-l_sum.
+//!
+//! Scale knobs: `DPROV_ROWS` (default 20000), `DPROV_QUERIES` (default 300).
+
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{env_usize, registry_with, Dataset};
+use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::database::Database;
+use dprov_workloads::rrq::{generate, RrqConfig, RrqWorkload};
+use dprov_workloads::runner::ExperimentRunner;
+use dprov_workloads::sequence::Interleaving;
+
+#[derive(Clone, Copy)]
+enum Series {
+    DProvDbLMax,
+    DProvDbLSum,
+    VanillaLSum,
+}
+
+impl Series {
+    const ALL: [Series; 3] = [Series::DProvDbLMax, Series::DProvDbLSum, Series::VanillaLSum];
+
+    fn build(self, db: &Database, table: &str, privileges: &[u8], epsilon: f64) -> DProvDb {
+        let (mechanism, spec) = match self {
+            Series::DProvDbLMax => (
+                MechanismKind::AdditiveGaussian,
+                AnalystConstraintSpec::MaxNormalized {
+                    system_max_level: None,
+                },
+            ),
+            Series::DProvDbLSum => (
+                MechanismKind::AdditiveGaussian,
+                AnalystConstraintSpec::ProportionalSum,
+            ),
+            Series::VanillaLSum => (
+                MechanismKind::Vanilla,
+                AnalystConstraintSpec::ProportionalSum,
+            ),
+        };
+        let config = SystemConfig::new(epsilon)
+            .expect("epsilon")
+            .with_seed(5)
+            .with_analyst_constraints(spec);
+        let catalog = ViewCatalog::one_per_attribute(db, table).expect("catalog");
+        DProvDb::new(db.clone(), catalog, registry_with(privileges), config, mechanism)
+            .expect("system setup")
+    }
+}
+
+fn privileges_for(n: usize) -> Vec<u8> {
+    let mut p = vec![1u8; n.saturating_sub(1)];
+    p.push(4);
+    p
+}
+
+fn answered(
+    series: Series,
+    db: &Database,
+    table: &str,
+    workload: &RrqWorkload,
+    privileges: &[u8],
+    epsilon: f64,
+) -> f64 {
+    let mut system = series.build(db, table, privileges, epsilon);
+    let runner = ExperimentRunner::new(privileges);
+    runner
+        .run_rrq(&mut system, workload, Interleaving::RoundRobin)
+        .expect("run")
+        .total_answered() as f64
+}
+
+fn main() {
+    let dataset = Dataset::Tpch;
+    let rows = env_usize("DPROV_ROWS", 20_000);
+    let queries = env_usize("DPROV_QUERIES", 300);
+    let db = dataset.build(rows, 42);
+    let table = dataset.table();
+
+    banner("Fig. 11 (left): #queries answered vs #analysts (ε = 3.2, TPC-H, round-robin)");
+    let mut left = Table::new(&["#analysts", "DProvDB-l_max", "DProvDB-l_sum", "Vanilla-l_sum"]);
+    for n in 2..=6usize {
+        let privileges = privileges_for(n);
+        let workload = generate(&db, &RrqConfig::new(table, queries, 7), n).expect("workload");
+        let mut row = vec![format!("{n}")];
+        for series in Series::ALL {
+            row.push(fmt_f64(answered(series, &db, table, &workload, &privileges, 3.2), 0));
+        }
+        left.add_row(&row);
+    }
+    left.print();
+
+    banner("Fig. 11 (right): #queries answered vs overall budget (2 analysts, TPC-H)");
+    let privileges = privileges_for(2);
+    let workload = generate(&db, &RrqConfig::new(table, queries, 7), 2).expect("workload");
+    let mut right = Table::new(&["epsilon", "DProvDB-l_max", "DProvDB-l_sum", "Vanilla-l_sum"]);
+    for &eps in &[0.4, 0.8, 1.6, 3.2, 6.4] {
+        let mut row = vec![format!("{eps}")];
+        for series in Series::ALL {
+            row.push(fmt_f64(answered(series, &db, table, &workload, &privileges, eps), 0));
+        }
+        right.add_row(&row);
+    }
+    right.print();
+}

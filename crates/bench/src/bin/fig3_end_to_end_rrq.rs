@@ -1,0 +1,67 @@
+//! Figure 3 — end-to-end comparison on the Adult dataset (RRQ task).
+//!
+//! Reproduces all four panels: number of queries answered vs. the overall
+//! budget ε for the round-robin (a) and randomized (b) interleavings, and
+//! the nDCFG fairness score for both interleavings (c, d), across the five
+//! systems.
+//!
+//! Scale knobs (environment variables):
+//! * `DPROV_ROWS`    — dataset rows (default 45222, the Adult size)
+//! * `DPROV_QUERIES` — RRQ queries per analyst (default 400; the paper uses 4000)
+//! * `DPROV_SEEDS`   — number of repetitions (default 2; the paper uses 4)
+
+use dprov_bench::harness::{run_rrq_comparison, ComparisonSpec};
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{env_usize, Dataset};
+use dprov_workloads::rrq::{generate, RrqConfig};
+use dprov_workloads::sequence::Interleaving;
+
+fn main() {
+    let rows = env_usize("DPROV_ROWS", 45_222);
+    let queries = env_usize("DPROV_QUERIES", 400);
+    let seeds = env_usize("DPROV_SEEDS", 2);
+    let epsilons = [0.4, 0.8, 1.6, 3.2, 6.4];
+
+    let db = Dataset::Adult.build(rows, 42);
+    let workload = generate(&db, &RrqConfig::new(Dataset::Adult.table(), queries, 7), 2)
+        .expect("workload generation");
+
+    for (interleaving, label) in [
+        (Interleaving::RoundRobin, "round-robin"),
+        (Interleaving::Random { seed: 99 }, "randomized"),
+    ] {
+        banner(&format!(
+            "Fig. 3 ({label}): #queries answered and nDCFG vs overall budget (Adult, {queries} queries/analyst)"
+        ));
+        let mut answered_table = Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
+        let mut fairness_table = Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
+
+        for &eps in &epsilons {
+            let mut spec = ComparisonSpec::new(eps);
+            spec.interleaving = interleaving;
+            spec.seeds = (1..=seeds as u64).collect();
+            let results = run_rrq_comparison(&db, &workload, &spec).expect("comparison run");
+
+            let answered: Vec<String> = results
+                .iter()
+                .map(|(_, agg)| fmt_f64(agg.mean_answered, 1))
+                .collect();
+            let fairness: Vec<String> = results
+                .iter()
+                .map(|(_, agg)| fmt_f64(agg.mean_ndcfg, 3))
+                .collect();
+
+            let mut answered_row = vec![format!("{eps}")];
+            answered_row.extend(answered);
+            answered_table.add_row(&answered_row);
+            let mut fairness_row = vec![format!("{eps}")];
+            fairness_row.extend(fairness);
+            fairness_table.add_row(&fairness_row);
+        }
+
+        println!("\n#queries answered:");
+        answered_table.print();
+        println!("\nnDCFG fairness:");
+        fairness_table.print();
+    }
+}

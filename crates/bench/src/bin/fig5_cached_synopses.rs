@@ -1,0 +1,63 @@
+//! Figure 5 — component comparison: cached synopses.
+//!
+//! Utility (#queries answered) vs the size of the query workload, for each
+//! overall budget ε ∈ {0.4, 0.8, 1.6, 3.2, 6.4}, round-robin interleaving.
+//! Mechanisms with cached synopses (DProvDB, Vanilla) keep answering as the
+//! workload grows — later queries hit the cache — while the Chorus variants
+//! plateau once the budget is gone.
+//!
+//! Scale knobs: `DPROV_ROWS` (default 45222), `DPROV_MAX_QUERIES` (default
+//! 1400 per analyst — the paper sweeps up to 14000), `DPROV_SEEDS`.
+
+use dprov_bench::harness::{run_rrq_comparison_cell, ComparisonSpec};
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{env_usize, Dataset, SystemKind};
+use dprov_workloads::rrq::{generate, RrqConfig};
+
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::DProvDb,
+    SystemKind::Vanilla,
+    SystemKind::Chorus,
+    SystemKind::ChorusP,
+];
+
+fn main() {
+    let rows = env_usize("DPROV_ROWS", 45_222);
+    let max_queries = env_usize("DPROV_MAX_QUERIES", 1_400);
+    let seeds = env_usize("DPROV_SEEDS", 1);
+    // The paper's sweep {100, 800, 2000, 4000, 8000, 14000}, scaled to the
+    // configured maximum.
+    let fractions = [100.0 / 14_000.0, 800.0 / 14_000.0, 2_000.0 / 14_000.0, 4_000.0 / 14_000.0, 8_000.0 / 14_000.0, 1.0];
+    let sizes: Vec<usize> = fractions
+        .iter()
+        .map(|f| ((f * max_queries as f64).round() as usize).max(10))
+        .collect();
+
+    let db = Dataset::Adult.build(rows, 42);
+    let full_workload = generate(
+        &db,
+        &RrqConfig::new(Dataset::Adult.table(), max_queries, 7),
+        2,
+    )
+    .expect("workload generation");
+
+    for &eps in &[0.4, 0.8, 1.6, 3.2, 6.4] {
+        banner(&format!(
+            "Fig. 5 (ε = {eps}): #queries answered vs workload size (round-robin, Adult)"
+        ));
+        let mut table = Table::new(&["workload size", "DProvDB", "Vanilla", "Chorus", "ChorusP"]);
+        for &size in &sizes {
+            let workload = full_workload.truncated(size);
+            let mut spec = ComparisonSpec::new(eps);
+            spec.seeds = (1..=seeds as u64).collect();
+            let mut row = vec![format!("{}", workload.total_queries())];
+            for kind in SYSTEMS {
+                let (agg, _) =
+                    run_rrq_comparison_cell(kind, &db, &workload, &spec).expect("run cell");
+                row.push(fmt_f64(agg.mean_answered, 1));
+            }
+            table.add_row(&row);
+        }
+        table.print();
+    }
+}

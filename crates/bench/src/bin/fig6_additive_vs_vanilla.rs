@@ -1,0 +1,137 @@
+//! Figure 6 — component comparison: additive GM vs vanilla and the analyst
+//! constraint specifications (Adult dataset).
+//!
+//! Left panel: utility vs the number of analysts (2..6) at ε = 3.2.
+//! Right panel: utility vs the overall budget with 2 analysts.
+//! Series: DProvDB-l_max (additive GM + Def. 11), DProvDB-l_sum (additive GM
+//! + Def. 10) and Vanilla-l_sum (vanilla + Def. 10).
+//!
+//! Scale knobs: `DPROV_ROWS`, `DPROV_QUERIES` (default 300).
+
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{env_usize, registry_with, Dataset};
+use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::database::Database;
+use dprov_workloads::rrq::{generate, RrqConfig, RrqWorkload};
+use dprov_workloads::runner::ExperimentRunner;
+use dprov_workloads::sequence::Interleaving;
+
+/// The three series of Fig. 6 / Fig. 11.
+#[derive(Clone, Copy)]
+enum Series {
+    DProvDbLMax,
+    DProvDbLSum,
+    VanillaLSum,
+}
+
+impl Series {
+    const ALL: [Series; 3] = [Series::DProvDbLMax, Series::DProvDbLSum, Series::VanillaLSum];
+
+    fn build(self, db: &Database, table: &str, privileges: &[u8], epsilon: f64) -> DProvDb {
+        let (mechanism, spec) = match self {
+            Series::DProvDbLMax => (
+                MechanismKind::AdditiveGaussian,
+                AnalystConstraintSpec::MaxNormalized {
+                    system_max_level: None,
+                },
+            ),
+            Series::DProvDbLSum => (
+                MechanismKind::AdditiveGaussian,
+                AnalystConstraintSpec::ProportionalSum,
+            ),
+            Series::VanillaLSum => (
+                MechanismKind::Vanilla,
+                AnalystConstraintSpec::ProportionalSum,
+            ),
+        };
+        let config = SystemConfig::new(epsilon)
+            .expect("epsilon")
+            .with_seed(5)
+            .with_analyst_constraints(spec);
+        let catalog = ViewCatalog::one_per_attribute(db, table).expect("catalog");
+        DProvDb::new(db.clone(), catalog, registry_with(privileges), config, mechanism)
+            .expect("system setup")
+    }
+}
+
+/// Privileges for `n` analysts: one high-privilege (4) analyst plus
+/// low-privilege (1) analysts, mirroring the default two-analyst setting.
+fn privileges_for(n: usize) -> Vec<u8> {
+    let mut p = vec![1u8; n.saturating_sub(1)];
+    p.push(4);
+    p
+}
+
+fn run_series(
+    series: Series,
+    db: &Database,
+    table: &str,
+    workload: &RrqWorkload,
+    privileges: &[u8],
+    epsilon: f64,
+) -> f64 {
+    let mut system = series.build(db, table, privileges, epsilon);
+    let runner = ExperimentRunner::new(privileges);
+    let metrics = runner
+        .run_rrq(&mut system, workload, Interleaving::RoundRobin)
+        .expect("run");
+    metrics.total_answered() as f64
+}
+
+/// Shared implementation for Fig. 6 (Adult) and Fig. 11 (TPC-H).
+pub fn run_figure(dataset: Dataset, rows: usize, queries: usize, figure: &str) {
+    let db = dataset.build(rows, 42);
+    let table = dataset.table();
+
+    // Left panel: vary the number of analysts at ε = 3.2.
+    banner(&format!(
+        "{figure} (left): #queries answered vs #analysts (ε = 3.2, {}, round-robin)",
+        dataset.label()
+    ));
+    let mut left = Table::new(&["#analysts", "DProvDB-l_max", "DProvDB-l_sum", "Vanilla-l_sum"]);
+    for n in 2..=6usize {
+        let privileges = privileges_for(n);
+        let workload = generate(&db, &RrqConfig::new(table, queries, 7), n).expect("workload");
+        let mut row = vec![format!("{n}")];
+        for series in Series::ALL {
+            row.push(fmt_f64(
+                run_series(series, &db, table, &workload, &privileges, 3.2),
+                0,
+            ));
+        }
+        left.add_row(&row);
+    }
+    left.print();
+
+    // Right panel: vary the overall budget with 2 analysts.
+    banner(&format!(
+        "{figure} (right): #queries answered vs overall budget (2 analysts, {})",
+        dataset.label()
+    ));
+    let privileges = privileges_for(2);
+    let workload = generate(&db, &RrqConfig::new(table, queries, 7), 2).expect("workload");
+    let mut right = Table::new(&["epsilon", "DProvDB-l_max", "DProvDB-l_sum", "Vanilla-l_sum"]);
+    for &eps in &[0.8, 1.6, 3.2, 6.4] {
+        let mut row = vec![format!("{eps}")];
+        for series in Series::ALL {
+            row.push(fmt_f64(
+                run_series(series, &db, table, &workload, &privileges, eps),
+                0,
+            ));
+        }
+        right.add_row(&row);
+    }
+    right.print();
+}
+
+fn main() {
+    run_figure(
+        Dataset::Adult,
+        env_usize("DPROV_ROWS", 45_222),
+        env_usize("DPROV_QUERIES", 300),
+        "Fig. 6",
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 7 — component comparison: constraint configuration (expansion τ).
+//!
+//! With 2 analysts, the per-analyst constraints are multiplied by an
+//! expansion factor τ ∈ {1, 1.3, 1.6, 1.9} (capped at ψ_P). Utility (top
+//! row) increases with τ while the nDCFG fairness score (bottom row)
+//! decreases — the fairness/utility trade-off of §6.2.2. The "static τ = 1"
+//! column is the unexpanded Def. 11 configuration.
+//!
+//! Scale knobs: `DPROV_ROWS`, `DPROV_QUERIES` (default 300).
+
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{default_privileges, env_usize, registry_with, Dataset};
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_workloads::metrics::RunMetrics;
+use dprov_workloads::rrq::{generate, RrqConfig, RrqWorkload};
+use dprov_workloads::runner::ExperimentRunner;
+use dprov_workloads::sequence::Interleaving;
+
+fn run_with_tau(
+    db: &dprov_engine::database::Database,
+    workload: &RrqWorkload,
+    epsilon: f64,
+    tau: f64,
+    interleaving: Interleaving,
+) -> RunMetrics {
+    let privileges = default_privileges();
+    let config = SystemConfig::new(epsilon)
+        .expect("epsilon")
+        .with_seed(5)
+        .with_expansion(tau)
+        .expect("tau >= 1");
+    let catalog =
+        dprov_engine::catalog::ViewCatalog::one_per_attribute(db, "adult").expect("catalog");
+    let mut system = DProvDb::new(
+        db.clone(),
+        catalog,
+        registry_with(&privileges),
+        config,
+        MechanismKind::AdditiveGaussian,
+    )
+    .expect("system setup");
+    ExperimentRunner::new(&privileges)
+        .run_rrq(&mut system, workload, interleaving)
+        .expect("run")
+}
+
+fn main() {
+    let rows = env_usize("DPROV_ROWS", 45_222);
+    let queries = env_usize("DPROV_QUERIES", 300);
+    let taus = [1.0, 1.3, 1.6, 1.9];
+    let epsilons = [0.4, 0.8, 1.6, 3.2];
+
+    let db = Dataset::Adult.build(rows, 42);
+    let workload =
+        generate(&db, &RrqConfig::new("adult", queries, 7), 2).expect("workload generation");
+
+    for (interleaving, label) in [
+        (Interleaving::RoundRobin, "round-robin"),
+        (Interleaving::Random { seed: 31 }, "randomized"),
+    ] {
+        banner(&format!(
+            "Fig. 7 ({label}): utility and fairness vs constraint expansion τ (Adult, DProvDB)"
+        ));
+        let mut utility =
+            Table::new(&["epsilon", "static τ=1", "τ=1.3", "τ=1.6", "τ=1.9"]);
+        let mut fairness =
+            Table::new(&["epsilon", "static τ=1", "τ=1.3", "τ=1.6", "τ=1.9"]);
+        for &eps in &epsilons {
+            let mut urow = vec![format!("{eps}")];
+            let mut frow = vec![format!("{eps}")];
+            for &tau in &taus {
+                let metrics = run_with_tau(&db, &workload, eps, tau, interleaving);
+                urow.push(fmt_f64(metrics.total_answered() as f64, 0));
+                frow.push(fmt_f64(metrics.ndcfg, 3));
+            }
+            utility.add_row(&urow);
+            fairness.add_row(&frow);
+        }
+        println!("\n#queries answered:");
+        utility.print();
+        println!("\nnDCFG fairness:");
+        fairness.print();
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 8 — #queries answered vs the per-query δ parameter (BFS task,
+//! Adult).
+//!
+//! With the overall ε fixed at 6.4 the per-query δ is varied from 1e-13 to
+//! 1e-9. A larger δ lets the accuracy→privacy translation pick a smaller ε
+//! per query, so slightly more queries are answered. Both DProvDB (additive
+//! GM) and Vanilla are reported, round-robin and randomized orders.
+//!
+//! Scale knobs: `DPROV_ROWS` (default 45222).
+
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{default_privileges, env_usize, registry_with, Dataset};
+use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_workloads::bfs::BfsConfig;
+use dprov_workloads::rrq::{generate, RrqConfig};
+use dprov_workloads::runner::ExperimentRunner;
+use dprov_workloads::sequence::Interleaving;
+
+fn build(
+    db: &dprov_engine::database::Database,
+    mechanism: MechanismKind,
+    delta: f64,
+) -> DProvDb {
+    let spec = match mechanism {
+        MechanismKind::AdditiveGaussian => AnalystConstraintSpec::MaxNormalized {
+            system_max_level: None,
+        },
+        MechanismKind::Vanilla => AnalystConstraintSpec::ProportionalSum,
+    };
+    let config = SystemConfig::new(6.4)
+        .expect("epsilon")
+        .with_delta(delta)
+        .expect("delta")
+        .with_seed(3)
+        .with_analyst_constraints(spec);
+    let catalog =
+        dprov_engine::catalog::ViewCatalog::one_per_attribute(db, "adult").expect("catalog");
+    DProvDb::new(
+        db.clone(),
+        catalog,
+        registry_with(&default_privileges()),
+        config,
+        mechanism,
+    )
+    .expect("system setup")
+}
+
+fn main() {
+    let rows = env_usize("DPROV_ROWS", 45_222);
+    let deltas = [1e-13, 1e-12, 1e-11, 1e-10, 1e-9];
+    let db = Dataset::Adult.build(rows, 42);
+    let privileges = default_privileges();
+    let runner = ExperimentRunner::new(&privileges);
+
+    // BFS workload (as in the end-to-end experiment) plus an RRQ workload
+    // for the randomized-order panel.
+    let bfs_configs = vec![
+        BfsConfig::new("adult", "age", 400.0),
+        BfsConfig::new("adult", "hours_per_week", 400.0),
+    ];
+    let rrq = generate(&db, &RrqConfig::new("adult", 300, 7), 2).expect("workload");
+
+    banner("Fig. 8 (left, BFS round-robin): #queries answered vs per-query δ (ε = 6.4, Adult)");
+    let mut left = Table::new(&["delta", "DProvDB", "Vanilla"]);
+    for &delta in &deltas {
+        let mut row = vec![format!("{delta:.0e}")];
+        for mechanism in [MechanismKind::AdditiveGaussian, MechanismKind::Vanilla] {
+            let mut system = build(&db, mechanism, delta);
+            let metrics = runner.run_bfs(&mut system, &db, &bfs_configs).expect("run");
+            row.push(fmt_f64(metrics.total_answered() as f64, 0));
+        }
+        left.add_row(&row);
+    }
+    left.print();
+
+    banner("Fig. 8 (right, RRQ randomized): #queries answered vs per-query δ (ε = 6.4, Adult)");
+    let mut right = Table::new(&["delta", "DProvDB", "Vanilla"]);
+    for &delta in &deltas {
+        let mut row = vec![format!("{delta:.0e}")];
+        for mechanism in [MechanismKind::AdditiveGaussian, MechanismKind::Vanilla] {
+            let mut system = build(&db, mechanism, delta);
+            let metrics = runner
+                .run_rrq(&mut system, &rrq, Interleaving::Random { seed: 17 })
+                .expect("run");
+            row.push(fmt_f64(metrics.total_answered() as f64, 0));
+        }
+        right.add_row(&row);
+    }
+    right.print();
+}

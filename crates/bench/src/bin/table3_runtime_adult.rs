@@ -1,0 +1,64 @@
+//! Table 3 — runtime performance comparison on the Adult dataset.
+//!
+//! Same measurement as Table 1 but over the Adult dataset. See
+//! `table1_runtime_tpch.rs` for the column definitions.
+//!
+//! Scale knobs: `DPROV_ROWS` (default 45222), `DPROV_QUERIES` (default 200).
+
+use std::time::Instant;
+
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::setup::{build_system, default_privileges, env_usize, Dataset, SystemKind};
+use dprov_core::config::SystemConfig;
+use dprov_workloads::rrq::{generate, RrqConfig};
+use dprov_workloads::runner::ExperimentRunner;
+use dprov_workloads::sequence::Interleaving;
+
+fn main() {
+    let dataset = Dataset::Adult;
+    let rows = env_usize("DPROV_ROWS", 45_222);
+    let queries = env_usize("DPROV_QUERIES", 200);
+
+    banner(&format!(
+        "Table 3: runtime performance on {} ({rows} rows, {queries} queries/analyst, ε = 6.4)",
+        dataset.label()
+    ));
+    let db = dataset.build(rows, 42);
+    let workload = generate(&db, &RrqConfig::new(dataset.table(), queries, 7), 2)
+        .expect("workload generation");
+    let config = SystemConfig::new(6.4).expect("epsilon").with_seed(3);
+    let runner = ExperimentRunner::new(&default_privileges());
+
+    let mut table = Table::new(&[
+        "System",
+        "Setup Time (ms)",
+        "Running Time (ms)",
+        "No. of Queries",
+        "Per Query (ms)",
+    ]);
+
+    for kind in SystemKind::ALL {
+        let setup_start = Instant::now();
+        let mut system =
+            build_system(kind, &db, &default_privileges(), &config).expect("system setup");
+        let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+        let metrics = runner
+            .run_rrq(system.as_mut(), &workload, Interleaving::RoundRobin)
+            .expect("run");
+        let running_ms = metrics.elapsed.as_secs_f64() * 1e3;
+
+        let setup_cell = match kind {
+            SystemKind::Chorus | SystemKind::ChorusP => "N/A".to_owned(),
+            _ => fmt_f64(setup_ms, 2),
+        };
+        table.add_row(&[
+            kind.label().to_owned(),
+            setup_cell,
+            fmt_f64(running_ms, 2),
+            format!("{}", metrics.total_answered()),
+            fmt_f64(metrics.per_query_ms(), 3),
+        ]);
+    }
+    table.print();
+}

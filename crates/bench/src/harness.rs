@@ -1,0 +1,112 @@
+//! Sweep helpers used by the experiment binaries.
+
+use dprov_core::config::SystemConfig;
+use dprov_core::Result as CoreResult;
+use dprov_engine::database::Database;
+use dprov_workloads::metrics::{aggregate, AggregatedMetrics, RunMetrics};
+use dprov_workloads::rrq::RrqWorkload;
+use dprov_workloads::runner::ExperimentRunner;
+use dprov_workloads::sequence::Interleaving;
+
+use crate::setup::{build_system, SystemKind};
+
+/// The configuration of one end-to-end comparison cell.
+#[derive(Debug, Clone)]
+pub struct ComparisonSpec {
+    /// Overall budget ψ_P.
+    pub epsilon: f64,
+    /// Per-query δ.
+    pub delta: f64,
+    /// Analyst privilege levels.
+    pub privileges: Vec<u8>,
+    /// Interleaving of analyst submissions.
+    pub interleaving: Interleaving,
+    /// Seeds to repeat the run with (the paper averages 4 seeds).
+    pub seeds: Vec<u64>,
+}
+
+impl ComparisonSpec {
+    /// A spec with the experiments' defaults (2 analysts, privileges 1 & 4,
+    /// round-robin, 2 seeds to keep CI time reasonable).
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        ComparisonSpec {
+            epsilon,
+            delta: 1e-9,
+            privileges: vec![1, 4],
+            interleaving: Interleaving::RoundRobin,
+            seeds: vec![1, 2],
+        }
+    }
+
+    fn config(&self, seed: u64) -> CoreResult<SystemConfig> {
+        Ok(SystemConfig::new(self.epsilon)?
+            .with_delta(self.delta)?
+            .with_seed(seed))
+    }
+}
+
+/// Runs one system over one RRQ workload for every seed in the spec and
+/// aggregates the runs.
+pub fn run_rrq_comparison_cell(
+    kind: SystemKind,
+    db: &Database,
+    workload: &RrqWorkload,
+    spec: &ComparisonSpec,
+) -> CoreResult<(AggregatedMetrics, Vec<RunMetrics>)> {
+    let runner = ExperimentRunner::new(&spec.privileges).with_ground_truth(db);
+    let mut runs = Vec::with_capacity(spec.seeds.len());
+    for &seed in &spec.seeds {
+        let config = spec.config(seed)?;
+        let mut system = build_system(kind, db, &spec.privileges, &config)?;
+        runs.push(runner.run_rrq(system.as_mut(), workload, spec.interleaving)?);
+    }
+    Ok((aggregate(&runs), runs))
+}
+
+/// Runs every system of [`SystemKind::ALL`] over the same workload.
+pub fn run_rrq_comparison(
+    db: &Database,
+    workload: &RrqWorkload,
+    spec: &ComparisonSpec,
+) -> CoreResult<Vec<(SystemKind, AggregatedMetrics)>> {
+    let mut out = Vec::new();
+    for kind in SystemKind::ALL {
+        let (agg, _) = run_rrq_comparison_cell(kind, db, workload, spec)?;
+        out.push((kind, agg));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::Dataset;
+    use dprov_workloads::rrq::{generate, RrqConfig};
+
+    #[test]
+    fn comparison_runs_every_system_and_dprovdb_wins() {
+        // The cached-view advantage needs a workload that is large relative
+        // to the number of views (the paper uses 4,000 queries per analyst);
+        // 150 per analyst is enough for the ordering to emerge.
+        let db = Dataset::Adult.build(800, 1);
+        let workload = generate(&db, &RrqConfig::new("adult", 150, 3), 2).unwrap();
+        let mut spec = ComparisonSpec::new(0.8);
+        spec.seeds = vec![1];
+        let results = run_rrq_comparison(&db, &workload, &spec).unwrap();
+        assert_eq!(results.len(), 5);
+        let answered = |kind: SystemKind| {
+            results
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, a)| a.mean_answered)
+                .unwrap()
+        };
+        // The headline shape of Fig. 3 under a tight budget: DProvDB answers
+        // at least as many queries as the vanilla approach, and strictly
+        // more than plain Chorus and the static sPrivateSQL split.
+        assert!(answered(SystemKind::DProvDb) >= answered(SystemKind::Vanilla));
+        assert!(answered(SystemKind::DProvDb) > answered(SystemKind::Chorus));
+        assert!(answered(SystemKind::DProvDb) > answered(SystemKind::SPrivateSql));
+    }
+}

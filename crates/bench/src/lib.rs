@@ -1,0 +1,19 @@
+//! # `dprov-bench` — the benchmark and experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md §3
+//! for the experiment index) plus Criterion micro-benchmarks. The shared
+//! plumbing lives here:
+//!
+//! * [`setup`] — dataset and system construction for all five compared
+//!   systems (DProvDB, Vanilla, sPrivateSQL, Chorus, ChorusP);
+//! * [`harness`] — sweep helpers that run one workload across systems and
+//!   collect [`dprov_workloads::metrics::RunMetrics`];
+//! * [`report`] — fixed-width table printing and JSON output for the
+//!   experiment binaries.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod report;
+pub mod setup;

@@ -1,0 +1,153 @@
+//! Multi-analyst DP accounting (Section 3, Theorem 3.1 / 3.2).
+//!
+//! Tracks the per-analyst privacy loss of a running system and reports the
+//! collusion bounds: the trivial upper bound (sum over analysts, sequential
+//! composition) and the lower bound (the maximum over analysts — the least
+//! information that must have been released). DProvDB's additive Gaussian
+//! mechanism achieves the lower bound per view (Theorem 5.2); the ledger
+//! lets callers and tests verify that claim.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dprov_dp::budget::Budget;
+
+use crate::analyst::AnalystId;
+
+/// The per-analyst privacy-loss ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MultiAnalystLedger {
+    per_analyst: BTreeMap<AnalystId, Budget>,
+    releases: usize,
+}
+
+impl MultiAnalystLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        MultiAnalystLedger {
+            per_analyst: BTreeMap::new(),
+            releases: 0,
+        }
+    }
+
+    /// Records a release of `budget` to `analyst` (multi-analyst sequential
+    /// composition, Theorem 3.1: per-coordinate addition).
+    pub fn record(&mut self, analyst: AnalystId, budget: Budget) {
+        let entry = self.per_analyst.entry(analyst).or_insert(Budget::ZERO);
+        *entry = entry.compose(budget);
+        self.releases += 1;
+    }
+
+    /// The cumulative loss to one analyst.
+    #[must_use]
+    pub fn loss_to(&self, analyst: AnalystId) -> Budget {
+        self.per_analyst
+            .get(&analyst)
+            .copied()
+            .unwrap_or(Budget::ZERO)
+    }
+
+    /// The collusion *lower bound* of Theorem 3.2: the pointwise maximum of
+    /// the per-analyst losses.
+    #[must_use]
+    pub fn collusion_lower_bound(&self) -> Budget {
+        self.per_analyst
+            .values()
+            .fold(Budget::ZERO, |acc, b| acc.pointwise_max(*b))
+    }
+
+    /// The trivial collusion *upper bound* of Theorem 3.2: sequential
+    /// composition across analysts.
+    #[must_use]
+    pub fn collusion_upper_bound(&self) -> Budget {
+        self.per_analyst
+            .values()
+            .fold(Budget::ZERO, |acc, b| acc.compose(*b))
+    }
+
+    /// The (t, n)-compromised upper bound of Section 7.1: the sum of the `t`
+    /// largest per-analyst epsilons (and deltas).
+    #[must_use]
+    pub fn compromised_upper_bound(&self, t: usize) -> Budget {
+        let mut epsilons: Vec<f64> = self
+            .per_analyst
+            .values()
+            .map(|b| b.epsilon.value())
+            .collect();
+        let mut deltas: Vec<f64> = self.per_analyst.values().map(|b| b.delta.value()).collect();
+        epsilons.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        deltas.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let eps: f64 = epsilons.iter().take(t).sum();
+        let delta: f64 = deltas.iter().take(t).sum();
+        Budget::new(eps, delta.min(1.0 - f64::EPSILON)).expect("valid budget")
+    }
+
+    /// Per-analyst losses, sorted by analyst id.
+    #[must_use]
+    pub fn all(&self) -> Vec<(AnalystId, Budget)> {
+        self.per_analyst.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Number of recorded releases.
+    #[must_use]
+    pub fn releases(&self) -> usize {
+        self.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(eps: f64) -> Budget {
+        Budget::new(eps, 1e-9).unwrap()
+    }
+
+    #[test]
+    fn per_analyst_losses_compose_sequentially() {
+        let mut ledger = MultiAnalystLedger::new();
+        ledger.record(AnalystId(0), b(0.3));
+        ledger.record(AnalystId(0), b(0.2));
+        ledger.record(AnalystId(1), b(0.7));
+        assert!((ledger.loss_to(AnalystId(0)).epsilon.value() - 0.5).abs() < 1e-12);
+        assert!((ledger.loss_to(AnalystId(1)).epsilon.value() - 0.7).abs() < 1e-12);
+        assert_eq!(ledger.loss_to(AnalystId(9)), Budget::ZERO);
+        assert_eq!(ledger.releases(), 3);
+    }
+
+    #[test]
+    fn collusion_bounds_bracket_the_truth() {
+        let mut ledger = MultiAnalystLedger::new();
+        ledger.record(AnalystId(0), b(0.5));
+        ledger.record(AnalystId(1), b(0.7));
+        ledger.record(AnalystId(2), b(0.2));
+        let lower = ledger.collusion_lower_bound();
+        let upper = ledger.collusion_upper_bound();
+        assert!((lower.epsilon.value() - 0.7).abs() < 1e-12);
+        assert!((upper.epsilon.value() - 1.4).abs() < 1e-12);
+        assert!(upper.epsilon.value() >= lower.epsilon.value());
+    }
+
+    #[test]
+    fn compromised_bound_interpolates_between_max_and_sum() {
+        let mut ledger = MultiAnalystLedger::new();
+        ledger.record(AnalystId(0), b(0.5));
+        ledger.record(AnalystId(1), b(0.7));
+        ledger.record(AnalystId(2), b(0.2));
+        assert!((ledger.compromised_upper_bound(1).epsilon.value() - 0.7).abs() < 1e-12);
+        assert!((ledger.compromised_upper_bound(2).epsilon.value() - 1.2).abs() < 1e-12);
+        assert!((ledger.compromised_upper_bound(3).epsilon.value() - 1.4).abs() < 1e-12);
+        // t larger than n saturates at the full sum.
+        assert!((ledger.compromised_upper_bound(10).epsilon.value() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_bounds_are_zero() {
+        let ledger = MultiAnalystLedger::new();
+        assert_eq!(ledger.collusion_lower_bound(), Budget::ZERO);
+        assert_eq!(ledger.collusion_upper_bound(), Budget::ZERO);
+        assert!(ledger.all().is_empty());
+    }
+}

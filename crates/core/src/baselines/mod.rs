@@ -1,0 +1,55 @@
+//! Baseline systems used in the evaluation (§6.1.1).
+//!
+//! * [`chorus::ChorusBaseline`] — plain Chorus: per-query Gaussian noise,
+//!   no views, no distinction between analysts, one overall budget.
+//! * [`chorus_p::ChorusPBaseline`] — Chorus plus the privacy provenance
+//!   idea: per-analyst constraints are enforced, but nothing is cached.
+//! * [`private_sql::SPrivateSqlBaseline`] — a simulated PrivateSQL: all
+//!   synopses are generated up front with a static budget split; queries
+//!   that the static synopses cannot answer accurately enough are rejected.
+
+pub mod chorus;
+pub mod chorus_p;
+pub mod private_sql;
+
+pub use chorus::ChorusBaseline;
+pub use chorus_p::ChorusPBaseline;
+pub use private_sql::SPrivateSqlBaseline;
+
+use dprov_engine::database::Database;
+use dprov_engine::query::{AggregateKind, Query};
+use dprov_engine::Result as EngineResult;
+
+/// The ℓ2 sensitivity of answering a query *directly* (no view), under
+/// bounded DP: 1 for counts, the attribute's value range for sums.
+pub(crate) fn direct_query_sensitivity(db: &Database, query: &Query) -> EngineResult<f64> {
+    let table = db.table(&query.table)?;
+    match &query.aggregate {
+        AggregateKind::Count => Ok(1.0),
+        AggregateKind::Sum(attr) | AggregateKind::Avg(attr) => {
+            let a = table.schema().attribute(attr)?;
+            let size = a.domain_size();
+            let lo = a.numeric_at(0).unwrap_or(0.0);
+            let hi = a.numeric_at(size.saturating_sub(1)).unwrap_or(1.0);
+            Ok((hi - lo).abs().max(1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_engine::datagen::adult::adult_database;
+
+    #[test]
+    fn count_sensitivity_is_one_sum_uses_the_range() {
+        let db = adult_database(100, 1);
+        assert_eq!(
+            direct_query_sensitivity(&db, &Query::count("adult")).unwrap(),
+            1.0
+        );
+        let s = direct_query_sensitivity(&db, &Query::sum("adult", "hours_per_week")).unwrap();
+        assert_eq!(s, 98.0);
+        assert!(direct_query_sensitivity(&db, &Query::count("missing")).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for the DProvDB system layer.
+
+use dprov_dp::DpError;
+use dprov_engine::EngineError;
+
+use crate::analyst::AnalystId;
+
+/// Why a query was rejected by the system.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum RejectReason {
+    /// Answering would exceed the analyst's (row) constraint ψ_Ai.
+    AnalystConstraint {
+        /// The analyst whose constraint would be violated.
+        analyst: AnalystId,
+    },
+    /// Answering would exceed the view's (column) constraint ψ_Vj.
+    ViewConstraint {
+        /// The view whose constraint would be violated.
+        view: String,
+    },
+    /// Answering would exceed the overall table constraint ψ_P.
+    TableConstraint,
+    /// The requested accuracy cannot be met within the remaining budget.
+    AccuracyUnreachable,
+    /// No registered view can answer the query.
+    NotAnswerable,
+    /// The system's static synopses (sPrivateSQL baseline) are not accurate
+    /// enough for the requested accuracy.
+    InsufficientSynopsis,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::AnalystConstraint { analyst } => {
+                write!(f, "analyst constraint violated for analyst {analyst}")
+            }
+            RejectReason::ViewConstraint { view } => write!(f, "view constraint violated for {view}"),
+            RejectReason::TableConstraint => write!(f, "table (overall) constraint violated"),
+            RejectReason::AccuracyUnreachable => {
+                write!(f, "accuracy requirement unreachable within the budget")
+            }
+            RejectReason::NotAnswerable => write!(f, "no registered view answers the query"),
+            RejectReason::InsufficientSynopsis => {
+                write!(f, "static synopsis not accurate enough for the request")
+            }
+        }
+    }
+}
+
+/// Errors raised by the DProvDB system layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error from the DP primitives.
+    Dp(DpError),
+    /// An error from the relational engine.
+    Engine(EngineError),
+    /// An unknown analyst id was used.
+    UnknownAnalyst(AnalystId),
+    /// A privilege level outside `1..=10` was supplied.
+    InvalidPrivilege(u8),
+    /// The system was configured inconsistently.
+    InvalidConfig(String),
+    /// A corruption-graph policy was invalid (e.g. a component of size >= t).
+    InvalidCorruptionGraph(String),
+}
+
+impl From<DpError> for CoreError {
+    fn from(e: DpError) -> Self {
+        CoreError::Dp(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Dp(e) => write!(f, "dp error: {e}"),
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::UnknownAnalyst(a) => write!(f, "unknown analyst: {a}"),
+            CoreError::InvalidPrivilege(p) => write!(f, "privilege must be in 1..=10, got {p}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::InvalidCorruptionGraph(msg) => write!(f, "invalid corruption graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,492 @@
+//! Global and local synopsis management (Section 5.2.2).
+//!
+//! For every registered view the manager caches the exact histogram (built
+//! once at setup) and maintains:
+//!
+//! * one **global** DP synopsis `V^ε` — hidden from every analyst — whose
+//!   budget can only grow over time; when a query needs a more accurate
+//!   global synopsis, a *delta* synopsis `V^Δε` is generated from the exact
+//!   histogram and merged with the previous one using the inverse-variance
+//!   (UMVUE) weight of Eq. (2);
+//! * one **local** synopsis per (analyst, view) — the only thing an analyst
+//!   ever sees — produced by adding *more* Gaussian noise on top of the
+//!   global synopsis (the additive Gaussian mechanism, Algorithm 3), so
+//!   that even full collusion reveals no more than the global synopsis;
+//! * for the vanilla mechanism, per-(analyst, view) cached synopses drawn
+//!   *independently* from the exact histogram.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dprov_dp::budget::Delta;
+use dprov_dp::mechanism::analytic_gaussian::analytic_gaussian_sigma;
+use dprov_dp::rng::DpRng;
+use dprov_dp::sensitivity::Sensitivity;
+use dprov_engine::database::Database;
+use dprov_engine::histogram::Histogram;
+use dprov_engine::synopsis::Synopsis;
+use dprov_engine::view::ViewDef;
+
+use crate::error::{CoreError, Result};
+
+/// A synopsis together with the nominal budget spent on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedSynopsis {
+    /// The noisy counts and their actual per-bin variance.
+    pub synopsis: Synopsis,
+    /// The nominal epsilon this synopsis is worth.
+    pub epsilon: f64,
+}
+
+/// One managed view: definition, cached exact histogram, optional global
+/// synopsis.
+#[derive(Debug, Clone)]
+struct ManagedView {
+    def: ViewDef,
+    exact: Histogram,
+    global: Option<BudgetedSynopsis>,
+}
+
+/// The synopsis manager.
+#[derive(Debug, Clone)]
+pub struct SynopsisManager {
+    delta: Delta,
+    views: HashMap<String, ManagedView>,
+    /// Local synopses (additive mechanism) or cached per-analyst synopses
+    /// (vanilla mechanism), keyed by (analyst index, view name).
+    locals: HashMap<(usize, String), BudgetedSynopsis>,
+}
+
+impl SynopsisManager {
+    /// Creates a manager with the system δ.
+    #[must_use]
+    pub fn new(delta: Delta) -> Self {
+        SynopsisManager {
+            delta,
+            views: HashMap::new(),
+            locals: HashMap::new(),
+        }
+    }
+
+    /// Registers a view and materialises its exact histogram (this is the
+    /// "setup time" cost reported in Tables 1 and 3).
+    pub fn register_view(&mut self, db: &Database, def: &ViewDef) -> Result<()> {
+        let exact = Histogram::materialize(db, def).map_err(CoreError::Engine)?;
+        self.views.insert(
+            def.name.clone(),
+            ManagedView {
+                def: def.clone(),
+                exact,
+                global: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Names of the registered views.
+    #[must_use]
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.keys().cloned().collect()
+    }
+
+    /// The sensitivity of a registered view.
+    pub fn sensitivity(&self, view: &str) -> Result<Sensitivity> {
+        Ok(self.managed(view)?.def.sensitivity())
+    }
+
+    /// The exact histogram of a registered view.
+    pub fn exact_histogram(&self, view: &str) -> Result<&Histogram> {
+        Ok(&self.managed(view)?.exact)
+    }
+
+    /// The nominal epsilon of the current global synopsis, if any.
+    pub fn global_epsilon(&self, view: &str) -> Result<Option<f64>> {
+        Ok(self.managed(view)?.global.as_ref().map(|g| g.epsilon))
+    }
+
+    /// The actual per-bin variance of the current global synopsis, if any.
+    pub fn global_variance(&self, view: &str) -> Result<Option<f64>> {
+        Ok(self
+            .managed(view)?
+            .global
+            .as_ref()
+            .map(|g| g.synopsis.per_bin_variance))
+    }
+
+    /// The local (or vanilla-cached) synopsis of an analyst on a view.
+    #[must_use]
+    pub fn local(&self, analyst: usize, view: &str) -> Option<&BudgetedSynopsis> {
+        self.locals.get(&(analyst, view.to_owned()))
+    }
+
+    fn managed(&self, view: &str) -> Result<&ManagedView> {
+        self.views
+            .get(view)
+            .ok_or_else(|| CoreError::Engine(dprov_engine::EngineError::UnknownView(view.to_owned())))
+    }
+
+    fn managed_mut(&mut self, view: &str) -> Result<&mut ManagedView> {
+        self.views
+            .get_mut(view)
+            .ok_or_else(|| CoreError::Engine(dprov_engine::EngineError::UnknownView(view.to_owned())))
+    }
+
+    /// Generates a *fresh, independent* synopsis of the view at the given
+    /// budget — the vanilla mechanism's release, also used for the static
+    /// sPrivateSQL synopses.
+    pub fn fresh_synopsis(&self, view: &str, epsilon: f64, rng: &mut DpRng) -> Result<Synopsis> {
+        let managed = self.managed(view)?;
+        let sigma = analytic_gaussian_sigma(
+            epsilon,
+            self.delta.value(),
+            managed.def.sensitivity().value(),
+        )?;
+        let counts: Vec<f64> = managed
+            .exact
+            .counts
+            .iter()
+            .map(|&c| c + rng.gaussian(sigma))
+            .collect();
+        Ok(Synopsis::new(view, counts, sigma * sigma))
+    }
+
+    /// Stores a per-(analyst, view) synopsis (vanilla cache or additive
+    /// local).
+    pub fn store_local(&mut self, analyst: usize, view: &str, synopsis: BudgetedSynopsis) {
+        self.locals.insert((analyst, view.to_owned()), synopsis);
+    }
+
+    /// Ensures the global synopsis of `view` has nominal budget at least
+    /// `target_epsilon`. Returns the epsilon actually added (`Δε`, zero if
+    /// the existing synopsis was already sufficient).
+    ///
+    /// * No existing synopsis: a fresh one is generated at `target_epsilon`.
+    /// * Existing synopsis with a smaller budget: a delta synopsis `V^Δε`
+    ///   with `Δε = target − current` is generated and merged with the
+    ///   UMVUE weight (Eq. 2); note the *friction*: the combined variance is
+    ///   larger than a one-shot synopsis at the full budget would have.
+    pub fn ensure_global(
+        &mut self,
+        view: &str,
+        target_epsilon: f64,
+        rng: &mut DpRng,
+    ) -> Result<f64> {
+        let delta = self.delta.value();
+        let managed = self.managed_mut(view)?;
+        let sens = managed.def.sensitivity().value();
+
+        match &mut managed.global {
+            None => {
+                let sigma = analytic_gaussian_sigma(target_epsilon, delta, sens)?;
+                let counts: Vec<f64> = managed
+                    .exact
+                    .counts
+                    .iter()
+                    .map(|&c| c + rng.gaussian(sigma))
+                    .collect();
+                managed.global = Some(BudgetedSynopsis {
+                    synopsis: Synopsis::new(view, counts, sigma * sigma),
+                    epsilon: target_epsilon,
+                });
+                Ok(target_epsilon)
+            }
+            Some(global) if global.epsilon + 1e-12 >= target_epsilon => Ok(0.0),
+            Some(global) => {
+                let delta_eps = target_epsilon - global.epsilon;
+                let sigma_delta = analytic_gaussian_sigma(delta_eps, delta, sens)?;
+                let fresh_counts: Vec<f64> = managed
+                    .exact
+                    .counts
+                    .iter()
+                    .map(|&c| c + rng.gaussian(sigma_delta))
+                    .collect();
+                let fresh = Synopsis::new(view, fresh_counts, sigma_delta * sigma_delta);
+                // Eq. (2): weight on the fresh synopsis minimising the
+                // combined variance.
+                let w = global
+                    .synopsis
+                    .optimal_combination_weight(fresh.per_bin_variance);
+                global.synopsis = global.synopsis.combine(&fresh, w);
+                global.epsilon = target_epsilon;
+                Ok(delta_eps)
+            }
+        }
+    }
+
+    /// Refines an analyst's existing local synopsis by combining it with a
+    /// *fresh* local release derived from the current global synopsis
+    /// (the §5.2.6 discussion).
+    ///
+    /// Both the old and the fresh local synopsis are the global counts plus
+    /// independent extra noise, so a convex combination `k·old + (1−k)·fresh`
+    /// stays unbiased for the true counts and its variance is
+    /// `v_global + k²·e_old + (1−k)²·e_fresh` where `e_*` are the extra-noise
+    /// variances. The variance-minimising weight is
+    /// `k* = e_fresh / (e_old + e_fresh)`.
+    ///
+    /// The combined synopsis is still a post-processing of the global
+    /// synopsis, so the worst-case privacy loss stays bounded by the global
+    /// budget; callers remain responsible for charging the analyst
+    /// (`min(ε_global, P + ε_i)` as in Algorithm 4). Returns the refined
+    /// synopsis; if the analyst has no existing local synopsis this is
+    /// identical to [`Self::derive_local`].
+    pub fn refine_local(
+        &mut self,
+        analyst: usize,
+        view: &str,
+        local_epsilon: f64,
+        rng: &mut DpRng,
+    ) -> Result<BudgetedSynopsis> {
+        let existing = self.local(analyst, view).cloned();
+        let global_variance = self
+            .global_variance(view)?
+            .ok_or_else(|| CoreError::InvalidConfig(format!("no global synopsis for {view}")))?;
+        let fresh = self.derive_local(analyst, view, local_epsilon, rng)?;
+        let Some(existing) = existing else {
+            return Ok(fresh);
+        };
+
+        // Extra-noise variances on top of the shared global synopsis. An
+        // older local synopsis may have been derived from a *noisier* global
+        // state; its total variance still upper-bounds the part independent
+        // of the current global counts, so using it keeps the weight
+        // conservative (never over-weights the old synopsis).
+        let e_old = (existing.synopsis.per_bin_variance - global_variance).max(0.0);
+        let e_fresh = (fresh.synopsis.per_bin_variance - global_variance).max(0.0);
+        if e_old <= 0.0 {
+            // The old synopsis is already as good as the global itself.
+            self.store_local(analyst, view, existing.clone());
+            return Ok(existing);
+        }
+        let k = e_fresh / (e_old + e_fresh);
+        let counts: Vec<f64> = existing
+            .synopsis
+            .counts
+            .iter()
+            .zip(&fresh.synopsis.counts)
+            .map(|(old, new)| k * old + (1.0 - k) * new)
+            .collect();
+        let variance = global_variance + k * k * e_old + (1.0 - k) * (1.0 - k) * e_fresh;
+        let refined = BudgetedSynopsis {
+            synopsis: Synopsis::new(view, counts, variance),
+            epsilon: existing.epsilon.max(fresh.epsilon),
+        };
+        self.store_local(analyst, view, refined.clone());
+        Ok(refined)
+    }
+
+    /// Derives (and stores) a local synopsis for `analyst` on `view` at
+    /// budget `local_epsilon` from the current global synopsis by adding
+    /// extra Gaussian noise (the additive Gaussian mechanism). The local
+    /// synopsis's total per-bin variance is `max(σ(ε_loc)², v_global)`.
+    ///
+    /// The global synopsis must already exist with a nominal budget at least
+    /// `local_epsilon` (callers go through [`Self::ensure_global`] first).
+    pub fn derive_local(
+        &mut self,
+        analyst: usize,
+        view: &str,
+        local_epsilon: f64,
+        rng: &mut DpRng,
+    ) -> Result<BudgetedSynopsis> {
+        let delta = self.delta.value();
+        let (global_counts, global_variance, sens) = {
+            let managed = self.managed(view)?;
+            let global = managed.global.as_ref().ok_or_else(|| {
+                CoreError::InvalidConfig(format!(
+                    "derive_local called before a global synopsis exists for {view}"
+                ))
+            })?;
+            debug_assert!(global.epsilon + 1e-9 >= local_epsilon);
+            (
+                global.synopsis.counts.clone(),
+                global.synopsis.per_bin_variance,
+                managed.def.sensitivity().value(),
+            )
+        };
+
+        let sigma_local = analytic_gaussian_sigma(local_epsilon, delta, sens)?;
+        let target_variance = (sigma_local * sigma_local).max(global_variance);
+        let extra_variance = (target_variance - global_variance).max(0.0);
+        let extra_sigma = extra_variance.sqrt();
+        let counts: Vec<f64> = global_counts
+            .iter()
+            .map(|&c| c + rng.gaussian(extra_sigma))
+            .collect();
+        let local = BudgetedSynopsis {
+            synopsis: Synopsis::new(view, counts, target_variance),
+            epsilon: local_epsilon,
+        };
+        self.store_local(analyst, view, local.clone());
+        Ok(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_engine::datagen::adult::adult_database;
+    use dprov_engine::view::ViewDef;
+
+    fn setup() -> (SynopsisManager, DpRng) {
+        let db = adult_database(2_000, 3);
+        let mut mgr = SynopsisManager::new(Delta::new(1e-9).unwrap());
+        mgr.register_view(&db, &ViewDef::histogram("adult.age", "adult", &["age"]))
+            .unwrap();
+        mgr.register_view(&db, &ViewDef::histogram("adult.sex", "adult", &["sex"]))
+            .unwrap();
+        (mgr, DpRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn register_and_query_metadata() {
+        let (mgr, _) = setup();
+        assert_eq!(mgr.view_names().len(), 2);
+        assert!(mgr.global_epsilon("adult.age").unwrap().is_none());
+        assert!(mgr.exact_histogram("adult.age").unwrap().total() > 0.0);
+        assert!(mgr.exact_histogram("nope").is_err());
+        assert!((mgr.sensitivity("adult.age").unwrap().value() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_synopsis_has_the_calibrated_variance() {
+        let (mgr, mut rng) = setup();
+        let s = mgr.fresh_synopsis("adult.age", 1.0, &mut rng).unwrap();
+        let sigma = analytic_gaussian_sigma(1.0, 1e-9, std::f64::consts::SQRT_2).unwrap();
+        assert!((s.per_bin_variance - sigma * sigma).abs() < 1e-9);
+        assert_eq!(s.counts.len(), 74);
+    }
+
+    #[test]
+    fn ensure_global_creates_then_grows() {
+        let (mut mgr, mut rng) = setup();
+        let spent = mgr.ensure_global("adult.age", 0.5, &mut rng).unwrap();
+        assert!((spent - 0.5).abs() < 1e-12);
+        assert_eq!(mgr.global_epsilon("adult.age").unwrap(), Some(0.5));
+        let v_first = mgr.global_variance("adult.age").unwrap().unwrap();
+
+        // Asking for less is free.
+        let spent = mgr.ensure_global("adult.age", 0.3, &mut rng).unwrap();
+        assert_eq!(spent, 0.0);
+        assert_eq!(mgr.global_epsilon("adult.age").unwrap(), Some(0.5));
+
+        // Growing to 0.7 spends the difference and reduces the variance.
+        let spent = mgr.ensure_global("adult.age", 0.7, &mut rng).unwrap();
+        assert!((spent - 0.2).abs() < 1e-12);
+        assert_eq!(mgr.global_epsilon("adult.age").unwrap(), Some(0.7));
+        let v_combined = mgr.global_variance("adult.age").unwrap().unwrap();
+        assert!(v_combined < v_first);
+
+        // Friction: the combined synopsis is noisier than a one-shot 0.7.
+        let sigma_one_shot =
+            analytic_gaussian_sigma(0.7, 1e-9, std::f64::consts::SQRT_2).unwrap();
+        assert!(v_combined > sigma_one_shot * sigma_one_shot);
+    }
+
+    #[test]
+    fn derive_local_adds_noise_and_respects_budget_ordering() {
+        let (mut mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
+        let global_var = mgr.global_variance("adult.age").unwrap().unwrap();
+
+        let local_small = mgr.derive_local(0, "adult.age", 0.2, &mut rng).unwrap();
+        let local_big = mgr.derive_local(1, "adult.age", 0.9, &mut rng).unwrap();
+        // A smaller local budget means a noisier local synopsis.
+        assert!(local_small.synopsis.per_bin_variance > local_big.synopsis.per_bin_variance);
+        // Local variance can never be below the global variance.
+        assert!(local_small.synopsis.per_bin_variance >= global_var);
+        assert!(local_big.synopsis.per_bin_variance >= global_var);
+        // Locals are cached per analyst.
+        assert_eq!(mgr.local(0, "adult.age").unwrap().epsilon, 0.2);
+        assert_eq!(mgr.local(1, "adult.age").unwrap().epsilon, 0.9);
+        assert!(mgr.local(2, "adult.age").is_none());
+    }
+
+    #[test]
+    fn derive_local_matches_the_analytic_calibration() {
+        let (mut mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
+        let local = mgr.derive_local(0, "adult.age", 0.4, &mut rng).unwrap();
+        let sigma = analytic_gaussian_sigma(0.4, 1e-9, std::f64::consts::SQRT_2).unwrap();
+        assert!((local.synopsis.per_bin_variance - sigma * sigma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_local_combines_and_reduces_variance() {
+        let (mut mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 2.0, &mut rng).unwrap();
+        let first = mgr.derive_local(0, "adult.age", 0.3, &mut rng).unwrap();
+        let refined = mgr.refine_local(0, "adult.age", 0.3, &mut rng).unwrap();
+        // Combining two releases at the same budget roughly halves the
+        // extra-noise variance, so the refined synopsis is strictly better
+        // than either individual one.
+        assert!(refined.synopsis.per_bin_variance < first.synopsis.per_bin_variance);
+        // But never better than the hidden global synopsis.
+        let global_var = mgr.global_variance("adult.age").unwrap().unwrap();
+        assert!(refined.synopsis.per_bin_variance >= global_var - 1e-9);
+        // The refinement is cached as the analyst's local synopsis.
+        let cached = mgr.local(0, "adult.age").unwrap();
+        assert_eq!(cached.synopsis.per_bin_variance, refined.synopsis.per_bin_variance);
+    }
+
+    #[test]
+    fn refine_local_without_existing_local_equals_derive_local() {
+        let (mut mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
+        let refined = mgr.refine_local(3, "adult.age", 0.4, &mut rng).unwrap();
+        let sigma = analytic_gaussian_sigma(0.4, 1e-9, std::f64::consts::SQRT_2).unwrap();
+        assert!((refined.synopsis.per_bin_variance - sigma * sigma).abs() < 1e-9);
+        assert!(mgr.refine_local(3, "adult.sex", 0.4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn refine_local_stays_unbiased() {
+        // The combined counts remain centred on the truth: compare against
+        // the exact histogram across many bins.
+        let (mut mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 4.0, &mut rng).unwrap();
+        mgr.derive_local(0, "adult.age", 1.0, &mut rng).unwrap();
+        let refined = mgr.refine_local(0, "adult.age", 1.0, &mut rng).unwrap();
+        let exact = mgr.exact_histogram("adult.age").unwrap().counts.clone();
+        let mean_error: f64 = refined
+            .synopsis
+            .counts
+            .iter()
+            .zip(&exact)
+            .map(|(n, t)| n - t)
+            .sum::<f64>()
+            / exact.len() as f64;
+        let sd = refined.synopsis.per_bin_variance.sqrt();
+        assert!(
+            mean_error.abs() < 4.0 * sd / (exact.len() as f64).sqrt() + 1.0,
+            "mean error {mean_error} too large for sd {sd}"
+        );
+    }
+
+    #[test]
+    fn derive_local_without_global_is_an_error() {
+        let (mut mgr, mut rng) = setup();
+        assert!(mgr.derive_local(0, "adult.age", 0.4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn local_noise_is_added_on_top_of_the_global_counts() {
+        // The local synopsis must be a noisier version of the *global*
+        // counts, not of the exact histogram: check the empirical deviation
+        // from the global counts matches the extra variance.
+        let (mut mgr, mut rng) = setup();
+        mgr.ensure_global("adult.sex", 2.0, &mut rng).unwrap();
+        let global_counts = {
+            let s = mgr.fresh_synopsis("adult.sex", 2.0, &mut rng); // not the global, just to silence unused
+            drop(s);
+            mgr.views["adult.sex"].global.as_ref().unwrap().synopsis.counts.clone()
+        };
+        let local = mgr.derive_local(0, "adult.sex", 0.1, &mut rng).unwrap();
+        // With only 2 bins we can't do statistics, but the local counts must
+        // differ from the global ones (extra noise was added) and have the
+        // same length.
+        assert_eq!(local.synopsis.counts.len(), global_counts.len());
+        assert_ne!(local.synopsis.counts, global_counts);
+    }
+}

@@ -1,0 +1,66 @@
+//! Basic sequential composition (Theorem 2.1): epsilons and deltas add.
+
+use crate::accountant::Accountant;
+use crate::budget::Budget;
+
+/// An accountant applying basic sequential composition.
+#[derive(Debug, Clone)]
+pub struct SequentialAccountant {
+    total: Budget,
+    releases: usize,
+}
+
+impl Default for SequentialAccountant {
+    fn default() -> Self {
+        SequentialAccountant::new()
+    }
+}
+
+impl SequentialAccountant {
+    /// Creates an empty accountant.
+    #[must_use]
+    pub fn new() -> Self {
+        SequentialAccountant {
+            total: Budget::ZERO,
+            releases: 0,
+        }
+    }
+}
+
+impl Accountant for SequentialAccountant {
+    fn record(&mut self, budget: Budget, _sigma: f64, _sensitivity: f64) {
+        self.total = self.total.compose(budget);
+        self.releases += 1;
+    }
+
+    fn total(&self) -> Budget {
+        self.total
+    }
+
+    fn releases(&self) -> usize {
+        self.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilons_and_deltas_add() {
+        let mut acc = SequentialAccountant::new();
+        acc.record(Budget::new(0.5, 1e-9).unwrap(), 1.0, 1.0);
+        acc.record(Budget::new(0.7, 2e-9).unwrap(), 1.0, 1.0);
+        let t = acc.total();
+        assert!((t.epsilon.value() - 1.2).abs() < 1e-12);
+        assert!((t.delta.value() - 3e-9).abs() < 1e-18);
+        assert_eq!(acc.releases(), 2);
+    }
+
+    #[test]
+    fn empty_accountant_is_zero() {
+        let acc = SequentialAccountant::new();
+        assert_eq!(acc.total(), Budget::ZERO);
+        assert_eq!(acc.releases(), 0);
+    }
+}

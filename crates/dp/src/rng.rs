@@ -1,0 +1,175 @@
+//! Seedable noise sampling.
+//!
+//! The DP mechanisms only need Gaussian and Laplace samplers. They are
+//! implemented on top of uniform draws from `rand`'s `StdRng` so the whole
+//! workspace stays deterministic under a fixed seed (the experiment harness
+//! repeats each run with several seeds, matching the paper's methodology).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable random-noise source for DP mechanisms.
+#[derive(Debug, Clone)]
+pub struct DpRng {
+    inner: StdRng,
+    /// Cached second value of the Box–Muller pair.
+    spare_normal: Option<f64>,
+}
+
+impl DpRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DpRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Creates a generator seeded from the operating system.
+    #[must_use]
+    pub fn from_entropy() -> Self {
+        DpRng {
+            inner: StdRng::from_entropy(),
+            spare_normal: None,
+        }
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer draw in `[lo, hi)`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A standard-normal draw using the Marsaglia polar method.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(v) = self.spare_normal.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// A draw from `N(0, sigma^2)`.
+    pub fn gaussian(&mut self, sigma: f64) -> f64 {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "gaussian noise scale must be non-negative and finite, got {sigma}"
+        );
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        sigma * self.standard_normal()
+    }
+
+    /// A draw from the zero-mean Laplace distribution with scale `b`.
+    pub fn laplace(&mut self, b: f64) -> f64 {
+        assert!(
+            b.is_finite() && b >= 0.0,
+            "laplace scale must be non-negative and finite, got {b}"
+        );
+        if b == 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF sampling: u ~ Uniform(-1/2, 1/2).
+        let u = self.uniform() - 0.5;
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Fills a vector with i.i.d. `N(0, sigma^2)` noise.
+    pub fn gaussian_vector(&mut self, sigma: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.gaussian(sigma)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = DpRng::seed_from_u64(42);
+        let mut b = DpRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+            assert_eq!(a.laplace(2.0), b.laplace(2.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DpRng::seed_from_u64(1);
+        let mut b = DpRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..16).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..16).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = DpRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_scales_variance() {
+        let mut rng = DpRng::seed_from_u64(11);
+        let n = 100_000;
+        let sigma = 3.5;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(sigma)).collect();
+        let var = samples.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!(
+            (var - sigma * sigma).abs() / (sigma * sigma) < 0.05,
+            "variance {var}"
+        );
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = DpRng::seed_from_u64(13);
+        let n = 200_000;
+        let b = 2.0;
+        let samples: Vec<f64> = (0..n).map(|_| rng.laplace(b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Laplace variance is 2 b^2 = 8.
+        assert!((var - 8.0).abs() < 0.4, "variance {var}");
+    }
+
+    #[test]
+    fn zero_scale_is_noiseless() {
+        let mut rng = DpRng::seed_from_u64(3);
+        assert_eq!(rng.gaussian(0.0), 0.0);
+        assert_eq!(rng.laplace(0.0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_vector_has_requested_length() {
+        let mut rng = DpRng::seed_from_u64(5);
+        assert_eq!(rng.gaussian_vector(1.0, 17).len(), 17);
+        assert!(rng.gaussian_vector(1.0, 0).is_empty());
+    }
+}

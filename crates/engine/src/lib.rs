@@ -1,0 +1,93 @@
+//! # `dprov-engine` — relational and view substrate for DProvDB
+//!
+//! The original DProvDB runs on PostgreSQL through the Chorus query
+//! framework. This crate replaces that stack with a self-contained,
+//! in-memory columnar engine that provides exactly the functionality the
+//! DProvDB middleware needs:
+//!
+//! * a typed, finite-domain [`schema`] and columnar [`table`] storage;
+//! * an aggregate [`query`] AST (COUNT / SUM / AVG with range and equality
+//!   predicates and GROUP BY) with exact evaluation in [`exec`] and a small
+//!   SQL front end in [`sql`];
+//! * [`view`] definitions — full-domain histograms (k-way marginals) and
+//!   clipped histograms — materialised into [`histogram::Histogram`]s;
+//! * the query-answerability [`transform`] of Definition 6, rewriting an
+//!   aggregate query into a linear query over a view;
+//! * noisy [`synopsis::Synopsis`] objects that answer linear queries;
+//! * a [`catalog::ViewCatalog`] that picks the view used to answer each
+//!   incoming query;
+//! * synthetic [`datagen`] generators standing in for the UCI Adult and
+//!   TPC-H datasets used in the paper's evaluation.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+pub mod database;
+pub mod datagen;
+pub mod exec;
+pub mod expr;
+pub mod histogram;
+pub mod query;
+pub mod schema;
+pub mod sql;
+pub mod synopsis;
+pub mod table;
+pub mod transform;
+pub mod value;
+pub mod view;
+
+/// Errors produced by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced attribute does not exist in the schema.
+    UnknownAttribute(String),
+    /// A value does not belong to an attribute's domain.
+    ValueOutOfDomain {
+        /// The attribute whose domain was violated.
+        attribute: String,
+        /// A rendering of the offending value.
+        value: String,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// The query cannot be answered over any view in the catalog.
+    NotAnswerable(String),
+    /// A view with this name already exists / does not exist.
+    UnknownView(String),
+    /// The SQL text could not be parsed.
+    SqlParse(String),
+    /// The query is malformed (e.g. SUM over a categorical attribute).
+    InvalidQuery(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            EngineError::ValueOutOfDomain { attribute, value } => {
+                write!(f, "value {value} outside the domain of attribute {attribute}")
+            }
+            EngineError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+            }
+            EngineError::NotAnswerable(q) => write!(f, "query not answerable over any view: {q}"),
+            EngineError::UnknownView(v) => write!(f, "unknown view: {v}"),
+            EngineError::SqlParse(msg) => write!(f, "SQL parse error: {msg}"),
+            EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

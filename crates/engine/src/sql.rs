@@ -1,0 +1,291 @@
+//! A minimal SQL front end.
+//!
+//! Parses the query class DProvDB supports into the [`Query`] AST:
+//!
+//! ```sql
+//! SELECT COUNT(*)          FROM adult WHERE age BETWEEN 25 AND 34 AND sex = 'Female'
+//! SELECT SUM(hours)        FROM adult WHERE education = 'Bachelors'
+//! SELECT AVG(hours)        FROM adult
+//! SELECT COUNT(*)          FROM adult GROUP BY sex
+//! ```
+//!
+//! Supported predicates: `=`, `>=`, `<=`, `>`, `<`, `BETWEEN … AND …`,
+//! combined with `AND`. This mirrors the linear-query class the paper's
+//! workloads exercise; it is intentionally not a general SQL parser.
+
+use crate::expr::Predicate;
+use crate::query::{AggregateKind, Query};
+use crate::value::Value;
+use crate::{EngineError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(i64),
+    Str(String),
+    Symbol(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() || c == ',' {
+            i += 1;
+        } else if c == '\'' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return Err(EngineError::SqlParse("unterminated string literal".into()));
+            }
+            tokens.push(Token::Str(chars[start..j].iter().collect()));
+            i = j + 1;
+        } else if c.is_ascii_digit() || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value = text
+                .parse::<i64>()
+                .map_err(|_| EngineError::SqlParse(format!("bad number: {text}")))?;
+            tokens.push(Token::Number(value));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c == '(' || c == ')' || c == '*' {
+            tokens.push(Token::Symbol(c.to_string()));
+            i += 1;
+        } else if c == '>' || c == '<' {
+            if i + 1 < chars.len() && chars[i + 1] == '=' {
+                tokens.push(Token::Symbol(format!("{c}=")));
+                i += 2;
+            } else {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            }
+        } else if c == '=' {
+            tokens.push(Token::Symbol("=".to_string()));
+            i += 1;
+        } else {
+            return Err(EngineError::SqlParse(format!("unexpected character: {c}")));
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| EngineError::SqlParse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(EngineError::SqlParse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.next()? {
+            Token::Symbol(s) if s == sym => Ok(()),
+            other => Err(EngineError::SqlParse(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(w) => Ok(w),
+            other => Err(EngineError::SqlParse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse_aggregate(&mut self) -> Result<AggregateKind> {
+        let name = self.ident()?;
+        self.expect_symbol("(")?;
+        let agg = if name.eq_ignore_ascii_case("count") {
+            self.expect_symbol("*")?;
+            AggregateKind::Count
+        } else if name.eq_ignore_ascii_case("sum") {
+            AggregateKind::Sum(self.ident()?)
+        } else if name.eq_ignore_ascii_case("avg") {
+            AggregateKind::Avg(self.ident()?)
+        } else {
+            return Err(EngineError::SqlParse(format!("unsupported aggregate: {name}")));
+        };
+        self.expect_symbol(")")?;
+        Ok(agg)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Predicate> {
+        let attribute = self.ident()?;
+        if self.keyword_is("between") {
+            self.expect_keyword("between")?;
+            let low = self.number()?;
+            self.expect_keyword("and")?;
+            let high = self.number()?;
+            return Ok(Predicate::range(&attribute, low, high));
+        }
+        let op = match self.next()? {
+            Token::Symbol(s) => s,
+            other => {
+                return Err(EngineError::SqlParse(format!("expected operator, found {other:?}")))
+            }
+        };
+        let rhs = self.next()?;
+        match (op.as_str(), rhs) {
+            ("=", Token::Number(v)) => Ok(Predicate::equals(&attribute, v)),
+            ("=", Token::Str(s)) => Ok(Predicate::equals(&attribute, Value::Text(s))),
+            (">=", Token::Number(v)) => Ok(Predicate::range(&attribute, v, i64::MAX)),
+            ("<=", Token::Number(v)) => Ok(Predicate::range(&attribute, i64::MIN, v)),
+            (">", Token::Number(v)) => Ok(Predicate::range(&attribute, v + 1, i64::MAX)),
+            ("<", Token::Number(v)) => Ok(Predicate::range(&attribute, i64::MIN, v - 1)),
+            (op, rhs) => Err(EngineError::SqlParse(format!(
+                "unsupported comparison {attribute} {op} {rhs:?}"
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<i64> {
+        match self.next()? {
+            Token::Number(v) => Ok(v),
+            other => Err(EngineError::SqlParse(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn parse_where(&mut self) -> Result<Predicate> {
+        let mut predicate = self.parse_comparison()?;
+        while self.keyword_is("and") {
+            self.expect_keyword("and")?;
+            predicate = predicate.and(self.parse_comparison()?);
+        }
+        Ok(predicate)
+    }
+}
+
+/// Parses a SQL string into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    p.expect_keyword("select")?;
+    let aggregate = p.parse_aggregate()?;
+    p.expect_keyword("from")?;
+    let table = p.ident()?;
+
+    let mut query = Query {
+        table,
+        aggregate,
+        predicate: Predicate::True,
+        group_by: Vec::new(),
+    };
+
+    if p.keyword_is("where") {
+        p.expect_keyword("where")?;
+        query.predicate = p.parse_where()?;
+    }
+    if p.keyword_is("group") {
+        p.expect_keyword("group")?;
+        p.expect_keyword("by")?;
+        let mut group_by = vec![p.ident()?];
+        while let Some(Token::Ident(_)) = p.peek() {
+            group_by.push(p.ident()?);
+        }
+        query.group_by = group_by;
+    }
+    if p.peek().is_some() {
+        return Err(EngineError::SqlParse(format!(
+            "trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse("SELECT COUNT(*) FROM adult").unwrap();
+        assert_eq!(q, Query::count("adult"));
+    }
+
+    #[test]
+    fn parses_between_and_equality() {
+        let q = parse("SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 34 AND sex = 'Female'")
+            .unwrap();
+        assert_eq!(q.table, "adult");
+        let expected = Query::count("adult")
+            .filter(Predicate::range("age", 25, 34))
+            .filter(Predicate::equals("sex", "Female"));
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn parses_inequalities() {
+        let q = parse("SELECT COUNT(*) FROM adult WHERE age >= 30 AND age < 40").unwrap();
+        let expected = Query::count("adult")
+            .filter(Predicate::range("age", 30, i64::MAX))
+            .filter(Predicate::range("age", i64::MIN, 39));
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn parses_sum_avg_and_group_by() {
+        let q = parse("SELECT SUM(hours) FROM adult WHERE sex = 'Male'").unwrap();
+        assert_eq!(q.aggregate, AggregateKind::Sum("hours".into()));
+
+        let q = parse("SELECT AVG(hours) FROM adult").unwrap();
+        assert_eq!(q.aggregate, AggregateKind::Avg("hours".into()));
+
+        let q = parse("select count(*) from adult group by sex education").unwrap();
+        assert_eq!(q.group_by, vec!["sex".to_owned(), "education".to_owned()]);
+    }
+
+    #[test]
+    fn rejects_malformed_sql() {
+        assert!(parse("SELECT MAX(x) FROM t").is_err());
+        assert!(parse("COUNT(*) FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a = 'unterminated").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t extra garbage ; --").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a ! 3").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let a = parse("select count(*) from adult where age between 1 and 2").unwrap();
+        let b = parse("SELECT COUNT(*) FROM adult WHERE age BETWEEN 1 AND 2").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! Columnar table storage.
+//!
+//! Rows are encoded at insertion time: each cell is stored as the domain
+//! index of its value within its attribute's finite domain (a `u32`). This
+//! makes histogram materialisation a single pass of index arithmetic and
+//! keeps predicate evaluation branch-light.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::{EngineError, Result};
+
+/// A relation with columnar, domain-index-encoded storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// One vector per attribute, each of length `num_rows`.
+    columns: Vec<Vec<u32>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(name: &str, schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Table {
+            name: name.to_owned(),
+            schema,
+            columns,
+        }
+    }
+
+    /// The table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Inserts a row of decoded values; the arity and every value's domain
+    /// membership are validated.
+    pub fn insert_row(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: values.len(),
+            });
+        }
+        // Validate all cells before mutating any column so a failed insert
+        // leaves the table untouched.
+        let mut encoded = Vec::with_capacity(values.len());
+        for (attr, value) in self.schema.attributes().iter().zip(values) {
+            encoded.push(attr.index_of(value)? as u32);
+        }
+        for (col, idx) in self.columns.iter_mut().zip(encoded) {
+            col.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Inserts a row of pre-encoded domain indices without validation.
+    /// Intended for the synthetic data generators, which sample indices
+    /// directly.
+    pub fn insert_encoded_row(&mut self, indices: &[u32]) -> Result<()> {
+        if indices.len() != self.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: indices.len(),
+            });
+        }
+        for ((col, &idx), attr) in self
+            .columns
+            .iter_mut()
+            .zip(indices)
+            .zip(self.schema.attributes())
+        {
+            debug_assert!((idx as usize) < attr.domain_size());
+            col.push(idx);
+        }
+        Ok(())
+    }
+
+    /// The encoded column for an attribute.
+    pub fn column(&self, attribute: &str) -> Result<&[u32]> {
+        let pos = self.schema.position(attribute)?;
+        Ok(&self.columns[pos])
+    }
+
+    /// The encoded column by position.
+    #[must_use]
+    pub fn column_at(&self, position: usize) -> &[u32] {
+        &self.columns[position]
+    }
+
+    /// Decodes the cell at `(row, attribute)`.
+    pub fn value_at(&self, row: usize, attribute: &str) -> Result<Value> {
+        let pos = self.schema.position(attribute)?;
+        let attr = &self.schema.attributes()[pos];
+        Ok(attr.value_at(self.columns[pos][row] as usize))
+    }
+
+    /// Decodes a full row.
+    #[must_use]
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.schema
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(i, attr)| attr.value_at(self.columns[i][row] as usize))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, AttributeType};
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("age", AttributeType::integer(17, 90)),
+            Attribute::new("sex", AttributeType::categorical(&["Female", "Male"])),
+        ]);
+        Table::new("people", schema)
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = sample_table();
+        t.insert_row(&[Value::Int(30), Value::text("Male")]).unwrap();
+        t.insert_row(&[Value::Int(45), Value::text("Female")]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value_at(0, "age").unwrap(), Value::Int(30));
+        assert_eq!(t.value_at(1, "sex").unwrap(), Value::text("Female"));
+        assert_eq!(t.row(1), vec![Value::Int(45), Value::text("Female")]);
+        assert_eq!(t.column("age").unwrap(), &[13, 28]);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected_atomically() {
+        let mut t = sample_table();
+        assert!(matches!(
+            t.insert_row(&[Value::Int(30)]),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert_row(&[Value::Int(12), Value::text("Male")]),
+            Err(EngineError::ValueOutOfDomain { .. })
+        ));
+        // Second cell invalid: the first column must not have grown.
+        assert!(t
+            .insert_row(&[Value::Int(30), Value::text("Other")])
+            .is_err());
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn encoded_rows_bypass_decoding() {
+        let mut t = sample_table();
+        t.insert_encoded_row(&[0, 1]).unwrap();
+        assert_eq!(t.value_at(0, "age").unwrap(), Value::Int(17));
+        assert_eq!(t.value_at(0, "sex").unwrap(), Value::text("Male"));
+        assert!(t.insert_encoded_row(&[0]).is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let t = sample_table();
+        assert!(t.column("salary").is_err());
+    }
+}

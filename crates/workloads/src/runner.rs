@@ -1,0 +1,334 @@
+//! The experiment runner.
+//!
+//! Drives any [`QueryProcessor`] (DProvDB with either mechanism, or any of
+//! the baselines) over an RRQ or BFS workload and records the §6.1.3
+//! metrics. All the figure/table binaries in `dprov-bench` are thin
+//! wrappers around this runner.
+
+use std::time::Instant;
+
+use dprov_core::analyst::AnalystId;
+use dprov_core::fairness::{ndcfg, AnalystOutcome};
+use dprov_core::processor::{QueryOutcome, QueryProcessor, QueryRequest, SubmissionMode};
+use dprov_core::Result as CoreResult;
+use dprov_engine::database::Database;
+use dprov_engine::exec::execute;
+
+use crate::bfs::{BfsConfig, BfsTask};
+use crate::metrics::RunMetrics;
+use crate::rrq::RrqWorkload;
+use crate::sequence::Interleaving;
+
+/// Constant `c` in the relative-error definition, guarding against division
+/// by zero when the true answer is 0 (§6.2, "other experiments").
+const RELATIVE_ERROR_FLOOR: f64 = 1.0;
+
+/// Drives query processors over workloads and records metrics.
+pub struct ExperimentRunner<'a> {
+    privileges: Vec<u8>,
+    ground_truth: Option<&'a Database>,
+}
+
+impl<'a> ExperimentRunner<'a> {
+    /// Creates a runner for analysts with the given privilege levels
+    /// (indexed by analyst id).
+    #[must_use]
+    pub fn new(privileges: &[u8]) -> Self {
+        ExperimentRunner {
+            privileges: privileges.to_vec(),
+            ground_truth: None,
+        }
+    }
+
+    /// Enables relative-error measurement by giving the runner access to
+    /// the raw database (the runner — not the analysts — computes exact
+    /// answers).
+    #[must_use]
+    pub fn with_ground_truth(mut self, db: &'a Database) -> Self {
+        self.ground_truth = Some(db);
+        self
+    }
+
+    fn finish(
+        &self,
+        processor: &dyn QueryProcessor,
+        interleaving_label: &str,
+        answered_per_analyst: Vec<usize>,
+        rejected: usize,
+        budget_trace: Vec<f64>,
+        relative_errors: Vec<f64>,
+        translation_gaps: Vec<f64>,
+        elapsed: std::time::Duration,
+    ) -> RunMetrics {
+        let outcomes: Vec<AnalystOutcome> = self
+            .privileges
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| AnalystOutcome {
+                privilege: p,
+                answered: answered_per_analyst.get(i).copied().unwrap_or(0),
+                consumed_epsilon: processor.analyst_epsilon(AnalystId(i)),
+            })
+            .collect();
+        RunMetrics {
+            system: processor.name(),
+            interleaving: interleaving_label.to_owned(),
+            answered_per_analyst,
+            rejected,
+            ndcfg: ndcfg(&outcomes),
+            cumulative_epsilon: processor.cumulative_epsilon(),
+            budget_trace,
+            relative_errors,
+            translation_gaps,
+            elapsed,
+        }
+    }
+
+    fn record_answer(
+        &self,
+        request: &QueryRequest,
+        outcome: &QueryOutcome,
+        relative_errors: &mut Vec<f64>,
+        translation_gaps: &mut Vec<f64>,
+    ) {
+        let Some(answer) = outcome.answered() else {
+            return;
+        };
+        if let SubmissionMode::Accuracy { variance } = request.mode {
+            translation_gaps.push(answer.noise_variance - variance);
+        }
+        if let Some(db) = self.ground_truth {
+            if let Ok(result) = execute(db, &request.query) {
+                if let Some(truth) = result.scalar() {
+                    let denom = truth.max(RELATIVE_ERROR_FLOOR);
+                    relative_errors.push((truth - answer.value).abs() / denom);
+                }
+            }
+        }
+    }
+
+    /// Runs a pre-generated RRQ workload under the given interleaving.
+    pub fn run_rrq(
+        &self,
+        processor: &mut dyn QueryProcessor,
+        workload: &RrqWorkload,
+        interleaving: Interleaving,
+    ) -> CoreResult<RunMetrics> {
+        let counts: Vec<usize> = workload.per_analyst.iter().map(Vec::len).collect();
+        let order = interleaving.order(&counts);
+
+        let mut answered = vec![0usize; workload.per_analyst.len()];
+        let mut rejected = 0usize;
+        let mut budget_trace = Vec::with_capacity(order.len());
+        let mut relative_errors = Vec::new();
+        let mut translation_gaps = Vec::new();
+
+        let start = Instant::now();
+        for (analyst, query_index) in order {
+            let request = &workload.per_analyst[analyst][query_index];
+            let outcome = processor.submit(AnalystId(analyst), request)?;
+            if outcome.is_answered() {
+                answered[analyst] += 1;
+            } else {
+                rejected += 1;
+            }
+            self.record_answer(request, &outcome, &mut relative_errors, &mut translation_gaps);
+            budget_trace.push(processor.cumulative_epsilon());
+        }
+        let elapsed = start.elapsed();
+
+        Ok(self.finish(
+            processor,
+            interleaving.label(),
+            answered,
+            rejected,
+            budget_trace,
+            relative_errors,
+            translation_gaps,
+            elapsed,
+        ))
+    }
+
+    /// Runs one adaptive BFS task per analyst, interleaving the analysts in
+    /// round-robin order (the task order within an analyst is dictated by
+    /// the exploration itself).
+    pub fn run_bfs(
+        &self,
+        processor: &mut dyn QueryProcessor,
+        db: &Database,
+        configs: &[BfsConfig],
+    ) -> CoreResult<RunMetrics> {
+        let mut tasks: Vec<BfsTask> = configs
+            .iter()
+            .map(|c| BfsTask::new(db, c.clone()).map_err(dprov_core::CoreError::Engine))
+            .collect::<CoreResult<_>>()?;
+
+        let mut answered = vec![0usize; tasks.len()];
+        let mut rejected = 0usize;
+        let mut budget_trace = Vec::new();
+        let mut relative_errors = Vec::new();
+        let mut translation_gaps = Vec::new();
+
+        let start = Instant::now();
+        loop {
+            let mut progressed = false;
+            for (analyst, task) in tasks.iter_mut().enumerate() {
+                if task.is_done() {
+                    continue;
+                }
+                let Some(request) = task.next_request() else {
+                    continue;
+                };
+                progressed = true;
+                let outcome = processor.submit(AnalystId(analyst), &request)?;
+                match outcome.answered() {
+                    Some(answer) => {
+                        answered[analyst] += 1;
+                        task.report_answer(answer.value);
+                    }
+                    None => {
+                        rejected += 1;
+                        task.report_rejection();
+                    }
+                }
+                self.record_answer(&request, &outcome, &mut relative_errors, &mut translation_gaps);
+                budget_trace.push(processor.cumulative_epsilon());
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+
+        Ok(self.finish(
+            processor,
+            "round-robin",
+            answered,
+            rejected,
+            budget_trace,
+            relative_errors,
+            translation_gaps,
+            elapsed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_core::analyst::AnalystRegistry;
+    use dprov_core::baselines::ChorusBaseline;
+    use dprov_core::config::SystemConfig;
+    use dprov_core::mechanism::MechanismKind;
+    use dprov_core::system::DProvDb;
+    use dprov_engine::catalog::ViewCatalog;
+    use dprov_engine::datagen::adult::adult_database;
+
+    use crate::rrq::{generate, RrqConfig};
+
+    fn registry() -> AnalystRegistry {
+        let mut r = AnalystRegistry::new();
+        r.register("external", 1).unwrap();
+        r.register("internal", 4).unwrap();
+        r
+    }
+
+    fn dprovdb(db: &Database, epsilon: f64, mechanism: MechanismKind) -> DProvDb {
+        let catalog = ViewCatalog::one_per_attribute(db, "adult").unwrap();
+        DProvDb::new(
+            db.clone(),
+            catalog,
+            registry(),
+            SystemConfig::new(epsilon).unwrap().with_seed(1),
+            mechanism,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rrq_run_produces_consistent_metrics() {
+        let db = adult_database(1_000, 1);
+        let workload = generate(&db, &RrqConfig::new("adult", 30, 2), 2).unwrap();
+        let mut system = dprovdb(&db, 3.2, MechanismKind::AdditiveGaussian);
+        let runner = ExperimentRunner::new(&[1, 4]).with_ground_truth(&db);
+        let metrics = runner
+            .run_rrq(&mut system, &workload, Interleaving::RoundRobin)
+            .unwrap();
+
+        assert_eq!(metrics.system, "DProvDB");
+        assert_eq!(
+            metrics.total_answered() + metrics.rejected,
+            workload.total_queries()
+        );
+        assert_eq!(metrics.budget_trace.len(), workload.total_queries());
+        // The budget trace is non-decreasing and ends at the cumulative loss.
+        for pair in metrics.budget_trace.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12);
+        }
+        assert!(
+            (metrics.budget_trace.last().copied().unwrap() - metrics.cumulative_epsilon).abs()
+                < 1e-12
+        );
+        // Translation gaps must be non-positive (Fig. 9a).
+        assert!(metrics.max_translation_gap() <= 1e-9);
+        assert_eq!(metrics.relative_errors.len(), metrics.total_answered());
+        assert!(metrics.total_answered() > 0);
+    }
+
+    #[test]
+    fn additive_answers_at_least_as_many_queries_as_vanilla() {
+        // Theorem 5.6 on a real workload.
+        let db = adult_database(1_000, 1);
+        let workload = generate(&db, &RrqConfig::new("adult", 60, 5), 2).unwrap();
+        let runner = ExperimentRunner::new(&[1, 4]);
+
+        let mut additive = dprovdb(&db, 1.6, MechanismKind::AdditiveGaussian);
+        let mut vanilla = dprovdb(&db, 1.6, MechanismKind::Vanilla);
+        let a = runner
+            .run_rrq(&mut additive, &workload, Interleaving::RoundRobin)
+            .unwrap();
+        let v = runner
+            .run_rrq(&mut vanilla, &workload, Interleaving::RoundRobin)
+            .unwrap();
+        assert!(
+            a.total_answered() >= v.total_answered(),
+            "additive {} < vanilla {}",
+            a.total_answered(),
+            v.total_answered()
+        );
+    }
+
+    #[test]
+    fn bfs_run_terminates_and_spends_budget() {
+        let db = adult_database(2_000, 2);
+        let mut system = dprovdb(&db, 6.4, MechanismKind::AdditiveGaussian);
+        let runner = ExperimentRunner::new(&[1, 4]).with_ground_truth(&db);
+        let configs = vec![
+            BfsConfig::new("adult", "age", 100.0),
+            BfsConfig::new("adult", "hours_per_week", 100.0),
+        ];
+        let metrics = runner.run_bfs(&mut system, &db, &configs).unwrap();
+        assert!(metrics.total_answered() > 0);
+        assert!(metrics.cumulative_epsilon > 0.0);
+        assert!(metrics.cumulative_epsilon <= 6.4 + 1e-9);
+        assert!(!metrics.budget_trace.is_empty());
+    }
+
+    #[test]
+    fn runner_works_with_baselines_too() {
+        let db = adult_database(1_000, 3);
+        let workload = generate(&db, &RrqConfig::new("adult", 20, 9), 2).unwrap();
+        let mut chorus = ChorusBaseline::new(
+            db.clone(),
+            registry(),
+            SystemConfig::new(1.6).unwrap().with_seed(2),
+        );
+        let runner = ExperimentRunner::new(&[1, 4]);
+        let metrics = runner
+            .run_rrq(&mut chorus, &workload, Interleaving::Random { seed: 4 })
+            .unwrap();
+        assert_eq!(metrics.system, "Chorus");
+        assert_eq!(metrics.interleaving, "randomized");
+        assert!(metrics.cumulative_epsilon <= 1.6 + 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! The dual query-submission modes and the SQL front end.
+//!
+//! Shows (1) submitting SQL text in the accuracy-oriented mode and checking
+//! that the delivered noise variance never exceeds the request, and (2) the
+//! privacy-oriented mode where the analyst attaches an explicit epsilon.
+//!
+//! Run with `cargo run --release --example accuracy_mode`.
+
+use dprovdb::core::analyst::AnalystRegistry;
+use dprovdb::core::config::SystemConfig;
+use dprovdb::core::mechanism::MechanismKind;
+use dprovdb::core::processor::{QueryOutcome, QueryRequest};
+use dprovdb::core::system::DProvDb;
+use dprovdb::engine::catalog::ViewCatalog;
+use dprovdb::engine::datagen::adult::adult_database;
+use dprovdb::engine::sql;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = adult_database(45_222, 42);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult")?;
+    let mut registry = AnalystRegistry::new();
+    let analyst = registry.register("analyst", 4)?;
+    let config = SystemConfig::new(6.4)?.with_seed(13);
+    let mut system = DProvDb::new(db, catalog, registry, config, MechanismKind::AdditiveGaussian)?;
+
+    println!("Accuracy-oriented mode (SQL text, expected squared error bound):\n");
+    let statements = [
+        ("SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 34", 2_000.0),
+        ("SELECT COUNT(*) FROM adult WHERE hours_per_week >= 50", 8_000.0),
+        ("SELECT COUNT(*) FROM adult WHERE education = 'Masters'", 4_000.0),
+        ("SELECT SUM(hours_per_week) FROM adult WHERE hours_per_week BETWEEN 20 AND 60", 5e7),
+    ];
+    for (text, variance) in statements {
+        let query = sql::parse(text)?;
+        let truth = system.true_answer(&query)?;
+        let request = QueryRequest::with_accuracy(query, variance);
+        match system.submit(analyst, &request)? {
+            QueryOutcome::Answered(answer) => println!(
+                "{text}\n    noisy = {:>12.1}   true = {:>10.1}   requested var = {:>9.0}   delivered var = {:>12.1}   ε = {:.4}\n",
+                answer.value, truth, variance, answer.noise_variance, answer.epsilon_charged
+            ),
+            QueryOutcome::Rejected { reason } => println!("{text}\n    REJECTED: {reason}\n"),
+        }
+    }
+
+    println!("Privacy-oriented mode (explicit per-query epsilon):\n");
+    let query = sql::parse("SELECT COUNT(*) FROM adult WHERE age BETWEEN 60 AND 90")?;
+    for epsilon in [0.1, 0.5, 1.0] {
+        let request = QueryRequest::with_privacy(query.clone(), epsilon);
+        if let QueryOutcome::Answered(answer) = system.submit(analyst, &request)? {
+            println!(
+                "    ε = {epsilon:<4}  noisy answer = {:>10.1}  (answer std dev ≈ {:.1})",
+                answer.value,
+                answer.noise_variance.sqrt()
+            );
+        }
+    }
+
+    println!(
+        "\nTotal privacy loss to this analyst: ε = {:.4} (ψ_P = {:.1})",
+        system.ledger().loss_to(analyst).epsilon.value(),
+        system.config().total_epsilon.value()
+    );
+    Ok(())
+}

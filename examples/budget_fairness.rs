@@ -1,0 +1,105 @@
+//! Budget fairness across privilege levels: run the randomized-range-query
+//! workload against DProvDB and the baselines and compare how many queries
+//! each analyst gets answered and the resulting nDCFG fairness score
+//! (the Fig. 3 comparison at a single budget, in miniature).
+//!
+//! Run with `cargo run --release --example budget_fairness`.
+
+use dprovdb::core::config::SystemConfig;
+use dprovdb::workloads::rrq::{generate, RrqConfig};
+use dprovdb::workloads::runner::ExperimentRunner;
+use dprovdb::workloads::sequence::Interleaving;
+
+
+/// The example reuses the same construction helpers as the benchmark
+/// harness; they are re-implemented here in a few lines so the example only
+/// depends on the published crates.
+mod dprov_bench_support {
+    pub use dprovdb::core::analyst::AnalystRegistry;
+    pub use dprovdb::core::baselines::{ChorusBaseline, ChorusPBaseline, SPrivateSqlBaseline};
+    pub use dprovdb::core::config::AnalystConstraintSpec;
+    pub use dprovdb::core::mechanism::MechanismKind;
+    pub use dprovdb::core::processor::QueryProcessor;
+    pub use dprovdb::core::system::DProvDb;
+    pub use dprovdb::engine::catalog::ViewCatalog;
+    pub use dprovdb::engine::database::Database;
+
+    pub fn registry() -> AnalystRegistry {
+        let mut r = AnalystRegistry::new();
+        r.register("external-researcher", 1).unwrap();
+        r.register("internal-analyst", 4).unwrap();
+        r
+    }
+
+    pub fn systems(
+        db: &Database,
+        config: &dprovdb::core::config::SystemConfig,
+    ) -> Vec<Box<dyn QueryProcessor>> {
+        let catalog = || ViewCatalog::one_per_attribute(db, "adult").unwrap();
+        vec![
+            Box::new(
+                DProvDb::new(
+                    db.clone(),
+                    catalog(),
+                    registry(),
+                    config.clone(),
+                    MechanismKind::AdditiveGaussian,
+                )
+                .unwrap(),
+            ),
+            Box::new(
+                DProvDb::new(
+                    db.clone(),
+                    catalog(),
+                    registry(),
+                    config
+                        .clone()
+                        .with_analyst_constraints(AnalystConstraintSpec::ProportionalSum),
+                    MechanismKind::Vanilla,
+                )
+                .unwrap(),
+            ),
+            Box::new(
+                SPrivateSqlBaseline::new(db.clone(), catalog(), registry(), config.clone())
+                    .unwrap(),
+            ),
+            Box::new(ChorusBaseline::new(db.clone(), registry(), config.clone())),
+            Box::new(ChorusPBaseline::new(db.clone(), registry(), config.clone()).unwrap()),
+        ]
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = dprovdb::engine::datagen::adult::adult_database(45_222, 42);
+    let config = SystemConfig::new(1.6)?.with_seed(3);
+    let workload = generate(&db, &RrqConfig::new("adult", 300, 7), 2)?;
+    let privileges = [1u8, 4u8];
+    let runner = ExperimentRunner::new(&privileges);
+
+    println!(
+        "RRQ workload: {} queries ({} per analyst), overall budget ε = 1.6, round-robin\n",
+        workload.total_queries(),
+        300
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>8}",
+        "system", "#answered", "low-priv", "high-priv", "nDCFG"
+    );
+    for mut system in dprov_bench_support::systems(&db, &config) {
+        let metrics = runner.run_rrq(system.as_mut(), &workload, Interleaving::RoundRobin)?;
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>8.3}",
+            metrics.system,
+            metrics.total_answered(),
+            metrics.answered_per_analyst[0],
+            metrics.answered_per_analyst[1],
+            metrics.ndcfg,
+        );
+    }
+    println!(
+        "\nDProvDB answers the most queries and skews answers towards the\n\
+         high-privilege analyst (higher nDCFG), while Chorus exhausts the\n\
+         budget early and ignores privilege levels entirely."
+    );
+    Ok(())
+}

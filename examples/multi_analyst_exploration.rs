@@ -1,0 +1,91 @@
+//! Multi-analyst data exploration: two analysts run the BFS
+//! under-represented-region task from the paper's evaluation concurrently,
+//! and the example contrasts DProvDB's budget consumption with the plain
+//! Chorus baseline on the same exploration.
+//!
+//! Run with `cargo run --release --example multi_analyst_exploration`.
+
+use dprovdb::core::analyst::AnalystRegistry;
+use dprovdb::core::baselines::ChorusBaseline;
+use dprovdb::core::config::SystemConfig;
+use dprovdb::core::mechanism::MechanismKind;
+use dprovdb::core::system::DProvDb;
+use dprovdb::engine::catalog::ViewCatalog;
+use dprovdb::engine::datagen::adult::adult_database;
+use dprovdb::workloads::bfs::BfsConfig;
+use dprovdb::workloads::runner::ExperimentRunner;
+
+fn registry() -> AnalystRegistry {
+    let mut r = AnalystRegistry::new();
+    r.register("external-researcher", 1).unwrap();
+    r.register("internal-analyst", 4).unwrap();
+    r
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = adult_database(45_222, 42);
+    let config = SystemConfig::new(3.2)?.with_seed(11);
+    let privileges = [1u8, 4u8];
+
+    // Each analyst explores a different attribute, looking for sparse
+    // regions (noisy count below 400).
+    let tasks = vec![
+        BfsConfig::new("adult", "age", 400.0),
+        BfsConfig::new("adult", "hours_per_week", 400.0),
+    ];
+    let runner = ExperimentRunner::new(&privileges).with_ground_truth(&db);
+
+    // DProvDB with the additive Gaussian mechanism.
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult")?;
+    let mut dprovdb = DProvDb::new(
+        db.clone(),
+        catalog,
+        registry(),
+        config.clone(),
+        MechanismKind::AdditiveGaussian,
+    )?;
+    let dprov_metrics = runner.run_bfs(&mut dprovdb, &db, &tasks)?;
+
+    // Plain Chorus on the identical exploration.
+    let mut chorus = ChorusBaseline::new(db.clone(), registry(), config);
+    let chorus_metrics = runner.run_bfs(&mut chorus, &db, &tasks)?;
+
+    println!("BFS exploration over 'age' and 'hours_per_week' (threshold 400):\n");
+    for metrics in [&dprov_metrics, &chorus_metrics] {
+        println!(
+            "{:<10} answered {:>4} queries ({} rejected), cumulative ε = {:.3}, mean relative error {:.3}",
+            metrics.system,
+            metrics.total_answered(),
+            metrics.rejected,
+            metrics.cumulative_epsilon,
+            metrics.mean_relative_error(),
+        );
+    }
+
+    println!("\nBudget growth (cumulative ε after every 10th query):");
+    println!("{:>8}  {:>10}  {:>10}", "query", "DProvDB", "Chorus");
+    let len = dprov_metrics
+        .budget_trace
+        .len()
+        .max(chorus_metrics.budget_trace.len());
+    let at = |trace: &[f64], i: usize| -> String {
+        if trace.is_empty() {
+            "-".to_owned()
+        } else {
+            format!("{:.3}", trace[i.min(trace.len() - 1)])
+        }
+    };
+    for i in (0..len).step_by(10.max(len / 12)) {
+        println!(
+            "{:>8}  {:>10}  {:>10}",
+            i,
+            at(&dprov_metrics.budget_trace, i),
+            at(&chorus_metrics.budget_trace, i)
+        );
+    }
+    println!(
+        "\nDProvDB's trace flattens out: repeated region counts are served from\n\
+         cached/global synopses, while Chorus pays fresh budget for every query."
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # DProvDB (Rust reproduction)
+//!
+//! Umbrella crate re-exporting the workspace crates that make up the
+//! DProvDB reproduction:
+//!
+//! * [`dp`] — differential-privacy primitives (mechanisms, accountants,
+//!   accuracy→privacy translation).
+//! * [`engine`] — the in-memory relational engine, histogram views and
+//!   synthetic dataset generators.
+//! * [`core`] — the DProvDB system itself: privacy provenance table,
+//!   synopsis management, the vanilla and additive-Gaussian mechanisms,
+//!   baselines and fairness metrics.
+//! * [`workloads`] — the RRQ and BFS workload generators and the
+//!   experiment runner used to regenerate the paper's figures.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use dprov_core as core;
+pub use dprov_dp as dp;
+pub use dprov_engine as engine;
+pub use dprov_workloads as workloads;
+
+/// Convenience prelude exporting the most commonly used types.
+pub mod prelude {
+    pub use dprov_core::analyst::{AnalystId, AnalystRegistry, Privilege};
+    pub use dprov_core::config::SystemConfig;
+    pub use dprov_core::mechanism::MechanismKind;
+    pub use dprov_core::processor::{QueryOutcome, QueryProcessor, QueryRequest};
+    pub use dprov_core::system::DProvDb;
+    pub use dprov_dp::budget::{Budget, Delta, Epsilon};
+    pub use dprov_engine::database::Database;
+    pub use dprov_engine::query::{AggregateKind, Query};
+    pub use dprov_workloads::runner::ExperimentRunner;
+}

@@ -1,0 +1,263 @@
+//! Privacy-accounting invariants under randomized query sequences: whatever
+//! the analysts ask, in whatever order, the constraints of the provenance
+//! table are never exceeded and the paper's theorems hold empirically.
+
+use proptest::prelude::*;
+
+use dprovdb::core::analyst::{AnalystId, AnalystRegistry};
+use dprovdb::core::config::{AnalystConstraintSpec, SystemConfig};
+use dprovdb::core::fairness::audit_proportional_fairness;
+use dprovdb::core::mechanism::MechanismKind;
+use dprovdb::core::processor::{QueryProcessor, QueryRequest};
+use dprovdb::core::system::DProvDb;
+use dprovdb::engine::catalog::ViewCatalog;
+use dprovdb::engine::database::Database;
+use dprovdb::engine::datagen::adult::adult_database;
+use dprovdb::engine::query::Query;
+
+fn build(
+    db: &Database,
+    epsilon: f64,
+    mechanism: MechanismKind,
+    privileges: &[u8],
+    spec: AnalystConstraintSpec,
+) -> DProvDb {
+    let catalog = ViewCatalog::one_per_attribute(db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    for (i, &p) in privileges.iter().enumerate() {
+        registry.register(&format!("a{i}"), p).unwrap();
+    }
+    DProvDb::new(
+        db.clone(),
+        catalog,
+        registry,
+        SystemConfig::new(epsilon)
+            .unwrap()
+            .with_seed(17)
+            .with_analyst_constraints(spec),
+        mechanism,
+    )
+    .unwrap()
+}
+
+/// One randomly generated submission.
+#[derive(Debug, Clone)]
+struct Submission {
+    analyst: usize,
+    attribute: &'static str,
+    lo: i64,
+    span: i64,
+    variance: f64,
+}
+
+fn submission_strategy(num_analysts: usize) -> impl Strategy<Value = Submission> {
+    (
+        0..num_analysts,
+        prop_oneof![Just("age"), Just("hours_per_week"), Just("education_num")],
+        1i64..60,
+        1i64..30,
+        500.0f64..100_000.0,
+    )
+        .prop_map(|(analyst, attribute, lo, span, variance)| Submission {
+            analyst,
+            attribute,
+            lo,
+            span,
+            variance,
+        })
+}
+
+fn run_sequence(
+    system: &mut DProvDb,
+    submissions: &[Submission],
+) -> (usize, usize) {
+    let mut answered = 0;
+    let mut rejected = 0;
+    for s in submissions {
+        let lo = 17 + (s.lo % 60);
+        let request = QueryRequest::with_accuracy(
+            Query::range_count("adult", s.attribute, lo.min(90), (lo + s.span).min(90)),
+            s.variance,
+        );
+        let outcome = system.submit(AnalystId(s.analyst), &request).unwrap();
+        if outcome.is_answered() {
+            answered += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    (answered, rejected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 5.7 (system privacy guarantee), checked empirically: under
+    /// arbitrary adaptive-looking query sequences the provenance table never
+    /// exceeds the table constraint, any analyst's row constraint, or any
+    /// view's column constraint — for both mechanisms.
+    #[test]
+    fn provenance_constraints_are_never_exceeded(
+        submissions in proptest::collection::vec(submission_strategy(3), 1..60),
+        epsilon in 0.4f64..3.2,
+    ) {
+        let db = adult_database(1_000, 3);
+        let privileges = [1u8, 4u8, 8u8];
+        for mechanism in [MechanismKind::AdditiveGaussian, MechanismKind::Vanilla] {
+            let spec = match mechanism {
+                MechanismKind::AdditiveGaussian => AnalystConstraintSpec::MaxNormalized { system_max_level: None },
+                MechanismKind::Vanilla => AnalystConstraintSpec::ProportionalSum,
+            };
+            let mut system = build(&db, epsilon, mechanism, &privileges, spec);
+            run_sequence(&mut system, &submissions);
+
+            let provenance = system.provenance();
+            // Table constraint under the mechanism's own composition.
+            prop_assert!(system.cumulative_epsilon() <= epsilon + 1e-6,
+                "{mechanism}: table constraint exceeded");
+            // Row constraints.
+            for (i, _) in privileges.iter().enumerate() {
+                let analyst = AnalystId(i);
+                prop_assert!(
+                    provenance.row_total(analyst) <= provenance.row_constraint(analyst) + 1e-6,
+                    "{mechanism}: row constraint exceeded for analyst {i}"
+                );
+            }
+            // Column constraints (water-filling: equal to the table constraint).
+            for view in provenance.view_names() {
+                let col = match mechanism {
+                    MechanismKind::AdditiveGaussian => provenance.column_max(view),
+                    MechanismKind::Vanilla => provenance.column_sum(view),
+                };
+                prop_assert!(col <= provenance.col_constraint(view) + 1e-6);
+            }
+            // The per-analyst ledger loss never exceeds the row constraint
+            // either (multi-analyst DP guarantee).
+            for (i, _) in privileges.iter().enumerate() {
+                let analyst = AnalystId(i);
+                prop_assert!(
+                    system.analyst_epsilon(analyst)
+                        <= provenance.row_constraint(analyst) + 1e-6
+                );
+            }
+        }
+    }
+
+    /// Theorem 5.6: on identical inputs the additive Gaussian approach
+    /// answers at least as many queries as the vanilla approach (checked
+    /// with identical constraint specifications for a clean comparison).
+    #[test]
+    fn additive_answers_at_least_as_many_as_vanilla(
+        submissions in proptest::collection::vec(submission_strategy(2), 5..50),
+        epsilon in 0.4f64..1.6,
+    ) {
+        let db = adult_database(1_000, 5);
+        let privileges = [1u8, 4u8];
+        let spec = AnalystConstraintSpec::ProportionalSum;
+        let mut additive = build(&db, epsilon, MechanismKind::AdditiveGaussian, &privileges, spec);
+        let mut vanilla = build(&db, epsilon, MechanismKind::Vanilla, &privileges, spec);
+        let (answered_additive, _) = run_sequence(&mut additive, &submissions);
+        let (answered_vanilla, _) = run_sequence(&mut vanilla, &submissions);
+        prop_assert!(
+            answered_additive >= answered_vanilla,
+            "additive {answered_additive} < vanilla {answered_vanilla}"
+        );
+    }
+}
+
+#[test]
+fn proportional_fairness_when_budgets_are_exhausted() {
+    // Theorem 5.8: when the analysts keep asking until their budgets are
+    // exhausted, consumption is proportional to privilege.
+    let db = adult_database(1_000, 9);
+    let privileges = [2u8, 8u8];
+    let mut system = build(
+        &db,
+        0.8,
+        MechanismKind::AdditiveGaussian,
+        &privileges,
+        AnalystConstraintSpec::MaxNormalized {
+            system_max_level: None,
+        },
+    );
+    // Both analysts ask the same query with ever-tighter accuracy
+    // requirements, so their consumption keeps growing until it hits their
+    // row constraints ("finish consuming their assigned privacy budget").
+    for i in 0..300 {
+        let analyst = AnalystId(i % 2);
+        let variance = 200_000.0 * 0.97_f64.powi((i / 2) as i32);
+        let request = QueryRequest::with_accuracy(
+            Query::range_count("adult", "age", 20, 60),
+            variance.max(1.0),
+        );
+        let _ = system.submit(analyst, &request).unwrap();
+    }
+    let outcomes = system.fairness_outcomes();
+    // Both analysts should have consumed essentially their whole constraint.
+    let provenance = system.provenance();
+    for (i, o) in outcomes.iter().enumerate() {
+        let constraint = provenance.row_constraint(AnalystId(i));
+        assert!(
+            o.consumed_epsilon >= 0.5 * constraint,
+            "analyst {i} consumed only {} of {constraint}",
+            o.consumed_epsilon
+        );
+    }
+    let audit = audit_proportional_fairness(&outcomes, 0.05);
+    assert!(
+        audit.is_fair,
+        "proportional fairness violated: worst violation {}",
+        audit.worst_violation
+    );
+}
+
+#[test]
+fn expansion_trades_fairness_for_utility() {
+    // Fig. 7's shape: raising tau answers at least as many queries while the
+    // fairness score does not improve.
+    let db = adult_database(1_500, 11);
+    let privileges = [1u8, 4u8];
+    let catalog = || ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let registry = || {
+        let mut r = AnalystRegistry::new();
+        r.register("low", 1).unwrap();
+        r.register("high", 4).unwrap();
+        r
+    };
+    let mut results = Vec::new();
+    for tau in [1.0, 1.9] {
+        let config = SystemConfig::new(0.8)
+            .unwrap()
+            .with_seed(23)
+            .with_expansion(tau)
+            .unwrap();
+        let mut system = DProvDb::new(
+            db.clone(),
+            catalog(),
+            registry(),
+            config,
+            MechanismKind::AdditiveGaussian,
+        )
+        .unwrap();
+        let mut answered_low = 0usize;
+        for i in 0..200 {
+            let lo = 17 + (i as i64 % 40);
+            let request = QueryRequest::with_accuracy(
+                Query::range_count("adult", "age", lo, lo + 10),
+                600.0,
+            );
+            let outcome = system.submit(AnalystId(i % 2), &request).unwrap();
+            if outcome.is_answered() && i % 2 == 0 {
+                answered_low += 1;
+            }
+        }
+        results.push((tau, answered_low, system.stats().answered));
+        let _ = privileges;
+    }
+    let (_, low_at_1, total_at_1) = results[0];
+    let (_, low_at_19, total_at_19) = results[1];
+    // Expanded constraints let the low-privilege analyst answer at least as
+    // many queries, and the overall utility does not drop.
+    assert!(low_at_19 >= low_at_1);
+    assert!(total_at_19 >= total_at_1);
+}
