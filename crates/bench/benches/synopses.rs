@@ -35,7 +35,11 @@ fn bench_synopsis_management(c: &mut Criterion) {
 
     group.bench_function("fresh_synopsis_74_bins", |b| {
         let mut rng = DpRng::seed_from_u64(1);
-        b.iter(|| manager.fresh_synopsis("adult.age", black_box(1.0), &mut rng).unwrap())
+        b.iter(|| {
+            manager
+                .fresh_synopsis("adult.age", black_box(1.0), &mut rng)
+                .unwrap()
+        })
     });
 
     group.bench_function("ensure_global_growth", |b| {
@@ -47,7 +51,10 @@ fn bench_synopsis_management(c: &mut Criterion) {
                 m.ensure_global("adult.age", 0.5, &mut rng).unwrap();
                 (m, rng)
             },
-            |(mut m, mut rng)| m.ensure_global("adult.age", black_box(0.7), &mut rng).unwrap(),
+            |(m, mut rng)| {
+                m.ensure_global("adult.age", black_box(0.7), &mut rng)
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -57,7 +64,10 @@ fn bench_synopsis_management(c: &mut Criterion) {
         m.register_view(&db, &view).unwrap();
         let mut rng = DpRng::seed_from_u64(3);
         m.ensure_global("adult.age", 2.0, &mut rng).unwrap();
-        b.iter(|| m.derive_local(0, "adult.age", black_box(0.5), &mut rng).unwrap())
+        b.iter(|| {
+            m.derive_local(0, "adult.age", black_box(0.5), &mut rng)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -32,10 +32,8 @@ fn bench_vanilla_translation(c: &mut Criterion) {
 
 fn bench_friction_translation(c: &mut Criterion) {
     let mut group = c.benchmark_group("translation_friction_aware");
-    let translator = FrictionAwareTranslation::new(
-        Delta::new(1e-9).unwrap(),
-        Sensitivity::histogram_bounded(),
-    );
+    let translator =
+        FrictionAwareTranslation::new(Delta::new(1e-9).unwrap(), Sensitivity::histogram_bounded());
     let max_eps = Epsilon::new(10.0).unwrap();
     group.bench_function("existing_synopsis", |b| {
         b.iter(|| {
@@ -45,10 +43,18 @@ fn bench_friction_translation(c: &mut Criterion) {
         })
     });
     group.bench_function("no_existing_synopsis", |b| {
-        b.iter(|| translator.translate(black_box(50.0), None, max_eps).unwrap())
+        b.iter(|| {
+            translator
+                .translate(black_box(50.0), None, max_eps)
+                .unwrap()
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_vanilla_translation, bench_friction_translation);
+criterion_group!(
+    benches,
+    bench_vanilla_translation,
+    bench_friction_translation
+);
 criterion_main!(benches);

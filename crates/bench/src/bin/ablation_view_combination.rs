@@ -34,7 +34,9 @@ fn main() {
     for &first in &[0.1, 0.25, 0.5, 0.75, 0.9] {
         let second = total_eps - first;
         let v1 = analytic_gaussian_sigma(first, delta, sens).unwrap().powi(2);
-        let v2 = analytic_gaussian_sigma(second, delta, sens).unwrap().powi(2);
+        let v2 = analytic_gaussian_sigma(second, delta, sens)
+            .unwrap()
+            .powi(2);
         // UMVUE combination of two independent synopses.
         let v_combined = v1 * v2 / (v1 + v2);
         table.add_row(&[

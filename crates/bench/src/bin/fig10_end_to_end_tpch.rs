@@ -29,10 +29,22 @@ fn main() {
         banner(&format!(
             "Fig. 10 ({label}): #queries answered and nDCFG vs overall budget (TPC-H, {queries} queries/analyst)"
         ));
-        let mut answered_table =
-            Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
-        let mut fairness_table =
-            Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
+        let mut answered_table = Table::new(&[
+            "epsilon",
+            "DProvDB",
+            "Vanilla",
+            "sPrivateSQL",
+            "Chorus",
+            "ChorusP",
+        ]);
+        let mut fairness_table = Table::new(&[
+            "epsilon",
+            "DProvDB",
+            "Vanilla",
+            "sPrivateSQL",
+            "Chorus",
+            "ChorusP",
+        ]);
 
         for &eps in &epsilons {
             let mut spec = ComparisonSpec::new(eps);
@@ -40,11 +52,7 @@ fn main() {
             spec.seeds = (1..=seeds as u64).collect();
             let results = run_rrq_comparison(&db, &workload, &spec).expect("comparison run");
             let mut answered_row = vec![format!("{eps}")];
-            answered_row.extend(
-                results
-                    .iter()
-                    .map(|(_, agg)| fmt_f64(agg.mean_answered, 1)),
-            );
+            answered_row.extend(results.iter().map(|(_, agg)| fmt_f64(agg.mean_answered, 1)));
             answered_table.add_row(&answered_row);
             let mut fairness_row = vec![format!("{eps}")];
             fairness_row.extend(results.iter().map(|(_, agg)| fmt_f64(agg.mean_ndcfg, 3)));

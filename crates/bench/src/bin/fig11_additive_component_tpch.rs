@@ -25,7 +25,11 @@ enum Series {
 }
 
 impl Series {
-    const ALL: [Series; 3] = [Series::DProvDbLMax, Series::DProvDbLSum, Series::VanillaLSum];
+    const ALL: [Series; 3] = [
+        Series::DProvDbLMax,
+        Series::DProvDbLSum,
+        Series::VanillaLSum,
+    ];
 
     fn build(self, db: &Database, table: &str, privileges: &[u8], epsilon: f64) -> DProvDb {
         let (mechanism, spec) = match self {
@@ -49,8 +53,14 @@ impl Series {
             .with_seed(5)
             .with_analyst_constraints(spec);
         let catalog = ViewCatalog::one_per_attribute(db, table).expect("catalog");
-        DProvDb::new(db.clone(), catalog, registry_with(privileges), config, mechanism)
-            .expect("system setup")
+        DProvDb::new(
+            db.clone(),
+            catalog,
+            registry_with(privileges),
+            config,
+            mechanism,
+        )
+        .expect("system setup")
     }
 }
 
@@ -84,13 +94,21 @@ fn main() {
     let table = dataset.table();
 
     banner("Fig. 11 (left): #queries answered vs #analysts (ε = 3.2, TPC-H, round-robin)");
-    let mut left = Table::new(&["#analysts", "DProvDB-l_max", "DProvDB-l_sum", "Vanilla-l_sum"]);
+    let mut left = Table::new(&[
+        "#analysts",
+        "DProvDB-l_max",
+        "DProvDB-l_sum",
+        "Vanilla-l_sum",
+    ]);
     for n in 2..=6usize {
         let privileges = privileges_for(n);
         let workload = generate(&db, &RrqConfig::new(table, queries, 7), n).expect("workload");
         let mut row = vec![format!("{n}")];
         for series in Series::ALL {
-            row.push(fmt_f64(answered(series, &db, table, &workload, &privileges, 3.2), 0));
+            row.push(fmt_f64(
+                answered(series, &db, table, &workload, &privileges, 3.2),
+                0,
+            ));
         }
         left.add_row(&row);
     }
@@ -103,7 +121,10 @@ fn main() {
     for &eps in &[0.4, 0.8, 1.6, 3.2, 6.4] {
         let mut row = vec![format!("{eps}")];
         for series in Series::ALL {
-            row.push(fmt_f64(answered(series, &db, table, &workload, &privileges, eps), 0));
+            row.push(fmt_f64(
+                answered(series, &db, table, &workload, &privileges, eps),
+                0,
+            ));
         }
         right.add_row(&row);
     }

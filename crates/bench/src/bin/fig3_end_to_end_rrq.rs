@@ -33,8 +33,22 @@ fn main() {
         banner(&format!(
             "Fig. 3 ({label}): #queries answered and nDCFG vs overall budget (Adult, {queries} queries/analyst)"
         ));
-        let mut answered_table = Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
-        let mut fairness_table = Table::new(&["epsilon", "DProvDB", "Vanilla", "sPrivateSQL", "Chorus", "ChorusP"]);
+        let mut answered_table = Table::new(&[
+            "epsilon",
+            "DProvDB",
+            "Vanilla",
+            "sPrivateSQL",
+            "Chorus",
+            "ChorusP",
+        ]);
+        let mut fairness_table = Table::new(&[
+            "epsilon",
+            "DProvDB",
+            "Vanilla",
+            "sPrivateSQL",
+            "Chorus",
+            "ChorusP",
+        ]);
 
         for &eps in &epsilons {
             let mut spec = ComparisonSpec::new(eps);

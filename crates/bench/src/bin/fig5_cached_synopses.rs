@@ -27,7 +27,14 @@ fn main() {
     let seeds = env_usize("DPROV_SEEDS", 1);
     // The paper's sweep {100, 800, 2000, 4000, 8000, 14000}, scaled to the
     // configured maximum.
-    let fractions = [100.0 / 14_000.0, 800.0 / 14_000.0, 2_000.0 / 14_000.0, 4_000.0 / 14_000.0, 8_000.0 / 14_000.0, 1.0];
+    let fractions = [
+        100.0 / 14_000.0,
+        800.0 / 14_000.0,
+        2_000.0 / 14_000.0,
+        4_000.0 / 14_000.0,
+        8_000.0 / 14_000.0,
+        1.0,
+    ];
     let sizes: Vec<usize> = fractions
         .iter()
         .map(|f| ((f * max_queries as f64).round() as usize).max(10))

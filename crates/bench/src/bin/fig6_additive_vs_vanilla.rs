@@ -28,7 +28,11 @@ enum Series {
 }
 
 impl Series {
-    const ALL: [Series; 3] = [Series::DProvDbLMax, Series::DProvDbLSum, Series::VanillaLSum];
+    const ALL: [Series; 3] = [
+        Series::DProvDbLMax,
+        Series::DProvDbLSum,
+        Series::VanillaLSum,
+    ];
 
     fn build(self, db: &Database, table: &str, privileges: &[u8], epsilon: f64) -> DProvDb {
         let (mechanism, spec) = match self {
@@ -52,8 +56,14 @@ impl Series {
             .with_seed(5)
             .with_analyst_constraints(spec);
         let catalog = ViewCatalog::one_per_attribute(db, table).expect("catalog");
-        DProvDb::new(db.clone(), catalog, registry_with(privileges), config, mechanism)
-            .expect("system setup")
+        DProvDb::new(
+            db.clone(),
+            catalog,
+            registry_with(privileges),
+            config,
+            mechanism,
+        )
+        .expect("system setup")
     }
 }
 
@@ -91,7 +101,12 @@ pub fn run_figure(dataset: Dataset, rows: usize, queries: usize, figure: &str) {
         "{figure} (left): #queries answered vs #analysts (ε = 3.2, {}, round-robin)",
         dataset.label()
     ));
-    let mut left = Table::new(&["#analysts", "DProvDB-l_max", "DProvDB-l_sum", "Vanilla-l_sum"]);
+    let mut left = Table::new(&[
+        "#analysts",
+        "DProvDB-l_max",
+        "DProvDB-l_sum",
+        "Vanilla-l_sum",
+    ]);
     for n in 2..=6usize {
         let privileges = privileges_for(n);
         let workload = generate(&db, &RrqConfig::new(table, queries, 7), n).expect("workload");

@@ -63,10 +63,8 @@ fn main() {
         banner(&format!(
             "Fig. 7 ({label}): utility and fairness vs constraint expansion τ (Adult, DProvDB)"
         ));
-        let mut utility =
-            Table::new(&["epsilon", "static τ=1", "τ=1.3", "τ=1.6", "τ=1.9"]);
-        let mut fairness =
-            Table::new(&["epsilon", "static τ=1", "τ=1.3", "τ=1.6", "τ=1.9"]);
+        let mut utility = Table::new(&["epsilon", "static τ=1", "τ=1.3", "τ=1.6", "τ=1.9"]);
+        let mut fairness = Table::new(&["epsilon", "static τ=1", "τ=1.3", "τ=1.6", "τ=1.9"]);
         for &eps in &epsilons {
             let mut urow = vec![format!("{eps}")];
             let mut frow = vec![format!("{eps}")];

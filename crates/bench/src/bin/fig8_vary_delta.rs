@@ -18,11 +18,7 @@ use dprov_workloads::rrq::{generate, RrqConfig};
 use dprov_workloads::runner::ExperimentRunner;
 use dprov_workloads::sequence::Interleaving;
 
-fn build(
-    db: &dprov_engine::database::Database,
-    mechanism: MechanismKind,
-    delta: f64,
-) -> DProvDb {
+fn build(db: &dprov_engine::database::Database, mechanism: MechanismKind, delta: f64) -> DProvDb {
     let spec = match mechanism {
         MechanismKind::AdditiveGaussian => AnalystConstraintSpec::MaxNormalized {
             system_max_level: None,

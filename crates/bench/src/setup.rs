@@ -127,11 +127,12 @@ pub fn build_system(
 
     let processor: Box<dyn QueryProcessor> = match kind {
         SystemKind::DProvDb => {
-            let config = config.clone().with_analyst_constraints(
-                AnalystConstraintSpec::MaxNormalized {
-                    system_max_level: None,
-                },
-            );
+            let config =
+                config
+                    .clone()
+                    .with_analyst_constraints(AnalystConstraintSpec::MaxNormalized {
+                        system_max_level: None,
+                    });
             Box::new(DProvDb::new(
                 db.clone(),
                 catalog,
@@ -159,7 +160,9 @@ pub fn build_system(
             config.clone(),
         )?),
         SystemKind::Chorus => Box::new(ChorusBaseline::new(db.clone(), registry, config.clone())),
-        SystemKind::ChorusP => Box::new(ChorusPBaseline::new(db.clone(), registry, config.clone())?),
+        SystemKind::ChorusP => {
+            Box::new(ChorusPBaseline::new(db.clone(), registry, config.clone())?)
+        }
     };
     Ok(processor)
 }
@@ -195,10 +198,8 @@ mod tests {
     fn every_system_can_be_built_and_answers_or_rejects() {
         let db = Dataset::Adult.build(500, 1);
         let config = SystemConfig::new(3.2).unwrap().with_seed(1);
-        let request = QueryRequest::with_accuracy(
-            Query::range_count("adult", "age", 25, 44),
-            20_000.0,
-        );
+        let request =
+            QueryRequest::with_accuracy(Query::range_count("adult", "age", 25, 44), 20_000.0);
         for kind in SystemKind::ALL {
             let mut system = build_system(kind, &db, &default_privileges(), &config).unwrap();
             assert_eq!(system.name(), kind.label());

@@ -85,9 +85,7 @@ impl AnalystRegistry {
 
     /// Looks up an analyst by id.
     pub fn get(&self, id: AnalystId) -> Result<&Analyst> {
-        self.analysts
-            .get(id.0)
-            .ok_or(CoreError::UnknownAnalyst(id))
+        self.analysts.get(id.0).ok_or(CoreError::UnknownAnalyst(id))
     }
 
     /// The privilege of an analyst.

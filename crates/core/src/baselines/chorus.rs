@@ -56,6 +56,7 @@ impl ChorusBaseline {
                 query_time: std::time::Duration::ZERO,
                 answered: 0,
                 rejected: 0,
+                cache_hits: 0,
             },
         }
     }
@@ -109,11 +110,10 @@ impl ChorusBaseline {
         request: &QueryRequest,
         epsilon: f64,
     ) -> Result<QueryOutcome> {
-        let sensitivity = direct_query_sensitivity(&self.db, &request.query)
-            .map_err(CoreError::Engine)?;
-        let sigma =
-            analytic_gaussian_sigma(epsilon, self.config.delta.value(), sensitivity)
-                .map_err(CoreError::Dp)?;
+        let sensitivity =
+            direct_query_sensitivity(&self.db, &request.query).map_err(CoreError::Engine)?;
+        let sigma = analytic_gaussian_sigma(epsilon, self.config.delta.value(), sensitivity)
+            .map_err(CoreError::Dp)?;
         let result = execute(&self.db, &request.query).map_err(CoreError::Engine)?;
         let truth = match result.scalar() {
             Some(v) => v,
@@ -195,7 +195,11 @@ mod tests {
         let mut registry = AnalystRegistry::new();
         registry.register("external", 1).unwrap();
         registry.register("internal", 4).unwrap();
-        ChorusBaseline::new(db, registry, SystemConfig::new(epsilon).unwrap().with_seed(3))
+        ChorusBaseline::new(
+            db,
+            registry,
+            SystemConfig::new(epsilon).unwrap().with_seed(3),
+        )
     }
 
     fn request(lo: i64, hi: i64, v: f64) -> QueryRequest {
@@ -247,7 +251,9 @@ mod tests {
             assert!(drained < 1_000);
         }
         // Now the high-privilege analyst gets nothing.
-        let outcome = chorus.submit(AnalystId(1), &request(20, 40, 200.0)).unwrap();
+        let outcome = chorus
+            .submit(AnalystId(1), &request(20, 40, 200.0))
+            .unwrap();
         assert!(!outcome.is_answered());
         assert!(chorus.analyst_epsilon(AnalystId(0)) > 0.0);
         assert_eq!(chorus.analyst_epsilon(AnalystId(1)), 0.0);

@@ -63,6 +63,7 @@ impl ChorusPBaseline {
                 query_time: std::time::Duration::ZERO,
                 answered: 0,
                 rejected: 0,
+                cache_hits: 0,
             },
         })
     }
@@ -147,8 +148,8 @@ impl QueryProcessor for ChorusPBaseline {
                 });
             }
 
-            let sensitivity = direct_query_sensitivity(&self.db, &request.query)
-                .map_err(CoreError::Engine)?;
+            let sensitivity =
+                direct_query_sensitivity(&self.db, &request.query).map_err(CoreError::Engine)?;
             let sigma = analytic_gaussian_sigma(epsilon, self.config.delta.value(), sensitivity)
                 .map_err(CoreError::Dp)?;
             let result = execute(&self.db, &request.query).map_err(CoreError::Engine)?;
@@ -206,7 +207,12 @@ mod tests {
         let mut registry = AnalystRegistry::new();
         registry.register("external", 1).unwrap();
         registry.register("internal", 4).unwrap();
-        ChorusPBaseline::new(db, registry, SystemConfig::new(epsilon).unwrap().with_seed(3)).unwrap()
+        ChorusPBaseline::new(
+            db,
+            registry,
+            SystemConfig::new(epsilon).unwrap().with_seed(3),
+        )
+        .unwrap()
     }
 
     fn request(v: f64) -> QueryRequest {

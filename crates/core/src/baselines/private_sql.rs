@@ -68,6 +68,7 @@ impl SPrivateSqlBaseline {
             query_time: std::time::Duration::ZERO,
             answered: 0,
             rejected: 0,
+            cache_hits: 0,
         };
         let per_analyst_answered = vec![0; registry.len()];
         Ok(SPrivateSqlBaseline {

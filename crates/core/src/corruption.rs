@@ -169,9 +169,7 @@ mod tests {
     fn component_budgets_give_each_component_the_full_budget() {
         let mut g = CorruptionGraph::new(4);
         g.add_edge(AnalystId(0), AnalystId(1)).unwrap();
-        let budgets = g
-            .component_budgets(2.0, &[1.0, 3.0, 2.0, 2.0])
-            .unwrap();
+        let budgets = g.component_budgets(2.0, &[1.0, 3.0, 2.0, 2.0]).unwrap();
         // Component {0,1}: split 2.0 proportionally 1:3.
         assert!((budgets[0] - 0.5).abs() < 1e-12);
         assert!((budgets[1] - 1.5).abs() < 1e-12);

@@ -35,7 +35,9 @@ impl std::fmt::Display for RejectReason {
             RejectReason::AnalystConstraint { analyst } => {
                 write!(f, "analyst constraint violated for analyst {analyst}")
             }
-            RejectReason::ViewConstraint { view } => write!(f, "view constraint violated for {view}"),
+            RejectReason::ViewConstraint { view } => {
+                write!(f, "view constraint violated for {view}")
+            }
             RejectReason::TableConstraint => write!(f, "table (overall) constraint violated"),
             RejectReason::AccuracyUnreachable => {
                 write!(f, "accuracy requirement unreachable within the budget")

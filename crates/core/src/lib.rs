@@ -26,6 +26,7 @@
 #![warn(clippy::all)]
 
 pub mod accounting;
+pub mod admission;
 pub mod analyst;
 pub mod baselines;
 pub mod config;

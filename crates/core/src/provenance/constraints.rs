@@ -96,9 +96,7 @@ pub fn view_constraints(
 ) -> Result<Vec<f64>> {
     let psi_p = config.total_epsilon.value();
     match config.view_constraints {
-        ViewConstraintSpec::WaterFilling => {
-            Ok(view_sensitivities.iter().map(|_| psi_p).collect())
-        }
+        ViewConstraintSpec::WaterFilling => Ok(view_sensitivities.iter().map(|_| psi_p).collect()),
         ViewConstraintSpec::StaticSensitivitySplit => {
             if view_sensitivities.is_empty() {
                 return Ok(Vec::new());
@@ -157,20 +155,20 @@ mod tests {
 
     #[test]
     fn max_normalized_with_fixed_system_level() {
-        let config = SystemConfig::new(2.0)
-            .unwrap()
-            .with_analyst_constraints(AnalystConstraintSpec::MaxNormalized {
+        let config = SystemConfig::new(2.0).unwrap().with_analyst_constraints(
+            AnalystConstraintSpec::MaxNormalized {
                 system_max_level: Some(10),
-            });
+            },
+        );
         let c = analyst_constraints(&config, &registry()).unwrap();
         assert!((c[0] - 0.2).abs() < 1e-12);
         assert!((c[1] - 0.8).abs() < 1e-12);
 
-        let bad = SystemConfig::new(2.0)
-            .unwrap()
-            .with_analyst_constraints(AnalystConstraintSpec::MaxNormalized {
+        let bad = SystemConfig::new(2.0).unwrap().with_analyst_constraints(
+            AnalystConstraintSpec::MaxNormalized {
                 system_max_level: Some(11),
-            });
+            },
+        );
         assert!(analyst_constraints(&bad, &registry()).is_err());
     }
 

@@ -216,9 +216,7 @@ impl ProvenanceTable {
         if self.total_of_column_maxes() + effective_epsilon > self.table_constraint + EPS_TOL {
             return Err(RejectReason::TableConstraint);
         }
-        if self.row_total(analyst) + effective_epsilon
-            > self.row_constraints[analyst.0] + EPS_TOL
-        {
+        if self.row_total(analyst) + effective_epsilon > self.row_constraints[analyst.0] + EPS_TOL {
             return Err(RejectReason::AnalystConstraint { analyst });
         }
         Ok(())

@@ -1,4 +1,5 @@
-//! Global and local synopsis management (Section 5.2.2).
+//! Global and local synopsis management (Section 5.2.2), sharded for
+//! concurrent access.
 //!
 //! For every registered view the manager caches the exact histogram (built
 //! once at setup) and maintains:
@@ -14,8 +15,19 @@
 //!   that even full collusion reveals no more than the global synopsis;
 //! * for the vanilla mechanism, per-(analyst, view) cached synopses drawn
 //!   *independently* from the exact histogram.
+//!
+//! # Concurrency
+//!
+//! The cache is **lock-striped per view**: each registered view owns one
+//! shard holding its mutable state (the global synopsis and the per-analyst
+//! locals) behind its own [`RwLock`]. The view map itself is immutable after
+//! setup, so lookups never contend. Cache probes ([`SynopsisManager::local`],
+//! the `global_*` getters) take a shard *read* lock — the read-mostly fast
+//! path for repeated queries — while releases take the shard *write* lock.
+//! Queries over different views therefore proceed fully in parallel.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +42,16 @@ use dprov_engine::view::ViewDef;
 
 use crate::error::{CoreError, Result};
 
+/// The outcome of one global-synopsis growth: what it cost and the noise
+/// scale of the data-touching release (for tight accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalGrowth {
+    /// The epsilon actually added (`Δε`).
+    pub spent_epsilon: f64,
+    /// The calibrated noise scale of the release that touched the data.
+    pub release_sigma: f64,
+}
+
 /// A synopsis together with the nominal budget spent on it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BudgetedSynopsis {
@@ -39,23 +61,54 @@ pub struct BudgetedSynopsis {
     pub epsilon: f64,
 }
 
-/// One managed view: definition, cached exact histogram, optional global
-/// synopsis.
-#[derive(Debug, Clone)]
-struct ManagedView {
-    def: ViewDef,
-    exact: Histogram,
+/// The mutable, per-view slice of cache state guarded by one shard lock.
+#[derive(Debug, Default, Clone)]
+struct ShardState {
+    /// The hidden global synopsis (additive mechanism), if released yet.
     global: Option<BudgetedSynopsis>,
+    /// Local synopses (additive mechanism) or cached per-analyst synopses
+    /// (vanilla mechanism), keyed by analyst index.
+    locals: HashMap<usize, BudgetedSynopsis>,
 }
 
-/// The synopsis manager.
-#[derive(Debug, Clone)]
+/// One managed view: immutable definition and exact histogram, plus the
+/// lock-guarded mutable state.
+#[derive(Debug)]
+struct ViewShard {
+    def: ViewDef,
+    exact: Histogram,
+    state: RwLock<ShardState>,
+}
+
+/// The synopsis manager: a sharded, lock-striped cache of global and local
+/// synopses, safe to share across worker threads (`&self` everywhere after
+/// setup).
+#[derive(Debug)]
 pub struct SynopsisManager {
     delta: Delta,
-    views: HashMap<String, ManagedView>,
-    /// Local synopses (additive mechanism) or cached per-analyst synopses
-    /// (vanilla mechanism), keyed by (analyst index, view name).
-    locals: HashMap<(usize, String), BudgetedSynopsis>,
+    shards: HashMap<String, ViewShard>,
+}
+
+impl Clone for SynopsisManager {
+    fn clone(&self) -> Self {
+        SynopsisManager {
+            delta: self.delta,
+            shards: self
+                .shards
+                .iter()
+                .map(|(name, shard)| {
+                    (
+                        name.clone(),
+                        ViewShard {
+                            def: shard.def.clone(),
+                            exact: shard.exact.clone(),
+                            state: RwLock::new(shard.state.read().expect("shard poisoned").clone()),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 impl SynopsisManager {
@@ -64,21 +117,21 @@ impl SynopsisManager {
     pub fn new(delta: Delta) -> Self {
         SynopsisManager {
             delta,
-            views: HashMap::new(),
-            locals: HashMap::new(),
+            shards: HashMap::new(),
         }
     }
 
     /// Registers a view and materialises its exact histogram (this is the
-    /// "setup time" cost reported in Tables 1 and 3).
+    /// "setup time" cost reported in Tables 1 and 3). Setup-phase only:
+    /// takes `&mut self`, so registration cannot race with serving.
     pub fn register_view(&mut self, db: &Database, def: &ViewDef) -> Result<()> {
         let exact = Histogram::materialize(db, def).map_err(CoreError::Engine)?;
-        self.views.insert(
+        self.shards.insert(
             def.name.clone(),
-            ManagedView {
+            ViewShard {
                 def: def.clone(),
                 exact,
-                global: None,
+                state: RwLock::new(ShardState::default()),
             },
         );
         Ok(())
@@ -87,62 +140,97 @@ impl SynopsisManager {
     /// Names of the registered views.
     #[must_use]
     pub fn view_names(&self) -> Vec<String> {
-        self.views.keys().cloned().collect()
+        self.shards.keys().cloned().collect()
+    }
+
+    /// Number of registered views (= number of lock stripes).
+    #[must_use]
+    pub fn num_views(&self) -> usize {
+        self.shards.len()
     }
 
     /// The sensitivity of a registered view.
     pub fn sensitivity(&self, view: &str) -> Result<Sensitivity> {
-        Ok(self.managed(view)?.def.sensitivity())
+        Ok(self.shard(view)?.def.sensitivity())
     }
 
     /// The exact histogram of a registered view.
     pub fn exact_histogram(&self, view: &str) -> Result<&Histogram> {
-        Ok(&self.managed(view)?.exact)
+        Ok(&self.shard(view)?.exact)
     }
 
     /// The nominal epsilon of the current global synopsis, if any.
     pub fn global_epsilon(&self, view: &str) -> Result<Option<f64>> {
-        Ok(self.managed(view)?.global.as_ref().map(|g| g.epsilon))
+        Ok(self.read_state(view)?.global.as_ref().map(|g| g.epsilon))
     }
 
     /// The actual per-bin variance of the current global synopsis, if any.
     pub fn global_variance(&self, view: &str) -> Result<Option<f64>> {
         Ok(self
-            .managed(view)?
+            .read_state(view)?
             .global
             .as_ref()
             .map(|g| g.synopsis.per_bin_variance))
     }
 
-    /// The local (or vanilla-cached) synopsis of an analyst on a view.
+    /// One consistent snapshot of the global synopsis's `(epsilon,
+    /// per-bin variance)` — a single read-lock acquisition, so concurrent
+    /// growth cannot be observed half-applied between the two fields.
+    pub fn global_state(&self, view: &str) -> Result<Option<(f64, f64)>> {
+        Ok(self
+            .read_state(view)?
+            .global
+            .as_ref()
+            .map(|g| (g.epsilon, g.synopsis.per_bin_variance)))
+    }
+
+    /// A snapshot of the current global synopsis (tests and diagnostics;
+    /// never exposed to analysts by the serving path).
+    pub fn global_synopsis(&self, view: &str) -> Result<Option<BudgetedSynopsis>> {
+        Ok(self.read_state(view)?.global.clone())
+    }
+
+    /// The local (or vanilla-cached) synopsis of an analyst on a view,
+    /// cloned out of the shard. Prefer [`Self::with_local`] on hot paths.
     #[must_use]
-    pub fn local(&self, analyst: usize, view: &str) -> Option<&BudgetedSynopsis> {
-        self.locals.get(&(analyst, view.to_owned()))
+    pub fn local(&self, analyst: usize, view: &str) -> Option<BudgetedSynopsis> {
+        self.with_local(analyst, view, Clone::clone)
     }
 
-    fn managed(&self, view: &str) -> Result<&ManagedView> {
-        self.views
-            .get(view)
-            .ok_or_else(|| CoreError::Engine(dprov_engine::EngineError::UnknownView(view.to_owned())))
+    /// Evaluates `f` against an analyst's local synopsis under the shard's
+    /// read guard — the cache-probe fast path: concurrent hits on one view
+    /// do not block each other and nothing is cloned. Returns `None` when
+    /// the view or the local synopsis does not exist.
+    pub fn with_local<R>(
+        &self,
+        analyst: usize,
+        view: &str,
+        f: impl FnOnce(&BudgetedSynopsis) -> R,
+    ) -> Option<R> {
+        let shard = self.shards.get(view)?;
+        let state = shard.state.read().expect("shard poisoned");
+        state.locals.get(&analyst).map(f)
     }
 
-    fn managed_mut(&mut self, view: &str) -> Result<&mut ManagedView> {
-        self.views
-            .get_mut(view)
-            .ok_or_else(|| CoreError::Engine(dprov_engine::EngineError::UnknownView(view.to_owned())))
+    fn shard(&self, view: &str) -> Result<&ViewShard> {
+        self.shards.get(view).ok_or_else(|| {
+            CoreError::Engine(dprov_engine::EngineError::UnknownView(view.to_owned()))
+        })
+    }
+
+    fn read_state(&self, view: &str) -> Result<std::sync::RwLockReadGuard<'_, ShardState>> {
+        Ok(self.shard(view)?.state.read().expect("shard poisoned"))
     }
 
     /// Generates a *fresh, independent* synopsis of the view at the given
     /// budget — the vanilla mechanism's release, also used for the static
-    /// sPrivateSQL synopses.
+    /// sPrivateSQL synopses. Touches only the immutable exact histogram, so
+    /// it runs without taking any lock.
     pub fn fresh_synopsis(&self, view: &str, epsilon: f64, rng: &mut DpRng) -> Result<Synopsis> {
-        let managed = self.managed(view)?;
-        let sigma = analytic_gaussian_sigma(
-            epsilon,
-            self.delta.value(),
-            managed.def.sensitivity().value(),
-        )?;
-        let counts: Vec<f64> = managed
+        let shard = self.shard(view)?;
+        let sigma =
+            analytic_gaussian_sigma(epsilon, self.delta.value(), shard.def.sensitivity().value())?;
+        let counts: Vec<f64> = shard
             .exact
             .counts
             .iter()
@@ -152,50 +240,76 @@ impl SynopsisManager {
     }
 
     /// Stores a per-(analyst, view) synopsis (vanilla cache or additive
-    /// local).
-    pub fn store_local(&mut self, analyst: usize, view: &str, synopsis: BudgetedSynopsis) {
-        self.locals.insert((analyst, view.to_owned()), synopsis);
+    /// local) under the shard's write lock.
+    pub fn store_local(&self, analyst: usize, view: &str, synopsis: BudgetedSynopsis) {
+        if let Some(shard) = self.shards.get(view) {
+            shard
+                .state
+                .write()
+                .expect("shard poisoned")
+                .locals
+                .insert(analyst, synopsis);
+        }
     }
 
     /// Ensures the global synopsis of `view` has nominal budget at least
     /// `target_epsilon`. Returns the epsilon actually added (`Δε`, zero if
-    /// the existing synopsis was already sufficient).
+    /// the existing synopsis was already sufficient). Thin wrapper around
+    /// [`Self::grow_global`] for callers that only need the spend.
+    pub fn ensure_global(&self, view: &str, target_epsilon: f64, rng: &mut DpRng) -> Result<f64> {
+        Ok(self
+            .grow_global(view, target_epsilon, rng)?
+            .map_or(0.0, |g| g.spent_epsilon))
+    }
+
+    /// Grows the global synopsis of `view` to nominal budget at least
+    /// `target_epsilon`, returning `None` when the existing synopsis was
+    /// already sufficient and otherwise the spend and the noise scale of
+    /// the release that touched the data (so callers can feed their tight
+    /// accountant without re-running the sigma calibration).
     ///
     /// * No existing synopsis: a fresh one is generated at `target_epsilon`.
     /// * Existing synopsis with a smaller budget: a delta synopsis `V^Δε`
     ///   with `Δε = target − current` is generated and merged with the
     ///   UMVUE weight (Eq. 2); note the *friction*: the combined variance is
     ///   larger than a one-shot synopsis at the full budget would have.
-    pub fn ensure_global(
-        &mut self,
+    ///
+    /// Growth is atomic under the shard's write lock, so concurrent callers
+    /// can never interleave a partial grow (monotone epsilon is preserved).
+    pub fn grow_global(
+        &self,
         view: &str,
         target_epsilon: f64,
         rng: &mut DpRng,
-    ) -> Result<f64> {
+    ) -> Result<Option<GlobalGrowth>> {
         let delta = self.delta.value();
-        let managed = self.managed_mut(view)?;
-        let sens = managed.def.sensitivity().value();
+        let shard = self.shard(view)?;
+        let sens = shard.def.sensitivity().value();
+        let mut state = shard.state.write().expect("shard poisoned");
 
-        match &mut managed.global {
+        match &mut state.global {
             None => {
                 let sigma = analytic_gaussian_sigma(target_epsilon, delta, sens)?;
-                let counts: Vec<f64> = managed
+                let counts: Vec<f64> = shard
                     .exact
                     .counts
                     .iter()
                     .map(|&c| c + rng.gaussian(sigma))
                     .collect();
-                managed.global = Some(BudgetedSynopsis {
+                state.global = Some(BudgetedSynopsis {
                     synopsis: Synopsis::new(view, counts, sigma * sigma),
                     epsilon: target_epsilon,
                 });
-                Ok(target_epsilon)
+                Ok(Some(GlobalGrowth {
+                    spent_epsilon: target_epsilon,
+                    release_sigma: sigma,
+                }))
             }
-            Some(global) if global.epsilon + 1e-12 >= target_epsilon => Ok(0.0),
+            Some(global) if global.epsilon + 1e-12 >= target_epsilon => Ok(None),
             Some(global) => {
                 let delta_eps = target_epsilon - global.epsilon;
                 let sigma_delta = analytic_gaussian_sigma(delta_eps, delta, sens)?;
-                let fresh_counts: Vec<f64> = managed
+                let fresh_counts: Vec<f64> = shard
                     .exact
                     .counts
                     .iter()
@@ -209,7 +323,10 @@ impl SynopsisManager {
                     .optimal_combination_weight(fresh.per_bin_variance);
                 global.synopsis = global.synopsis.combine(&fresh, w);
                 global.epsilon = target_epsilon;
-                Ok(delta_eps)
+                Ok(Some(GlobalGrowth {
+                    spent_epsilon: delta_eps,
+                    release_sigma: sigma_delta,
+                }))
             }
         }
     }
@@ -232,13 +349,13 @@ impl SynopsisManager {
     /// synopsis; if the analyst has no existing local synopsis this is
     /// identical to [`Self::derive_local`].
     pub fn refine_local(
-        &mut self,
+        &self,
         analyst: usize,
         view: &str,
         local_epsilon: f64,
         rng: &mut DpRng,
     ) -> Result<BudgetedSynopsis> {
-        let existing = self.local(analyst, view).cloned();
+        let existing = self.local(analyst, view);
         let global_variance = self
             .global_variance(view)?
             .ok_or_else(|| CoreError::InvalidConfig(format!("no global synopsis for {view}")))?;
@@ -284,16 +401,18 @@ impl SynopsisManager {
     /// The global synopsis must already exist with a nominal budget at least
     /// `local_epsilon` (callers go through [`Self::ensure_global`] first).
     pub fn derive_local(
-        &mut self,
+        &self,
         analyst: usize,
         view: &str,
         local_epsilon: f64,
         rng: &mut DpRng,
     ) -> Result<BudgetedSynopsis> {
         let delta = self.delta.value();
-        let (global_counts, global_variance, sens) = {
-            let managed = self.managed(view)?;
-            let global = managed.global.as_ref().ok_or_else(|| {
+        let shard = self.shard(view)?;
+        let sens = shard.def.sensitivity().value();
+        let (global_counts, global_variance) = {
+            let state = shard.state.read().expect("shard poisoned");
+            let global = state.global.as_ref().ok_or_else(|| {
                 CoreError::InvalidConfig(format!(
                     "derive_local called before a global synopsis exists for {view}"
                 ))
@@ -302,7 +421,6 @@ impl SynopsisManager {
             (
                 global.synopsis.counts.clone(),
                 global.synopsis.per_bin_variance,
-                managed.def.sensitivity().value(),
             )
         };
 
@@ -343,10 +461,14 @@ mod tests {
     fn register_and_query_metadata() {
         let (mgr, _) = setup();
         assert_eq!(mgr.view_names().len(), 2);
+        assert_eq!(mgr.num_views(), 2);
         assert!(mgr.global_epsilon("adult.age").unwrap().is_none());
         assert!(mgr.exact_histogram("adult.age").unwrap().total() > 0.0);
         assert!(mgr.exact_histogram("nope").is_err());
-        assert!((mgr.sensitivity("adult.age").unwrap().value() - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(
+            (mgr.sensitivity("adult.age").unwrap().value() - std::f64::consts::SQRT_2).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -360,7 +482,7 @@ mod tests {
 
     #[test]
     fn ensure_global_creates_then_grows() {
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         let spent = mgr.ensure_global("adult.age", 0.5, &mut rng).unwrap();
         assert!((spent - 0.5).abs() < 1e-12);
         assert_eq!(mgr.global_epsilon("adult.age").unwrap(), Some(0.5));
@@ -379,14 +501,18 @@ mod tests {
         assert!(v_combined < v_first);
 
         // Friction: the combined synopsis is noisier than a one-shot 0.7.
-        let sigma_one_shot =
-            analytic_gaussian_sigma(0.7, 1e-9, std::f64::consts::SQRT_2).unwrap();
+        let sigma_one_shot = analytic_gaussian_sigma(0.7, 1e-9, std::f64::consts::SQRT_2).unwrap();
         assert!(v_combined > sigma_one_shot * sigma_one_shot);
+
+        // The consistent snapshot agrees with the two individual getters.
+        let (eps, var) = mgr.global_state("adult.age").unwrap().unwrap();
+        assert_eq!(eps, 0.7);
+        assert_eq!(var, v_combined);
     }
 
     #[test]
     fn derive_local_adds_noise_and_respects_budget_ordering() {
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
         let global_var = mgr.global_variance("adult.age").unwrap().unwrap();
 
@@ -405,7 +531,7 @@ mod tests {
 
     #[test]
     fn derive_local_matches_the_analytic_calibration() {
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
         let local = mgr.derive_local(0, "adult.age", 0.4, &mut rng).unwrap();
         let sigma = analytic_gaussian_sigma(0.4, 1e-9, std::f64::consts::SQRT_2).unwrap();
@@ -414,7 +540,7 @@ mod tests {
 
     #[test]
     fn refine_local_combines_and_reduces_variance() {
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         mgr.ensure_global("adult.age", 2.0, &mut rng).unwrap();
         let first = mgr.derive_local(0, "adult.age", 0.3, &mut rng).unwrap();
         let refined = mgr.refine_local(0, "adult.age", 0.3, &mut rng).unwrap();
@@ -427,12 +553,15 @@ mod tests {
         assert!(refined.synopsis.per_bin_variance >= global_var - 1e-9);
         // The refinement is cached as the analyst's local synopsis.
         let cached = mgr.local(0, "adult.age").unwrap();
-        assert_eq!(cached.synopsis.per_bin_variance, refined.synopsis.per_bin_variance);
+        assert_eq!(
+            cached.synopsis.per_bin_variance,
+            refined.synopsis.per_bin_variance
+        );
     }
 
     #[test]
     fn refine_local_without_existing_local_equals_derive_local() {
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
         let refined = mgr.refine_local(3, "adult.age", 0.4, &mut rng).unwrap();
         let sigma = analytic_gaussian_sigma(0.4, 1e-9, std::f64::consts::SQRT_2).unwrap();
@@ -444,7 +573,7 @@ mod tests {
     fn refine_local_stays_unbiased() {
         // The combined counts remain centred on the truth: compare against
         // the exact histogram across many bins.
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         mgr.ensure_global("adult.age", 4.0, &mut rng).unwrap();
         mgr.derive_local(0, "adult.age", 1.0, &mut rng).unwrap();
         let refined = mgr.refine_local(0, "adult.age", 1.0, &mut rng).unwrap();
@@ -466,27 +595,72 @@ mod tests {
 
     #[test]
     fn derive_local_without_global_is_an_error() {
-        let (mut mgr, mut rng) = setup();
+        let (mgr, mut rng) = setup();
         assert!(mgr.derive_local(0, "adult.age", 0.4, &mut rng).is_err());
     }
 
     #[test]
     fn local_noise_is_added_on_top_of_the_global_counts() {
         // The local synopsis must be a noisier version of the *global*
-        // counts, not of the exact histogram: check the empirical deviation
-        // from the global counts matches the extra variance.
-        let (mut mgr, mut rng) = setup();
+        // counts, not of the exact histogram: check the local counts differ
+        // from the global ones (extra noise was added) with equal length.
+        let (mgr, mut rng) = setup();
         mgr.ensure_global("adult.sex", 2.0, &mut rng).unwrap();
-        let global_counts = {
-            let s = mgr.fresh_synopsis("adult.sex", 2.0, &mut rng); // not the global, just to silence unused
-            drop(s);
-            mgr.views["adult.sex"].global.as_ref().unwrap().synopsis.counts.clone()
-        };
+        let global_counts = mgr
+            .global_synopsis("adult.sex")
+            .unwrap()
+            .unwrap()
+            .synopsis
+            .counts;
         let local = mgr.derive_local(0, "adult.sex", 0.1, &mut rng).unwrap();
-        // With only 2 bins we can't do statistics, but the local counts must
-        // differ from the global ones (extra noise was added) and have the
-        // same length.
         assert_eq!(local.synopsis.counts.len(), global_counts.len());
         assert_ne!(local.synopsis.counts, global_counts);
+    }
+
+    #[test]
+    fn clone_snapshots_the_cache_state() {
+        let (mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
+        mgr.derive_local(0, "adult.age", 0.5, &mut rng).unwrap();
+        let snapshot = mgr.clone();
+        assert_eq!(snapshot.global_epsilon("adult.age").unwrap(), Some(1.0));
+        assert_eq!(snapshot.local(0, "adult.age").unwrap().epsilon, 0.5);
+        // Mutating the original does not leak into the snapshot.
+        mgr.ensure_global("adult.age", 2.0, &mut rng).unwrap();
+        assert_eq!(snapshot.global_epsilon("adult.age").unwrap(), Some(1.0));
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_stay_consistent() {
+        // Hammer one view's shard from several threads: epsilon must be
+        // monotone non-decreasing and the variance monotone non-increasing
+        // at every observation point.
+        use std::sync::Arc;
+        let (mgr, _) = setup();
+        let mgr = Arc::new(mgr);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let mgr = Arc::clone(&mgr);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = DpRng::seed_from_u64(100 + t);
+                let mut last_eps = 0.0f64;
+                let mut last_var = f64::INFINITY;
+                for step in 1..=20u64 {
+                    let target = (t * 20 + step) as f64 * 0.01;
+                    mgr.ensure_global("adult.age", target, &mut rng).unwrap();
+                    let (eps, var) = mgr.global_state("adult.age").unwrap().unwrap();
+                    assert!(eps >= last_eps, "epsilon regressed: {eps} < {last_eps}");
+                    assert!(var <= last_var + 1e-12, "variance grew: {var} > {last_var}");
+                    last_eps = eps;
+                    last_var = var;
+                    mgr.derive_local(t as usize, "adult.age", eps * 0.5, &mut rng)
+                        .unwrap();
+                    assert!(mgr.local(t as usize, "adult.age").is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

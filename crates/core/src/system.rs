@@ -1,4 +1,4 @@
-//! The DProvDB middleware orchestrator (Algorithm 1).
+//! The DProvDB middleware orchestrator (Algorithm 1), thread-safe.
 //!
 //! [`DProvDb`] ties every component together: the relational engine and its
 //! view catalog, the privacy provenance table, the synopsis manager, the
@@ -6,7 +6,36 @@
 //! the dual submission modes of Principle 3 and dispatches each query to
 //! either the vanilla mechanism (Algorithm 2) or the additive Gaussian
 //! mechanism (Algorithm 4) depending on the configured [`MechanismKind`].
+//!
+//! # Concurrency model
+//!
+//! The system is split into *shared immutable state* (configuration,
+//! database, catalog, registry — plain reads, no locks) and
+//! *interior-mutability components*:
+//!
+//! * the synopsis cache is lock-striped per view inside
+//!   [`SynopsisManager`] (read-mostly fast path for cache hits);
+//! * the provenance table, ledger, tight accountant and runtime stats sit
+//!   behind short-critical-section `Mutex`es;
+//! * admission is gated by [`AdmissionControl`]: a per-(analyst, view)
+//!   entry lock held across one submission's resolve → check-and-reserve →
+//!   release sequence, plus a per-view lock serialising additive-Gaussian
+//!   global-synopsis growth. Constraint *check and charge* happen in one
+//!   provenance-mutex critical section, so concurrent submissions can never
+//!   jointly overspend a row, column or table constraint;
+//! * noise generation takes a caller-supplied [`DpRng`] — concurrent
+//!   callers (e.g. the `dprov-server` worker pool) pass per-session
+//!   generators seeded via [`DpRng::for_stream`], so each caller's noise
+//!   stream is independent of thread interleaving (interleaving can still
+//!   reorder growth of a view's shared global synopsis under the additive
+//!   mechanism; see the `dprov-server` crate docs for the resulting
+//!   determinism guarantee).
+//!
+//! The original single-threaded API ([`DProvDb::submit`] on `&mut self`)
+//! is preserved and forwards to the shared path with an internal RNG.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -26,6 +55,7 @@ use dprov_engine::view::ViewDef;
 use dprov_engine::EngineError;
 
 use crate::accounting::MultiAnalystLedger;
+use crate::admission::AdmissionControl;
 use crate::analyst::{AnalystId, AnalystRegistry};
 use crate::config::SystemConfig;
 use crate::error::{CoreError, RejectReason, Result};
@@ -46,6 +76,9 @@ pub struct SystemStats {
     pub answered: usize,
     /// Number of rejected queries.
     pub rejected: usize,
+    /// Of the answered queries, how many were served from an existing
+    /// synopsis without spending new budget.
+    pub cache_hits: usize,
 }
 
 impl SystemStats {
@@ -62,24 +95,27 @@ impl SystemStats {
     }
 }
 
-/// The DProvDB system.
+/// The DProvDB system. Sharable across threads (`&self` submission path);
+/// see the module docs for the locking discipline.
 pub struct DProvDb {
     config: SystemConfig,
     mechanism: MechanismKind,
     db: Database,
     catalog: ViewCatalog,
     registry: AnalystRegistry,
-    provenance: ProvenanceTable,
+    provenance: Mutex<ProvenanceTable>,
     synopses: SynopsisManager,
-    ledger: MultiAnalystLedger,
+    ledger: Mutex<MultiAnalystLedger>,
     /// Tighter accounting of the data accesses (global synopsis releases /
     /// fresh per-analyst synopses) under the configured composition method
     /// (Appendix A). Used for reporting only — constraint checking uses
     /// basic composition on the provenance table, as the paper recommends.
-    tight_accountant: Box<dyn Accountant>,
-    rng: DpRng,
-    stats: SystemStats,
-    per_analyst_answered: Vec<usize>,
+    tight_accountant: Mutex<Box<dyn Accountant>>,
+    admission: AdmissionControl,
+    /// RNG backing the legacy single-threaded [`DProvDb::submit`] API.
+    rng: Mutex<DpRng>,
+    stats: Mutex<SystemStats>,
+    per_analyst_answered: Vec<AtomicUsize>,
 }
 
 /// What a request resolves to before any budget is spent.
@@ -128,9 +164,12 @@ impl DProvDb {
             synopses.register_view(&db, view)?;
         }
 
+        let view_names: Vec<String> = catalog.views().iter().map(|v| v.name.clone()).collect();
+        let admission = AdmissionControl::new(registry.len(), &view_names);
+
         let setup_time = setup_start.elapsed();
         let rng = DpRng::seed_from_u64(config.seed);
-        let per_analyst_answered = vec![0; registry.len()];
+        let per_analyst_answered = (0..registry.len()).map(|_| AtomicUsize::new(0)).collect();
         let tight_accountant = make_accountant(config.composition, config.delta.value());
 
         Ok(DProvDb {
@@ -139,17 +178,19 @@ impl DProvDb {
             db,
             catalog,
             registry,
-            provenance,
+            provenance: Mutex::new(provenance),
             synopses,
-            ledger: MultiAnalystLedger::new(),
-            tight_accountant,
-            rng,
-            stats: SystemStats {
+            ledger: Mutex::new(MultiAnalystLedger::new()),
+            tight_accountant: Mutex::new(tight_accountant),
+            admission,
+            rng: Mutex::new(rng),
+            stats: Mutex::new(SystemStats {
                 setup_time,
                 query_time: Duration::ZERO,
                 answered: 0,
                 rejected: 0,
-            },
+                cache_hits: 0,
+            }),
             per_analyst_answered,
         })
     }
@@ -172,16 +213,27 @@ impl DProvDb {
         &self.registry
     }
 
-    /// The privacy provenance table.
+    /// A consistent snapshot of the privacy provenance table. Cloning keeps
+    /// the accessor re-entrant (callers may combine it freely with other
+    /// accessors that lock internally); the matrix is small — one `f64` per
+    /// (analyst, view) pair.
     #[must_use]
-    pub fn provenance(&self) -> &ProvenanceTable {
-        &self.provenance
+    pub fn provenance(&self) -> ProvenanceTable {
+        self.lock_provenance().clone()
     }
 
-    /// The per-analyst privacy-loss ledger.
+    /// A consistent snapshot of the per-analyst privacy-loss ledger.
     #[must_use]
-    pub fn ledger(&self) -> &MultiAnalystLedger {
-        &self.ledger
+    pub fn ledger(&self) -> MultiAnalystLedger {
+        self.ledger.lock().expect("ledger lock poisoned").clone()
+    }
+
+    fn lock_provenance(&self) -> MutexGuard<'_, ProvenanceTable> {
+        self.provenance.lock().expect("provenance lock poisoned")
+    }
+
+    fn lock_ledger(&self) -> MutexGuard<'_, MultiAnalystLedger> {
+        self.ledger.lock().expect("ledger lock poisoned")
     }
 
     /// The overall privacy loss of all data accesses under the configured
@@ -191,13 +243,16 @@ impl DProvDb {
     /// the provenance table.
     #[must_use]
     pub fn tight_accounting(&self) -> Budget {
-        self.tight_accountant.total()
+        self.tight_accountant
+            .lock()
+            .expect("accountant lock poisoned")
+            .total()
     }
 
     /// Runtime statistics.
     #[must_use]
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        *self.stats.lock().expect("stats lock poisoned")
     }
 
     /// The exact (non-private) answer to a query — only used by the
@@ -215,13 +270,14 @@ impl DProvDb {
     /// Per-analyst outcomes for the fairness metrics.
     #[must_use]
     pub fn fairness_outcomes(&self) -> Vec<AnalystOutcome> {
+        let ledger = self.lock_ledger();
         self.registry
             .analysts()
             .iter()
             .map(|a| AnalystOutcome {
                 privilege: a.privilege.level(),
-                answered: self.per_analyst_answered[a.id.0],
-                consumed_epsilon: self.ledger.loss_to(a.id).epsilon.value(),
+                answered: self.per_analyst_answered[a.id.0].load(Ordering::Relaxed),
+                consumed_epsilon: ledger.loss_to(a.id).epsilon.value(),
             })
             .collect()
     }
@@ -234,25 +290,63 @@ impl DProvDb {
 
     /// Number of queries answered to each analyst, indexed by analyst id.
     #[must_use]
-    pub fn answered_per_analyst(&self) -> &[usize] {
-        &self.per_analyst_answered
+    pub fn answered_per_analyst(&self) -> Vec<usize> {
+        self.per_analyst_answered
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Submits a query on behalf of an analyst (Algorithm 1, lines 5–14).
+    ///
+    /// Legacy single-threaded entry point; forwards to the shared path
+    /// using the system-wide RNG.
     pub fn submit(&mut self, analyst: AnalystId, request: &QueryRequest) -> Result<QueryOutcome> {
+        self.submit_shared(analyst, request)
+    }
+
+    /// Shared-reference submission using the system-wide RNG (serialises
+    /// noise generation on one generator; concurrent callers should prefer
+    /// [`Self::submit_with_rng`] with per-session streams).
+    pub fn submit_shared(
+        &self,
+        analyst: AnalystId,
+        request: &QueryRequest,
+    ) -> Result<QueryOutcome> {
+        let mut rng = self.rng.lock().expect("rng lock poisoned");
+        self.submit_with_rng(analyst, request, &mut rng)
+    }
+
+    /// Submits a query on behalf of an analyst using a caller-supplied
+    /// noise generator. Safe to call concurrently from many threads; the
+    /// admission locks guarantee no constraint is ever overspent.
+    pub fn submit_with_rng(
+        &self,
+        analyst: AnalystId,
+        request: &QueryRequest,
+        rng: &mut DpRng,
+    ) -> Result<QueryOutcome> {
         self.registry.get(analyst)?;
         let start = Instant::now();
         let outcome = match self.mechanism {
-            MechanismKind::Vanilla => self.submit_vanilla(analyst, request),
-            MechanismKind::AdditiveGaussian => self.submit_additive(analyst, request),
+            MechanismKind::Vanilla => self.submit_vanilla(analyst, request, rng),
+            MechanismKind::AdditiveGaussian => self.submit_additive(analyst, request, rng),
         };
-        self.stats.query_time += start.elapsed();
-        if let Ok(outcome) = &outcome {
-            if outcome.is_answered() {
-                self.stats.answered += 1;
-                self.per_analyst_answered[analyst.0] += 1;
-            } else {
-                self.stats.rejected += 1;
+        let elapsed = start.elapsed();
+        {
+            let mut stats = self.stats.lock().expect("stats lock poisoned");
+            stats.query_time += elapsed;
+            if let Ok(outcome) = &outcome {
+                match outcome {
+                    QueryOutcome::Answered(a) => {
+                        stats.answered += 1;
+                        if a.from_cache {
+                            stats.cache_hits += 1;
+                        }
+                        self.per_analyst_answered[analyst.0].fetch_add(1, Ordering::Relaxed);
+                    }
+                    QueryOutcome::Rejected { .. } => stats.rejected += 1,
+                }
             }
         }
         outcome
@@ -261,7 +355,10 @@ impl DProvDb {
     /// Resolves a request: selects the view, transforms the query, and
     /// derives the per-bin accuracy target. Returns `Err(reason)` for
     /// rejections that should not abort the run.
-    fn resolve(&self, request: &QueryRequest) -> std::result::Result<ResolvedRequest, RejectReason> {
+    fn resolve(
+        &self,
+        request: &QueryRequest,
+    ) -> std::result::Result<ResolvedRequest, RejectReason> {
         let (view, linear) = match self.catalog.select_view(&request.query, &self.db) {
             Ok(pair) => pair,
             Err(EngineError::NotAnswerable(_)) => return Err(RejectReason::NotAnswerable),
@@ -306,24 +403,25 @@ impl DProvDb {
     }
 
     /// Answers from an existing (analyst, view) synopsis if it is accurate
-    /// enough.
-    fn try_cache(
-        &self,
-        analyst: AnalystId,
-        resolved: &ResolvedRequest,
-    ) -> Option<AnsweredQuery> {
-        let local = self.synopses.local(analyst.0, &resolved.view.name)?;
-        if local.synopsis.per_bin_variance <= resolved.per_bin_target {
-            Some(AnsweredQuery {
-                value: local.synopsis.answer(&resolved.linear),
-                view: Some(resolved.view.name.clone()),
-                epsilon_charged: 0.0,
-                noise_variance: local.synopsis.answer_variance(&resolved.linear),
-                from_cache: true,
+    /// enough. The variance check and the answer evaluation both happen
+    /// under the shard read guard (`with_local`), so the hot path never
+    /// clones the synopsis counts.
+    fn try_cache(&self, analyst: AnalystId, resolved: &ResolvedRequest) -> Option<AnsweredQuery> {
+        self.synopses
+            .with_local(analyst.0, &resolved.view.name, |local| {
+                if local.synopsis.per_bin_variance <= resolved.per_bin_target {
+                    Some(AnsweredQuery {
+                        value: local.synopsis.answer(&resolved.linear),
+                        view: Some(resolved.view.name.clone()),
+                        epsilon_charged: 0.0,
+                        noise_variance: local.synopsis.answer_variance(&resolved.linear),
+                        from_cache: true,
+                    })
+                } else {
+                    None
+                }
             })
-        } else {
-            None
-        }
+            .flatten()
     }
 
     /// Translates a per-bin variance target into the minimal epsilon, using
@@ -346,16 +444,35 @@ impl DProvDb {
         }
     }
 
+    /// Records one data access in the tight accountant.
+    fn record_tight(&self, epsilon: f64, sigma: f64, sensitivity: f64) {
+        self.tight_accountant
+            .lock()
+            .expect("accountant lock poisoned")
+            .record(
+                Budget::from_parts(Epsilon::unchecked(epsilon), self.config.delta),
+                sigma,
+                sensitivity,
+            );
+    }
+
     /// Algorithm 2: the vanilla approach.
     fn submit_vanilla(
-        &mut self,
+        &self,
         analyst: AnalystId,
         request: &QueryRequest,
+        rng: &mut DpRng,
     ) -> Result<QueryOutcome> {
         let resolved = match self.resolve(request) {
             Ok(r) => r,
             Err(reason) => return Ok(QueryOutcome::Rejected { reason }),
         };
+
+        // Serialise competing submissions for this provenance entry: the
+        // second of two identical queries waits here and is then answered
+        // from the first one's cached synopsis for free.
+        let _entry = self.admission.lock_entry(analyst.0, &resolved.view.name);
+
         if let Some(answer) = self.try_cache(analyst, &resolved) {
             return Ok(QueryOutcome::Answered(answer));
         }
@@ -369,21 +486,35 @@ impl DProvDb {
             },
         };
 
-        if let Err(reason) = self
-            .provenance
-            .check_vanilla(analyst, &resolved.view.name, epsilon)
+        // Check-and-reserve atomically: the charge happens in the same
+        // critical section as the check, so no concurrent submission can
+        // sneak its own charge between them.
         {
-            return Ok(QueryOutcome::Rejected { reason });
+            let mut provenance = self.lock_provenance();
+            if let Err(reason) = provenance.check_vanilla(analyst, &resolved.view.name, epsilon) {
+                return Ok(QueryOutcome::Rejected { reason });
+            }
+            provenance.charge(analyst, &resolved.view.name, epsilon);
         }
 
-        // Run: an independent synopsis per (analyst, view) release.
-        let synopsis = self
+        // Run: an independent synopsis per (analyst, view) release; noise
+        // generation happens outside the provenance lock.
+        let synopsis = match self
             .synopses
-            .fresh_synopsis(&resolved.view.name, epsilon, &mut self.rng)?;
+            .fresh_synopsis(&resolved.view.name, epsilon, rng)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                // Release failed after the reserve: roll the charge back.
+                self.lock_provenance()
+                    .charge(analyst, &resolved.view.name, -epsilon);
+                return Err(e);
+            }
+        };
         let answer = synopsis.answer(&resolved.linear);
         let noise_variance = synopsis.answer_variance(&resolved.linear);
-        self.tight_accountant.record(
-            Budget::from_parts(Epsilon::unchecked(epsilon), self.config.delta),
+        self.record_tight(
+            epsilon,
             synopsis.per_bin_variance.sqrt(),
             sensitivity.value(),
         );
@@ -392,8 +523,7 @@ impl DProvDb {
             &resolved.view.name,
             BudgetedSynopsis { synopsis, epsilon },
         );
-        self.provenance.charge(analyst, &resolved.view.name, epsilon);
-        self.ledger.record(
+        self.lock_ledger().record(
             analyst,
             Budget::from_parts(Epsilon::unchecked(epsilon), self.config.delta),
         );
@@ -409,22 +539,34 @@ impl DProvDb {
 
     /// Algorithm 4: the additive Gaussian approach.
     fn submit_additive(
-        &mut self,
+        &self,
         analyst: AnalystId,
         request: &QueryRequest,
+        rng: &mut DpRng,
     ) -> Result<QueryOutcome> {
         let resolved = match self.resolve(request) {
             Ok(r) => r,
             Err(reason) => return Ok(QueryOutcome::Rejected { reason }),
         };
+
+        let _entry = self.admission.lock_entry(analyst.0, &resolved.view.name);
+
         if let Some(answer) = self.try_cache(analyst, &resolved) {
             return Ok(QueryOutcome::Answered(answer));
         }
 
         let view_name = resolved.view.name.clone();
         let sensitivity = resolved.view.sensitivity();
-        let current_global_eps = self.synopses.global_epsilon(&view_name)?;
-        let current_global_var = self.synopses.global_variance(&view_name)?;
+
+        // The additive path reads the hidden global synopsis, translates
+        // against it and then grows it; the per-view lock makes that
+        // read-translate-grow sequence atomic (entry lock first, view lock
+        // second — fixed order, deadlock-free).
+        let _view = self.admission.lock_view(&view_name);
+
+        let global_state = self.synopses.global_state(&view_name)?;
+        let current_global_eps = global_state.map(|(eps, _)| eps);
+        let current_global_var = global_state.map(|(_, var)| var);
 
         // Translation (Algorithm 4, privacyTranslate): figure out the
         // global target budget and the analyst's local budget.
@@ -470,43 +612,50 @@ impl DProvDb {
 
         // Incremental charge to this analyst (Algorithm 4, line 19):
         // ε' = min(ε_global, P[A_i, V] + ε_i) − P[A_i, V].
-        let previous_entry = self.provenance.entry(analyst, &view_name);
-        let new_entry = global_target.min(previous_entry + local_epsilon);
-        let effective = (new_entry - previous_entry).max(0.0);
-
-        if let Err(reason) = self
-            .provenance
-            .check_additive(analyst, &view_name, effective)
-        {
-            return Ok(QueryOutcome::Rejected { reason });
-        }
+        // Read-check-reserve in ONE provenance critical section.
+        let (previous_entry, effective) = {
+            let mut provenance = self.lock_provenance();
+            let previous_entry = provenance.entry(analyst, &view_name);
+            let new_entry = global_target.min(previous_entry + local_epsilon);
+            let effective = (new_entry - previous_entry).max(0.0);
+            if let Err(reason) = provenance.check_additive(analyst, &view_name, effective) {
+                return Ok(QueryOutcome::Rejected { reason });
+            }
+            provenance.set_entry(analyst, &view_name, new_entry);
+            (previous_entry, effective)
+        };
 
         // Run (Algorithm 4, lines 2–10): grow the global synopsis if
         // needed, then derive the local synopsis via additive GM. Only the
         // global release touches the data, so only it is recorded in the
         // tight accountant (local synopses are post-processing).
-        let global_delta = self
-            .synopses
-            .ensure_global(&view_name, global_target, &mut self.rng)?;
-        if global_delta > 0.0 {
-            let sigma = analytic_gaussian_sigma(
-                global_delta,
-                self.config.delta.value(),
-                sensitivity.value(),
-            )
-            .map_err(CoreError::Dp)?;
-            self.tight_accountant.record(
-                Budget::from_parts(Epsilon::unchecked(global_delta), self.config.delta),
-                sigma,
+        let rollback = |e: CoreError| {
+            self.lock_provenance()
+                .set_entry(analyst, &view_name, previous_entry);
+            Err(e)
+        };
+        let growth = match self.synopses.grow_global(&view_name, global_target, rng) {
+            Ok(g) => g,
+            Err(e) => return rollback(e),
+        };
+        if let Some(growth) = growth {
+            self.record_tight(
+                growth.spent_epsilon,
+                growth.release_sigma,
                 sensitivity.value(),
             );
         }
-        let local = self
-            .synopses
-            .derive_local(analyst.0, &view_name, local_epsilon.min(global_target), &mut self.rng)?;
+        let local = match self.synopses.derive_local(
+            analyst.0,
+            &view_name,
+            local_epsilon.min(global_target),
+            rng,
+        ) {
+            Ok(l) => l,
+            Err(e) => return rollback(e),
+        };
 
-        self.provenance.set_entry(analyst, &view_name, new_entry);
-        self.ledger.record(
+        self.lock_ledger().record(
             analyst,
             Budget::from_parts(Epsilon::unchecked(effective), self.config.delta),
         );
@@ -531,14 +680,15 @@ impl QueryProcessor for DProvDb {
     }
 
     fn cumulative_epsilon(&self) -> f64 {
+        let provenance = self.lock_provenance();
         match self.mechanism {
-            MechanismKind::Vanilla => self.provenance.total_sum(),
-            MechanismKind::AdditiveGaussian => self.provenance.total_of_column_maxes(),
+            MechanismKind::Vanilla => provenance.total_sum(),
+            MechanismKind::AdditiveGaussian => provenance.total_of_column_maxes(),
         }
     }
 
     fn analyst_epsilon(&self, analyst: AnalystId) -> f64 {
-        self.ledger.loss_to(analyst).epsilon.value()
+        self.lock_ledger().loss_to(analyst).epsilon.value()
     }
 
     fn num_analysts(&self) -> usize {
@@ -610,6 +760,7 @@ mod tests {
             assert!(second.from_cache, "{mech}: second query should be cached");
             assert_eq!(second.epsilon_charged, 0.0);
             assert_eq!(system.cumulative_epsilon(), consumed_after_first);
+            assert_eq!(system.stats().cache_hits, 1);
         }
     }
 
@@ -690,16 +841,14 @@ mod tests {
     #[test]
     fn privacy_oriented_mode_charges_the_requested_epsilon() {
         let mut system = build(MechanismKind::AdditiveGaussian, 2.0);
-        let request =
-            QueryRequest::with_privacy(Query::range_count("adult", "age", 30, 39), 0.5);
+        let request = QueryRequest::with_privacy(Query::range_count("adult", "age", 30, 39), 0.5);
         let outcome = system.submit(AnalystId(1), &request).unwrap();
         let answered = outcome.answered().unwrap();
         assert!((answered.epsilon_charged - 0.5).abs() < 1e-9);
         assert!((system.analyst_epsilon(AnalystId(1)) - 0.5).abs() < 1e-9);
         // A second analyst asking with a smaller budget on the same view
         // does not move the global synopsis, so the collusion bound stays.
-        let request2 =
-            QueryRequest::with_privacy(Query::range_count("adult", "age", 35, 44), 0.3);
+        let request2 = QueryRequest::with_privacy(Query::range_count("adult", "age", 35, 44), 0.3);
         system.submit(AnalystId(0), &request2).unwrap();
         assert!((system.cumulative_epsilon() - 0.5).abs() < 1e-9);
     }
@@ -728,8 +877,12 @@ mod tests {
         let mut system = build(MechanismKind::AdditiveGaussian, 4.0);
         let request = range_request(30, 39, 500.0);
         system.submit(AnalystId(1), &request).unwrap();
-        system.submit(AnalystId(1), &range_request(40, 49, 500.0)).unwrap();
-        system.submit(AnalystId(0), &range_request(50, 59, 2_000.0)).unwrap();
+        system
+            .submit(AnalystId(1), &range_request(40, 49, 500.0))
+            .unwrap();
+        system
+            .submit(AnalystId(0), &range_request(50, 59, 2_000.0))
+            .unwrap();
         let outcomes = system.fairness_outcomes();
         assert_eq!(outcomes[0].answered, 1);
         assert_eq!(outcomes[1].answered, 2);
@@ -816,10 +969,72 @@ mod tests {
         let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
         let mut registry = AnalystRegistry::new();
         registry.register("a", 1).unwrap();
-        let config = SystemConfig::new(1.0)
-            .unwrap()
-            .with_delta(1e-2)
-            .unwrap();
+        let config = SystemConfig::new(1.0).unwrap().with_delta(1e-2).unwrap();
         assert!(DProvDb::new(db, catalog, registry, config, MechanismKind::Vanilla).is_err());
+    }
+
+    #[test]
+    fn concurrent_submissions_never_overspend_any_constraint() {
+        // A miniature of the server stress test, at the core layer: many
+        // threads hammer the same view through `submit_with_rng` and the
+        // provenance table must end inside every constraint.
+        use std::sync::Arc;
+        for mechanism in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+            let db = adult_database(1_000, 1);
+            let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+            let mut registry = AnalystRegistry::new();
+            for i in 0..4 {
+                registry
+                    .register(&format!("a{i}"), [1, 2, 4, 8][i % 4])
+                    .unwrap();
+            }
+            let config = SystemConfig::new(1.6).unwrap().with_seed(3);
+            let system = Arc::new(DProvDb::new(db, catalog, registry, config, mechanism).unwrap());
+            let mut handles = Vec::new();
+            for t in 0..8u64 {
+                let system = Arc::clone(&system);
+                handles.push(std::thread::spawn(move || {
+                    let mut rng = DpRng::for_stream(3, t);
+                    for i in 0..25 {
+                        let variance = 400.0 * 0.9f64.powi(i);
+                        let request = QueryRequest::with_accuracy(
+                            Query::range_count("adult", "age", 25, 55),
+                            variance,
+                        );
+                        let analyst = AnalystId((t as usize) % 4);
+                        let _ = system.submit_with_rng(analyst, &request, &mut rng).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let provenance = system.provenance();
+            for a in 0..4 {
+                let analyst = AnalystId(a);
+                assert!(
+                    provenance.row_total(analyst) <= provenance.row_constraint(analyst) + 1e-6,
+                    "{mechanism}: row constraint overspent"
+                );
+            }
+            for view in provenance.view_names() {
+                let col = match mechanism {
+                    MechanismKind::Vanilla => provenance.column_sum(view),
+                    MechanismKind::AdditiveGaussian => provenance.column_max(view),
+                };
+                assert!(
+                    col <= provenance.col_constraint(view) + 1e-6,
+                    "{mechanism}: column constraint overspent"
+                );
+            }
+            let total = match mechanism {
+                MechanismKind::Vanilla => provenance.total_sum(),
+                MechanismKind::AdditiveGaussian => provenance.total_of_column_maxes(),
+            };
+            assert!(
+                total <= provenance.table_constraint() + 1e-6,
+                "{mechanism}: table constraint overspent"
+            );
+        }
     }
 }

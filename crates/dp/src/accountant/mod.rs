@@ -21,7 +21,10 @@ use crate::budget::Budget;
 
 /// A privacy accountant: records Gaussian-mechanism invocations and reports
 /// the total `(epsilon, delta)` spent so far.
-pub trait Accountant {
+///
+/// `Send` is a supertrait so accountants can live behind a mutex shared by
+/// the concurrent query service's worker threads.
+pub trait Accountant: Send {
     /// Records one `(epsilon, delta)`-DP Gaussian release with the given
     /// noise scale and sensitivity (some accountants only use the budget,
     /// others the noise parameters).

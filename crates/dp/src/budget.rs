@@ -112,7 +112,7 @@ impl Delta {
 
     /// Creates a delta, rejecting values outside `[0, 1)`.
     pub fn new(value: f64) -> Result<Self> {
-        if !value.is_finite() || value < 0.0 || value >= 1.0 {
+        if !value.is_finite() || !(0.0..1.0).contains(&value) {
             return Err(DpError::InvalidDelta(value));
         }
         Ok(Delta(value))

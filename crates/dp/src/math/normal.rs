@@ -31,6 +31,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         "normal_quantile requires p in (0,1), got {p}"
     );
 
+    #[allow(clippy::excessive_precision)]
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,

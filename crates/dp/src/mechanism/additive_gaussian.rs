@@ -123,9 +123,8 @@ mod tests {
     fn releases_are_returned_in_input_order() {
         let mut rng = DpRng::seed_from_u64(2);
         let budgets = vec![budget(0.3), budget(0.9), budget(0.5)];
-        let out =
-            additive_gaussian_release(&[100.0, 50.0], Sensitivity::COUNT, &budgets, &mut rng)
-                .unwrap();
+        let out = additive_gaussian_release(&[100.0, 50.0], Sensitivity::COUNT, &budgets, &mut rng)
+            .unwrap();
         assert_eq!(out.len(), 3);
         for (i, rel) in out.iter().enumerate() {
             assert_eq!(rel.recipient, i);
@@ -138,7 +137,8 @@ mod tests {
     fn sigma_is_decreasing_in_epsilon() {
         let mut rng = DpRng::seed_from_u64(3);
         let budgets = vec![budget(0.3), budget(0.9), budget(0.5)];
-        let out = additive_gaussian_release(&[0.0], Sensitivity::COUNT, &budgets, &mut rng).unwrap();
+        let out =
+            additive_gaussian_release(&[0.0], Sensitivity::COUNT, &budgets, &mut rng).unwrap();
         assert!(out[1].sigma < out[2].sigma);
         assert!(out[2].sigma < out[0].sigma);
     }
@@ -152,7 +152,8 @@ mod tests {
         let mut rng = DpRng::seed_from_u64(4);
         let truth = vec![1000.0; 512];
         let budgets = vec![budget(2.0), budget(0.2)];
-        let out = additive_gaussian_release(&truth, Sensitivity::COUNT, &budgets, &mut rng).unwrap();
+        let out =
+            additive_gaussian_release(&truth, Sensitivity::COUNT, &budgets, &mut rng).unwrap();
         let high = &out[0]; // eps = 2.0, less noise
         let low = &out[1]; // eps = 0.2, more noise
 
@@ -192,7 +193,8 @@ mod tests {
     fn equal_budgets_get_identical_noise_scale() {
         let mut rng = DpRng::seed_from_u64(5);
         let budgets = vec![budget(1.0), budget(1.0)];
-        let out = additive_gaussian_release(&[0.0], Sensitivity::COUNT, &budgets, &mut rng).unwrap();
+        let out =
+            additive_gaussian_release(&[0.0], Sensitivity::COUNT, &budgets, &mut rng).unwrap();
         assert!((out[0].sigma - out[1].sigma).abs() < 1e-12);
         // With identical sigmas, the incremental noise is zero: the answers
         // coincide (no extra information released to either analyst).
@@ -202,9 +204,8 @@ mod tests {
     #[test]
     fn single_budget_matches_plain_analytic_gaussian_scale() {
         let mut rng = DpRng::seed_from_u64(6);
-        let out =
-            additive_gaussian_release(&[0.0], Sensitivity::COUNT, &[budget(0.7)], &mut rng)
-                .unwrap();
+        let out = additive_gaussian_release(&[0.0], Sensitivity::COUNT, &[budget(0.7)], &mut rng)
+            .unwrap();
         let expect = analytic_gaussian_sigma(0.7, 1e-9, 1.0).unwrap();
         assert!((out[0].sigma - expect).abs() < 1e-9);
     }

@@ -154,7 +154,13 @@ mod tests {
 
     #[test]
     fn calibrated_sigma_sits_exactly_on_the_profile() {
-        for &(eps, delta) in &[(0.1, 1e-9), (0.5, 1e-9), (1.0, 1e-6), (3.2, 1e-9), (6.4, 1e-12)] {
+        for &(eps, delta) in &[
+            (0.1, 1e-9),
+            (0.5, 1e-9),
+            (1.0, 1e-6),
+            (3.2, 1e-9),
+            (6.4, 1e-12),
+        ] {
             let sigma = analytic_gaussian_sigma(eps, delta, 1.0).unwrap();
             let d = analytic_gaussian_delta(sigma, 1.0, eps);
             assert!(d <= delta * (1.0 + 1e-6), "eps={eps}: delta {d} > {delta}");
@@ -231,6 +237,9 @@ mod tests {
         let m = AnalyticGaussian::calibrate(b, Sensitivity::COUNT).unwrap();
         let mut r1 = DpRng::seed_from_u64(99);
         let mut r2 = DpRng::seed_from_u64(99);
-        assert_eq!(m.release_scalar(10.0, &mut r1), m.release_scalar(10.0, &mut r2));
+        assert_eq!(
+            m.release_scalar(10.0, &mut r1),
+            m.release_scalar(10.0, &mut r2)
+        );
     }
 }

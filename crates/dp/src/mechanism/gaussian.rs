@@ -101,8 +101,7 @@ mod tests {
                 .is_err()
         );
         assert!(
-            ClassicGaussian::calibrate(Budget::new(1.0, 0.0).unwrap(), Sensitivity::COUNT)
-                .is_err()
+            ClassicGaussian::calibrate(Budget::new(1.0, 0.0).unwrap(), Sensitivity::COUNT).is_err()
         );
     }
 

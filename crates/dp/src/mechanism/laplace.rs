@@ -62,11 +62,9 @@ mod tests {
 
     #[test]
     fn scale_is_sensitivity_over_epsilon() {
-        let m = LaplaceMechanism::calibrate(
-            Epsilon::new(0.5).unwrap(),
-            Sensitivity::new(2.0).unwrap(),
-        )
-        .unwrap();
+        let m =
+            LaplaceMechanism::calibrate(Epsilon::new(0.5).unwrap(), Sensitivity::new(2.0).unwrap())
+                .unwrap();
         assert!((m.scale() - 4.0).abs() < 1e-12);
         assert!((m.variance() - 32.0).abs() < 1e-12);
     }

@@ -95,7 +95,9 @@ mod tests {
 
     #[test]
     fn histogram_sensitivities() {
-        assert!((Sensitivity::histogram_bounded().value() - std::f64::consts::SQRT_2).abs() < 1e-15);
+        assert!(
+            (Sensitivity::histogram_bounded().value() - std::f64::consts::SQRT_2).abs() < 1e-15
+        );
         assert_eq!(Sensitivity::histogram_unbounded().value(), 1.0);
     }
 

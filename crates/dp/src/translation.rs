@@ -332,7 +332,9 @@ mod tests {
     #[test]
     fn friction_aware_degrades_to_vanilla_without_existing_synopsis() {
         let tr = FrictionAwareTranslation::new(delta(), Sensitivity::COUNT);
-        let with_none = tr.translate(10.0, None, Epsilon::new(50.0).unwrap()).unwrap();
+        let with_none = tr
+            .translate(10.0, None, Epsilon::new(50.0).unwrap())
+            .unwrap();
         let vanilla = translate_variance_to_epsilon(
             10.0,
             delta(),
@@ -354,7 +356,9 @@ mod tests {
         let friction = tr
             .translate(10.0, Some(20.0), Epsilon::new(50.0).unwrap())
             .unwrap();
-        let vanilla = tr.translate(10.0, None, Epsilon::new(50.0).unwrap()).unwrap();
+        let vanilla = tr
+            .translate(10.0, None, Epsilon::new(50.0).unwrap())
+            .unwrap();
         assert!(
             friction.epsilon.value() < vanilla.epsilon.value(),
             "friction-aware {} should be below vanilla {}",
@@ -387,7 +391,9 @@ mod tests {
     fn friction_aware_with_existing_better_synopsis_degrades_gracefully() {
         let tr = FrictionAwareTranslation::new(delta(), Sensitivity::COUNT);
         // Existing synopsis better (5.0) than the request (10.0): w = 0 path.
-        let t = tr.translate(10.0, Some(5.0), Epsilon::new(50.0).unwrap()).unwrap();
+        let t = tr
+            .translate(10.0, Some(5.0), Epsilon::new(50.0).unwrap())
+            .unwrap();
         assert_eq!(t.combination_weight, 0.0);
     }
 

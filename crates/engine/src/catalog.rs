@@ -140,7 +140,11 @@ mod tests {
         let mut catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
         // A big 2-way view also answers sex-only queries but should lose to
         // the 1-way sex view (domain 2 < 20).
-        catalog.add_view(ViewDef::histogram("adult.age_sex", "adult", &["age", "sex"]));
+        catalog.add_view(ViewDef::histogram(
+            "adult.age_sex",
+            "adult",
+            &["age", "sex"],
+        ));
         let q = Query::count("adult").filter(Predicate::equals("sex", "F"));
         let (view, lq) = catalog.select_view(&q, &db).unwrap();
         assert_eq!(view.name, "adult.sex");
@@ -174,6 +178,9 @@ mod tests {
         catalog.add_view(ViewDef::histogram("v", "adult", &["age"]));
         catalog.add_view(ViewDef::histogram("v", "adult", &["sex"]));
         assert_eq!(catalog.len(), 1);
-        assert_eq!(catalog.view("v").unwrap().attributes, vec!["sex".to_owned()]);
+        assert_eq!(
+            catalog.view("v").unwrap().attributes,
+            vec!["sex".to_owned()]
+        );
     }
 }

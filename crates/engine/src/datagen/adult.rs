@@ -104,7 +104,10 @@ pub fn adult_schema() -> Schema {
         Attribute::new("relationship", AttributeType::categorical(RELATIONSHIP)),
         Attribute::new("race", AttributeType::categorical(RACE)),
         Attribute::new("sex", AttributeType::categorical(SEX)),
-        Attribute::new("capital_gain", AttributeType::binned_integer(0, 99_999, 1000)),
+        Attribute::new(
+            "capital_gain",
+            AttributeType::binned_integer(0, 99_999, 1000),
+        ),
         Attribute::new("capital_loss", AttributeType::binned_integer(0, 4_499, 100)),
         Attribute::new("hours_per_week", AttributeType::integer(1, 99)),
         Attribute::new("income", AttributeType::categorical(INCOME)),

@@ -50,7 +50,10 @@ pub fn tpch_lineitem_schema() -> Schema {
         Attribute::new("quantity", AttributeType::integer(1, 50)),
         Attribute::new("discount", AttributeType::integer(0, 10)),
         Attribute::new("tax", AttributeType::integer(0, 8)),
-        Attribute::new("extendedprice", AttributeType::binned_integer(900, 105_000, 1000)),
+        Attribute::new(
+            "extendedprice",
+            AttributeType::binned_integer(900, 105_000, 1000),
+        ),
         Attribute::new("returnflag", AttributeType::categorical(RETURN_FLAG)),
         Attribute::new("linestatus", AttributeType::categorical(LINE_STATUS)),
         Attribute::new("shipmode", AttributeType::categorical(SHIP_MODE)),
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn quantity_is_roughly_uniform() {
         let db = tpch_database(10_000, 5);
-        let total = execute(&db, &Query::count(TPCH_TABLE)).unwrap().scalar().unwrap();
+        let total = execute(&db, &Query::count(TPCH_TABLE))
+            .unwrap()
+            .scalar()
+            .unwrap();
         assert_eq!(total, 10_000.0);
         let low_half = execute(&db, &Query::range_count(TPCH_TABLE, "quantity", 1, 25))
             .unwrap()

@@ -133,9 +133,7 @@ impl Predicate {
                 let v = table.value_at(row, attribute)?;
                 Ok(v.as_int().is_some_and(|x| x >= *low && x <= *high))
             }
-            Predicate::Equals { attribute, value } => {
-                Ok(&table.value_at(row, attribute)? == value)
-            }
+            Predicate::Equals { attribute, value } => Ok(&table.value_at(row, attribute)? == value),
             Predicate::InSet { attribute, values } => {
                 let v = table.value_at(row, attribute)?;
                 Ok(values.contains(&v))
@@ -175,9 +173,7 @@ impl Predicate {
                 high,
             } => match lookup(attrs, indices, attribute) {
                 Some((attr, idx)) => match &attr.attr_type {
-                    AttributeType::Integer {
-                        min, bin_width, ..
-                    } => {
+                    AttributeType::Integer { min, bin_width, .. } => {
                         let bin_lo = min + idx as i64 * bin_width;
                         let bin_hi = bin_lo + bin_width - 1;
                         bin_hi >= *low && bin_lo <= *high

@@ -74,10 +74,16 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             EngineError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
             EngineError::ValueOutOfDomain { attribute, value } => {
-                write!(f, "value {value} outside the domain of attribute {attribute}")
+                write!(
+                    f,
+                    "value {value} outside the domain of attribute {attribute}"
+                )
             }
             EngineError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, found {found}"
+                )
             }
             EngineError::NotAnswerable(q) => write!(f, "query not answerable over any view: {q}"),
             EngineError::UnknownView(v) => write!(f, "unknown view: {v}"),

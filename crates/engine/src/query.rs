@@ -141,8 +141,8 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let q = Query::range_count("adult", "age", 20, 29)
-            .filter(Predicate::equals("sex", "Female"));
+        let q =
+            Query::range_count("adult", "age", 20, 29).filter(Predicate::equals("sex", "Female"));
         assert_eq!(q.table, "adult");
         assert_eq!(q.aggregate, AggregateKind::Count);
         let attrs = q.referenced_attributes();
@@ -175,9 +175,6 @@ mod tests {
     #[test]
     fn aggregate_target_attribute() {
         assert_eq!(AggregateKind::Count.target_attribute(), None);
-        assert_eq!(
-            AggregateKind::Sum("x".into()).target_attribute(),
-            Some("x")
-        );
+        assert_eq!(AggregateKind::Sum("x".into()).target_attribute(), Some("x"));
     }
 }

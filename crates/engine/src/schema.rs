@@ -130,10 +130,9 @@ impl Attribute {
                 }
                 Ok(((v - min) / bin_width) as usize)
             }
-            (AttributeType::Categorical { categories }, Value::Text(s)) => categories
-                .iter()
-                .position(|c| c == s)
-                .ok_or_else(err),
+            (AttributeType::Categorical { categories }, Value::Text(s)) => {
+                categories.iter().position(|c| c == s).ok_or_else(err)
+            }
             _ => Err(err()),
         }
     }
@@ -143,12 +142,10 @@ impl Attribute {
     #[must_use]
     pub fn value_at(&self, index: usize) -> Value {
         match &self.attr_type {
-            AttributeType::Integer {
-                min, bin_width, ..
-            } => Value::Int(min + index as i64 * bin_width),
-            AttributeType::Categorical { categories } => {
-                Value::Text(categories[index].clone())
+            AttributeType::Integer { min, bin_width, .. } => {
+                Value::Int(min + index as i64 * bin_width)
             }
+            AttributeType::Categorical { categories } => Value::Text(categories[index].clone()),
         }
     }
 
@@ -158,9 +155,9 @@ impl Attribute {
     #[must_use]
     pub fn numeric_at(&self, index: usize) -> Option<f64> {
         match &self.attr_type {
-            AttributeType::Integer {
-                min, bin_width, ..
-            } => Some((min + index as i64 * bin_width) as f64),
+            AttributeType::Integer { min, bin_width, .. } => {
+                Some((min + index as i64 * bin_width) as f64)
+            }
             AttributeType::Categorical { .. } => None,
         }
     }

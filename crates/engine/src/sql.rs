@@ -45,7 +45,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             tokens.push(Token::Str(chars[start..j].iter().collect()));
             i = j + 1;
-        } else if c.is_ascii_digit() || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
             let start = i;
             i += 1;
             while i < chars.len() && chars[i].is_ascii_digit() {
@@ -58,7 +60,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             tokens.push(Token::Number(value));
         } else if c.is_alphabetic() || c == '_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
                 i += 1;
             }
             tokens.push(Token::Ident(chars[start..i].iter().collect()));
@@ -106,21 +110,27 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.next()? {
             Token::Ident(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(EngineError::SqlParse(format!("expected {kw}, found {other:?}"))),
+            other => Err(EngineError::SqlParse(format!(
+                "expected {kw}, found {other:?}"
+            ))),
         }
     }
 
     fn expect_symbol(&mut self, sym: &str) -> Result<()> {
         match self.next()? {
             Token::Symbol(s) if s == sym => Ok(()),
-            other => Err(EngineError::SqlParse(format!("expected '{sym}', found {other:?}"))),
+            other => Err(EngineError::SqlParse(format!(
+                "expected '{sym}', found {other:?}"
+            ))),
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(w) => Ok(w),
-            other => Err(EngineError::SqlParse(format!("expected identifier, found {other:?}"))),
+            other => Err(EngineError::SqlParse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -139,7 +149,9 @@ impl Parser {
         } else if name.eq_ignore_ascii_case("avg") {
             AggregateKind::Avg(self.ident()?)
         } else {
-            return Err(EngineError::SqlParse(format!("unsupported aggregate: {name}")));
+            return Err(EngineError::SqlParse(format!(
+                "unsupported aggregate: {name}"
+            )));
         };
         self.expect_symbol(")")?;
         Ok(agg)
@@ -157,7 +169,9 @@ impl Parser {
         let op = match self.next()? {
             Token::Symbol(s) => s,
             other => {
-                return Err(EngineError::SqlParse(format!("expected operator, found {other:?}")))
+                return Err(EngineError::SqlParse(format!(
+                    "expected operator, found {other:?}"
+                )))
             }
         };
         let rhs = self.next()?;
@@ -177,7 +191,9 @@ impl Parser {
     fn number(&mut self) -> Result<i64> {
         match self.next()? {
             Token::Number(v) => Ok(v),
-            other => Err(EngineError::SqlParse(format!("expected number, found {other:?}"))),
+            other => Err(EngineError::SqlParse(format!(
+                "expected number, found {other:?}"
+            ))),
         }
     }
 

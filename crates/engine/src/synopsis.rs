@@ -133,7 +133,8 @@ mod tests {
             assert!(at_opt <= combined(test_w) + 1e-12);
         }
         // Combined variance is below both inputs.
-        assert!(at_opt < 3.0 && at_opt < 9.0);
+        assert!(at_opt < 3.0);
+        assert!(at_opt < 9.0);
     }
 
     #[test]

@@ -140,8 +140,10 @@ mod tests {
     #[test]
     fn insert_and_read_back() {
         let mut t = sample_table();
-        t.insert_row(&[Value::Int(30), Value::text("Male")]).unwrap();
-        t.insert_row(&[Value::Int(45), Value::text("Female")]).unwrap();
+        t.insert_row(&[Value::Int(30), Value::text("Male")])
+            .unwrap();
+        t.insert_row(&[Value::Int(45), Value::text("Female")])
+            .unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value_at(0, "age").unwrap(), Value::Int(30));
         assert_eq!(t.value_at(1, "sex").unwrap(), Value::text("Female"));

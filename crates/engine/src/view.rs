@@ -114,7 +114,7 @@ impl MultiIndexIter {
     /// Creates an iterator over the cross product of the dimension sizes.
     #[must_use]
     pub fn new(sizes: &[usize]) -> Self {
-        let done = sizes.iter().any(|&s| s == 0);
+        let done = sizes.contains(&0);
         MultiIndexIter {
             sizes: sizes.to_vec(),
             current: vec![0; sizes.len()],

@@ -1,0 +1,50 @@
+//! # `dprov-server` — the concurrent multi-analyst query service
+//!
+//! The paper's setting is inherently multi-analyst: several analysts with
+//! distinct privilege levels query the same protected database through one
+//! provenance table and synopsis cache. This crate provides the service
+//! layer that actually serves them **concurrently**, fronting the
+//! thread-safe [`dprov_core::system::DProvDb`] orchestrator:
+//!
+//! * [`session`] — the analyst **session registry**: register / heartbeat /
+//!   expire, a per-session deterministic noise stream
+//!   ([`dprov_dp::rng::DpRng::for_stream`]), and the analyst-facing
+//!   remaining-budget view; per-session FIFO ordering comes from the
+//!   service's session lanes (at most one runnable job per session);
+//! * [`queue`] — a bounded MPMC **job queue** (`Mutex` + `Condvar`)
+//!   providing backpressure between submitters and workers;
+//! * [`service`] — the **worker pool** ([`service::QueryService`]): `N`
+//!   threads pull jobs and execute them through
+//!   `DProvDb::submit_with_rng`; responses travel back over `mpsc`
+//!   channels.
+//!
+//! **Budget safety under concurrency** is enforced one layer down, in
+//! `dprov-core`'s admission control: constraint checks and charges commit
+//! atomically under the provenance mutex, guarded by per-(analyst, view)
+//! entry locks and per-view locks for additive-Gaussian synopsis growth.
+//! The stress test in `tests/stress.rs` hammers a single view from 8
+//! analysts × 8 workers and asserts no row, column or table constraint is
+//! ever overspent.
+//!
+//! **Determinism**: each session's noise stream depends only on the system
+//! seed, the session registration order and the session's own submission
+//! order — never on thread scheduling. Answers are therefore identical
+//! across runs and worker counts under the vanilla mechanism, and under
+//! the additive mechanism whenever sessions work disjoint views, provided
+//! the budget is uncontended (validated by the workspace's
+//! `determinism.rs` integration test). Two quantities remain
+//! scheduling-sensitive: the additive mechanism's hidden global synopsis
+//! on a view *shared* by racing sessions grows in cross-session arrival
+//! order, and near budget exhaustion the provenance checks' cross-analyst
+//! row/column/table totals make accept-vs-reject decisions
+//! arrival-order dependent (budget *safety* holds regardless).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod queue;
+pub mod service;
+pub mod session;
+
+pub use service::{QueryResponse, QueryService, ServerError, ServiceConfig, ServiceStats};
+pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

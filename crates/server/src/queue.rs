@@ -1,0 +1,190 @@
+//! A bounded multi-producer / multi-consumer queue built on `Mutex` +
+//! `Condvar`.
+//!
+//! The service's submission path pushes [`crate::service::QueryService`]
+//! jobs here and the worker pool pops them. Bounding the queue gives
+//! **backpressure**: when analysts submit faster than the workers drain,
+//! `push` blocks instead of letting the backlog grow without limit.
+//! Closing the queue wakes every blocked producer and consumer; consumers
+//! drain the remaining items before observing the close.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`BoundedQueue::push`] after [`BoundedQueue::close`];
+/// carries the rejected item back to the caller.
+#[derive(Debug)]
+pub struct QueueClosed<T>(pub T);
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking, bounded MPMC queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item, blocking while the queue is full. Returns the item
+    /// back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), QueueClosed<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(QueueClosed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, consumers drain what is left
+    /// and then observe the end of the stream.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of queued (not yet popped) items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_a_pop_frees_a_slot() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u64).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // Give the producer a moment to block on the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 1_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..100).map(move |i| t * 1_000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,546 @@
+//! The concurrent query service: worker pool, job routing and responses.
+//!
+//! [`QueryService`] fronts a shared, thread-safe
+//! [`DProvDb`] with:
+//!
+//! * a bounded MPMC job queue ([`crate::queue::BoundedQueue`]) providing
+//!   backpressure between submitters and the worker pool;
+//! * `N` worker threads, each pulling jobs and executing them through
+//!   [`DProvDb::submit_with_rng`] with the owning session's private noise
+//!   stream — budget safety is enforced by the core's admission control,
+//!   so workers need no coordination beyond the session lanes;
+//! * per-session FIFO execution via **session lanes**: at most one job per
+//!   session is ever in the runnable queue; further submissions wait in
+//!   the session's pending lane and the finishing worker chains straight
+//!   into them. Workers therefore never park waiting for another job's
+//!   turn (no head-of-line blocking), a session occupies at most one
+//!   worker, and each session's noise stream is independent of the worker
+//!   count (see the [`crate`] docs for the exact determinism guarantee);
+//! * asynchronous responses over `std::sync::mpsc` channels: `submit`
+//!   returns a receiver immediately, `submit_wait` blocks for the outcome.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_core::system::{DProvDb, SystemStats};
+use dprov_core::CoreError;
+
+use crate::queue::BoundedQueue;
+use crate::session::{Session, SessionError, SessionId, SessionInfo, SessionRegistry};
+
+/// Tuning knobs for the service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker threads executing queries.
+    pub workers: usize,
+    /// Capacity of the submission queue (backpressure threshold).
+    pub queue_capacity: usize,
+    /// How long a session may go without a heartbeat or submission before
+    /// it is considered expired.
+    pub session_ttl: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            session_ttl: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration with `workers` worker threads and the remaining
+    /// defaults.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Errors surfaced by the service layer (the DP semantics themselves are
+/// reported inside [`QueryOutcome`], not here).
+#[derive(Debug)]
+pub enum ServerError {
+    /// The session was unknown or expired.
+    Session(SessionError),
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The core system returned a hard error (unknown analyst, engine
+    /// failure).
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Session(e) => write!(f, "session error: {e}"),
+            ServerError::ShuttingDown => write!(f, "service is shutting down"),
+            ServerError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        ServerError::Session(e)
+    }
+}
+
+/// The response to one submission.
+pub type QueryResponse = Result<QueryOutcome, ServerError>;
+
+/// One unit of work for the pool.
+struct Job {
+    session: Arc<Session>,
+    request: QueryRequest,
+    responder: mpsc::Sender<QueryResponse>,
+}
+
+/// Per-session dispatch state: `busy` is true iff exactly one of the
+/// session's jobs is runnable (queued or executing); everything else waits
+/// in `pending`, drained in FIFO order by the worker finishing the current
+/// job.
+#[derive(Default)]
+struct SessionLane {
+    busy: bool,
+    pending: VecDeque<Job>,
+}
+
+type LaneMap = Mutex<HashMap<u64, SessionLane>>;
+
+/// Aggregate service counters (point-in-time snapshot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue since startup.
+    pub submitted: usize,
+    /// Jobs fully executed (answered or rejected).
+    pub completed: usize,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Live sessions.
+    pub sessions: usize,
+    /// The underlying system's runtime statistics.
+    pub system: SystemStats,
+}
+
+/// The concurrent multi-analyst query service.
+pub struct QueryService {
+    system: Arc<DProvDb>,
+    sessions: Arc<SessionRegistry>,
+    queue: Arc<BoundedQueue<Job>>,
+    lanes: Arc<LaneMap>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: Arc<AtomicUsize>,
+    completed: Arc<AtomicUsize>,
+}
+
+impl QueryService {
+    /// Starts the worker pool over a shared system. The session registry
+    /// derives its noise streams from the system's configured seed, so a
+    /// fixed (config, registration order, per-session submission order)
+    /// triple reproduces identical answers for any worker count — under
+    /// the vanilla mechanism with an uncontended budget, and under the
+    /// additive mechanism whenever sessions additionally work disjoint
+    /// views (see the crate docs for the exact caveats).
+    #[must_use]
+    pub fn start(system: Arc<DProvDb>, config: ServiceConfig) -> Self {
+        let sessions = Arc::new(SessionRegistry::new(
+            system.config().seed,
+            config.session_ttl,
+        ));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let lanes: Arc<LaneMap> = Arc::new(Mutex::new(HashMap::new()));
+        let submitted = Arc::new(AtomicUsize::new(0));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let system = Arc::clone(&system);
+                let queue = Arc::clone(&queue);
+                let lanes = Arc::clone(&lanes);
+                let completed = Arc::clone(&completed);
+                std::thread::Builder::new()
+                    .name(format!("dprov-worker-{i}"))
+                    .spawn(move || Self::worker_loop(&system, &queue, &lanes, &completed))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        QueryService {
+            system,
+            sessions,
+            queue,
+            lanes,
+            workers,
+            submitted,
+            completed,
+        }
+    }
+
+    fn worker_loop(
+        system: &DProvDb,
+        queue: &BoundedQueue<Job>,
+        lanes: &LaneMap,
+        completed: &AtomicUsize,
+    ) {
+        while let Some(mut job) = queue.pop() {
+            // Chain through the session's lane: execute the runnable job,
+            // then pull the session's next pending job directly (no
+            // round-trip through the global queue). A session thus occupies
+            // at most one worker and its jobs run in submission order, and
+            // chains keep draining even after the queue is closed.
+            loop {
+                // Executing a query also counts as session activity.
+                job.session.heartbeat();
+                let result = {
+                    let mut rng = job.session.rng.lock().expect("session rng poisoned");
+                    system.submit_with_rng(job.session.analyst(), &job.request, &mut rng)
+                };
+                completed.fetch_add(1, Ordering::Relaxed);
+                if let Ok(outcome) = &result {
+                    job.session.record_outcome(outcome.is_answered());
+                }
+                // The submitter may have dropped its receiver; that is fine.
+                let _ = job.responder.send(result.map_err(ServerError::Core));
+
+                let next = {
+                    let mut lanes = lanes.lock().expect("lane map poisoned");
+                    let lane = lanes
+                        .get_mut(&job.session.id().0)
+                        .expect("executing session has a lane");
+                    match lane.pending.pop_front() {
+                        Some(next) => Some(next),
+                        None => {
+                            // Idle lanes are removed outright — `submit`
+                            // recreates them on demand — so lanes never
+                            // outlive their work (no leak when sessions
+                            // expire mid-flight).
+                            lanes.remove(&job.session.id().0);
+                            None
+                        }
+                    }
+                };
+                match next {
+                    Some(next) => job = next,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Opens a session for a registered analyst.
+    pub fn open_session(&self, analyst: dprov_core::analyst::AnalystId) -> QuerySessionResult {
+        self.system
+            .registry()
+            .get(analyst)
+            .map_err(ServerError::Core)?;
+        Ok(self.sessions.register(analyst))
+    }
+
+    /// Refreshes a session's heartbeat.
+    pub fn heartbeat(&self, id: SessionId) -> Result<(), ServerError> {
+        self.sessions.heartbeat(id).map_err(ServerError::from)
+    }
+
+    /// Reaps expired sessions, returning their ids. (Dispatch lanes need
+    /// no sweep: a lane is removed by the worker that drains it — or by a
+    /// failed submit — the moment it goes idle.)
+    pub fn expire_stale_sessions(&self) -> Vec<SessionId> {
+        self.sessions.expire_stale()
+    }
+
+    /// The analyst-facing view of a session: privilege, budget constraint,
+    /// consumption and remaining room, plus per-session counters.
+    pub fn session_info(&self, id: SessionId) -> Result<SessionInfo, ServerError> {
+        let session = self.sessions.get(id)?;
+        let analyst = session.analyst();
+        let privilege = self
+            .system
+            .registry()
+            .get(analyst)
+            .map_err(ServerError::Core)?
+            .privilege
+            .level();
+        let provenance = self.system.provenance();
+        let constraint = provenance.row_constraint(analyst);
+        let consumed = provenance.row_total(analyst);
+        Ok(SessionInfo {
+            id,
+            analyst,
+            privilege,
+            budget_constraint: constraint,
+            budget_consumed: consumed,
+            budget_remaining: (constraint - consumed).max(0.0),
+            submitted: session.submitted(),
+            answered: session.answered(),
+            rejected: session.rejected(),
+        })
+    }
+
+    /// Submits a query on a session; returns a receiver that will yield the
+    /// outcome once a worker has executed it. Blocks only if the runnable
+    /// queue is full (backpressure; the queue holds at most one job per
+    /// session, so its capacity bounds the number of concurrently active
+    /// sessions, not a session's pipeline depth).
+    pub fn submit(
+        &self,
+        id: SessionId,
+        request: QueryRequest,
+    ) -> Result<mpsc::Receiver<QueryResponse>, ServerError> {
+        let session = self.sessions.get(id)?;
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            session: Arc::clone(&session),
+            request,
+            responder: tx,
+        };
+        // If the session already has a runnable job, append to its lane —
+        // the finishing worker will chain into it (accepted work always
+        // completes, even across shutdown). Otherwise this job is the
+        // session's runnable one and goes to the queue.
+        let runnable = {
+            let mut lanes = self.lanes.lock().expect("lane map poisoned");
+            let lane = lanes.entry(id.0).or_default();
+            if lane.busy {
+                lane.pending.push_back(job);
+                None
+            } else {
+                lane.busy = true;
+                Some(job)
+            }
+        };
+        if let Some(job) = runnable {
+            if self.queue.push(job).is_err() {
+                // The queue closed under us. Another submitter may have
+                // appended to the lane's pending queue while we were
+                // outside the lock believing a runnable job existed; those
+                // jobs would never be chained into, so fail them here and
+                // retire the lane in the same critical section.
+                let stranded = {
+                    let mut lanes = self.lanes.lock().expect("lane map poisoned");
+                    lanes
+                        .remove(&id.0)
+                        .map_or_else(VecDeque::new, |l| l.pending)
+                };
+                for job in stranded {
+                    let _ = job.responder.send(Err(ServerError::ShuttingDown));
+                }
+                return Err(ServerError::ShuttingDown);
+            }
+        }
+        session.mark_submitted();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(rx)
+    }
+
+    /// Submits a query and blocks until its outcome is available.
+    pub fn submit_wait(&self, id: SessionId, request: QueryRequest) -> QueryResponse {
+        let rx = self.submit(id, request)?;
+        rx.recv().map_err(|_| ServerError::ShuttingDown)?
+    }
+
+    /// The shared system behind the service.
+    #[must_use]
+    pub fn system(&self) -> &Arc<DProvDb> {
+        &self.system
+    }
+
+    /// The session registry.
+    #[must_use]
+    pub fn sessions(&self) -> &SessionRegistry {
+        &self.sessions
+    }
+
+    /// Point-in-time service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queued: self.queue.len(),
+            sessions: self.sessions.len(),
+            system: self.system.stats(),
+        }
+    }
+
+    /// Stops accepting new work, drains the queue, joins the workers and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+/// Result alias for [`QueryService::open_session`].
+pub type QuerySessionResult = Result<SessionId, ServerError>;
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_core::analyst::{AnalystId, AnalystRegistry};
+    use dprov_core::config::SystemConfig;
+    use dprov_core::mechanism::MechanismKind;
+    use dprov_engine::catalog::ViewCatalog;
+    use dprov_engine::datagen::adult::adult_database;
+    use dprov_engine::query::Query;
+
+    fn system(mechanism: MechanismKind, epsilon: f64, analysts: usize) -> Arc<DProvDb> {
+        let db = adult_database(1_000, 1);
+        let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+        let mut registry = AnalystRegistry::new();
+        for i in 0..analysts {
+            registry
+                .register(&format!("a{i}"), ((i % 4) + 1) as u8)
+                .unwrap();
+        }
+        let config = SystemConfig::new(epsilon).unwrap().with_seed(11);
+        Arc::new(DProvDb::new(db, catalog, registry, config, mechanism).unwrap())
+    }
+
+    fn request(lo: i64, hi: i64, variance: f64) -> QueryRequest {
+        QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, hi), variance)
+    }
+
+    #[test]
+    fn submit_wait_round_trips_an_answer() {
+        let service = QueryService::start(
+            system(MechanismKind::AdditiveGaussian, 4.0, 2),
+            ServiceConfig::with_workers(2),
+        );
+        let session = service.open_session(AnalystId(1)).unwrap();
+        let outcome = service
+            .submit_wait(session, request(30, 39, 500.0))
+            .unwrap();
+        assert!(outcome.is_answered());
+        let info = service.session_info(session).unwrap();
+        assert_eq!(info.submitted, 1);
+        assert_eq!(info.answered, 1);
+        assert!(info.budget_consumed > 0.0);
+        assert!(info.budget_remaining < info.budget_constraint);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.system.answered, 1);
+    }
+
+    #[test]
+    fn unknown_analyst_and_unknown_session_are_rejected() {
+        let service = QueryService::start(
+            system(MechanismKind::Vanilla, 2.0, 1),
+            ServiceConfig::with_workers(1),
+        );
+        assert!(matches!(
+            service.open_session(AnalystId(7)),
+            Err(ServerError::Core(_))
+        ));
+        assert!(matches!(
+            service.submit(SessionId(99), request(20, 30, 100.0)),
+            Err(ServerError::Session(SessionError::Unknown(_)))
+        ));
+    }
+
+    #[test]
+    fn pipelined_submissions_come_back_in_order() {
+        let service = QueryService::start(
+            system(MechanismKind::AdditiveGaussian, 8.0, 2),
+            ServiceConfig::with_workers(4),
+        );
+        let session = service.open_session(AnalystId(1)).unwrap();
+        let receivers: Vec<_> = (0..10)
+            .map(|i| {
+                service
+                    .submit(session, request(20 + i, 40 + i, 400.0 + i as f64))
+                    .unwrap()
+            })
+            .collect();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().unwrap().is_answered());
+        }
+        let info = service.session_info(session).unwrap();
+        assert_eq!(info.answered, 10);
+    }
+
+    #[test]
+    fn idle_lanes_are_reclaimed_after_the_work_drains() {
+        let service = QueryService::start(
+            system(MechanismKind::AdditiveGaussian, 8.0, 2),
+            ServiceConfig::with_workers(2),
+        );
+        let session = service.open_session(AnalystId(1)).unwrap();
+        for i in 0..4 {
+            let rx = service.submit(session, request(20 + i, 40, 600.0)).unwrap();
+            rx.recv().unwrap().unwrap();
+        }
+        // The worker removes the lane the moment it goes idle; the removal
+        // happens just after the last response is sent, so poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if service.lanes.lock().unwrap().is_empty() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lane was not reclaimed after its work drained"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn expired_sessions_cannot_submit() {
+        let mut config = ServiceConfig::with_workers(1);
+        config.session_ttl = Duration::from_millis(20);
+        let service = QueryService::start(system(MechanismKind::Vanilla, 2.0, 1), config);
+        let session = service.open_session(AnalystId(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(matches!(
+            service.submit(session, request(20, 30, 100.0)),
+            Err(ServerError::Session(SessionError::Expired(_)))
+        ));
+        assert_eq!(service.expire_stale_sessions(), vec![session]);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let service = QueryService::start(
+            system(MechanismKind::AdditiveGaussian, 8.0, 4),
+            ServiceConfig::with_workers(2),
+        );
+        let sessions: Vec<_> = (0..4)
+            .map(|i| service.open_session(AnalystId(i)).unwrap())
+            .collect();
+        let receivers: Vec<_> = sessions
+            .iter()
+            .flat_map(|&s| (0..5).map(move |i| (s, i)))
+            .map(|(s, i)| service.submit(s, request(20 + i, 45, 900.0)).unwrap())
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.completed, 20);
+        for rx in receivers {
+            // Every submitted job got a response before shutdown returned.
+            assert!(rx.try_recv().is_ok());
+        }
+    }
+}

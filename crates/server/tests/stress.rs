@@ -1,0 +1,194 @@
+//! Budget-safety stress test: 8 analysts × 8 worker threads hammer a single
+//! shared view with ever-tighter accuracy demands, racing each other into
+//! the row, column and table constraints. Whatever the interleaving, the
+//! provenance ledger must never exceed any constraint — admission control's
+//! check-and-reserve is atomic.
+
+use std::sync::Arc;
+
+use dprov_core::analyst::{AnalystId, AnalystRegistry};
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::processor::{QueryProcessor, QueryRequest};
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_server::{QueryService, ServiceConfig};
+
+const ANALYSTS: usize = 8;
+const WORKERS: usize = 8;
+const QUERIES_PER_ANALYST: usize = 40;
+
+fn build_system(mechanism: MechanismKind, epsilon: f64) -> Arc<DProvDb> {
+    let db = adult_database(1_000, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    for i in 0..ANALYSTS {
+        registry
+            .register(&format!("analyst-{i}"), (i + 1) as u8)
+            .unwrap();
+    }
+    let config = SystemConfig::new(epsilon).unwrap().with_seed(42);
+    Arc::new(DProvDb::new(db, catalog, registry, config, mechanism).unwrap())
+}
+
+/// All eight analysts target the same view ("adult.age") with variance
+/// demands that shrink geometrically, so every session keeps spending until
+/// it slams into a constraint.
+fn hammer_shared_view(mechanism: MechanismKind) {
+    let epsilon = 1.6;
+    let system = build_system(mechanism, epsilon);
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::with_workers(WORKERS),
+    ));
+
+    let submitters: Vec<_> = (0..ANALYSTS)
+        .map(|a| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let session = service.open_session(AnalystId(a)).unwrap();
+                let mut answered = 0usize;
+                let mut rejected = 0usize;
+                for i in 0..QUERIES_PER_ANALYST {
+                    let variance = 2_000.0 * 0.82f64.powi(i as i32);
+                    let request = QueryRequest::with_accuracy(
+                        Query::range_count("adult", "age", 20, 60),
+                        variance,
+                    );
+                    match service.submit_wait(session, request).unwrap() {
+                        outcome if outcome.is_answered() => answered += 1,
+                        _ => rejected += 1,
+                    }
+                }
+                (answered, rejected)
+            })
+        })
+        .collect();
+
+    let mut total_answered = 0;
+    let mut total_rejected = 0;
+    for s in submitters {
+        let (a, r) = s.join().unwrap();
+        total_answered += a;
+        total_rejected += r;
+    }
+
+    // The workload must genuinely pressure the constraints: everyone gets
+    // some answers, and the shrinking variances eventually push every
+    // analyst into rejections.
+    assert!(total_answered > 0, "{mechanism}: nothing was answered");
+    assert!(
+        total_rejected > 0,
+        "{mechanism}: constraints were never reached — the stress is toothless"
+    );
+
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.completed,
+        ANALYSTS * QUERIES_PER_ANALYST,
+        "{mechanism}: lost jobs"
+    );
+
+    // The heart of the test: after an arbitrary concurrent interleaving,
+    // every provenance constraint still holds.
+    let provenance = system.provenance();
+    for a in 0..ANALYSTS {
+        let analyst = AnalystId(a);
+        assert!(
+            provenance.row_total(analyst) <= provenance.row_constraint(analyst) + 1e-6,
+            "{mechanism}: analyst {a} row constraint overspent: {} > {}",
+            provenance.row_total(analyst),
+            provenance.row_constraint(analyst)
+        );
+        // The per-analyst ledger agrees with the row accounting.
+        assert!(
+            system.analyst_epsilon(analyst) <= provenance.row_constraint(analyst) + 1e-6,
+            "{mechanism}: analyst {a} ledger exceeds the row constraint"
+        );
+    }
+    for view in provenance.view_names() {
+        let column = match mechanism {
+            MechanismKind::Vanilla => provenance.column_sum(view),
+            MechanismKind::AdditiveGaussian => provenance.column_max(view),
+        };
+        assert!(
+            column <= provenance.col_constraint(view) + 1e-6,
+            "{mechanism}: column constraint overspent on {view}: {column}"
+        );
+    }
+    let table_total = match mechanism {
+        MechanismKind::Vanilla => provenance.total_sum(),
+        MechanismKind::AdditiveGaussian => provenance.total_of_column_maxes(),
+    };
+    assert!(
+        table_total <= provenance.table_constraint() + 1e-6,
+        "{mechanism}: table constraint overspent: {table_total} > {}",
+        provenance.table_constraint()
+    );
+    assert!(system.cumulative_epsilon() <= epsilon + 1e-6);
+}
+
+#[test]
+fn additive_8x8_shared_view_never_overspends() {
+    hammer_shared_view(MechanismKind::AdditiveGaussian);
+}
+
+#[test]
+fn vanilla_8x8_shared_view_never_overspends() {
+    hammer_shared_view(MechanismKind::Vanilla);
+}
+
+#[test]
+fn mixed_views_under_contention_stay_within_every_constraint() {
+    // A broader sweep: analysts spread across three views with interleaved
+    // privacy- and accuracy-oriented submissions.
+    let epsilon = 3.2;
+    let system = build_system(MechanismKind::AdditiveGaussian, epsilon);
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::with_workers(WORKERS),
+    ));
+    let attributes = ["age", "hours_per_week", "education_num"];
+
+    let submitters: Vec<_> = (0..ANALYSTS)
+        .map(|a| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let session = service.open_session(AnalystId(a)).unwrap();
+                for i in 0..QUERIES_PER_ANALYST {
+                    let attribute = attributes[(a + i) % attributes.len()];
+                    let request = if i % 3 == 0 {
+                        QueryRequest::with_privacy(
+                            Query::range_count("adult", attribute, 5, 40),
+                            0.05 + (i % 5) as f64 * 0.02,
+                        )
+                    } else {
+                        QueryRequest::with_accuracy(
+                            Query::range_count("adult", attribute, 10, 50),
+                            900.0 * 0.9f64.powi(i as i32),
+                        )
+                    };
+                    let _ = service.submit_wait(session, request).unwrap();
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().unwrap();
+    }
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    service.shutdown();
+
+    let provenance = system.provenance();
+    for a in 0..ANALYSTS {
+        let analyst = AnalystId(a);
+        assert!(provenance.row_total(analyst) <= provenance.row_constraint(analyst) + 1e-6);
+    }
+    for view in provenance.view_names() {
+        assert!(provenance.column_max(view) <= provenance.col_constraint(view) + 1e-6);
+    }
+    assert!(provenance.total_of_column_maxes() <= provenance.table_constraint() + 1e-6);
+}

@@ -107,7 +107,12 @@ impl BfsTask {
         self.pending = Some(region);
         self.issued += 1;
         Some(QueryRequest::with_accuracy(
-            Query::range_count(&self.config.table, &self.config.attribute, region.0, region.1),
+            Query::range_count(
+                &self.config.table,
+                &self.config.attribute,
+                region.0,
+                region.1,
+            ),
             self.config.accuracy_variance,
         ))
     }
@@ -115,7 +120,10 @@ impl BfsTask {
     /// Reports the noisy answer of the pending query, expanding the
     /// frontier when the region is still over-represented.
     pub fn report_answer(&mut self, noisy_count: f64) {
-        let (lo, hi) = self.pending.take().expect("an answer without a pending query");
+        let (lo, hi) = self
+            .pending
+            .take()
+            .expect("an answer without a pending query");
         if noisy_count <= self.config.threshold {
             self.found.push((lo, hi));
             return;

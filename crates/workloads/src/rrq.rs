@@ -179,9 +179,15 @@ mod tests {
     fn generation_is_deterministic_under_a_seed() {
         let db = adult_database(200, 1);
         let config = RrqConfig::new("adult", 20, 7);
-        assert_eq!(generate(&db, &config, 2).unwrap(), generate(&db, &config, 2).unwrap());
+        assert_eq!(
+            generate(&db, &config, 2).unwrap(),
+            generate(&db, &config, 2).unwrap()
+        );
         let other = RrqConfig::new("adult", 20, 8);
-        assert_ne!(generate(&db, &config, 2).unwrap(), generate(&db, &other, 2).unwrap());
+        assert_ne!(
+            generate(&db, &config, 2).unwrap(),
+            generate(&db, &other, 2).unwrap()
+        );
     }
 
     #[test]
@@ -210,11 +216,7 @@ mod tests {
         let w = generate(&db, &config, 1).unwrap();
         let age_queries = w.per_analyst[0]
             .iter()
-            .filter(|r| {
-                r.query
-                    .referenced_attributes()
-                    .contains(&"age".to_owned())
-            })
+            .filter(|r| r.query.referenced_attributes().contains(&"age".to_owned()))
             .count();
         // "age" is the first integer attribute, so with bias 0.5 it should
         // receive roughly half of the workload.

@@ -49,6 +49,7 @@ impl<'a> ExperimentRunner<'a> {
         self
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         processor: &dyn QueryProcessor,
@@ -132,7 +133,12 @@ impl<'a> ExperimentRunner<'a> {
             } else {
                 rejected += 1;
             }
-            self.record_answer(request, &outcome, &mut relative_errors, &mut translation_gaps);
+            self.record_answer(
+                request,
+                &outcome,
+                &mut relative_errors,
+                &mut translation_gaps,
+            );
             budget_trace.push(processor.cumulative_epsilon());
         }
         let elapsed = start.elapsed();
@@ -191,7 +197,12 @@ impl<'a> ExperimentRunner<'a> {
                         task.report_rejection();
                     }
                 }
-                self.record_answer(&request, &outcome, &mut relative_errors, &mut translation_gaps);
+                self.record_answer(
+                    &request,
+                    &outcome,
+                    &mut relative_errors,
+                    &mut translation_gaps,
+                );
                 budget_trace.push(processor.cumulative_epsilon());
             }
             if !progressed {

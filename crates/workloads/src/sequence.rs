@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn round_robin_alternates() {
         let order = Interleaving::RoundRobin.order(&[3, 3]);
-        assert_eq!(
-            order,
-            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
-        );
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]);
     }
 
     #[test]

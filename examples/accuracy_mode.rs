@@ -21,14 +21,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = AnalystRegistry::new();
     let analyst = registry.register("analyst", 4)?;
     let config = SystemConfig::new(6.4)?.with_seed(13);
-    let mut system = DProvDb::new(db, catalog, registry, config, MechanismKind::AdditiveGaussian)?;
+    let mut system = DProvDb::new(
+        db,
+        catalog,
+        registry,
+        config,
+        MechanismKind::AdditiveGaussian,
+    )?;
 
     println!("Accuracy-oriented mode (SQL text, expected squared error bound):\n");
     let statements = [
-        ("SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 34", 2_000.0),
-        ("SELECT COUNT(*) FROM adult WHERE hours_per_week >= 50", 8_000.0),
-        ("SELECT COUNT(*) FROM adult WHERE education = 'Masters'", 4_000.0),
-        ("SELECT SUM(hours_per_week) FROM adult WHERE hours_per_week BETWEEN 20 AND 60", 5e7),
+        (
+            "SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 34",
+            2_000.0,
+        ),
+        (
+            "SELECT COUNT(*) FROM adult WHERE hours_per_week >= 50",
+            8_000.0,
+        ),
+        (
+            "SELECT COUNT(*) FROM adult WHERE education = 'Masters'",
+            4_000.0,
+        ),
+        (
+            "SELECT SUM(hours_per_week) FROM adult WHERE hours_per_week BETWEEN 20 AND 60",
+            5e7,
+        ),
     ];
     for (text, variance) in statements {
         let query = sql::parse(text)?;

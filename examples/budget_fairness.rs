@@ -10,7 +10,6 @@ use dprovdb::workloads::rrq::{generate, RrqConfig};
 use dprovdb::workloads::runner::ExperimentRunner;
 use dprovdb::workloads::sequence::Interleaving;
 
-
 /// The example reuses the same construction helpers as the benchmark
 /// harness; they are re-implemented here in a few lines so the example only
 /// depends on the published crates.

@@ -4,11 +4,11 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use dprovdb::prelude::*;
 use dprovdb::core::mechanism::MechanismKind;
 use dprovdb::core::processor::QueryRequest;
 use dprovdb::engine::catalog::ViewCatalog;
 use dprovdb::engine::datagen::adult::adult_database;
+use dprovdb::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The protected database: a synthetic stand-in for the UCI Adult
@@ -30,16 +30,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SystemConfig::new(3.2)?.with_seed(7);
 
     // 5. Build DProvDB with the additive Gaussian mechanism.
-    let mut system = DProvDb::new(db, catalog, registry, config, MechanismKind::AdditiveGaussian)?;
+    let mut system = DProvDb::new(
+        db,
+        catalog,
+        registry,
+        config,
+        MechanismKind::AdditiveGaussian,
+    )?;
 
     // 6. Ask queries. Each request carries an accuracy requirement (the
     //    maximum expected squared error of the answer); DProvDB translates
     //    it into the minimal privacy budget.
     let queries = [
-        ("internal: COUNT(*) age in [25,34]", internal, Query::range_count("adult", "age", 25, 34), 5_000.0),
-        ("external: COUNT(*) age in [25,34]", external, Query::range_count("adult", "age", 25, 34), 20_000.0),
-        ("internal: COUNT(*) hours in [40,60]", internal, Query::range_count("adult", "hours_per_week", 40, 60), 10_000.0),
-        ("external: COUNT(*) age in [25,34] (repeat)", external, Query::range_count("adult", "age", 25, 34), 20_000.0),
+        (
+            "internal: COUNT(*) age in [25,34]",
+            internal,
+            Query::range_count("adult", "age", 25, 34),
+            5_000.0,
+        ),
+        (
+            "external: COUNT(*) age in [25,34]",
+            external,
+            Query::range_count("adult", "age", 25, 34),
+            20_000.0,
+        ),
+        (
+            "internal: COUNT(*) hours in [40,60]",
+            internal,
+            Query::range_count("adult", "hours_per_week", 40, 60),
+            10_000.0,
+        ),
+        (
+            "external: COUNT(*) age in [25,34] (repeat)",
+            external,
+            Query::range_count("adult", "age", 25, 34),
+            20_000.0,
+        ),
     ];
 
     for (label, analyst, query, variance) in queries {

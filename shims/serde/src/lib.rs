@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations (no serialization is ever performed at runtime and no
+//! `serde_json`-style consumer exists here). This shim provides the two
+//! marker traits and re-exports the no-op derives so the annotated code
+//! compiles without crates.io access. Swapping back to the real serde is a
+//! one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

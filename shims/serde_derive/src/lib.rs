@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! no-op derive: `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to
+//! nothing. The marker traits live in the sibling `serde` shim; callers that
+//! only derive (which is all of this workspace) compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,12 +12,17 @@
 //!   baselines and fairness metrics.
 //! * [`workloads`] — the RRQ and BFS workload generators and the
 //!   experiment runner used to regenerate the paper's figures.
+//! * [`server`] — the concurrent multi-analyst query service: analyst
+//!   sessions, a bounded job queue and a worker pool over the shared,
+//!   thread-safe `DProvDb`.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk-through.
+//! See `examples/quickstart.rs` for an end-to-end walk-through and
+//! `examples/concurrent_service.rs` for the multi-analyst service.
 
 pub use dprov_core as core;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
+pub use dprov_server as server;
 pub use dprov_workloads as workloads;
 
 /// Convenience prelude exporting the most commonly used types.
@@ -30,5 +35,6 @@ pub mod prelude {
     pub use dprov_dp::budget::{Budget, Delta, Epsilon};
     pub use dprov_engine::database::Database;
     pub use dprov_engine::query::{AggregateKind, Query};
+    pub use dprov_server::{QueryService, ServiceConfig, SessionId};
     pub use dprov_workloads::runner::ExperimentRunner;
 }

@@ -91,7 +91,13 @@ fn rrq_end_to_end_ordering_matches_figure_3() {
 
     // Every system stays inside the overall budget under its own
     // accounting.
-    for metrics in [&m_additive, &m_vanilla, &m_chorus, &m_chorus_p, &m_private_sql] {
+    for metrics in [
+        &m_additive,
+        &m_vanilla,
+        &m_chorus,
+        &m_chorus_p,
+        &m_private_sql,
+    ] {
         assert!(
             metrics.cumulative_epsilon <= 1.6 + 1e-6,
             "{} exceeded the budget: {}",
@@ -115,8 +121,12 @@ fn randomized_interleaving_preserves_the_ordering() {
     let mut additive = dprovdb(&db, "adult", 0.8, MechanismKind::AdditiveGaussian);
     let mut vanilla = dprovdb(&db, "adult", 0.8, MechanismKind::Vanilla);
     let interleaving = Interleaving::Random { seed: 17 };
-    let a = runner.run_rrq(&mut additive, &workload, interleaving).unwrap();
-    let v = runner.run_rrq(&mut vanilla, &workload, interleaving).unwrap();
+    let a = runner
+        .run_rrq(&mut additive, &workload, interleaving)
+        .unwrap();
+    let v = runner
+        .run_rrq(&mut vanilla, &workload, interleaving)
+        .unwrap();
     assert!(a.total_answered() >= v.total_answered());
 }
 
@@ -124,7 +134,11 @@ fn randomized_interleaving_preserves_the_ordering() {
 fn bfs_exploration_works_end_to_end_on_both_datasets() {
     for (db, table, attrs) in [
         (adult_database(3_000, 1), "adult", ["age", "hours_per_week"]),
-        (tpch_database(3_000, 1), "lineitem", ["quantity", "shipdate_month"]),
+        (
+            tpch_database(3_000, 1),
+            "lineitem",
+            ["quantity", "shipdate_month"],
+        ),
     ] {
         let mut system = dprovdb(&db, table, 3.2, MechanismKind::AdditiveGaussian);
         let runner = ExperimentRunner::new(&[1, 4]).with_ground_truth(&db);
@@ -234,7 +248,10 @@ fn adding_a_view_at_runtime_is_supported_by_water_filling() {
         .filter(dprovdb::engine::expr::Predicate::range("age", 20, 40))
         .filter(dprovdb::engine::expr::Predicate::equals("sex", "Female"));
     let outcome = system
-        .submit(AnalystId(1), &QueryRequest::with_accuracy(query.clone(), 50_000.0))
+        .submit(
+            AnalystId(1),
+            &QueryRequest::with_accuracy(query.clone(), 50_000.0),
+        )
         .unwrap();
     assert!(!outcome.is_answered());
 
@@ -245,8 +262,14 @@ fn adding_a_view_at_runtime_is_supported_by_water_filling() {
         "adult",
         &["age", "sex"],
     ));
-    let mut system =
-        DProvDb::new(db, catalog, registry(), config, MechanismKind::AdditiveGaussian).unwrap();
+    let mut system = DProvDb::new(
+        db,
+        catalog,
+        registry(),
+        config,
+        MechanismKind::AdditiveGaussian,
+    )
+    .unwrap();
     let outcome = system
         .submit(AnalystId(1), &QueryRequest::with_accuracy(query, 50_000.0))
         .unwrap();

@@ -67,10 +67,7 @@ fn submission_strategy(num_analysts: usize) -> impl Strategy<Value = Submission>
         })
 }
 
-fn run_sequence(
-    system: &mut DProvDb,
-    submissions: &[Submission],
-) -> (usize, usize) {
+fn run_sequence(system: &mut DProvDb, submissions: &[Submission]) -> (usize, usize) {
     let mut answered = 0;
     let mut rejected = 0;
     for s in submissions {
@@ -242,10 +239,8 @@ fn expansion_trades_fairness_for_utility() {
         let mut answered_low = 0usize;
         for i in 0..200 {
             let lo = 17 + (i as i64 % 40);
-            let request = QueryRequest::with_accuracy(
-                Query::range_count("adult", "age", lo, lo + 10),
-                600.0,
-            );
+            let request =
+                QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, lo + 10), 600.0);
             let outcome = system.submit(AnalystId(i % 2), &request).unwrap();
             if outcome.is_answered() && i % 2 == 0 {
                 answered_low += 1;

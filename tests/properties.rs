@@ -2,6 +2,11 @@
 
 use proptest::prelude::*;
 
+use dprovdb::core::synopsis_manager::SynopsisManager;
+use dprovdb::engine::datagen::adult::adult_database;
+use dprovdb::engine::synopsis::Synopsis;
+use dprovdb::engine::view::ViewDef;
+
 use dprovdb::dp::budget::{Budget, Delta, Epsilon};
 use dprovdb::dp::mechanism::{
     additive_gaussian_release, analytic_gaussian_delta, analytic_gaussian_sigma,
@@ -140,6 +145,26 @@ proptest! {
         prop_assert!(seen.into_iter().all(|s| s));
     }
 
+    /// The inverse-variance (UMVUE, Eq. 2) combination of two unbiased
+    /// synopses is at least as accurate as either input: with the optimal
+    /// weight the merged per-bin variance equals the harmonic combination
+    /// `(1/v_a + 1/v_b)^{-1}`, which is ≤ min(v_a, v_b).
+    #[test]
+    fn umvue_combination_beats_both_inputs(
+        v_a in 1.0f64..1e6,
+        v_b in 1.0f64..1e6,
+    ) {
+        let counts = vec![100.0; 16];
+        let a = Synopsis::new("v", counts.clone(), v_a);
+        let b = Synopsis::new("v", counts, v_b);
+        let w = a.optimal_combination_weight(v_b);
+        prop_assert!((0.0..=1.0).contains(&w));
+        let merged = a.combine(&b, w);
+        let harmonic = 1.0 / (1.0 / v_a + 1.0 / v_b);
+        prop_assert!((merged.per_bin_variance - harmonic).abs() <= harmonic * 1e-9);
+        prop_assert!(merged.per_bin_variance <= v_a.min(v_b) * (1.0 + 1e-9));
+    }
+
     /// Table insertion round-trips every in-domain value.
     #[test]
     fn table_insert_round_trips(values in proptest::collection::vec(17i64..=90, 1..50)) {
@@ -152,5 +177,64 @@ proptest! {
         for (row, &v) in values.iter().enumerate() {
             prop_assert_eq!(table.value_at(row, "age").unwrap(), Value::Int(v));
         }
+    }
+}
+
+proptest! {
+    // Each case materialises a small database, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SynopsisManager's global-synopsis growth (`ensure_global`) obeys
+    /// the UMVUE-merge invariants across an arbitrary growth schedule:
+    /// the nominal epsilon is monotone non-decreasing, and every merge
+    /// leaves the per-bin variance no larger than the *minimum* of its two
+    /// inputs (the previous global synopsis and the fresh delta synopsis).
+    #[test]
+    fn ensure_global_merge_is_monotone_and_umvue_accurate(
+        eps_first in 0.1f64..1.5,
+        growths in proptest::collection::vec(0.05f64..0.8, 1..5),
+        seed in 0u64..1_000,
+    ) {
+        use dprovdb::dp::budget::Delta;
+        use dprovdb::dp::mechanism::analytic_gaussian_sigma;
+        use dprovdb::dp::rng::DpRng;
+
+        let db = adult_database(300, 1);
+        let mut mgr = SynopsisManager::new(Delta::new(1e-9).unwrap());
+        mgr.register_view(&db, &ViewDef::histogram("adult.age", "adult", &["age"]))
+            .unwrap();
+        let mut rng = DpRng::seed_from_u64(seed);
+        let sens = mgr.sensitivity("adult.age").unwrap().value();
+
+        mgr.ensure_global("adult.age", eps_first, &mut rng).unwrap();
+        let (mut prev_eps, mut prev_var) =
+            mgr.global_state("adult.age").unwrap().unwrap();
+        prop_assert_eq!(prev_eps, eps_first);
+
+        for growth in growths {
+            let target = prev_eps + growth;
+            let spent = mgr.ensure_global("adult.age", target, &mut rng).unwrap();
+            prop_assert!((spent - growth).abs() < 1e-9);
+            let (eps, var) = mgr.global_state("adult.age").unwrap().unwrap();
+            // Epsilon is monotone non-decreasing (exactly the target here).
+            prop_assert!(eps >= prev_eps);
+            prop_assert!((eps - target).abs() < 1e-12);
+            // The merge is a strict accuracy improvement over the previous
+            // global synopsis ...
+            prop_assert!(var <= prev_var * (1.0 + 1e-9));
+            // ... and no worse than the fresh delta synopsis it merged in.
+            let sigma_delta = analytic_gaussian_sigma(growth, 1e-9, sens).unwrap();
+            let fresh_var = sigma_delta * sigma_delta;
+            prop_assert!(var <= fresh_var.min(prev_var) * (1.0 + 1e-9));
+            prev_eps = eps;
+            prev_var = var;
+        }
+
+        // Shrinking the target is free and changes nothing.
+        let spent = mgr.ensure_global("adult.age", prev_eps * 0.5, &mut rng).unwrap();
+        prop_assert_eq!(spent, 0.0);
+        let (eps, var) = mgr.global_state("adult.age").unwrap().unwrap();
+        prop_assert_eq!(eps, prev_eps);
+        prop_assert_eq!(var, prev_var);
     }
 }
