@@ -1,0 +1,164 @@
+//! Commit overhead of the durable provenance ledger (`dprov-storage`):
+//! queries/sec of a charge-heavy workload in three durability modes, plus
+//! the cost of recovery itself.
+//!
+//! * **volatile** — no recorder attached (the pre-durability baseline);
+//! * **wal** — every commit appended to the write-ahead ledger, no fsync
+//!   (durability against process death, not power loss);
+//! * **wal+fsync** — `sync_data` on every append (full durability; the
+//!   fsync dominates, so this measures the disk, not the code).
+//!
+//! The recovery phase then reopens each durable store and measures
+//! replay-into-a-fresh-system time, the cost a restart actually pays.
+//!
+//! ```text
+//! cargo run --release --bin recovery_throughput [-- total_queries]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dprov_bench::report::{banner, Table};
+use dprov_core::analyst::{AnalystId, AnalystRegistry};
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::processor::QueryRequest;
+use dprov_core::recorder::Recorder;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_storage::{scratch_dir, ProvenanceStore, StoreOptions};
+
+const ANALYSTS: usize = 4;
+
+fn build_system() -> DProvDb {
+    let db = adult_database(5_000, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    for i in 0..ANALYSTS {
+        registry
+            .register(&format!("analyst-{i}"), ((i % 4) + 1) as u8)
+            .unwrap();
+    }
+    let config = SystemConfig::new(1e6).unwrap().with_seed(5);
+    DProvDb::new(
+        db,
+        catalog,
+        registry,
+        config,
+        MechanismKind::AdditiveGaussian,
+    )
+    .unwrap()
+}
+
+/// A workload where every query commits a fresh charge (privacy-oriented,
+/// strictly growing epsilon per (analyst, view)) — the worst case for the
+/// write-ahead path, since nothing is absorbed by the cache.
+fn workload(total: usize) -> Vec<(AnalystId, QueryRequest)> {
+    let attrs = ["age", "hours_per_week", "capital_gain"];
+    (0..total)
+        .map(|i| {
+            let analyst = AnalystId(i % ANALYSTS);
+            let attr = attrs[(i / ANALYSTS) % attrs.len()];
+            let occurrence = (i / (ANALYSTS * attrs.len())) as f64;
+            let epsilon = 0.01 * (occurrence + 1.0) + 1e-4 * (i % ANALYSTS) as f64;
+            (
+                analyst,
+                QueryRequest::with_privacy(Query::range_count("adult", attr, 20, 60), epsilon),
+            )
+        })
+        .collect()
+}
+
+enum Mode {
+    Volatile,
+    Wal { fsync: bool },
+}
+
+fn run_mode(
+    mode: &Mode,
+    queries: &[(AnalystId, QueryRequest)],
+) -> (f64, usize, Option<std::path::PathBuf>) {
+    let mut system = build_system();
+    let dir = match mode {
+        Mode::Volatile => None,
+        Mode::Wal { fsync } => {
+            let dir = scratch_dir("recovery-bench");
+            let (store, _) =
+                ProvenanceStore::open_with(&dir, StoreOptions { fsync: *fsync }).unwrap();
+            system.set_recorder(Arc::new(store) as Arc<dyn Recorder>);
+            Some(dir)
+        }
+    };
+    let start = Instant::now();
+    let mut answered = 0usize;
+    for (analyst, request) in queries {
+        if system.submit(*analyst, request).unwrap().is_answered() {
+            answered += 1;
+        }
+    }
+    (start.elapsed().as_secs_f64(), answered, dir)
+}
+
+fn measure_recovery(dir: &std::path::Path) -> (f64, usize) {
+    let start = Instant::now();
+    let (_, recovered) = ProvenanceStore::open(dir).unwrap();
+    let system = build_system();
+    for commit in &recovered.commits {
+        system.replay_commit(commit).unwrap();
+    }
+    for access in &recovered.accesses {
+        system.replay_access(access);
+    }
+    (start.elapsed().as_secs_f64(), recovered.commits.len())
+}
+
+fn main() {
+    let total: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let queries = workload(total);
+
+    banner("durable commit overhead — additive Gaussian, all-miss workload");
+    println!("{total} charge-committing queries, {ANALYSTS} analysts, 3 views\n");
+
+    let mut table = Table::new(&["mode", "elapsed_s", "qps", "overhead", "answered"]);
+    let mut dirs: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let mut baseline_qps = None;
+    for (label, mode) in [
+        ("volatile", Mode::Volatile),
+        ("wal", Mode::Wal { fsync: false }),
+        ("wal+fsync", Mode::Wal { fsync: true }),
+    ] {
+        let (elapsed, answered, dir) = run_mode(&mode, &queries);
+        let qps = total as f64 / elapsed;
+        let baseline = *baseline_qps.get_or_insert(qps);
+        table.add_row(&[
+            label.to_string(),
+            format!("{elapsed:.3}"),
+            format!("{qps:.0}"),
+            format!("{:.1}%", (baseline / qps - 1.0) * 100.0),
+            answered.to_string(),
+        ]);
+        if let Some(dir) = dir {
+            dirs.push((label.to_string(), dir));
+        }
+    }
+    table.print();
+
+    banner("recovery replay");
+    let mut table = Table::new(&["store", "replayed_commits", "recover_s", "commits_per_s"]);
+    for (label, dir) in &dirs {
+        let (elapsed, commits) = measure_recovery(dir);
+        table.add_row(&[
+            label.clone(),
+            commits.to_string(),
+            format!("{elapsed:.3}"),
+            format!("{:.0}", commits as f64 / elapsed.max(1e-9)),
+        ]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+    table.print();
+}

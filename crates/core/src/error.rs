@@ -50,6 +50,67 @@ impl std::fmt::Display for RejectReason {
     }
 }
 
+/// Errors raised by the durable-storage subsystem (write-ahead ledger and
+/// snapshots). Defined here so the [`crate::recorder::Recorder`] hook on the
+/// commit path can surface them without the core crate depending on the
+/// storage crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// An operating-system I/O failure (the `std::io::Error` rendered to a
+    /// string so the variant stays `Clone + PartialEq`).
+    Io(String),
+    /// A checksum, magic-number or length check failed while reading the
+    /// write-ahead ledger or a snapshot.
+    Corrupt {
+        /// Which file failed verification (e.g. `"wal"`, `"snapshot"`).
+        file: String,
+        /// Byte offset of the first record that failed verification.
+        offset: u64,
+        /// What exactly failed (checksum, magic, truncated payload...).
+        reason: String,
+    },
+    /// A snapshot or ledger was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The version found on disk.
+        found: u32,
+        /// The newest version this build understands.
+        supported: u32,
+    },
+    /// Durable state does not match the live system (different seed,
+    /// budget, mechanism, or unknown analysts/views).
+    IncompatibleState(String),
+    /// The recorder was killed by an injected failpoint (crash testing) or
+    /// closed by shutdown; the in-memory commit was not applied.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(msg) => write!(f, "storage i/o error: {msg}"),
+            StorageError::Corrupt {
+                file,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt {file} at byte {offset}: {reason}")
+            }
+            StorageError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported storage version {found} (supported <= {supported})"
+                )
+            }
+            StorageError::IncompatibleState(msg) => {
+                write!(f, "durable state incompatible with live system: {msg}")
+            }
+            StorageError::Unavailable(msg) => write!(f, "recorder unavailable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
 /// Errors raised by the DProvDB system layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -65,6 +126,9 @@ pub enum CoreError {
     InvalidConfig(String),
     /// A corruption-graph policy was invalid (e.g. a component of size >= t).
     InvalidCorruptionGraph(String),
+    /// The durable recorder refused or failed a write-ahead append; the
+    /// associated in-memory commit was not applied.
+    Storage(StorageError),
 }
 
 impl From<DpError> for CoreError {
@@ -79,6 +143,12 @@ impl From<EngineError> for CoreError {
     }
 }
 
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -88,6 +158,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidPrivilege(p) => write!(f, "privilege must be in 1..=10, got {p}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::InvalidCorruptionGraph(msg) => write!(f, "invalid corruption graph: {msg}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }

@@ -20,7 +20,10 @@
 //!   of Theorem 3.2;
 //! * [`fairness`] — the DCFG / nDCFG fairness metrics (Definitions 17–18)
 //!   and a proportional-fairness audit (Definition 7);
-//! * [`corruption`] — the (t, n)-compromised threat-model extension of §7.1.
+//! * [`corruption`] — the (t, n)-compromised threat-model extension of §7.1;
+//! * [`recorder`] — the durable-commit hook: write-ahead records for every
+//!   admission charge and the serialisable state types the `dprov-storage`
+//!   crate snapshots and replays at recovery.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -36,7 +39,8 @@ pub mod fairness;
 pub mod mechanism;
 pub mod processor;
 pub mod provenance;
+pub mod recorder;
 pub mod synopsis_manager;
 pub mod system;
 
-pub use error::{CoreError, Result};
+pub use error::{CoreError, Result, StorageError};

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which provenance-aware mechanism the system runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MechanismKind {
     /// Algorithm 2: every (analyst, view) release is an independent
     /// analytic-Gaussian synopsis; composition across analysts on a view is
@@ -29,6 +29,27 @@ impl MechanismKind {
         match self {
             MechanismKind::Vanilla => "Vanilla",
             MechanismKind::AdditiveGaussian => "DProvDB",
+        }
+    }
+
+    /// A stable one-byte wire code for durable storage (`dprov-storage`
+    /// ledger records and snapshot fingerprints). Codes are append-only:
+    /// existing values must never be renumbered.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            MechanismKind::Vanilla => 1,
+            MechanismKind::AdditiveGaussian => 2,
+        }
+    }
+
+    /// Decodes a wire code produced by [`Self::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(MechanismKind::Vanilla),
+            2 => Some(MechanismKind::AdditiveGaussian),
+            _ => None,
         }
     }
 }

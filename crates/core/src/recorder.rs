@@ -1,0 +1,232 @@
+//! The durable-commit hook on the admission path.
+//!
+//! DProvDB's central guarantee — provenance-tracked budget constraints are
+//! never exceeded — is only as strong as the place the spent budget lives.
+//! This module defines the [`Recorder`] trait through which
+//! [`crate::system::DProvDb`] externalises every budget commit to a durable
+//! write-ahead ledger *before* the in-memory charge becomes visible, plus
+//! the plain-data record and state types the storage crate serialises.
+//!
+//! # Write-ahead protocol
+//!
+//! A submission that passes the constraint check produces one
+//! [`CommitRecord`] carrying everything recovery needs to replay the commit
+//! exactly: the provenance entry transition (`prev_entry → new_entry`), the
+//! epsilon charged to the analyst's ledger, and the mechanism that charged
+//! it. The system calls [`Recorder::record_commit`] *inside* the provenance
+//! critical section, before applying the charge, so
+//!
+//! * the ledger's record order equals the commit order, and
+//! * a record that fails to persist aborts the submission with
+//!   [`crate::error::CoreError::Storage`] — the in-memory state is never
+//!   ahead of the durable state.
+//!
+//! A release that fails *after* its reserve (noise generation error) rolls
+//! the in-memory charge back and appends a tombstone via
+//! [`Recorder::record_rollback`]. Tombstone appends are best-effort: losing
+//! one makes recovery **over**-count the spend, which is the safe direction
+//! for a privacy accountant (recovered spend ≥ acknowledged spend, never
+//! less).
+//!
+//! Data accesses feeding the tight accountant are journalled with
+//! [`Recorder::record_access`] under the accountant lock, so the replayed
+//! accountant composes the same releases in the same order.
+//!
+//! Recovery drives the inverse path: [`crate::system::DProvDb`] exposes
+//! [`crate::system::DProvDb::import_durable_state`] for the snapshot and
+//! [`crate::system::DProvDb::replay_commit`] /
+//! [`crate::system::DProvDb::replay_access`] for the ledger suffix; all of
+//! them mutate memory *without* echoing back into the recorder.
+
+use crate::analyst::AnalystId;
+use crate::error::StorageError;
+use crate::mechanism::MechanismKind;
+
+/// One durably-committed admission charge: the full provenance-entry
+/// transition of a single accepted submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// Monotone commit sequence number, assigned inside the provenance
+    /// critical section (so sequence order is commit order).
+    pub seq: u64,
+    /// The charged analyst.
+    pub analyst: AnalystId,
+    /// The charged view (provenance column).
+    pub view: String,
+    /// The mechanism that performed the charge — kept on every ledger
+    /// entry so per-mechanism spend can be audited from the replayed log.
+    pub mechanism: MechanismKind,
+    /// Provenance entry `P[A_i, V_j]` before the commit.
+    pub prev_entry: f64,
+    /// Provenance entry `P[A_i, V_j]` after the commit.
+    pub new_entry: f64,
+    /// Epsilon charged to the analyst's privacy-loss ledger (equals
+    /// `new_entry - prev_entry` up to float rounding; stored explicitly so
+    /// replay is bit-exact).
+    pub charged: f64,
+}
+
+/// One data access (a release that touched the protected database),
+/// journalled for the tight accountant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessRecord {
+    /// The commit this access belongs to.
+    pub seq: u64,
+    /// The epsilon of the release.
+    pub epsilon: f64,
+    /// The calibrated noise scale of the release.
+    pub sigma: f64,
+    /// The sensitivity of the released view.
+    pub sensitivity: f64,
+}
+
+/// The durable-commit hook. Implementations must be durable when
+/// [`Recorder::record_commit`] returns `Ok` (fsync'd or equivalently
+/// persisted) — the system applies the in-memory charge immediately after.
+pub trait Recorder: Send + Sync {
+    /// Persists one admission charge. Called inside the provenance critical
+    /// section, before the charge is applied in memory. An `Err` aborts the
+    /// submission (no in-memory state changes).
+    fn record_commit(&self, record: &CommitRecord) -> Result<(), StorageError>;
+
+    /// Persists one data access for the tight accountant. Called under the
+    /// accountant lock, before the access is applied. Failures are
+    /// tolerated by the caller (tight accounting is reporting-only).
+    fn record_access(&self, record: &AccessRecord) -> Result<(), StorageError>;
+
+    /// Appends a tombstone voiding the commit with sequence `seq` after its
+    /// release failed and the in-memory charge was rolled back. Best-effort:
+    /// a lost tombstone makes recovery over-count spend (safe direction).
+    fn record_rollback(&self, seq: u64) -> Result<(), StorageError>;
+}
+
+/// Serialisable state of one provenance-table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceEntryState {
+    /// The analyst row.
+    pub analyst: AnalystId,
+    /// The view column.
+    pub view: String,
+    /// The cumulative epsilon `P[A_i, V_j]`.
+    pub epsilon: f64,
+}
+
+/// Serialisable state of one `(analyst, mechanism)` ledger bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntryState {
+    /// The analyst the loss accrued to.
+    pub analyst: AnalystId,
+    /// The mechanism that charged it.
+    pub mechanism: MechanismKind,
+    /// Cumulative epsilon of the bucket.
+    pub epsilon: f64,
+    /// Cumulative delta of the bucket.
+    pub delta: f64,
+}
+
+/// Serialisable state of the hidden global synopsis of one view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSynopsisState {
+    /// Nominal epsilon of the synopsis.
+    pub epsilon: f64,
+    /// Actual per-bin variance.
+    pub variance: f64,
+    /// The noisy counts.
+    pub counts: Vec<f64>,
+}
+
+/// Serialisable state of one analyst's local (or vanilla-cached) synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSynopsisState {
+    /// The owning analyst's index.
+    pub analyst: usize,
+    /// Nominal epsilon of the synopsis.
+    pub epsilon: f64,
+    /// Actual per-bin variance.
+    pub variance: f64,
+    /// The noisy counts.
+    pub counts: Vec<f64>,
+}
+
+/// Serialisable cache state of one view: the hidden global synopsis plus
+/// every analyst's local synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewCacheState {
+    /// The view name.
+    pub view: String,
+    /// The hidden global synopsis, if released yet.
+    pub global: Option<GlobalSynopsisState>,
+    /// Per-analyst local synopses, sorted by analyst index.
+    pub locals: Vec<LocalSynopsisState>,
+}
+
+/// A consistent, serialisable snapshot of every durably-relevant piece of
+/// [`crate::system::DProvDb`] state: the provenance matrix, the
+/// multi-analyst ledger, the tight accountant's access history, and the
+/// synopsis cache. Produced by
+/// [`crate::system::DProvDb::export_durable_state`] under the commit
+/// freeze, consumed by [`crate::system::DProvDb::import_durable_state`] at
+/// recovery.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoreState {
+    /// The next commit sequence number (all seqs below are reflected here).
+    pub next_seq: u64,
+    /// Non-zero provenance entries.
+    pub provenance: Vec<ProvenanceEntryState>,
+    /// Per-(analyst, mechanism) ledger buckets.
+    pub ledger: Vec<LedgerEntryState>,
+    /// Total number of ledger releases recorded.
+    pub ledger_releases: u64,
+    /// Every data access recorded by the tight accountant, in record order.
+    pub accesses: Vec<AccessRecord>,
+    /// The synopsis cache, one entry per view with any cached state.
+    pub synopses: Vec<ViewCacheState>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// The trait is object-safe and usable through `Arc<dyn Recorder>`.
+    #[test]
+    fn recorder_is_object_safe() {
+        #[derive(Default)]
+        struct Counting {
+            commits: AtomicUsize,
+        }
+        impl Recorder for Counting {
+            fn record_commit(&self, _: &CommitRecord) -> Result<(), StorageError> {
+                self.commits.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            fn record_access(&self, _: &AccessRecord) -> Result<(), StorageError> {
+                Ok(())
+            }
+            fn record_rollback(&self, _: u64) -> Result<(), StorageError> {
+                Ok(())
+            }
+        }
+        let rec: std::sync::Arc<dyn Recorder> = std::sync::Arc::new(Counting::default());
+        rec.record_commit(&CommitRecord {
+            seq: 0,
+            analyst: AnalystId(0),
+            view: "v".to_owned(),
+            mechanism: MechanismKind::Vanilla,
+            prev_entry: 0.0,
+            new_entry: 0.1,
+            charged: 0.1,
+        })
+        .unwrap();
+        rec.record_rollback(0).unwrap();
+    }
+
+    #[test]
+    fn mechanism_codes_round_trip() {
+        for mech in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+            assert_eq!(MechanismKind::from_code(mech.code()), Some(mech));
+        }
+        assert_eq!(MechanismKind::from_code(0), None);
+        assert_eq!(MechanismKind::from_code(99), None);
+    }
+}

@@ -40,7 +40,8 @@ use dprov_engine::histogram::Histogram;
 use dprov_engine::synopsis::Synopsis;
 use dprov_engine::view::ViewDef;
 
-use crate::error::{CoreError, Result};
+use crate::error::{CoreError, Result, StorageError};
+use crate::recorder::{GlobalSynopsisState, LocalSynopsisState, ViewCacheState};
 
 /// The outcome of one global-synopsis growth: what it cost and the noise
 /// scale of the data-touching release (for tight accounting).
@@ -220,6 +221,78 @@ impl SynopsisManager {
 
     fn read_state(&self, view: &str) -> Result<std::sync::RwLockReadGuard<'_, ShardState>> {
         Ok(self.shard(view)?.state.read().expect("shard poisoned"))
+    }
+
+    /// Exports the full cache state (hidden globals plus every analyst's
+    /// local synopsis) for durable snapshots. Views are emitted in sorted
+    /// order and locals in analyst order, so two exports of the same state
+    /// are byte-identical after serialisation.
+    #[must_use]
+    pub fn export_cache(&self) -> Vec<ViewCacheState> {
+        let mut names: Vec<&String> = self.shards.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let state = self.shards[name].state.read().expect("shard poisoned");
+                if state.global.is_none() && state.locals.is_empty() {
+                    return None;
+                }
+                let mut locals: Vec<LocalSynopsisState> = state
+                    .locals
+                    .iter()
+                    .map(|(&analyst, s)| LocalSynopsisState {
+                        analyst,
+                        epsilon: s.epsilon,
+                        variance: s.synopsis.per_bin_variance,
+                        counts: s.synopsis.counts.clone(),
+                    })
+                    .collect();
+                locals.sort_by_key(|l| l.analyst);
+                Some(ViewCacheState {
+                    view: name.clone(),
+                    global: state.global.as_ref().map(|g| GlobalSynopsisState {
+                        epsilon: g.epsilon,
+                        variance: g.synopsis.per_bin_variance,
+                        counts: g.synopsis.counts.clone(),
+                    }),
+                    locals,
+                })
+            })
+            .collect()
+    }
+
+    /// Restores a cache state exported by [`Self::export_cache`] (snapshot
+    /// recovery). Replaces the state of every mentioned view; refuses
+    /// states that reference unregistered views.
+    pub fn import_cache(&self, views: &[ViewCacheState]) -> Result<()> {
+        for view in views {
+            let shard = self.shards.get(&view.view).ok_or_else(|| {
+                CoreError::Storage(StorageError::IncompatibleState(format!(
+                    "snapshot references unregistered view {}",
+                    view.view
+                )))
+            })?;
+            let mut state = shard.state.write().expect("shard poisoned");
+            state.global = view.global.as_ref().map(|g| BudgetedSynopsis {
+                synopsis: Synopsis::new(&view.view, g.counts.clone(), g.variance),
+                epsilon: g.epsilon,
+            });
+            state.locals = view
+                .locals
+                .iter()
+                .map(|l| {
+                    (
+                        l.analyst,
+                        BudgetedSynopsis {
+                            synopsis: Synopsis::new(&view.view, l.counts.clone(), l.variance),
+                            epsilon: l.epsilon,
+                        },
+                    )
+                })
+                .collect();
+        }
+        Ok(())
     }
 
     /// Generates a *fresh, independent* synopsis of the view at the given
@@ -615,6 +688,48 @@ mod tests {
         let local = mgr.derive_local(0, "adult.sex", 0.1, &mut rng).unwrap();
         assert_eq!(local.synopsis.counts.len(), global_counts.len());
         assert_ne!(local.synopsis.counts, global_counts);
+    }
+
+    #[test]
+    fn export_import_round_trips_the_cache() {
+        let (mgr, mut rng) = setup();
+        mgr.ensure_global("adult.age", 1.0, &mut rng).unwrap();
+        mgr.derive_local(0, "adult.age", 0.5, &mut rng).unwrap();
+        mgr.derive_local(2, "adult.age", 0.3, &mut rng).unwrap();
+        let exported = mgr.export_cache();
+        // Only the touched view is exported.
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].view, "adult.age");
+        assert_eq!(exported[0].locals.len(), 2);
+        assert_eq!(exported[0].locals[0].analyst, 0);
+
+        let (fresh, _) = setup();
+        fresh.import_cache(&exported).unwrap();
+        assert_eq!(
+            fresh.global_state("adult.age").unwrap(),
+            mgr.global_state("adult.age").unwrap()
+        );
+        let a = fresh.local(0, "adult.age").unwrap();
+        let b = mgr.local(0, "adult.age").unwrap();
+        assert_eq!(a.synopsis.counts, b.synopsis.counts);
+        assert_eq!(a.epsilon, b.epsilon);
+        assert!(fresh.local(1, "adult.age").is_none());
+        // Exports are deterministic.
+        assert_eq!(fresh.export_cache(), exported);
+    }
+
+    #[test]
+    fn import_refuses_unknown_views() {
+        let (mgr, _) = setup();
+        let bogus = vec![ViewCacheState {
+            view: "nope".to_owned(),
+            global: None,
+            locals: vec![],
+        }];
+        assert!(matches!(
+            mgr.import_cache(&bogus),
+            Err(CoreError::Storage(StorageError::IncompatibleState(_)))
+        ));
     }
 
     #[test]

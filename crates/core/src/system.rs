@@ -34,8 +34,8 @@
 //! The original single-threaded API ([`DProvDb::submit`] on `&mut self`)
 //! is preserved and forwards to the shared path with an internal RNG.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -63,6 +63,7 @@ use crate::fairness::{self, AnalystOutcome};
 use crate::mechanism::MechanismKind;
 use crate::processor::{AnsweredQuery, QueryOutcome, QueryProcessor, QueryRequest, SubmissionMode};
 use crate::provenance::{analyst_constraints, view_constraints, ProvenanceTable};
+use crate::recorder::{AccessRecord, CommitRecord, CoreState, ProvenanceEntryState, Recorder};
 use crate::synopsis_manager::{BudgetedSynopsis, SynopsisManager};
 
 /// Wall-clock statistics for the runtime tables (Tables 1 and 3).
@@ -116,6 +117,33 @@ pub struct DProvDb {
     rng: Mutex<DpRng>,
     stats: Mutex<SystemStats>,
     per_analyst_answered: Vec<AtomicUsize>,
+    /// Optional durable-commit hook: every accepted charge is appended to
+    /// the recorder's write-ahead ledger *before* the in-memory commit
+    /// becomes visible (see [`crate::recorder`]). `None` = volatile mode.
+    recorder: Option<Arc<dyn Recorder>>,
+    /// Monotone commit sequence, assigned inside the provenance critical
+    /// section so sequence order equals commit order.
+    commit_seq: AtomicU64,
+    /// Commit-pipeline gate: submissions hold a read guard across their
+    /// append → apply → ledger window; [`DProvDb::export_durable_state`]
+    /// takes the write guard so a snapshot never observes a commit that is
+    /// in the write-ahead ledger but not yet fully applied in memory.
+    commit_gate: RwLock<()>,
+    /// Every data access fed to the tight accountant, kept only in durable
+    /// mode (recorder attached or state replayed) so snapshots can rebuild
+    /// the accountant exactly. Grows with *data accesses* (global releases
+    /// and fresh synopses), not with answered queries — under binding
+    /// constraints that count is budget-bounded, but an effectively
+    /// unbounded-budget deployment should expect snapshot size and
+    /// compaction time to grow with it (summarising accountant state in
+    /// the snapshot instead is a known follow-up).
+    access_history: Mutex<Vec<AccessRecord>>,
+}
+
+/// A guard holding the commit pipeline frozen (see
+/// [`DProvDb::freeze_commits`]). Dropping it resumes commits.
+pub struct CommitFreeze<'a> {
+    _guard: std::sync::RwLockWriteGuard<'a, ()>,
 }
 
 /// What a request resolves to before any budget is spent.
@@ -192,7 +220,31 @@ impl DProvDb {
                 cache_hits: 0,
             }),
             per_analyst_answered,
+            recorder: None,
+            commit_seq: AtomicU64::new(0),
+            commit_gate: RwLock::new(()),
+            access_history: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Attaches the durable-commit recorder. Must be called before the
+    /// system is shared (hence `&mut self`), and — when recovering — after
+    /// [`Self::import_durable_state`] / [`Self::replay_commit`], so replay
+    /// never echoes back into the write-ahead ledger.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// True when a durable recorder is attached.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The next commit sequence number to be assigned.
+    #[must_use]
+    pub fn next_commit_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::SeqCst)
     }
 
     /// The system configuration.
@@ -444,16 +496,75 @@ impl DProvDb {
         }
     }
 
-    /// Records one data access in the tight accountant.
-    fn record_tight(&self, epsilon: f64, sigma: f64, sensitivity: f64) {
-        self.tight_accountant
+    /// Records one data access in the tight accountant, journalling it to
+    /// the write-ahead ledger (and the in-memory access history) first when
+    /// a recorder is attached. The append happens under the accountant lock
+    /// so the ledger's access order equals the accountant's record order.
+    /// Append failures are tolerated: tight accounting is reporting-only
+    /// and losing an access record never undercounts the *constraint*
+    /// accounting.
+    fn record_tight(&self, seq: u64, epsilon: f64, sigma: f64, sensitivity: f64) {
+        let mut accountant = self
+            .tight_accountant
             .lock()
-            .expect("accountant lock poisoned")
-            .record(
-                Budget::from_parts(Epsilon::unchecked(epsilon), self.config.delta),
+            .expect("accountant lock poisoned");
+        if let Some(recorder) = &self.recorder {
+            let record = AccessRecord {
+                seq,
+                epsilon,
                 sigma,
                 sensitivity,
-            );
+            };
+            let _ = recorder.record_access(&record);
+            self.access_history
+                .lock()
+                .expect("access history poisoned")
+                .push(record);
+        }
+        accountant.record(
+            Budget::from_parts(Epsilon::unchecked(epsilon), self.config.delta),
+            sigma,
+            sensitivity,
+        );
+    }
+
+    /// Persists one commit record and assigns its sequence number. Must be
+    /// called with the provenance lock held, *before* the in-memory charge
+    /// is applied; an `Err` means nothing was persisted and the caller must
+    /// abort the submission without mutating memory.
+    fn record_commit(
+        &self,
+        analyst: AnalystId,
+        view: &str,
+        mechanism: MechanismKind,
+        prev_entry: f64,
+        new_entry: f64,
+        charged: f64,
+    ) -> Result<u64> {
+        let seq = self.commit_seq.fetch_add(1, Ordering::SeqCst);
+        if let Some(recorder) = &self.recorder {
+            recorder
+                .record_commit(&CommitRecord {
+                    seq,
+                    analyst,
+                    view: view.to_owned(),
+                    mechanism,
+                    prev_entry,
+                    new_entry,
+                    charged,
+                })
+                .map_err(CoreError::Storage)?;
+        }
+        Ok(seq)
+    }
+
+    /// Appends a tombstone voiding commit `seq` after its release failed
+    /// and the in-memory charge was rolled back. Best-effort: losing the
+    /// tombstone only makes recovery over-count the spend.
+    fn record_rollback(&self, seq: u64) {
+        if let Some(recorder) = &self.recorder {
+            let _ = recorder.record_rollback(seq);
+        }
     }
 
     /// Algorithm 2: the vanilla approach.
@@ -486,16 +597,32 @@ impl DProvDb {
             },
         };
 
-        // Check-and-reserve atomically: the charge happens in the same
-        // critical section as the check, so no concurrent submission can
-        // sneak its own charge between them.
-        {
+        // Hold the commit gate across append → apply → ledger so durable
+        // snapshots (which take the write side) never observe a commit that
+        // is in the write-ahead ledger but only half-applied in memory.
+        let _commit_gate = self.commit_gate.read().expect("commit gate poisoned");
+
+        // Check-and-reserve atomically: the write-ahead append and the
+        // charge happen in the same critical section as the check, so no
+        // concurrent submission can sneak its own charge between them and
+        // the ledger's record order equals the commit order.
+        let seq = {
             let mut provenance = self.lock_provenance();
             if let Err(reason) = provenance.check_vanilla(analyst, &resolved.view.name, epsilon) {
                 return Ok(QueryOutcome::Rejected { reason });
             }
+            let prev_entry = provenance.entry(analyst, &resolved.view.name);
+            let seq = self.record_commit(
+                analyst,
+                &resolved.view.name,
+                MechanismKind::Vanilla,
+                prev_entry,
+                prev_entry + epsilon,
+                epsilon,
+            )?;
             provenance.charge(analyst, &resolved.view.name, epsilon);
-        }
+            seq
+        };
 
         // Run: an independent synopsis per (analyst, view) release; noise
         // generation happens outside the provenance lock.
@@ -505,15 +632,18 @@ impl DProvDb {
         {
             Ok(s) => s,
             Err(e) => {
-                // Release failed after the reserve: roll the charge back.
+                // Release failed after the reserve: roll the charge back
+                // and void the write-ahead record with a tombstone.
                 self.lock_provenance()
                     .charge(analyst, &resolved.view.name, -epsilon);
+                self.record_rollback(seq);
                 return Err(e);
             }
         };
         let answer = synopsis.answer(&resolved.linear);
         let noise_variance = synopsis.answer_variance(&resolved.linear);
         self.record_tight(
+            seq,
             epsilon,
             synopsis.per_bin_variance.sqrt(),
             sensitivity.value(),
@@ -526,6 +656,7 @@ impl DProvDb {
         self.lock_ledger().record(
             analyst,
             Budget::from_parts(Epsilon::unchecked(epsilon), self.config.delta),
+            MechanismKind::Vanilla,
         );
 
         Ok(QueryOutcome::Answered(AnsweredQuery {
@@ -610,10 +741,15 @@ impl DProvDb {
             }
         };
 
+        // Hold the commit gate across append → apply → ledger (see
+        // `submit_vanilla`).
+        let _commit_gate = self.commit_gate.read().expect("commit gate poisoned");
+
         // Incremental charge to this analyst (Algorithm 4, line 19):
         // ε' = min(ε_global, P[A_i, V] + ε_i) − P[A_i, V].
-        // Read-check-reserve in ONE provenance critical section.
-        let (previous_entry, effective) = {
+        // Write-ahead append and read-check-reserve in ONE provenance
+        // critical section.
+        let (previous_entry, effective, seq) = {
             let mut provenance = self.lock_provenance();
             let previous_entry = provenance.entry(analyst, &view_name);
             let new_entry = global_target.min(previous_entry + local_epsilon);
@@ -621,8 +757,16 @@ impl DProvDb {
             if let Err(reason) = provenance.check_additive(analyst, &view_name, effective) {
                 return Ok(QueryOutcome::Rejected { reason });
             }
+            let seq = self.record_commit(
+                analyst,
+                &view_name,
+                MechanismKind::AdditiveGaussian,
+                previous_entry,
+                new_entry,
+                effective,
+            )?;
             provenance.set_entry(analyst, &view_name, new_entry);
-            (previous_entry, effective)
+            (previous_entry, effective, seq)
         };
 
         // Run (Algorithm 4, lines 2–10): grow the global synopsis if
@@ -632,6 +776,7 @@ impl DProvDb {
         let rollback = |e: CoreError| {
             self.lock_provenance()
                 .set_entry(analyst, &view_name, previous_entry);
+            self.record_rollback(seq);
             Err(e)
         };
         let growth = match self.synopses.grow_global(&view_name, global_target, rng) {
@@ -640,6 +785,7 @@ impl DProvDb {
         };
         if let Some(growth) = growth {
             self.record_tight(
+                seq,
                 growth.spent_epsilon,
                 growth.release_sigma,
                 sensitivity.value(),
@@ -658,6 +804,7 @@ impl DProvDb {
         self.lock_ledger().record(
             analyst,
             Budget::from_parts(Epsilon::unchecked(effective), self.config.delta),
+            MechanismKind::AdditiveGaussian,
         );
 
         Ok(QueryOutcome::Answered(AnsweredQuery {
@@ -667,6 +814,151 @@ impl DProvDb {
             noise_variance: local.synopsis.answer_variance(&resolved.linear),
             from_cache: false,
         }))
+    }
+
+    // ----- durable recovery support (see `crate::recorder`) -----
+
+    /// Validates that a durable record references a registered analyst and
+    /// view of *this* system.
+    fn check_replay_target(&self, analyst: AnalystId, view: &str) -> Result<()> {
+        self.registry.get(analyst)?;
+        if self.catalog.view(view).is_err() {
+            return Err(CoreError::Storage(
+                crate::error::StorageError::IncompatibleState(format!(
+                    "durable record references unregistered view {view}"
+                )),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Re-applies one committed charge from the write-ahead ledger during
+    /// recovery: sets the provenance entry to its post-commit value and
+    /// re-records the ledger charge. Does **not** echo into the recorder —
+    /// attach the recorder only after replay.
+    pub fn replay_commit(&self, record: &CommitRecord) -> Result<()> {
+        self.check_replay_target(record.analyst, &record.view)?;
+        self.lock_provenance()
+            .set_entry(record.analyst, &record.view, record.new_entry);
+        self.lock_ledger().record(
+            record.analyst,
+            Budget::from_parts(Epsilon::unchecked(record.charged), self.config.delta),
+            record.mechanism,
+        );
+        self.commit_seq.fetch_max(record.seq + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Re-applies one journalled data access to the tight accountant during
+    /// recovery (and to the in-memory access history, so a later snapshot
+    /// carries it forward).
+    pub fn replay_access(&self, record: &AccessRecord) {
+        let mut accountant = self
+            .tight_accountant
+            .lock()
+            .expect("accountant lock poisoned");
+        self.access_history
+            .lock()
+            .expect("access history poisoned")
+            .push(*record);
+        accountant.record(
+            Budget::from_parts(Epsilon::unchecked(record.epsilon), self.config.delta),
+            record.sigma,
+            record.sensitivity,
+        );
+    }
+
+    /// Freezes the commit pipeline: blocks until no submission is between
+    /// its write-ahead append and its last in-memory apply, and holds new
+    /// commits off until the guard drops. Compaction holds this across
+    /// snapshot *and* ledger truncation, so a commit can never land in the
+    /// gap and be silently truncated away.
+    #[must_use]
+    pub fn freeze_commits(&self) -> CommitFreeze<'_> {
+        CommitFreeze {
+            _guard: self.commit_gate.write().expect("commit gate poisoned"),
+        }
+    }
+
+    /// Exports a consistent snapshot of every durably-relevant piece of
+    /// state. Acquires the commit freeze internally; use
+    /// [`Self::export_durable_state_frozen`] when the caller already holds
+    /// it (the lock is not re-entrant).
+    #[must_use]
+    pub fn export_durable_state(&self) -> CoreState {
+        let freeze = self.freeze_commits();
+        self.export_durable_state_frozen(&freeze)
+    }
+
+    /// Exports the durable state under a caller-held commit freeze: every
+    /// charge whose write-ahead record precedes the freeze is fully
+    /// reflected in the result, which is what makes truncating the ledger
+    /// while still holding the freeze safe.
+    #[must_use]
+    pub fn export_durable_state_frozen(&self, _freeze: &CommitFreeze<'_>) -> CoreState {
+        let provenance = self.lock_provenance();
+        let mut entries = Vec::new();
+        for analyst in self.registry.ids() {
+            for view in provenance.view_names() {
+                let epsilon = provenance.entry(analyst, view);
+                if epsilon != 0.0 {
+                    entries.push(ProvenanceEntryState {
+                        analyst,
+                        view: view.clone(),
+                        epsilon,
+                    });
+                }
+            }
+        }
+        let ledger = self.lock_ledger();
+        CoreState {
+            next_seq: self.commit_seq.load(Ordering::SeqCst),
+            provenance: entries,
+            ledger: ledger.export_entries(),
+            ledger_releases: ledger.releases() as u64,
+            accesses: self
+                .access_history
+                .lock()
+                .expect("access history poisoned")
+                .clone(),
+            synopses: self.synopses.export_cache(),
+        }
+    }
+
+    /// Restores a snapshot produced by [`Self::export_durable_state`] into
+    /// a freshly constructed system (same database, catalog, registry and
+    /// configuration). Call *before* attaching the recorder and before
+    /// replaying the write-ahead suffix.
+    pub fn import_durable_state(&self, state: &CoreState) -> Result<()> {
+        for entry in &state.provenance {
+            self.check_replay_target(entry.analyst, &entry.view)?;
+        }
+        {
+            let mut provenance = self.lock_provenance();
+            for entry in &state.provenance {
+                provenance.set_entry(entry.analyst, &entry.view, entry.epsilon);
+            }
+        }
+        *self.lock_ledger() =
+            MultiAnalystLedger::from_entries(&state.ledger, state.ledger_releases as usize);
+        {
+            let mut accountant = self
+                .tight_accountant
+                .lock()
+                .expect("accountant lock poisoned");
+            let mut history = self.access_history.lock().expect("access history poisoned");
+            for access in &state.accesses {
+                history.push(*access);
+                accountant.record(
+                    Budget::from_parts(Epsilon::unchecked(access.epsilon), self.config.delta),
+                    access.sigma,
+                    access.sensitivity,
+                );
+            }
+        }
+        self.synopses.import_cache(&state.synopses)?;
+        self.commit_seq.fetch_max(state.next_seq, Ordering::SeqCst);
+        Ok(())
     }
 }
 
@@ -971,6 +1263,167 @@ mod tests {
         registry.register("a", 1).unwrap();
         let config = SystemConfig::new(1.0).unwrap().with_delta(1e-2).unwrap();
         assert!(DProvDb::new(db, catalog, registry, config, MechanismKind::Vanilla).is_err());
+    }
+
+    /// An in-memory recorder capturing the write-ahead stream, for testing
+    /// the commit hook without the storage crate.
+    #[derive(Default)]
+    struct MemoryRecorder {
+        commits: Mutex<Vec<CommitRecord>>,
+        accesses: Mutex<Vec<AccessRecord>>,
+        rollbacks: Mutex<Vec<u64>>,
+    }
+
+    impl Recorder for MemoryRecorder {
+        fn record_commit(
+            &self,
+            record: &CommitRecord,
+        ) -> std::result::Result<(), crate::error::StorageError> {
+            self.commits.lock().unwrap().push(record.clone());
+            Ok(())
+        }
+        fn record_access(
+            &self,
+            record: &AccessRecord,
+        ) -> std::result::Result<(), crate::error::StorageError> {
+            self.accesses.lock().unwrap().push(*record);
+            Ok(())
+        }
+        fn record_rollback(&self, seq: u64) -> std::result::Result<(), crate::error::StorageError> {
+            self.rollbacks.lock().unwrap().push(seq);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn recorder_sees_every_commit_and_replay_reconstructs_budget_state() {
+        for mechanism in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+            let mut live = build(mechanism, 6.0);
+            let recorder = Arc::new(MemoryRecorder::default());
+            live.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+            for i in 0..6 {
+                let analyst = AnalystId(i % 2);
+                let _ = live
+                    .submit(analyst, &range_request(20 + i as i64, 45, 600.0 + i as f64))
+                    .unwrap();
+            }
+            let commits = recorder.commits.lock().unwrap().clone();
+            let accesses = recorder.accesses.lock().unwrap().clone();
+            assert!(!commits.is_empty(), "{mechanism}: no commits recorded");
+            assert!(recorder.rollbacks.lock().unwrap().is_empty());
+            // Sequence numbers are contiguous from zero in commit order.
+            for (i, c) in commits.iter().enumerate() {
+                assert_eq!(c.seq, i as u64);
+                assert_eq!(c.mechanism, mechanism);
+            }
+
+            // Replay the stream into a fresh system: exact budget state.
+            let fresh = build(mechanism, 6.0);
+            for c in &commits {
+                fresh.replay_commit(c).unwrap();
+            }
+            for a in &accesses {
+                fresh.replay_access(a);
+            }
+            let live_prov = live.provenance();
+            let fresh_prov = fresh.provenance();
+            for analyst in [AnalystId(0), AnalystId(1)] {
+                assert_eq!(
+                    live_prov.row_total(analyst),
+                    fresh_prov.row_total(analyst),
+                    "{mechanism}: replayed row total differs"
+                );
+                assert_eq!(
+                    live.ledger().loss_to(analyst).epsilon.value(),
+                    fresh.ledger().loss_to(analyst).epsilon.value(),
+                );
+                assert_eq!(
+                    live.ledger()
+                        .loss_to_via(analyst, mechanism)
+                        .epsilon
+                        .value(),
+                    fresh
+                        .ledger()
+                        .loss_to_via(analyst, mechanism)
+                        .epsilon
+                        .value(),
+                );
+            }
+            assert_eq!(
+                live.tight_accounting().epsilon.value(),
+                fresh.tight_accounting().epsilon.value(),
+                "{mechanism}: replayed tight accounting differs"
+            );
+            assert_eq!(fresh.next_commit_seq(), live.next_commit_seq());
+        }
+    }
+
+    #[test]
+    fn export_import_round_trips_durable_state() {
+        let mut live = build(MechanismKind::AdditiveGaussian, 6.0);
+        let recorder = Arc::new(MemoryRecorder::default());
+        live.set_recorder(recorder as Arc<dyn Recorder>);
+        for i in 0..5 {
+            let _ = live
+                .submit(AnalystId(i % 2), &range_request(25 + i as i64, 50, 700.0))
+                .unwrap();
+        }
+        let state = live.export_durable_state();
+        assert!(state.next_seq > 0);
+        assert!(!state.provenance.is_empty());
+        assert!(!state.synopses.is_empty());
+
+        let fresh = build(MechanismKind::AdditiveGaussian, 6.0);
+        fresh.import_durable_state(&state).unwrap();
+        assert_eq!(fresh.export_durable_state(), state);
+        // Budget state is bit-exact.
+        for analyst in [AnalystId(0), AnalystId(1)] {
+            assert_eq!(
+                live.provenance().row_total(analyst),
+                fresh.provenance().row_total(analyst)
+            );
+        }
+        assert_eq!(
+            live.tight_accounting().epsilon.value(),
+            fresh.tight_accounting().epsilon.value()
+        );
+    }
+
+    #[test]
+    fn failing_recorder_aborts_the_submission_without_spending() {
+        struct DeadRecorder;
+        impl Recorder for DeadRecorder {
+            fn record_commit(
+                &self,
+                _: &CommitRecord,
+            ) -> std::result::Result<(), crate::error::StorageError> {
+                Err(crate::error::StorageError::Unavailable("killed".into()))
+            }
+            fn record_access(
+                &self,
+                _: &AccessRecord,
+            ) -> std::result::Result<(), crate::error::StorageError> {
+                Err(crate::error::StorageError::Unavailable("killed".into()))
+            }
+            fn record_rollback(
+                &self,
+                _: u64,
+            ) -> std::result::Result<(), crate::error::StorageError> {
+                Err(crate::error::StorageError::Unavailable("killed".into()))
+            }
+        }
+        for mechanism in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+            let mut system = build(mechanism, 4.0);
+            system.set_recorder(Arc::new(DeadRecorder));
+            let outcome = system.submit(AnalystId(1), &range_request(30, 39, 400.0));
+            assert!(
+                matches!(outcome, Err(CoreError::Storage(_))),
+                "{mechanism}: expected storage error"
+            );
+            // Nothing was spent: the in-memory commit never became visible.
+            assert_eq!(system.cumulative_epsilon(), 0.0);
+            assert_eq!(system.ledger().releases(), 0);
+        }
     }
 
     #[test]

@@ -38,6 +38,18 @@
 //! order, and near budget exhaustion the provenance checks' cross-analyst
 //! row/column/table totals make accept-vs-reject decisions
 //! arrival-order dependent (budget *safety* holds regardless).
+//!
+//! **Durability**: [`service::QueryService::start_durable`] opens (or
+//! recovers) a `dprov-storage` provenance store: every budget commit is
+//! appended to a checksummed, fsync'd write-ahead ledger *before* it
+//! becomes visible in memory, session noise-stream positions are
+//! checkpointed before each answer is acknowledged, and the whole state is
+//! periodically compacted into a snapshot with ledger truncation. A
+//! restarted service replays snapshot + ledger into the exact pre-crash
+//! budget state — recovered spend is never below anything an analyst saw
+//! acknowledged — and restored sessions continue their deterministic
+//! noise streams bit-for-bit instead of reusing randomness. See the
+//! repository README's "Durability & recovery" section.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -46,5 +58,8 @@ pub mod queue;
 pub mod service;
 pub mod session;
 
-pub use service::{QueryResponse, QueryService, ServerError, ServiceConfig, ServiceStats};
+pub use service::{
+    DurabilityConfig, QueryResponse, QueryService, RecoveryReport, ServerError, ServiceConfig,
+    ServiceStats,
+};
 pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

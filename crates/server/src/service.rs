@@ -20,14 +20,20 @@
 //!   returns a receiver immediately, `submit_wait` blocks for the outcome.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_core::recorder::Recorder;
 use dprov_core::system::{DProvDb, SystemStats};
-use dprov_core::CoreError;
+use dprov_core::{CoreError, StorageError};
+use dprov_dp::accountant::CompositionMethod;
+use dprov_storage::{
+    analysts_digest, config_fingerprint, ProvenanceStore, SessionCheckpoint, StoreOptions,
+};
 
 use crate::queue::BoundedQueue;
 use crate::session::{Session, SessionError, SessionId, SessionInfo, SessionRegistry};
@@ -77,6 +83,11 @@ pub enum ServerError {
     /// The core system returned a hard error (unknown analyst, engine
     /// failure).
     Core(CoreError),
+    /// The durable store failed (write-ahead append, recovery or
+    /// compaction). When a *submission* carries this, its answer was
+    /// withheld: the noise it drew was never observed, so recovery cannot
+    /// leak it.
+    Storage(StorageError),
 }
 
 impl std::fmt::Display for ServerError {
@@ -85,6 +96,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Session(e) => write!(f, "session error: {e}"),
             ServerError::ShuttingDown => write!(f, "service is shutting down"),
             ServerError::Core(e) => write!(f, "core error: {e}"),
+            ServerError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -97,8 +109,126 @@ impl From<SessionError> for ServerError {
     }
 }
 
+impl From<StorageError> for ServerError {
+    fn from(e: StorageError) -> Self {
+        ServerError::Storage(e)
+    }
+}
+
 /// The response to one submission.
 pub type QueryResponse = Result<QueryOutcome, ServerError>;
+
+/// Durability settings for [`QueryService::start_durable`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the write-ahead ledger and snapshots.
+    pub dir: PathBuf,
+    /// `fsync` every ledger append (true for real deployments; tests and
+    /// benches may trade durability for speed).
+    pub fsync: bool,
+    /// Auto-compact (snapshot + ledger truncation) once this many ledger
+    /// appends have accumulated since the last snapshot; `0` disables
+    /// auto-compaction (use [`QueryService::checkpoint`] manually).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with fsync on and compaction every 4096
+    /// appends.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: true,
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// What recovery found on startup (see [`QueryService::start_durable`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was restored.
+    pub snapshot_restored: bool,
+    /// Write-ahead commits replayed on top of the snapshot.
+    pub replayed_commits: usize,
+    /// Data accesses replayed into the tight accountant.
+    pub replayed_accesses: usize,
+    /// Sessions restored with their noise streams fast-forwarded.
+    pub restored_sessions: usize,
+    /// Damage found (and discarded) at the ledger tail, if any.
+    pub wal_corruption: Option<StorageError>,
+}
+
+/// Shared durable context: the store plus the compaction policy.
+struct DurableCtx {
+    store: Arc<ProvenanceStore>,
+    fingerprint: u64,
+    snapshot_every: u64,
+    /// `appends_since_snapshot` watermark at which the next automatic
+    /// compaction fires. Raised past the threshold after a *failed*
+    /// attempt so a persistently failing disk does not re-freeze the
+    /// commit pipeline on every completed job.
+    next_compaction_at: std::sync::atomic::AtomicU64,
+    /// The most recent compaction failure, kept until a compaction
+    /// succeeds — operators poll this instead of losing the error.
+    last_compaction_error: Mutex<Option<StorageError>>,
+}
+
+impl DurableCtx {
+    /// Runs one compaction, maintaining the backoff watermark and the
+    /// surfaced error state.
+    fn try_compact(&self, system: &DProvDb) -> Result<(), StorageError> {
+        let result = QueryService::compact_into(system, &self.store, self.fingerprint);
+        let step = self.snapshot_every.max(1);
+        match &result {
+            Ok(()) => {
+                // appends_since_snapshot was reset to 0 by the compaction.
+                self.next_compaction_at.store(step, Ordering::SeqCst);
+                *self.last_compaction_error.lock().expect("ctx poisoned") = None;
+            }
+            Err(e) => {
+                self.next_compaction_at
+                    .store(self.store.appends_since_snapshot() + step, Ordering::SeqCst);
+                *self.last_compaction_error.lock().expect("ctx poisoned") = Some(e.clone());
+            }
+        }
+        result
+    }
+}
+
+/// Stable wire code for the composition method, used only inside the
+/// configuration fingerprint.
+fn composition_code(method: CompositionMethod) -> u8 {
+    match method {
+        CompositionMethod::Sequential => 0,
+        CompositionMethod::Advanced => 1,
+        CompositionMethod::Rdp => 2,
+        CompositionMethod::Zcdp => 3,
+    }
+}
+
+/// The configuration fingerprint binding a store directory to one system
+/// configuration — including the analyst roster (names, privileges,
+/// registration order), since the `AnalystId`s inside durable records are
+/// positional and re-attributing them would silently mis-account.
+fn system_fingerprint(system: &DProvDb) -> u64 {
+    let roster = analysts_digest(
+        system
+            .registry()
+            .analysts()
+            .iter()
+            .map(|a| (a.name.as_str(), a.privilege.level())),
+    );
+    config_fingerprint(
+        system.config().seed,
+        system.config().total_epsilon.value(),
+        system.config().delta.value(),
+        system.mechanism().code(),
+        composition_code(system.config().composition),
+        roster,
+    )
+}
 
 /// One unit of work for the pool.
 struct Job {
@@ -143,22 +273,115 @@ pub struct QueryService {
     workers: Vec<JoinHandle<()>>,
     submitted: Arc<AtomicUsize>,
     completed: Arc<AtomicUsize>,
+    durable: Option<Arc<DurableCtx>>,
 }
 
 impl QueryService {
-    /// Starts the worker pool over a shared system. The session registry
-    /// derives its noise streams from the system's configured seed, so a
-    /// fixed (config, registration order, per-session submission order)
-    /// triple reproduces identical answers for any worker count — under
-    /// the vanilla mechanism with an uncontended budget, and under the
-    /// additive mechanism whenever sessions additionally work disjoint
-    /// views (see the crate docs for the exact caveats).
+    /// Starts the worker pool over a shared system, volatile (no durable
+    /// store). The session registry derives its noise streams from the
+    /// system's configured seed, so a fixed (config, registration order,
+    /// per-session submission order) triple reproduces identical answers
+    /// for any worker count — under the vanilla mechanism with an
+    /// uncontended budget, and under the additive mechanism whenever
+    /// sessions additionally work disjoint views (see the crate docs for
+    /// the exact caveats).
     #[must_use]
     pub fn start(system: Arc<DProvDb>, config: ServiceConfig) -> Self {
         let sessions = Arc::new(SessionRegistry::new(
             system.config().seed,
             config.session_ttl,
         ));
+        Self::start_inner(system, sessions, config, None)
+    }
+
+    /// Opens (or recovers) the durable store in `durability.dir`, replays
+    /// the snapshot plus the write-ahead suffix into `system`, restores
+    /// every session's deterministic noise stream, attaches the store as
+    /// the system's commit recorder and starts the worker pool.
+    ///
+    /// The store directory is bound to the system configuration by a
+    /// fingerprint (seed, budget, delta, mechanism, composition, analyst
+    /// count); recovery refuses a mismatched directory rather than
+    /// silently replaying budgets into the wrong accounting.
+    pub fn start_durable(
+        mut system: DProvDb,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), ServerError> {
+        let fingerprint = system_fingerprint(&system);
+        let (store, recovered) = ProvenanceStore::open_with(
+            &durability.dir,
+            StoreOptions {
+                fsync: durability.fsync,
+            },
+        )?;
+
+        let mut report = RecoveryReport {
+            wal_corruption: recovered.wal_corruption,
+            ..RecoveryReport::default()
+        };
+        // Validate the binding fingerprint whether it came from the
+        // snapshot or from the ledger's fingerprint frame — WAL-only
+        // recovery (crash before the first compaction) must refuse a
+        // mismatched roster/configuration just as firmly.
+        match recovered.fingerprint {
+            Some(bound) if bound != fingerprint => {
+                return Err(ServerError::Storage(StorageError::IncompatibleState(
+                    format!(
+                        "store fingerprint {bound:#x} does not match system fingerprint \
+                         {fingerprint:#x}"
+                    ),
+                )));
+            }
+            Some(_) => {}
+            // A fresh store: bind it to this configuration now.
+            None => store.bind_fingerprint(fingerprint)?,
+        }
+        if let Some(snapshot) = &recovered.snapshot {
+            system
+                .import_durable_state(&snapshot.core)
+                .map_err(ServerError::Core)?;
+            report.snapshot_restored = true;
+        }
+        for commit in &recovered.commits {
+            system.replay_commit(commit).map_err(ServerError::Core)?;
+        }
+        for access in &recovered.accesses {
+            system.replay_access(access);
+        }
+        report.replayed_commits = recovered.commits.len();
+        report.replayed_accesses = recovered.accesses.len();
+
+        let store = Arc::new(store);
+        system.set_recorder(Arc::clone(&store) as Arc<dyn Recorder>);
+
+        let sessions = Arc::new(SessionRegistry::new(
+            system.config().seed,
+            config.session_ttl,
+        ));
+        for session in &recovered.sessions {
+            sessions.restore(SessionId(session.session), session.analyst, session.rng);
+        }
+        sessions.reserve_ids(recovered.next_session_id);
+        report.restored_sessions = recovered.sessions.len();
+
+        let durable = Arc::new(DurableCtx {
+            store,
+            fingerprint,
+            snapshot_every: durability.snapshot_every,
+            next_compaction_at: std::sync::atomic::AtomicU64::new(durability.snapshot_every.max(1)),
+            last_compaction_error: Mutex::new(None),
+        });
+        let service = Self::start_inner(Arc::new(system), sessions, config, Some(durable));
+        Ok((service, report))
+    }
+
+    fn start_inner(
+        system: Arc<DProvDb>,
+        sessions: Arc<SessionRegistry>,
+        config: ServiceConfig,
+        durable: Option<Arc<DurableCtx>>,
+    ) -> Self {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let lanes: Arc<LaneMap> = Arc::new(Mutex::new(HashMap::new()));
         let submitted = Arc::new(AtomicUsize::new(0));
@@ -169,9 +392,12 @@ impl QueryService {
                 let queue = Arc::clone(&queue);
                 let lanes = Arc::clone(&lanes);
                 let completed = Arc::clone(&completed);
+                let durable = durable.clone();
                 std::thread::Builder::new()
                     .name(format!("dprov-worker-{i}"))
-                    .spawn(move || Self::worker_loop(&system, &queue, &lanes, &completed))
+                    .spawn(move || {
+                        Self::worker_loop(&system, &queue, &lanes, &completed, durable.as_deref());
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -183,7 +409,20 @@ impl QueryService {
             workers,
             submitted,
             completed,
+            durable,
         }
+    }
+
+    /// Snapshot + ledger truncation, holding the commit freeze across the
+    /// truncation so no commit can land in the gap and be dropped.
+    fn compact_into(
+        system: &DProvDb,
+        store: &ProvenanceStore,
+        fingerprint: u64,
+    ) -> Result<(), StorageError> {
+        let freeze = system.freeze_commits();
+        let core = system.export_durable_state_frozen(&freeze);
+        store.compact(fingerprint, &core)
     }
 
     fn worker_loop(
@@ -191,6 +430,7 @@ impl QueryService {
         queue: &BoundedQueue<Job>,
         lanes: &LaneMap,
         completed: &AtomicUsize,
+        durable: Option<&DurableCtx>,
     ) {
         while let Some(mut job) = queue.pop() {
             // Chain through the session's lane: execute the runnable job,
@@ -206,11 +446,47 @@ impl QueryService {
                     system.submit_with_rng(job.session.analyst(), &job.request, &mut rng)
                 };
                 completed.fetch_add(1, Ordering::Relaxed);
-                if let Ok(outcome) = &result {
-                    job.session.record_outcome(outcome.is_answered());
-                }
+                let response: QueryResponse = match result {
+                    Ok(outcome) => {
+                        // Durable mode: persist the session's noise-stream
+                        // position BEFORE acknowledging the answer. An
+                        // acknowledged answer therefore implies its draws
+                        // are checkpointed — a recovered session can never
+                        // re-release randomness an analyst has observed. If
+                        // the append fails the answer is withheld (the
+                        // noise was never observed, so rewinding is safe).
+                        let persisted = durable.map_or(Ok(()), |ctx| {
+                            ctx.store.record_session(&SessionCheckpoint {
+                                session: job.session.id().0,
+                                analyst: job.session.analyst(),
+                                rng: job.session.rng_checkpoint(),
+                            })
+                        });
+                        match persisted {
+                            Ok(()) => {
+                                job.session.record_outcome(outcome.is_answered());
+                                Ok(outcome)
+                            }
+                            Err(e) => Err(ServerError::Storage(e)),
+                        }
+                    }
+                    Err(e) => Err(ServerError::Core(e)),
+                };
                 // The submitter may have dropped its receiver; that is fine.
-                let _ = job.responder.send(result.map_err(ServerError::Core));
+                let _ = job.responder.send(response);
+
+                // Periodic compaction: fold the ledger into a snapshot once
+                // it has grown past the watermark (raised after failures so
+                // a broken disk does not stall every job; the error stays
+                // queryable via `last_compaction_error`).
+                if let Some(ctx) = durable {
+                    if ctx.snapshot_every > 0
+                        && ctx.store.appends_since_snapshot()
+                            >= ctx.next_compaction_at.load(Ordering::SeqCst)
+                    {
+                        let _ = ctx.try_compact(system);
+                    }
+                }
 
                 let next = {
                     let mut lanes = lanes.lock().expect("lane map poisoned");
@@ -237,13 +513,31 @@ impl QueryService {
         }
     }
 
-    /// Opens a session for a registered analyst.
+    /// Opens a session for a registered analyst. In durable mode the
+    /// session's existence (and fresh noise-stream position) is persisted
+    /// before the id is returned, so its stream id can never be reissued
+    /// to another analyst after a crash.
     pub fn open_session(&self, analyst: dprov_core::analyst::AnalystId) -> QuerySessionResult {
         self.system
             .registry()
             .get(analyst)
             .map_err(ServerError::Core)?;
-        Ok(self.sessions.register(analyst))
+        let id = self.sessions.register(analyst);
+        if let Some(ctx) = &self.durable {
+            let checkpoint = SessionCheckpoint {
+                session: id.0,
+                analyst,
+                rng: dprov_dp::rng::RngCheckpoint {
+                    draws: 0,
+                    spare_normal: None,
+                },
+            };
+            if let Err(e) = ctx.store.record_session(&checkpoint) {
+                self.sessions.remove(id);
+                return Err(ServerError::Storage(e));
+            }
+        }
+        Ok(id)
     }
 
     /// Refreshes a session's heartbeat.
@@ -253,9 +547,47 @@ impl QueryService {
 
     /// Reaps expired sessions, returning their ids. (Dispatch lanes need
     /// no sweep: a lane is removed by the worker that drains it — or by a
-    /// failed submit — the moment it goes idle.)
+    /// failed submit — the moment it goes idle.) In durable mode the
+    /// closures are journalled best-effort: a lost close record only makes
+    /// recovery restore a dead session, never lose budget state.
     pub fn expire_stale_sessions(&self) -> Vec<SessionId> {
-        self.sessions.expire_stale()
+        let expired = self.sessions.expire_stale();
+        if let Some(ctx) = &self.durable {
+            for id in &expired {
+                let _ = ctx.store.record_session_closed(id.0);
+            }
+        }
+        expired
+    }
+
+    /// Compacts the durable store now: snapshots the full system state and
+    /// truncates the write-ahead ledger. Errors on a volatile service.
+    pub fn checkpoint(&self) -> Result<(), ServerError> {
+        let ctx = self.durable.as_ref().ok_or_else(|| {
+            ServerError::Storage(StorageError::Unavailable(
+                "service was started without a durable store".to_owned(),
+            ))
+        })?;
+        ctx.try_compact(&self.system).map_err(ServerError::Storage)
+    }
+
+    /// The most recent automatic-compaction failure, if the last attempt
+    /// failed (cleared once a compaction succeeds). `None` also on a
+    /// volatile service.
+    #[must_use]
+    pub fn last_compaction_error(&self) -> Option<StorageError> {
+        self.durable.as_ref().and_then(|ctx| {
+            ctx.last_compaction_error
+                .lock()
+                .expect("ctx poisoned")
+                .clone()
+        })
+    }
+
+    /// The durable store, when the service was started with one.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<ProvenanceStore>> {
+        self.durable.as_ref().map(|ctx| &ctx.store)
     }
 
     /// The analyst-facing view of a session: privilege, budget constraint,
@@ -373,11 +705,16 @@ impl QueryService {
     }
 
     /// Stops accepting new work, drains the queue, joins the workers and
-    /// returns the final counters.
+    /// returns the final counters. A durable service writes a final
+    /// checkpoint (best-effort — the ledger alone already recovers
+    /// everything) so the next startup replays nothing.
     pub fn shutdown(mut self) -> ServiceStats {
         self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(ctx) = &self.durable {
+            let _ = ctx.try_compact(&self.system);
         }
         self.stats()
     }
@@ -405,7 +742,7 @@ mod tests {
     use dprov_engine::datagen::adult::adult_database;
     use dprov_engine::query::Query;
 
-    fn system(mechanism: MechanismKind, epsilon: f64, analysts: usize) -> Arc<DProvDb> {
+    fn raw_system(mechanism: MechanismKind, epsilon: f64, analysts: usize) -> DProvDb {
         let db = adult_database(1_000, 1);
         let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
         let mut registry = AnalystRegistry::new();
@@ -415,7 +752,19 @@ mod tests {
                 .unwrap();
         }
         let config = SystemConfig::new(epsilon).unwrap().with_seed(11);
-        Arc::new(DProvDb::new(db, catalog, registry, config, mechanism).unwrap())
+        DProvDb::new(db, catalog, registry, config, mechanism).unwrap()
+    }
+
+    fn system(mechanism: MechanismKind, epsilon: f64, analysts: usize) -> Arc<DProvDb> {
+        Arc::new(raw_system(mechanism, epsilon, analysts))
+    }
+
+    fn durability(dir: &std::path::Path, snapshot_every: u64) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.to_owned(),
+            fsync: false,
+            snapshot_every,
+        }
     }
 
     fn request(lo: i64, hi: i64, variance: f64) -> QueryRequest {
@@ -519,6 +868,205 @@ mod tests {
             Err(ServerError::Session(SessionError::Expired(_)))
         ));
         assert_eq!(service.expire_stale_sessions(), vec![session]);
+    }
+
+    #[test]
+    fn durable_service_recovers_budget_and_sessions_across_hard_drop() {
+        let dir = dprov_storage::scratch_dir("svc-restart");
+        let (live_totals, live_session) = {
+            let (service, report) = QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+                ServiceConfig::with_workers(1),
+                durability(&dir, 0),
+            )
+            .unwrap();
+            assert_eq!(report.replayed_commits, 0);
+            assert!(!report.snapshot_restored);
+            let session = service.open_session(AnalystId(1)).unwrap();
+            for i in 0..4 {
+                service
+                    .submit_wait(session, request(20 + i, 45, 600.0))
+                    .unwrap();
+            }
+            let provenance = service.system().provenance();
+            let totals: Vec<f64> = (0..2).map(|a| provenance.row_total(AnalystId(a))).collect();
+            (totals, session)
+            // `service` dropped WITHOUT shutdown(): no final snapshot, the
+            // write-ahead ledger alone must carry the state (crash-alike).
+        };
+
+        let (service, report) = QueryService::start_durable(
+            raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+            ServiceConfig::with_workers(1),
+            durability(&dir, 0),
+        )
+        .unwrap();
+        assert!(
+            report.replayed_commits > 0,
+            "ledger must replay the charges"
+        );
+        assert_eq!(report.restored_sessions, 1);
+        assert!(report.wal_corruption.is_none());
+        let provenance = service.system().provenance();
+        for (a, expected) in live_totals.iter().enumerate() {
+            assert_eq!(
+                provenance.row_total(AnalystId(a)),
+                *expected,
+                "recovered budget state must be bit-exact"
+            );
+        }
+        // The restored session keeps working under its original id, and a
+        // new session never collides with it.
+        assert!(service
+            .submit_wait(live_session, request(30, 50, 900.0))
+            .unwrap()
+            .is_answered());
+        let fresh = service.open_session(AnalystId(0)).unwrap();
+        assert!(fresh.0 > live_session.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_compacts_so_restart_replays_nothing() {
+        let dir = dprov_storage::scratch_dir("svc-checkpoint");
+        {
+            let (service, _) = QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+                ServiceConfig::with_workers(2),
+                durability(&dir, 0),
+            )
+            .unwrap();
+            let session = service.open_session(AnalystId(1)).unwrap();
+            for i in 0..3 {
+                service
+                    .submit_wait(session, request(25 + i, 50, 700.0))
+                    .unwrap();
+            }
+            service.checkpoint().unwrap();
+            assert_eq!(service.store().unwrap().appends_since_snapshot(), 0);
+        }
+        let (service, report) = QueryService::start_durable(
+            raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+            ServiceConfig::with_workers(1),
+            durability(&dir, 0),
+        )
+        .unwrap();
+        assert!(report.snapshot_restored);
+        assert_eq!(report.replayed_commits, 0, "snapshot already held it all");
+        assert_eq!(report.restored_sessions, 1);
+        assert!(service.system().provenance().row_total(AnalystId(1)) > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_ledger_growth() {
+        let dir = dprov_storage::scratch_dir("svc-autocompact");
+        let (service, _) = QueryService::start_durable(
+            raw_system(MechanismKind::AdditiveGaussian, 16.0, 2),
+            ServiceConfig::with_workers(1),
+            durability(&dir, 4),
+        )
+        .unwrap();
+        let session = service.open_session(AnalystId(1)).unwrap();
+        for i in 0..8 {
+            service
+                .submit_wait(session, request(20 + i, 50, 500.0 + i as f64))
+                .unwrap();
+        }
+        let store = service.store().unwrap();
+        assert!(
+            store.appends_since_snapshot() < store.total_appends(),
+            "at least one auto-compaction must have folded the ledger"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_store_is_refused_and_volatile_checkpoint_errors() {
+        let dir = dprov_storage::scratch_dir("svc-mismatch");
+        {
+            let (service, _) = QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+                ServiceConfig::with_workers(1),
+                durability(&dir, 0),
+            )
+            .unwrap();
+            let session = service.open_session(AnalystId(1)).unwrap();
+            service
+                .submit_wait(session, request(25, 50, 700.0))
+                .unwrap();
+            service.shutdown();
+        }
+        // A different budget is a different fingerprint: refused.
+        assert!(matches!(
+            QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 4.0, 2),
+                ServiceConfig::with_workers(1),
+                durability(&dir, 0),
+            ),
+            Err(ServerError::Storage(StorageError::IncompatibleState(_)))
+        ));
+        // So is a changed analyst roster (same count, different privilege):
+        // positional AnalystIds would re-attribute every recorded charge.
+        let roster_changed = {
+            let db = adult_database(1_000, 1);
+            let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+            let mut registry = AnalystRegistry::new();
+            registry.register("a0", 1).unwrap();
+            registry.register("a1", 4).unwrap(); // was privilege 2
+            let config = SystemConfig::new(8.0).unwrap().with_seed(11);
+            DProvDb::new(
+                db,
+                catalog,
+                registry,
+                config,
+                MechanismKind::AdditiveGaussian,
+            )
+            .unwrap()
+        };
+        assert!(matches!(
+            QueryService::start_durable(
+                roster_changed,
+                ServiceConfig::with_workers(1),
+                durability(&dir, 0),
+            ),
+            Err(ServerError::Storage(StorageError::IncompatibleState(_)))
+        ));
+        // WAL-only stores (crash before any snapshot) refuse mismatches
+        // too: the binding fingerprint lives in a ledger frame.
+        let wal_only_dir = dprov_storage::scratch_dir("svc-mismatch-walonly");
+        {
+            let (service, _) = QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+                ServiceConfig::with_workers(1),
+                durability(&wal_only_dir, 0),
+            )
+            .unwrap();
+            let session = service.open_session(AnalystId(1)).unwrap();
+            service
+                .submit_wait(session, request(25, 50, 700.0))
+                .unwrap();
+            // Dropped without shutdown: no snapshot is ever written.
+        }
+        assert!(matches!(
+            QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 4.0, 2),
+                ServiceConfig::with_workers(1),
+                durability(&wal_only_dir, 0),
+            ),
+            Err(ServerError::Storage(StorageError::IncompatibleState(_)))
+        ));
+        std::fs::remove_dir_all(&wal_only_dir).ok();
+        // Volatile services have no checkpoint.
+        let volatile = QueryService::start(
+            system(MechanismKind::Vanilla, 2.0, 1),
+            ServiceConfig::with_workers(1),
+        );
+        assert!(matches!(
+            volatile.checkpoint(),
+            Err(ServerError::Storage(StorageError::Unavailable(_)))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

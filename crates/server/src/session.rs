@@ -32,7 +32,7 @@ use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use dprov_core::analyst::AnalystId;
-use dprov_dp::rng::DpRng;
+use dprov_dp::rng::{DpRng, RngCheckpoint};
 
 /// Identifier of a registered session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -88,6 +88,14 @@ impl Session {
     /// Refreshes the heartbeat timestamp.
     pub fn heartbeat(&self) {
         *self.last_heartbeat.lock().expect("heartbeat poisoned") = Instant::now();
+    }
+
+    /// The current position of the session's noise stream (for durable
+    /// session checkpoints). Blocks while a worker is executing one of the
+    /// session's queries, so the returned position is never mid-draw.
+    #[must_use]
+    pub fn rng_checkpoint(&self) -> RngCheckpoint {
+        self.rng.lock().expect("session rng poisoned").checkpoint()
     }
 
     /// True when the heartbeat is older than the session's time-to-live.
@@ -216,6 +224,28 @@ impl SessionRegistry {
         id
     }
 
+    /// Restores a recovered session under its original id, with its noise
+    /// stream fast-forwarded to `checkpoint` — the recovered session
+    /// continues its deterministic stream bit-for-bit instead of replaying
+    /// randomness the pre-crash process already consumed. The id counter is
+    /// advanced past the restored id so new registrations never collide.
+    pub fn restore(&self, id: SessionId, analyst: AnalystId, checkpoint: RngCheckpoint) {
+        let mut session = Session::new(id, analyst, self.base_seed, self.default_ttl);
+        session.rng = Mutex::new(DpRng::restore_stream(self.base_seed, id.0, checkpoint));
+        self.sessions
+            .write()
+            .expect("session registry poisoned")
+            .insert(id.0, std::sync::Arc::new(session));
+        self.next_id.fetch_max(id.0 + 1, Ordering::SeqCst);
+    }
+
+    /// Advances the id counter to at least `next` (recovery uses this so
+    /// ids of sessions that died *without* a restorable checkpoint are
+    /// never reissued — reissuing one would replay its noise stream).
+    pub fn reserve_ids(&self, next: u64) {
+        self.next_id.fetch_max(next, Ordering::SeqCst);
+    }
+
     /// Looks up a live session, refusing expired ones.
     pub fn get(&self, id: SessionId) -> Result<std::sync::Arc<Session>, SessionError> {
         let sessions = self.sessions.read().expect("session registry poisoned");
@@ -232,6 +262,15 @@ impl SessionRegistry {
         let session = sessions.get(&id.0).ok_or(SessionError::Unknown(id))?;
         session.heartbeat();
         Ok(())
+    }
+
+    /// Removes one session outright (used when durable registration of a
+    /// fresh session fails — the id stays burned, never reissued).
+    pub fn remove(&self, id: SessionId) {
+        self.sessions
+            .write()
+            .expect("session registry poisoned")
+            .remove(&id.0);
     }
 
     /// Removes every expired session and returns their ids.
@@ -342,6 +381,39 @@ mod tests {
             (0..8).map(|_| rng.uniform()).collect()
         };
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn restored_sessions_continue_their_noise_stream_exactly() {
+        let reg = SessionRegistry::new(7, Duration::from_secs(60));
+        let id = reg.register(AnalystId(0));
+        // Consume an odd number of normals so a spare is cached.
+        let live: Vec<f64> = {
+            let s = reg.get(id).unwrap();
+            let mut rng = s.rng.lock().unwrap();
+            (0..9).map(|_| rng.gaussian(2.0)).collect()
+        };
+        assert!(!live.is_empty());
+        let checkpoint = reg.get(id).unwrap().rng_checkpoint();
+
+        // A second registry (the restarted process) restores the session.
+        let reg2 = SessionRegistry::new(7, Duration::from_secs(60));
+        reg2.restore(id, AnalystId(0), checkpoint);
+        reg2.reserve_ids(5);
+        // Continuations agree bit-for-bit.
+        let a: Vec<f64> = {
+            let s = reg.get(id).unwrap();
+            let mut rng = s.rng.lock().unwrap();
+            (0..16).map(|_| rng.gaussian(1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let s = reg2.get(id).unwrap();
+            let mut rng = s.rng.lock().unwrap();
+            (0..16).map(|_| rng.gaussian(1.0)).collect()
+        };
+        assert_eq!(a, b);
+        // New registrations never collide with reserved ids.
+        assert_eq!(reg2.register(AnalystId(0)), SessionId(5));
     }
 
     #[test]

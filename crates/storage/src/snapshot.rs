@@ -1,0 +1,435 @@
+//! Versioned snapshots of the full durable state.
+//!
+//! A snapshot captures everything the write-ahead ledger's frames would
+//! rebuild — provenance entries, per-mechanism ledger buckets, the tight
+//! accountant's access history, the synopsis cache and the session
+//! noise-stream checkpoints — so the ledger can be truncated after one is
+//! written.
+//!
+//! # File format
+//!
+//! ```text
+//! magic "DPSNAP01" (8 bytes)
+//! version: u32
+//! body_len: u64
+//! body (body_len bytes)
+//! crc32(body): u32
+//! ```
+//!
+//! Snapshots are written to a temp file, fsync'd and atomically renamed
+//! over the previous one, so a crash mid-snapshot leaves the old snapshot
+//! intact. Floats are stored as raw IEEE-754 bits: a recovered system's
+//! budget state is bit-exact.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use dprov_core::analyst::AnalystId;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::recorder::{
+    AccessRecord, CoreState, GlobalSynopsisState, LedgerEntryState, LocalSynopsisState,
+    ProvenanceEntryState, ViewCacheState,
+};
+use dprov_core::StorageError;
+use dprov_dp::rng::RngCheckpoint;
+
+use crate::codec::{crc32, Decoder, Encoder};
+use crate::wal::SessionCheckpoint;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"DPSNAP01";
+
+/// Newest snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A full durable-state snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotState {
+    /// Fingerprint of the system configuration that produced the state
+    /// (see [`crate::store::config_fingerprint`]); recovery refuses a
+    /// snapshot whose fingerprint does not match the live system.
+    pub fingerprint: u64,
+    /// The core system state (provenance, ledger, accesses, synopses).
+    pub core: CoreState,
+    /// Session noise-stream checkpoints, one per live session.
+    pub sessions: Vec<SessionCheckpoint>,
+    /// The next session id the registry would assign.
+    pub next_session_id: u64,
+}
+
+fn io_err(e: &std::io::Error) -> StorageError {
+    StorageError::Io(e.to_string())
+}
+
+fn corrupt(offset: u64, reason: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        file: "snapshot".to_owned(),
+        offset,
+        reason: reason.into(),
+    }
+}
+
+fn encode_body(state: &SnapshotState) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(state.fingerprint);
+    enc.put_u64(state.core.next_seq);
+
+    enc.put_u32(state.core.provenance.len() as u32);
+    for entry in &state.core.provenance {
+        enc.put_u64(entry.analyst.0 as u64);
+        enc.put_str(&entry.view);
+        enc.put_f64(entry.epsilon);
+    }
+
+    enc.put_u32(state.core.ledger.len() as u32);
+    for entry in &state.core.ledger {
+        enc.put_u64(entry.analyst.0 as u64);
+        enc.put_u8(entry.mechanism.code());
+        enc.put_f64(entry.epsilon);
+        enc.put_f64(entry.delta);
+    }
+    enc.put_u64(state.core.ledger_releases);
+
+    enc.put_u32(state.core.accesses.len() as u32);
+    for access in &state.core.accesses {
+        enc.put_u64(access.seq);
+        enc.put_f64(access.epsilon);
+        enc.put_f64(access.sigma);
+        enc.put_f64(access.sensitivity);
+    }
+
+    enc.put_u32(state.core.synopses.len() as u32);
+    for view in &state.core.synopses {
+        enc.put_str(&view.view);
+        match &view.global {
+            Some(g) => {
+                enc.put_u8(1);
+                enc.put_f64(g.epsilon);
+                enc.put_f64(g.variance);
+                enc.put_f64_slice(&g.counts);
+            }
+            None => enc.put_u8(0),
+        }
+        enc.put_u32(view.locals.len() as u32);
+        for local in &view.locals {
+            enc.put_u64(local.analyst as u64);
+            enc.put_f64(local.epsilon);
+            enc.put_f64(local.variance);
+            enc.put_f64_slice(&local.counts);
+        }
+    }
+
+    enc.put_u32(state.sessions.len() as u32);
+    for session in &state.sessions {
+        enc.put_u64(session.session);
+        enc.put_u64(session.analyst.0 as u64);
+        enc.put_u64(session.rng.draws);
+        enc.put_opt_f64(session.rng.spare_normal);
+    }
+    enc.put_u64(state.next_session_id);
+    enc.into_bytes()
+}
+
+fn decode_body(body: &[u8]) -> Result<SnapshotState, String> {
+    let mut dec = Decoder::new(body);
+    let fingerprint = dec.take_u64()?;
+    let next_seq = dec.take_u64()?;
+
+    let n = dec.take_u32()? as usize;
+    let mut provenance = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        provenance.push(ProvenanceEntryState {
+            analyst: AnalystId(dec.take_u64()? as usize),
+            view: dec.take_str()?,
+            epsilon: dec.take_f64()?,
+        });
+    }
+
+    let n = dec.take_u32()? as usize;
+    let mut ledger = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ledger.push(LedgerEntryState {
+            analyst: AnalystId(dec.take_u64()? as usize),
+            mechanism: {
+                let code = dec.take_u8()?;
+                MechanismKind::from_code(code)
+                    .ok_or_else(|| format!("unknown mechanism code {code}"))?
+            },
+            epsilon: dec.take_f64()?,
+            delta: dec.take_f64()?,
+        });
+    }
+    let ledger_releases = dec.take_u64()?;
+
+    let n = dec.take_u32()? as usize;
+    let mut accesses = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        accesses.push(AccessRecord {
+            seq: dec.take_u64()?,
+            epsilon: dec.take_f64()?,
+            sigma: dec.take_f64()?,
+            sensitivity: dec.take_f64()?,
+        });
+    }
+
+    let n = dec.take_u32()? as usize;
+    let mut synopses = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let view = dec.take_str()?;
+        let global = match dec.take_u8()? {
+            0 => None,
+            1 => Some(GlobalSynopsisState {
+                epsilon: dec.take_f64()?,
+                variance: dec.take_f64()?,
+                counts: dec.take_f64_slice()?,
+            }),
+            t => return Err(format!("invalid global-synopsis tag {t}")),
+        };
+        let m = dec.take_u32()? as usize;
+        let mut locals = Vec::with_capacity(m.min(1 << 16));
+        for _ in 0..m {
+            locals.push(LocalSynopsisState {
+                analyst: dec.take_u64()? as usize,
+                epsilon: dec.take_f64()?,
+                variance: dec.take_f64()?,
+                counts: dec.take_f64_slice()?,
+            });
+        }
+        synopses.push(ViewCacheState {
+            view,
+            global,
+            locals,
+        });
+    }
+
+    let n = dec.take_u32()? as usize;
+    let mut sessions = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        sessions.push(SessionCheckpoint {
+            session: dec.take_u64()?,
+            analyst: AnalystId(dec.take_u64()? as usize),
+            rng: RngCheckpoint {
+                draws: dec.take_u64()?,
+                spare_normal: dec.take_opt_f64()?,
+            },
+        });
+    }
+    let next_session_id = dec.take_u64()?;
+    if !dec.is_empty() {
+        return Err(format!(
+            "{} trailing bytes after snapshot body",
+            dec.remaining()
+        ));
+    }
+    Ok(SnapshotState {
+        fingerprint,
+        core: CoreState {
+            next_seq,
+            provenance,
+            ledger,
+            ledger_releases,
+            accesses,
+            synopses,
+        },
+        sessions,
+        next_session_id,
+    })
+}
+
+/// Writes a snapshot atomically: temp file, fsync, rename, directory
+/// fsync.
+pub fn write_snapshot(path: &Path, state: &SnapshotState, fsync: bool) -> Result<(), StorageError> {
+    let body = encode_body(state);
+    let mut bytes = Vec::with_capacity(body.len() + 24);
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&body);
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io_err(&e))?;
+        file.write_all(&bytes).map_err(|e| io_err(&e))?;
+        if fsync {
+            file.sync_all().map_err(|e| io_err(&e))?;
+        }
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(&e))?;
+    if fsync {
+        if let Some(dir) = path.parent() {
+            if let Ok(handle) = File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot. `Ok(None)` when the file does not exist; a typed
+/// [`StorageError`] when the header, version, length or checksum fails
+/// verification — never a panic.
+pub fn read_snapshot(path: &Path) -> Result<Option<SnapshotState>, StorageError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(&e)),
+    };
+    if bytes.len() < 20 {
+        return Err(corrupt(0, "snapshot shorter than its header"));
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt(0, "bad snapshot magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version == 0 || version > SNAPSHOT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let body_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let body_start: usize = 20;
+    let expected_total = body_start
+        .checked_add(body_len)
+        .and_then(|n| n.checked_add(4));
+    if expected_total != Some(bytes.len()) {
+        return Err(corrupt(
+            12,
+            format!(
+                "snapshot length mismatch: header promises {body_len} body bytes, file holds {}",
+                bytes.len()
+            ),
+        ));
+    }
+    let body = &bytes[body_start..body_start + body_len];
+    let crc = u32::from_le_bytes(bytes[body_start + body_len..].try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(corrupt(body_start as u64, "snapshot checksum mismatch"));
+    }
+    decode_body(body)
+        .map(Some)
+        .map_err(|reason| corrupt(body_start as u64, format!("undecodable snapshot: {reason}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+
+    fn sample_state() -> SnapshotState {
+        SnapshotState {
+            fingerprint: 0xFEED_F00D,
+            core: CoreState {
+                next_seq: 42,
+                provenance: vec![ProvenanceEntryState {
+                    analyst: AnalystId(1),
+                    view: "adult.age".to_owned(),
+                    epsilon: 0.625,
+                }],
+                ledger: vec![LedgerEntryState {
+                    analyst: AnalystId(1),
+                    mechanism: MechanismKind::AdditiveGaussian,
+                    epsilon: 0.625,
+                    delta: 1e-9,
+                }],
+                ledger_releases: 3,
+                accesses: vec![AccessRecord {
+                    seq: 0,
+                    epsilon: 0.625,
+                    sigma: 11.0,
+                    sensitivity: std::f64::consts::SQRT_2,
+                }],
+                synopses: vec![ViewCacheState {
+                    view: "adult.age".to_owned(),
+                    global: Some(GlobalSynopsisState {
+                        epsilon: 0.625,
+                        variance: 121.0,
+                        counts: vec![1.5, 2.5, -0.25],
+                    }),
+                    locals: vec![LocalSynopsisState {
+                        analyst: 1,
+                        epsilon: 0.5,
+                        variance: 150.0,
+                        counts: vec![1.0, 2.0, 0.0],
+                    }],
+                }],
+            },
+            sessions: vec![SessionCheckpoint {
+                session: 2,
+                analyst: AnalystId(1),
+                rng: RngCheckpoint {
+                    draws: 987,
+                    spare_normal: Some(0.125),
+                },
+            }],
+            next_session_id: 3,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let dir = scratch_dir("snap-roundtrip");
+        let path = dir.join("snapshot.dps");
+        assert_eq!(read_snapshot(&path).unwrap(), None);
+        let state = sample_state();
+        write_snapshot(&path, &state, true).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), Some(state.clone()));
+        // Overwrite is atomic and replaces the content.
+        let mut newer = state;
+        newer.core.next_seq = 99;
+        write_snapshot(&path, &newer, false).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap().unwrap().core.next_seq, 99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_and_body_damage_is_a_typed_error() {
+        let dir = scratch_dir("snap-damage");
+        let path = dir.join("snapshot.dps");
+        write_snapshot(&path, &sample_state(), false).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Bit-flip the magic.
+        let mut bytes = pristine.clone();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::Corrupt { ref file, offset: 0, .. }) if file == "snapshot"
+        ));
+
+        // Unsupported version.
+        let mut bytes = pristine.clone();
+        bytes[8] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::UnsupportedVersion { .. })
+        ));
+
+        // Bit-flip deep in the body: checksum catches it.
+        let mut bytes = pristine.clone();
+        let mid = 20 + (bytes.len() - 24) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+
+        // Truncated body: length check catches it.
+        std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

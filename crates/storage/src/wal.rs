@@ -1,0 +1,543 @@
+//! The write-ahead ledger: checksummed, fsync'd, torn-tail tolerant.
+//!
+//! # File format
+//!
+//! ```text
+//! magic "DPWAL001" (8 bytes)
+//! frame*            where frame = [len: u32][crc32(payload): u32][payload]
+//! ```
+//!
+//! Each payload is one [`WalRecord`], tag byte first. Appends write the
+//! whole frame in one `write_all` and (in fsync mode) `sync_data` before
+//! returning, which is what lets the admission path treat a returned
+//! append as *durable*.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a partial frame at the tail. [`scan`] stops at
+//! the first frame whose length, checksum or payload fails verification,
+//! returns every record before it plus the byte offset of the damage, and
+//! the writer truncates the file back to that offset before appending
+//! again. A record is therefore either wholly in the recovered history or
+//! wholly absent — never half-applied.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dprov_core::analyst::AnalystId;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::recorder::{AccessRecord, CommitRecord};
+use dprov_core::StorageError;
+use dprov_dp::rng::RngCheckpoint;
+
+use crate::codec::{crc32, Decoder, Encoder};
+
+/// Magic bytes opening every write-ahead ledger file.
+pub const WAL_MAGIC: &[u8; 8] = b"DPWAL001";
+
+/// Upper bound on one frame's payload; anything larger is corruption.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+const TAG_COMMIT: u8 = 1;
+const TAG_ACCESS: u8 = 2;
+const TAG_ROLLBACK: u8 = 3;
+const TAG_SESSION: u8 = 4;
+const TAG_SESSION_CLOSED: u8 = 5;
+const TAG_FINGERPRINT: u8 = 6;
+
+/// A persisted position of one analyst session's deterministic noise
+/// stream. Recovery rebuilds the session's generator fast-forwarded to
+/// this checkpoint, so a restarted service continues each stream instead
+/// of reusing randomness the crashed process already consumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionCheckpoint {
+    /// The session id (also the RNG stream number).
+    pub session: u64,
+    /// The analyst the session belongs to.
+    pub analyst: AnalystId,
+    /// The session RNG's stream position.
+    pub rng: RngCheckpoint,
+}
+
+/// One record of the write-ahead ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed admission charge (appended before the in-memory commit).
+    Commit(CommitRecord),
+    /// A data access journalled for the tight accountant.
+    Access(AccessRecord),
+    /// A tombstone voiding the commit with this sequence number (its
+    /// release failed after the reserve and memory was rolled back).
+    Rollback {
+        /// The voided commit's sequence number.
+        seq: u64,
+    },
+    /// A session noise-stream checkpoint (latest per session id wins).
+    Session(SessionCheckpoint),
+    /// A session was closed or expired; recovery drops its checkpoint.
+    SessionClosed {
+        /// The closed session id.
+        session: u64,
+    },
+    /// The configuration fingerprint binding this ledger to one system
+    /// configuration. Written as the first frame of a fresh ledger so
+    /// WAL-only recovery (no snapshot yet) can refuse a mismatched
+    /// system just like snapshot recovery does.
+    Fingerprint {
+        /// See `crate::store::config_fingerprint`.
+        fingerprint: u64,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the record payload (tag byte first).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            WalRecord::Commit(c) => {
+                enc.put_u8(TAG_COMMIT);
+                enc.put_u64(c.seq);
+                enc.put_u64(c.analyst.0 as u64);
+                enc.put_str(&c.view);
+                enc.put_u8(c.mechanism.code());
+                enc.put_f64(c.prev_entry);
+                enc.put_f64(c.new_entry);
+                enc.put_f64(c.charged);
+            }
+            WalRecord::Access(a) => {
+                enc.put_u8(TAG_ACCESS);
+                enc.put_u64(a.seq);
+                enc.put_f64(a.epsilon);
+                enc.put_f64(a.sigma);
+                enc.put_f64(a.sensitivity);
+            }
+            WalRecord::Rollback { seq } => {
+                enc.put_u8(TAG_ROLLBACK);
+                enc.put_u64(*seq);
+            }
+            WalRecord::Session(s) => {
+                enc.put_u8(TAG_SESSION);
+                enc.put_u64(s.session);
+                enc.put_u64(s.analyst.0 as u64);
+                enc.put_u64(s.rng.draws);
+                enc.put_opt_f64(s.rng.spare_normal);
+            }
+            WalRecord::SessionClosed { session } => {
+                enc.put_u8(TAG_SESSION_CLOSED);
+                enc.put_u64(*session);
+            }
+            WalRecord::Fingerprint { fingerprint } => {
+                enc.put_u8(TAG_FINGERPRINT);
+                enc.put_u64(*fingerprint);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`Self::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let mut dec = Decoder::new(payload);
+        let record = match dec.take_u8()? {
+            TAG_COMMIT => WalRecord::Commit(CommitRecord {
+                seq: dec.take_u64()?,
+                analyst: AnalystId(dec.take_u64()? as usize),
+                view: dec.take_str()?,
+                mechanism: {
+                    let code = dec.take_u8()?;
+                    MechanismKind::from_code(code)
+                        .ok_or_else(|| format!("unknown mechanism code {code}"))?
+                },
+                prev_entry: dec.take_f64()?,
+                new_entry: dec.take_f64()?,
+                charged: dec.take_f64()?,
+            }),
+            TAG_ACCESS => WalRecord::Access(AccessRecord {
+                seq: dec.take_u64()?,
+                epsilon: dec.take_f64()?,
+                sigma: dec.take_f64()?,
+                sensitivity: dec.take_f64()?,
+            }),
+            TAG_ROLLBACK => WalRecord::Rollback {
+                seq: dec.take_u64()?,
+            },
+            TAG_SESSION => WalRecord::Session(SessionCheckpoint {
+                session: dec.take_u64()?,
+                analyst: AnalystId(dec.take_u64()? as usize),
+                rng: RngCheckpoint {
+                    draws: dec.take_u64()?,
+                    spare_normal: dec.take_opt_f64()?,
+                },
+            }),
+            TAG_SESSION_CLOSED => WalRecord::SessionClosed {
+                session: dec.take_u64()?,
+            },
+            TAG_FINGERPRINT => WalRecord::Fingerprint {
+                fingerprint: dec.take_u64()?,
+            },
+            tag => return Err(format!("unknown record tag {tag}")),
+        };
+        if !dec.is_empty() {
+            return Err(format!("{} trailing bytes after record", dec.remaining()));
+        }
+        Ok(record)
+    }
+
+    /// Encodes the record as a complete frame (`len + crc + payload`).
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// The result of scanning a ledger file: every verifiable record, the byte
+/// offset up to which the file is intact, and — when the tail failed
+/// verification — the typed error describing the damage.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records in append order, up to the first damaged frame.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the end of the last intact frame.
+    pub valid_len: u64,
+    /// The damage that ended the scan, if any (torn tail or bit-flip).
+    pub corruption: Option<StorageError>,
+}
+
+fn io_err(e: &std::io::Error) -> StorageError {
+    StorageError::Io(e.to_string())
+}
+
+fn corrupt(offset: u64, reason: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        file: "wal".to_owned(),
+        offset,
+        reason: reason.into(),
+    }
+}
+
+/// Scans a ledger file. A missing file yields an empty scan; a damaged
+/// *header* (magic) is a hard error — nothing after it can be trusted —
+/// while damage *after* any number of intact frames ends the scan there
+/// and is reported in [`WalScan::corruption`] (the standard torn-tail
+/// outcome recovery discards).
+pub fn scan(path: &Path) -> Result<WalScan, StorageError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                corruption: None,
+            })
+        }
+        Err(e) => return Err(io_err(&e)),
+    };
+    if bytes.is_empty() {
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            corruption: None,
+        });
+    }
+    if bytes.len() < WAL_MAGIC.len() {
+        // A first-open crash can tear the magic write itself. A short
+        // prefix of the magic provably holds no records, so treat it as a
+        // fresh ledger (the writer reinitialises it) instead of bricking
+        // the store; any other short content is unidentifiable damage.
+        if WAL_MAGIC.starts_with(&bytes) {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                corruption: None,
+            });
+        }
+        return Err(corrupt(0, "bad or truncated ledger magic"));
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(corrupt(0, "bad or truncated ledger magic"));
+    }
+
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    let mut corruption = None;
+    while offset < bytes.len() {
+        let at = offset as u64;
+        if bytes.len() - offset < 8 {
+            corruption = Some(corrupt(at, "torn frame header"));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            corruption = Some(corrupt(at, format!("frame length {len} exceeds maximum")));
+            break;
+        }
+        let body_start = offset + 8;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            corruption = Some(corrupt(at, "torn frame payload"));
+            break;
+        }
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            corruption = Some(corrupt(at, "frame checksum mismatch"));
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(record) => records.push(record),
+            Err(reason) => {
+                corruption = Some(corrupt(at, format!("undecodable record: {reason}")));
+                break;
+            }
+        }
+        offset = body_end;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+        corruption,
+    })
+}
+
+/// An append handle over a ledger file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    fsync: bool,
+    len: u64,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) a ledger for appending, first truncating
+    /// any torn tail found by a scan. Returns the writer positioned at the
+    /// end of the intact prefix.
+    pub fn open(path: &Path, fsync: bool, valid_len: u64) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(&e))?;
+        let disk_len = file.metadata().map_err(|e| io_err(&e))?.len();
+        let mut len = valid_len;
+        if len < WAL_MAGIC.len() as u64 {
+            // Fresh file, or a first-open crash tore the magic write:
+            // reinitialise the header (there are provably no records).
+            file.set_len(0).map_err(|e| io_err(&e))?;
+            file.seek(SeekFrom::Start(0)).map_err(|e| io_err(&e))?;
+            file.write_all(WAL_MAGIC).map_err(|e| io_err(&e))?;
+            if fsync {
+                file.sync_data().map_err(|e| io_err(&e))?;
+            }
+            len = WAL_MAGIC.len() as u64;
+        } else if disk_len > valid_len {
+            // Discard the torn suffix so new frames never follow damage.
+            file.set_len(valid_len).map_err(|e| io_err(&e))?;
+            if fsync {
+                file.sync_data().map_err(|e| io_err(&e))?;
+            }
+        }
+        file.seek(SeekFrom::Start(len)).map_err(|e| io_err(&e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_owned(),
+            fsync,
+            len,
+        })
+    }
+
+    /// Appends one record; durable on return when fsync mode is on.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        let frame = record.encode_frame();
+        self.file.write_all(&frame).map_err(|e| io_err(&e))?;
+        if self.fsync {
+            self.file.sync_data().map_err(|e| io_err(&e))?;
+        }
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Current byte length of the intact ledger.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the ledger holds no frames.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Truncates the ledger back to just its magic header (after a
+    /// snapshot has captured everything the frames said).
+    pub fn truncate_to_header(&mut self) -> Result<(), StorageError> {
+        let header = WAL_MAGIC.len() as u64;
+        self.file.set_len(header).map_err(|e| io_err(&e))?;
+        self.file
+            .seek(SeekFrom::Start(header))
+            .map_err(|e| io_err(&e))?;
+        if self.fsync {
+            self.file.sync_data().map_err(|e| io_err(&e))?;
+        }
+        self.len = header;
+        Ok(())
+    }
+
+    /// Writes only the first `keep` bytes of a record's frame *without*
+    /// sync — simulating a crash in the middle of an append. Crash-testing
+    /// support for the failpoint harness; a real writer never calls this.
+    pub fn append_torn(&mut self, record: &WalRecord, keep: usize) -> Result<(), StorageError> {
+        let frame = record.encode_frame();
+        let keep = keep.min(frame.len().saturating_sub(1)).max(1);
+        self.file
+            .write_all(&frame[..keep])
+            .map_err(|e| io_err(&e))?;
+        self.len += keep as u64;
+        Ok(())
+    }
+
+    /// The ledger file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+
+    fn commit(seq: u64) -> WalRecord {
+        WalRecord::Commit(CommitRecord {
+            seq,
+            analyst: AnalystId(1),
+            view: "adult.age".to_owned(),
+            mechanism: MechanismKind::AdditiveGaussian,
+            prev_entry: 0.25,
+            new_entry: 0.5,
+            charged: 0.25,
+        })
+    }
+
+    #[test]
+    fn records_round_trip_through_payload_encoding() {
+        let records = vec![
+            commit(3),
+            WalRecord::Access(AccessRecord {
+                seq: 3,
+                epsilon: 0.5,
+                sigma: 12.5,
+                sensitivity: std::f64::consts::SQRT_2,
+            }),
+            WalRecord::Rollback { seq: 9 },
+            WalRecord::Session(SessionCheckpoint {
+                session: 4,
+                analyst: AnalystId(0),
+                rng: RngCheckpoint {
+                    draws: 1234,
+                    spare_normal: Some(-0.75),
+                },
+            }),
+            WalRecord::SessionClosed { session: 4 },
+        ];
+        for record in records {
+            assert_eq!(WalRecord::decode(&record.encode()).unwrap(), record);
+        }
+        assert!(WalRecord::decode(&[99]).is_err());
+        assert!(WalRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn append_scan_round_trips_and_missing_file_is_empty() {
+        let dir = scratch_dir("wal-roundtrip");
+        let path = dir.join("wal.log");
+        let empty = scan(&path).unwrap();
+        assert!(empty.records.is_empty() && empty.corruption.is_none());
+
+        let mut writer = WalWriter::open(&path, true, 0).unwrap();
+        for seq in 0..5 {
+            writer.append(&commit(seq)).unwrap();
+        }
+        drop(writer);
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records.len(), 5);
+        assert!(scanned.corruption.is_none());
+        assert_eq!(scanned.records[2], commit(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_on_reopen() {
+        let dir = scratch_dir("wal-torn");
+        let path = dir.join("wal.log");
+        let mut writer = WalWriter::open(&path, false, 0).unwrap();
+        writer.append(&commit(0)).unwrap();
+        writer.append(&commit(1)).unwrap();
+        writer.append_torn(&commit(2), 7).unwrap();
+        drop(writer);
+
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records.len(), 2);
+        assert!(matches!(
+            scanned.corruption,
+            Some(StorageError::Corrupt { ref file, .. }) if file == "wal"
+        ));
+
+        // Reopening truncates the damage; the next append lands cleanly.
+        let mut writer = WalWriter::open(&path, false, scanned.valid_len).unwrap();
+        writer.append(&commit(2)).unwrap();
+        drop(writer);
+        let rescanned = scan(&path).unwrap();
+        assert_eq!(rescanned.records.len(), 3);
+        assert!(rescanned.corruption.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_a_hard_error() {
+        let dir = scratch_dir("wal-magic");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, b"NOTAWAL!garbage").unwrap();
+        assert!(matches!(
+            scan(&path),
+            Err(StorageError::Corrupt { offset: 0, .. })
+        ));
+        // A short file that is NOT a magic prefix is also hard damage.
+        std::fs::write(&path, b"XYZ").unwrap();
+        assert!(matches!(
+            scan(&path),
+            Err(StorageError::Corrupt { offset: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_magic_from_a_first_open_crash_reinitialises() {
+        let dir = scratch_dir("wal-torn-magic");
+        let path = dir.join("wal.log");
+        // A crash mid-way through the very first header write.
+        std::fs::write(&path, &WAL_MAGIC[..3]).unwrap();
+        let scanned = scan(&path).unwrap();
+        assert!(scanned.records.is_empty());
+        assert!(scanned.corruption.is_none());
+        assert_eq!(scanned.valid_len, 0);
+        // The writer reinitialises and the ledger works normally.
+        let mut writer = WalWriter::open(&path, false, scanned.valid_len).unwrap();
+        writer.append(&commit(0)).unwrap();
+        drop(writer);
+        let rescanned = scan(&path).unwrap();
+        assert_eq!(rescanned.records.len(), 1);
+        assert!(rescanned.corruption.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

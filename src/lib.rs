@@ -15,14 +15,19 @@
 //! * [`server`] — the concurrent multi-analyst query service: analyst
 //!   sessions, a bounded job queue and a worker pool over the shared,
 //!   thread-safe `DProvDb`.
+//! * [`storage`] — the durable provenance ledger: checksummed write-ahead
+//!   log, versioned snapshots, crash-safe recovery and the crash-injection
+//!   test harness.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk-through and
-//! `examples/concurrent_service.rs` for the multi-analyst service.
+//! See `examples/quickstart.rs` for an end-to-end walk-through,
+//! `examples/concurrent_service.rs` for the multi-analyst service and
+//! `examples/recover_service.rs` for durable restarts.
 
 pub use dprov_core as core;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
 pub use dprov_server as server;
+pub use dprov_storage as storage;
 pub use dprov_workloads as workloads;
 
 /// Convenience prelude exporting the most commonly used types.

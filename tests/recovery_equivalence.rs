@@ -1,0 +1,183 @@
+//! Recovery-equivalence determinism: a fixed-seed workload run straight
+//! through must be **bit-identical** to the same workload run halfway,
+//! dropped, recovered from the durable store, and finished — same
+//! answers, same per-analyst ledgers, same tight-accounting totals.
+//!
+//! This is the strongest statement of crash-safety the storage layer can
+//! make: recovery is not merely "safe" (never undercounting spend — the
+//! crash-injection suite covers that), it is *exact* — the restarted
+//! service continues as if the restart never happened, including each
+//! session's deterministic noise stream.
+
+use dprov_core::analyst::{AnalystId, AnalystRegistry};
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::processor::QueryRequest;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_server::{DurabilityConfig, QueryService, ServiceConfig, SessionId};
+
+const QUERIES: usize = 24;
+const SEED: u64 = 21;
+
+fn build_system(mechanism: MechanismKind) -> DProvDb {
+    let db = adult_database(800, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    registry.register("external", 2).unwrap();
+    registry.register("internal", 4).unwrap();
+    let config = SystemConfig::new(10.0).unwrap().with_seed(SEED);
+    DProvDb::new(db, catalog, registry, config, mechanism).unwrap()
+}
+
+fn service_config() -> ServiceConfig {
+    // One worker: single-session workloads are then fully deterministic.
+    ServiceConfig::with_workers(1)
+}
+
+fn durability(dir: &std::path::Path) -> DurabilityConfig {
+    DurabilityConfig {
+        dir: dir.to_owned(),
+        fsync: false,
+        snapshot_every: 0,
+    }
+}
+
+fn workload() -> Vec<(usize, QueryRequest)> {
+    // Two sessions (one per analyst) interleave accuracy- and
+    // privacy-oriented requests over two views.
+    (0..QUERIES)
+        .map(|i| {
+            let session = i % 2;
+            let attr = if (i / 2) % 2 == 0 {
+                "age"
+            } else {
+                "hours_per_week"
+            };
+            let query = Query::range_count("adult", attr, 20 + (i % 5) as i64, 55);
+            let request = if i % 3 == 0 {
+                QueryRequest::with_privacy(query, 0.05 + 0.01 * (i as f64))
+            } else {
+                QueryRequest::with_accuracy(query, 2_500.0 - 60.0 * i as f64)
+            };
+            (session, request)
+        })
+        .collect()
+}
+
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    /// `(answered, value, epsilon_charged)` per query, in order.
+    answers: Vec<(bool, f64, f64)>,
+    ledger: Vec<(AnalystId, f64)>,
+    tight_epsilon: f64,
+    row_totals: Vec<f64>,
+}
+
+fn trace_of(service: &QueryService, answers: Vec<(bool, f64, f64)>) -> RunTrace {
+    let ledger = service.system().ledger();
+    RunTrace {
+        answers,
+        ledger: ledger
+            .all()
+            .into_iter()
+            .map(|(a, b)| (a, b.epsilon.value()))
+            .collect(),
+        tight_epsilon: service.system().tight_accounting().epsilon.value(),
+        row_totals: (0..2)
+            .map(|a| service.system().provenance().row_total(AnalystId(a)))
+            .collect(),
+    }
+}
+
+fn submit_slice(
+    service: &QueryService,
+    sessions: &[SessionId],
+    slice: &[(usize, QueryRequest)],
+) -> Vec<(bool, f64, f64)> {
+    slice
+        .iter()
+        .map(|(session, request)| {
+            let outcome = service
+                .submit_wait(sessions[*session], request.clone())
+                .expect("submission must not hard-fail");
+            match outcome.answered() {
+                Some(a) => (true, a.value, a.epsilon_charged),
+                None => (false, 0.0, 0.0),
+            }
+        })
+        .collect()
+}
+
+fn run_equivalence(mechanism: MechanismKind) {
+    let workload = workload();
+
+    // Reference: one uninterrupted run.
+    let baseline = {
+        let service = QueryService::start(
+            std::sync::Arc::new(build_system(mechanism)),
+            service_config(),
+        );
+        let sessions = [
+            service.open_session(AnalystId(0)).unwrap(),
+            service.open_session(AnalystId(1)).unwrap(),
+        ];
+        let answers = submit_slice(&service, &sessions, &workload);
+        trace_of(&service, answers)
+    };
+
+    // Interrupted run: first half durable, checkpoint, drop the service
+    // and the system, recover into a brand-new process image, second half.
+    let dir = dprov_storage::scratch_dir("recovery-equivalence");
+    let half = QUERIES / 2;
+    let (first_half_answers, sessions) = {
+        let (service, report) = QueryService::start_durable(
+            build_system(mechanism),
+            service_config(),
+            durability(&dir),
+        )
+        .unwrap();
+        assert_eq!(report.replayed_commits, 0);
+        let sessions = [
+            service.open_session(AnalystId(0)).unwrap(),
+            service.open_session(AnalystId(1)).unwrap(),
+        ];
+        let answers = submit_slice(&service, &sessions, &workload[..half]);
+        service.checkpoint().unwrap();
+        (answers, sessions)
+        // Dropped without shutdown: the mid-run restart.
+    };
+
+    let interrupted = {
+        let (service, report) = QueryService::start_durable(
+            build_system(mechanism),
+            service_config(),
+            durability(&dir),
+        )
+        .unwrap();
+        assert!(report.snapshot_restored, "checkpoint must be picked up");
+        assert_eq!(report.restored_sessions, 2);
+        let mut answers = first_half_answers;
+        answers.extend(submit_slice(&service, &sessions, &workload[half..]));
+        trace_of(&service, answers)
+    };
+
+    // Bit-identical: assert_eq on raw f64s, no tolerance.
+    assert_eq!(
+        baseline, interrupted,
+        "{mechanism}: a mid-run restart must be invisible"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_run_restart_is_bit_identical_additive() {
+    run_equivalence(MechanismKind::AdditiveGaussian);
+}
+
+#[test]
+fn mid_run_restart_is_bit_identical_vanilla() {
+    run_equivalence(MechanismKind::Vanilla);
+}
