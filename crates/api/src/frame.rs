@@ -1,0 +1,177 @@
+//! Length-prefixed, CRC-checked framing for byte-stream transports.
+//!
+//! Message payloads travelling over an octet stream (TCP) are wrapped in
+//! frames following the same discipline as `dprov-storage`'s write-ahead
+//! ledger:
+//!
+//! | field | size | meaning                        |
+//! |-------|------|--------------------------------|
+//! | `len` | 4 B  | payload length, little-endian  |
+//! | `crc` | 4 B  | CRC-32 (IEEE) of the payload   |
+//! | body  | len  | the message payload            |
+//!
+//! A reader that observes a bad length or checksum gets a typed
+//! [`ApiError`] and must drop the connection — after a framing error the
+//! stream offset can no longer be trusted. The in-process channel
+//! transport skips this layer entirely: payloads move as owned buffers, so
+//! there is nothing to tear.
+
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+
+use dprov_storage::codec::crc32;
+
+use crate::error::{codes, ApiError};
+
+/// Upper bound on a frame's payload length. Far above any legitimate
+/// message (queries are small); exists so a corrupt or hostile length
+/// prefix cannot drive an unbounded allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Wraps a payload into a complete frame (header + body).
+#[must_use]
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame to `w` (no flush; the caller owns buffering policy).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ApiError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ApiError::new(
+            codes::FRAME_TOO_LARGE,
+            format!("refusing to send a {}-byte frame", payload.len()),
+        ));
+    }
+    w.write_all(&frame(payload)).map_err(io_error)
+}
+
+/// Reads one frame from `r`, verifying length and checksum.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary); EOF anywhere *inside* a frame is a truncation and surfaces
+/// as [`codes::CONNECTION_CLOSED`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ApiError> {
+    let mut header = [0u8; 8];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Partial(read) => {
+            return Err(ApiError::new(
+                codes::CONNECTION_CLOSED,
+                format!("stream ended {read} bytes into a frame header"),
+            ));
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice")) as usize;
+    let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME_LEN {
+        return Err(ApiError::new(
+            codes::FRAME_TOO_LARGE,
+            format!("frame header declares {len} bytes (limit {MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof | ReadOutcome::Partial(_) => {
+            return Err(ApiError::new(
+                codes::CONNECTION_CLOSED,
+                format!("stream ended inside a {len}-byte frame body"),
+            ));
+        }
+    }
+    let actual_crc = crc32(&payload);
+    if actual_crc != expected_crc {
+        return Err(ApiError::new(
+            codes::CHECKSUM_MISMATCH,
+            format!("frame checksum mismatch: header says {expected_crc:#010x}, body hashes to {actual_crc:#010x}"),
+        ));
+    }
+    Ok(Some(payload))
+}
+
+enum ReadOutcome {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF before the first byte.
+    Eof,
+    /// EOF after this many bytes.
+    Partial(usize),
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, ApiError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial(filled)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+pub(crate) fn io_error(e: std::io::Error) -> ApiError {
+    ApiError::new(codes::TRANSPORT_IO, format!("transport i/o error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"hello analyst".to_vec();
+        let mut stream = Cursor::new(frame(&payload));
+        assert_eq!(read_frame(&mut stream).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut stream).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_eof() {
+        let mut stream = Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut stream).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_header_and_body_are_typed_errors() {
+        let full = frame(b"payload");
+        for cut in [1, 7, 9, full.len() - 1] {
+            let mut stream = Cursor::new(full[..cut].to_vec());
+            let err = read_frame(&mut stream).unwrap_err();
+            assert_eq!(err.code, codes::CONNECTION_CLOSED, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let mut bytes = frame(b"sensitive payload");
+        for pos in 8..bytes.len() {
+            bytes[pos] ^= 0x40;
+            let mut stream = Cursor::new(bytes.clone());
+            let err = read_frame(&mut stream).unwrap_err();
+            assert_eq!(err.code, codes::CHECKSUM_MISMATCH, "flip at {pos}");
+            bytes[pos] ^= 0x40;
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_allocating() {
+        let mut bytes = frame(b"x");
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut stream = Cursor::new(bytes);
+        let err = read_frame(&mut stream).unwrap_err();
+        assert_eq!(err.code, codes::FRAME_TOO_LARGE);
+    }
+}

@@ -1,0 +1,367 @@
+//! The versioned analyst protocol: typed requests and responses and their
+//! payload encodings.
+//!
+//! Every message payload starts with a fixed header —
+//!
+//! | field        | size | meaning                                    |
+//! |--------------|------|--------------------------------------------|
+//! | `version`    | 1 B  | protocol version ([`PROTOCOL_VERSION`])    |
+//! | `tag`        | 1 B  | message type (requests `1..`, responses `129..`) |
+//! | `request_id` | 8 B  | client-chosen id echoed by the response    |
+//!
+//! — followed by the tag-specific body (see the crate-internal `wire` module for the domain
+//! encodings). Request ids make the protocol **pipelined**: a client may
+//! have any number of requests in flight on one connection and match
+//! responses by id, in whatever order the service finishes them.
+//!
+//! Request and response tags live in disjoint ranges so a stream that is
+//! accidentally decoded from the wrong side fails loudly instead of
+//! aliasing into a different message type.
+
+use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_storage::codec::{Decoder, Encoder};
+
+use crate::error::{codes, ApiError, ErrorKind};
+use crate::wire;
+
+/// The newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The oldest protocol version this build still understands. `Hello`
+/// negotiation settles on `min(client max, server max)` and fails only
+/// when that falls below the receiving side's floor — so bumping
+/// [`PROTOCOL_VERSION`] does not cut off older peers until their version
+/// is explicitly dropped here.
+pub const MIN_SUPPORTED_VERSION: u8 = 1;
+
+/// A request from an analyst client to the service.
+///
+/// Marked `#[non_exhaustive]`: new request types may be added under new
+/// tags without a breaking change.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the conversation and negotiates the protocol version. Must be
+    /// the first message on every connection.
+    Hello {
+        /// The newest version the client speaks; the service answers with
+        /// `min(client, server)`, refusing only versions below its
+        /// [`MIN_SUPPORTED_VERSION`] floor.
+        max_version: u8,
+        /// Free-form client identification (for logs; not a credential).
+        client_name: String,
+    },
+    /// Authenticates as a roster analyst and opens — or, with `resume`,
+    /// re-attaches to — a session.
+    RegisterSession {
+        /// The analyst's roster name (the protocol's credential: the
+        /// roster is trusted configuration, names are identity).
+        analyst_name: String,
+        /// An existing session id to re-attach to after a reconnect; the
+        /// service verifies the session belongs to `analyst_name`.
+        resume: Option<u64>,
+    },
+    /// Submits one query on the connection's session.
+    SubmitQuery(QueryRequest),
+    /// Refreshes the session's heartbeat.
+    Heartbeat,
+    /// Asks for the session's budget and counters.
+    BudgetStatus,
+    /// Closes the session and ends the conversation.
+    CloseSession,
+}
+
+/// The analyst-facing view of a session's budget state, returned by
+/// [`Request::BudgetStatus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetReport {
+    /// The session id.
+    pub session: u64,
+    /// The analyst's dense roster id.
+    pub analyst: u64,
+    /// The analyst's privilege level.
+    pub privilege: u8,
+    /// The analyst's row constraint ψ_Ai.
+    pub budget_constraint: f64,
+    /// Privacy budget already consumed against the row constraint.
+    pub budget_consumed: f64,
+    /// Remaining room under the row constraint.
+    pub budget_remaining: f64,
+    /// Submissions accepted from this session.
+    pub submitted: u64,
+    /// Queries answered to this session.
+    pub answered: u64,
+    /// Queries rejected for this session.
+    pub rejected: u64,
+}
+
+/// A response from the service, echoing the request's id.
+///
+/// Marked `#[non_exhaustive]`: new response types may be added under new
+/// tags without a breaking change.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Hello`].
+    HelloAck {
+        /// The negotiated protocol version.
+        version: u8,
+        /// Free-form server identification.
+        server_name: String,
+    },
+    /// Answer to [`Request::RegisterSession`].
+    SessionRegistered {
+        /// The session id (quote it to `resume` after a reconnect).
+        session: u64,
+        /// The authenticated analyst's dense roster id.
+        analyst: u64,
+        /// The analyst's privilege level.
+        privilege: u8,
+        /// True when an existing session was resumed rather than opened.
+        resumed: bool,
+    },
+    /// Answer to [`Request::SubmitQuery`] — the query's outcome (answers
+    /// *and* budget rejections both arrive here; rejection is a valid
+    /// outcome, not an error).
+    QueryAnswer(QueryOutcome),
+    /// Answer to [`Request::Heartbeat`].
+    HeartbeatAck,
+    /// Answer to [`Request::BudgetStatus`].
+    BudgetReport(BudgetReport),
+    /// Answer to [`Request::CloseSession`].
+    SessionClosed,
+    /// The request failed; carries the stable error taxonomy.
+    Error(ApiError),
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_REGISTER: u8 = 2;
+const TAG_SUBMIT: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_BUDGET: u8 = 5;
+const TAG_CLOSE: u8 = 6;
+
+const TAG_HELLO_ACK: u8 = 129;
+const TAG_REGISTERED: u8 = 130;
+const TAG_ANSWER: u8 = 131;
+const TAG_HEARTBEAT_ACK: u8 = 132;
+const TAG_BUDGET_REPORT: u8 = 133;
+const TAG_CLOSED: u8 = 134;
+const TAG_ERROR: u8 = 255;
+
+fn header(enc: &mut Encoder, tag: u8, request_id: u64) {
+    enc.put_u8(PROTOCOL_VERSION);
+    enc.put_u8(tag);
+    enc.put_u64(request_id);
+}
+
+/// Encodes a request into a message payload (to be framed by the
+/// transport).
+#[must_use]
+pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    match request {
+        Request::Hello {
+            max_version,
+            client_name,
+        } => {
+            header(&mut enc, TAG_HELLO, request_id);
+            enc.put_u8(*max_version);
+            enc.put_str(client_name);
+        }
+        Request::RegisterSession {
+            analyst_name,
+            resume,
+        } => {
+            header(&mut enc, TAG_REGISTER, request_id);
+            enc.put_str(analyst_name);
+            match resume {
+                Some(id) => {
+                    enc.put_u8(1);
+                    enc.put_u64(*id);
+                }
+                None => enc.put_u8(0),
+            }
+        }
+        Request::SubmitQuery(query_request) => {
+            header(&mut enc, TAG_SUBMIT, request_id);
+            wire::put_request_body(&mut enc, query_request);
+        }
+        Request::Heartbeat => header(&mut enc, TAG_HEARTBEAT, request_id),
+        Request::BudgetStatus => header(&mut enc, TAG_BUDGET, request_id),
+        Request::CloseSession => header(&mut enc, TAG_CLOSE, request_id),
+    }
+    enc.into_bytes()
+}
+
+/// Encodes a response into a message payload.
+#[must_use]
+pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    match response {
+        Response::HelloAck {
+            version,
+            server_name,
+        } => {
+            header(&mut enc, TAG_HELLO_ACK, request_id);
+            enc.put_u8(*version);
+            enc.put_str(server_name);
+        }
+        Response::SessionRegistered {
+            session,
+            analyst,
+            privilege,
+            resumed,
+        } => {
+            header(&mut enc, TAG_REGISTERED, request_id);
+            enc.put_u64(*session);
+            enc.put_u64(*analyst);
+            enc.put_u8(*privilege);
+            enc.put_bool(*resumed);
+        }
+        Response::QueryAnswer(outcome) => {
+            header(&mut enc, TAG_ANSWER, request_id);
+            wire::put_outcome(&mut enc, outcome);
+        }
+        Response::HeartbeatAck => header(&mut enc, TAG_HEARTBEAT_ACK, request_id),
+        Response::BudgetReport(report) => {
+            header(&mut enc, TAG_BUDGET_REPORT, request_id);
+            enc.put_u64(report.session);
+            enc.put_u64(report.analyst);
+            enc.put_u8(report.privilege);
+            enc.put_f64(report.budget_constraint);
+            enc.put_f64(report.budget_consumed);
+            enc.put_f64(report.budget_remaining);
+            enc.put_u64(report.submitted);
+            enc.put_u64(report.answered);
+            enc.put_u64(report.rejected);
+        }
+        Response::SessionClosed => header(&mut enc, TAG_CLOSED, request_id),
+        Response::Error(e) => {
+            header(&mut enc, TAG_ERROR, request_id);
+            enc.put_u32(u32::from(e.code));
+            enc.put_u8(e.kind.wire_tag());
+            enc.put_bool(e.retryable);
+            enc.put_str(&e.message);
+        }
+    }
+    enc.into_bytes()
+}
+
+/// Reads and validates the message header, returning `(tag, request_id)`.
+fn take_header(dec: &mut Decoder<'_>) -> Result<(u8, u64), ApiError> {
+    let version = dec.take_u8().map_err(wire::malformed)?;
+    if version != PROTOCOL_VERSION {
+        return Err(ApiError::new(
+            codes::UNSUPPORTED_VERSION,
+            format!(
+                "protocol version {version} not supported (this build speaks {PROTOCOL_VERSION})"
+            ),
+        ));
+    }
+    let tag = dec.take_u8().map_err(wire::malformed)?;
+    let request_id = dec.take_u64().map_err(wire::malformed)?;
+    Ok((tag, request_id))
+}
+
+/// Decodes a request payload into `(request_id, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ApiError> {
+    let mut dec = Decoder::new(payload);
+    let (tag, request_id) = take_header(&mut dec)?;
+    let request = match tag {
+        TAG_HELLO => Request::Hello {
+            max_version: dec.take_u8().map_err(wire::malformed)?,
+            client_name: dec.take_str().map_err(wire::malformed)?,
+        },
+        TAG_REGISTER => {
+            let analyst_name = dec.take_str().map_err(wire::malformed)?;
+            let resume = match dec.take_u8().map_err(wire::malformed)? {
+                0 => None,
+                1 => Some(dec.take_u64().map_err(wire::malformed)?),
+                t => return Err(wire::malformed(format!("invalid option tag {t}"))),
+            };
+            Request::RegisterSession {
+                analyst_name,
+                resume,
+            }
+        }
+        TAG_SUBMIT => {
+            Request::SubmitQuery(wire::take_request_body(&mut dec).map_err(wire::malformed)?)
+        }
+        TAG_HEARTBEAT => Request::Heartbeat,
+        TAG_BUDGET => Request::BudgetStatus,
+        TAG_CLOSE => Request::CloseSession,
+        t => {
+            return Err(wire::malformed(format!("unknown request tag {t}")));
+        }
+    };
+    expect_consumed(&dec)?;
+    Ok((request_id, request))
+}
+
+/// Decodes a response payload into `(request_id, response)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ApiError> {
+    let mut dec = Decoder::new(payload);
+    let (tag, request_id) = take_header(&mut dec)?;
+    let response = match tag {
+        TAG_HELLO_ACK => Response::HelloAck {
+            version: dec.take_u8().map_err(wire::malformed)?,
+            server_name: dec.take_str().map_err(wire::malformed)?,
+        },
+        TAG_REGISTERED => Response::SessionRegistered {
+            session: dec.take_u64().map_err(wire::malformed)?,
+            analyst: dec.take_u64().map_err(wire::malformed)?,
+            privilege: dec.take_u8().map_err(wire::malformed)?,
+            resumed: dec.take_bool().map_err(wire::malformed)?,
+        },
+        TAG_ANSWER => Response::QueryAnswer(wire::take_outcome(&mut dec).map_err(wire::malformed)?),
+        TAG_HEARTBEAT_ACK => Response::HeartbeatAck,
+        TAG_BUDGET_REPORT => Response::BudgetReport(BudgetReport {
+            session: dec.take_u64().map_err(wire::malformed)?,
+            analyst: dec.take_u64().map_err(wire::malformed)?,
+            privilege: dec.take_u8().map_err(wire::malformed)?,
+            budget_constraint: dec.take_f64().map_err(wire::malformed)?,
+            budget_consumed: dec.take_f64().map_err(wire::malformed)?,
+            budget_remaining: dec.take_f64().map_err(wire::malformed)?,
+            submitted: dec.take_u64().map_err(wire::malformed)?,
+            answered: dec.take_u64().map_err(wire::malformed)?,
+            rejected: dec.take_u64().map_err(wire::malformed)?,
+        }),
+        TAG_CLOSED => Response::SessionClosed,
+        TAG_ERROR => {
+            let code_raw = dec.take_u32().map_err(wire::malformed)?;
+            let code = u16::try_from(code_raw)
+                .map_err(|_| wire::malformed(format!("error code {code_raw} out of range")))?;
+            let kind = ErrorKind::from_wire_tag(dec.take_u8().map_err(wire::malformed)?);
+            let retryable = dec.take_bool().map_err(wire::malformed)?;
+            let message = dec.take_str().map_err(wire::malformed)?;
+            // Trust the sender's kind/retryable verbatim: a newer peer may
+            // classify codes this build does not know.
+            Response::Error(ApiError {
+                code,
+                kind,
+                message,
+                retryable,
+            })
+        }
+        t => {
+            return Err(wire::malformed(format!("unknown response tag {t}")));
+        }
+    };
+    expect_consumed(&dec)?;
+    Ok((request_id, response))
+}
+
+/// Rejects payloads with trailing garbage — a message must consume its
+/// whole frame, otherwise a desynchronised or tampered stream could smuggle
+/// bytes past the CRC of a *later* frame boundary.
+fn expect_consumed(dec: &Decoder<'_>) -> Result<(), ApiError> {
+    if dec.is_empty() {
+        Ok(())
+    } else {
+        Err(wire::malformed(format!(
+            "{} trailing bytes after the message body",
+            dec.remaining()
+        )))
+    }
+}

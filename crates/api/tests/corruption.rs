@@ -1,0 +1,175 @@
+//! Corruption suite for the analyst protocol, mirroring
+//! `crates/storage/tests/corruption.rs`: damage frames and payloads every
+//! way a hostile network or torn stream can, and assert the decoders
+//! surface **typed errors** — never a panic, never silent acceptance.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dprov_api::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    PROTOCOL_VERSION,
+};
+use dprov_api::{codes, frame};
+use dprov_core::processor::QueryRequest;
+use dprov_engine::expr::Predicate;
+use dprov_engine::query::Query;
+
+fn sample_request_payload() -> Vec<u8> {
+    let query =
+        Query::range_count("adult", "age", 20, 39).filter(Predicate::equals("sex", "Female"));
+    encode_request(
+        7,
+        &Request::SubmitQuery(QueryRequest::with_accuracy(query, 450.0)),
+    )
+}
+
+#[test]
+fn every_truncation_of_a_request_is_a_typed_error() {
+    let payload = sample_request_payload();
+    for cut in 0..payload.len() {
+        let err = decode_request(&payload[..cut]).expect_err("a truncated payload must not decode");
+        assert!(
+            err.code == codes::MALFORMED_FRAME || err.code == codes::UNSUPPORTED_VERSION,
+            "cut at {cut}: unexpected code {}",
+            err.code
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_response_is_a_typed_error() {
+    let payload = encode_response(
+        3,
+        &Response::SessionRegistered {
+            session: 12,
+            analyst: 1,
+            privilege: 4,
+            resumed: true,
+        },
+    );
+    for cut in 0..payload.len() {
+        assert!(
+            decode_response(&payload[..cut]).is_err(),
+            "cut at {cut} decoded"
+        );
+    }
+}
+
+#[test]
+fn bad_version_bytes_are_refused_with_the_dedicated_code() {
+    let mut payload = sample_request_payload();
+    for bad in [0u8, PROTOCOL_VERSION + 1, 0x7F, 0xFF] {
+        payload[0] = bad;
+        let err = decode_request(&payload).expect_err("wrong version must not decode");
+        assert_eq!(err.code, codes::UNSUPPORTED_VERSION, "version byte {bad}");
+    }
+}
+
+#[test]
+fn trailing_garbage_is_refused() {
+    let mut payload = encode_request(1, &Request::Heartbeat);
+    payload.push(0xAB);
+    let err = decode_request(&payload).unwrap_err();
+    assert_eq!(err.code, codes::MALFORMED_FRAME);
+}
+
+#[test]
+fn framed_stream_survives_no_single_bit_flip() {
+    let framed = frame::frame(&sample_request_payload());
+    // Flip every bit of the body and a sample of header bits: the CRC (or
+    // the length/structure checks for header damage) must catch each one.
+    for byte in 0..framed.len() {
+        for bit in 0..8 {
+            let mut damaged = framed.clone();
+            damaged[byte] ^= 1 << bit;
+            let mut stream = Cursor::new(damaged);
+            match frame::read_frame(&mut stream) {
+                Err(_) => {} // typed refusal: good
+                Ok(Some(payload)) => {
+                    // A flip inside the length prefix can shorten the
+                    // frame to a prefix whose CRC happens to be read from
+                    // the old body — the payload then differs and the
+                    // *message* decoder must catch it. What must never
+                    // happen is decoding to the original bytes.
+                    assert_ne!(
+                        payload,
+                        frame::frame(&sample_request_payload())[8..].to_vec(),
+                        "flip at byte {byte} bit {bit} went unnoticed"
+                    );
+                }
+                Ok(None) => panic!("flip at byte {byte} bit {bit} looked like clean EOF"),
+            }
+        }
+    }
+}
+
+#[test]
+fn torn_frames_and_oversized_lengths_are_typed() {
+    let framed = frame::frame(&sample_request_payload());
+    for cut in 1..framed.len() {
+        let mut stream = Cursor::new(framed[..cut].to_vec());
+        let err = frame::read_frame(&mut stream).expect_err("torn frame must error");
+        assert!(
+            err.code == codes::CONNECTION_CLOSED || err.code == codes::CHECKSUM_MISMATCH,
+            "cut at {cut}: unexpected code {}",
+            err.code
+        );
+    }
+    let mut huge = framed;
+    huge[0..4].copy_from_slice(&(frame::MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+    let err = frame::read_frame(&mut Cursor::new(huge)).unwrap_err();
+    assert_eq!(err.code, codes::FRAME_TOO_LARGE);
+}
+
+#[test]
+fn deep_predicate_nesting_is_bounded_not_a_stack_overflow() {
+    // Build a payload whose predicate nests far beyond the decode limit by
+    // hand-crafting `Not` tags (encoding such a tree through the public
+    // API would blow the encoder's stack first at truly hostile depths).
+    let base = encode_request(
+        1,
+        &Request::SubmitQuery(QueryRequest::with_accuracy(Query::count("t"), 100.0)),
+    );
+    // Locate the predicate start: header(10) + table str(4+1) + agg tag(1).
+    let pred_at = 10 + 4 + 1 + 1;
+    assert_eq!(base[pred_at], 0, "expected Predicate::True tag");
+    let mut hostile = base[..pred_at].to_vec();
+    hostile.extend(std::iter::repeat_n(6u8, 100_000)); // Not(Not(...
+    hostile.push(0); // innermost True
+    hostile.extend_from_slice(&base[pred_at + 1..]); // group_by + mode
+    let err = decode_request(&hostile).expect_err("hostile nesting must be refused");
+    assert_eq!(err.code, codes::MALFORMED_FRAME);
+    assert!(err.message.contains("nesting"), "got: {}", err.message);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary byte soup never panics any decoder and never yields a
+    /// frame that fails its own re-encode identity.
+    #[test]
+    fn random_bytes_never_panic_the_decoders(seed in 0u64..u64::MAX, len in 0usize..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..=255) as u8).collect();
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = frame::read_frame(&mut Cursor::new(bytes));
+    }
+
+    /// Single-byte corruption of a valid request payload either fails
+    /// typed or decodes to *some* request — never panics. (On the wire
+    /// the CRC frame already rejects these; this covers the in-process
+    /// transport, which skips the CRC.)
+    #[test]
+    fn flipped_payload_bytes_never_panic(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut payload = sample_request_payload();
+        let at = rng.gen_range(0usize..payload.len());
+        payload[at] ^= 1 << rng.gen_range(0u32..8);
+        let _ = decode_request(&payload);
+    }
+}

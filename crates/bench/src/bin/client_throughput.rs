@@ -1,0 +1,190 @@
+//! Throughput of the analyst-facing access paths: queries/sec on the
+//! multi-analyst RRQ workload through
+//!
+//! * **direct** — same-process embedding, one blocking
+//!   `QueryService::submit_wait` round trip per query (no protocol);
+//! * **in-process** — `DProvClient` over the zero-copy channel transport:
+//!   full protocol encode/decode, no syscalls, pipelined submit/poll;
+//! * **tcp** — `DProvClient` over real TCP loopback: protocol + framing +
+//!   CRC + socket round trips, pipelined submit/poll.
+//!
+//! The spread between the rows prices the protocol layers: `in-process −
+//! direct` is the message codec, `tcp − in-process` is framing plus the
+//! kernel's loopback path. Pipelining matters: clients enqueue a whole
+//! script before polling, so TCP latency is overlapped, not summed.
+//!
+//! ```text
+//! cargo run --release --bin client_throughput [-- total_queries]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dprov_api::DProvClient;
+use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_core::analyst::{AnalystId, AnalystRegistry};
+use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_server::{Frontend, QueryService, ServiceConfig};
+use dprov_workloads::rrq::{generate, RrqConfig, RrqWorkload};
+
+const ANALYSTS: usize = 4;
+const WORKERS: usize = 4;
+
+fn build_service() -> Arc<QueryService> {
+    let db = adult_database(10_000, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    for i in 0..ANALYSTS {
+        registry
+            .register(&format!("analyst-{i}"), ((i % 8) + 1) as u8)
+            .unwrap();
+    }
+    let config = SystemConfig::new(25.6)
+        .unwrap()
+        .with_seed(5)
+        .with_analyst_constraints(AnalystConstraintSpec::ProportionalSum);
+    let system = Arc::new(
+        DProvDb::new(
+            db,
+            catalog,
+            registry,
+            config,
+            MechanismKind::AdditiveGaussian,
+        )
+        .unwrap(),
+    );
+    Arc::new(QueryService::start(
+        system,
+        ServiceConfig::builder().workers(WORKERS).build().unwrap(),
+    ))
+}
+
+fn workload(per_analyst: usize) -> RrqWorkload {
+    let db = adult_database(10_000, 1);
+    let mut config = RrqConfig::new("adult", per_analyst, 3);
+    config.attribute_bias = 1.0;
+    config.accuracy_range = (1_000.0, 10_000.0);
+    generate(&db, &config, ANALYSTS).unwrap()
+}
+
+/// Direct embedding: one thread per analyst, blocking round trips.
+fn run_direct(workload: &RrqWorkload) -> f64 {
+    let service = build_service();
+    let sessions: Vec<_> = (0..ANALYSTS)
+        .map(|a| service.open_session(AnalystId(a)).unwrap())
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .enumerate()
+        .map(|(a, session)| {
+            let service = Arc::clone(&service);
+            let batch = workload.per_analyst[a].clone();
+            std::thread::spawn(move || {
+                for request in batch {
+                    service.submit_wait(session, request).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Protocol clients (pipelined): `connect` yields one pre-registered
+/// client per analyst; each client enqueues its whole script, then polls.
+fn run_clients(workload: &RrqWorkload, clients: Vec<DProvClient>) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(a, mut client)| {
+            let batch = workload.per_analyst[a].clone();
+            std::thread::spawn(move || {
+                let ids: Vec<_> = batch
+                    .iter()
+                    .map(|request| client.submit(request).unwrap())
+                    .collect();
+                for id in ids {
+                    client.poll(id).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let total: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let per_analyst = total / ANALYSTS;
+    let workload = workload(per_analyst);
+    let queries = per_analyst * ANALYSTS;
+
+    banner(&format!(
+        "client_throughput — {queries} queries, {ANALYSTS} analysts, {WORKERS} workers \
+         (host parallelism: {})",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+
+    let mut table = Table::new(&["path", "elapsed_s", "qps", "vs_direct"]);
+    let direct = run_direct(&workload);
+
+    let in_process = {
+        let service = build_service();
+        let frontend = Frontend::new(&service);
+        let clients = (0..ANALYSTS)
+            .map(|a| {
+                let mut client = DProvClient::connect(frontend.connect(), "bench").unwrap();
+                client.register(&format!("analyst-{a}")).unwrap();
+                client
+            })
+            .collect();
+        run_clients(&workload, clients)
+    };
+
+    let tcp = {
+        let service = build_service();
+        let frontend = Frontend::new(&service);
+        let listener = frontend.listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let clients = (0..ANALYSTS)
+            .map(|a| {
+                let mut client = DProvClient::connect_tcp(addr, "bench").unwrap();
+                client.register(&format!("analyst-{a}")).unwrap();
+                client
+            })
+            .collect();
+        let elapsed = run_clients(&workload, clients);
+        listener.shutdown();
+        elapsed
+    };
+
+    for (path, elapsed) in [
+        ("direct", direct),
+        ("in-process", in_process),
+        ("tcp-loopback", tcp),
+    ] {
+        table.add_row(&[
+            path.to_owned(),
+            fmt_f64(elapsed, 3),
+            fmt_f64(queries as f64 / elapsed, 0),
+            fmt_f64(direct / elapsed, 2),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nin-process − direct prices the message codec; tcp − in-process prices framing + loopback."
+    );
+}

@@ -76,7 +76,7 @@ fn run_once(
     let system = build_system(mechanism);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
-        ServiceConfig::with_workers(workers),
+        ServiceConfig::builder().workers(workers).build().unwrap(),
     ));
     let sessions: Vec<_> = (0..ANALYSTS)
         .map(|a| service.open_session(AnalystId(a)).unwrap())
@@ -90,14 +90,13 @@ fn run_once(
             let service = Arc::clone(&service);
             let batch = workload.per_analyst[a].clone();
             std::thread::spawn(move || {
-                // Pipeline: enqueue everything (bounded queue provides the
-                // backpressure), then drain the responses.
-                let receivers: Vec<_> = batch
-                    .into_iter()
-                    .map(|request| service.submit(session, request).unwrap())
-                    .collect();
-                for rx in receivers {
-                    rx.recv().unwrap().unwrap();
+                // One blocking round trip per query — the supported
+                // embedding path. Session lanes execute a session's jobs
+                // serially anyway, so per-analyst threads still exercise
+                // cross-session parallelism; the pipelined protocol paths
+                // are compared in the `client_throughput` bench.
+                for request in batch {
+                    service.submit_wait(session, request).unwrap();
                 }
             })
         })

@@ -88,6 +88,14 @@ impl AnalystRegistry {
         self.analysts.get(id.0).ok_or(CoreError::UnknownAnalyst(id))
     }
 
+    /// Looks up an analyst by display name (the credential the analyst
+    /// protocol authenticates with). Names are compared exactly; the first
+    /// registration wins if a name was registered twice.
+    #[must_use]
+    pub fn find_by_name(&self, name: &str) -> Option<&Analyst> {
+        self.analysts.iter().find(|a| a.name == name)
+    }
+
     /// The privilege of an analyst.
     pub fn privilege(&self, id: AnalystId) -> Result<Privilege> {
         Ok(self.get(id)?.privilege)

@@ -1,6 +1,6 @@
 //! The plain Chorus baseline.
 //!
-//! Chorus [29] answers each query directly from the database with fresh
+//! Chorus \[29\] answers each query directly from the database with fresh
 //! Gaussian noise, tracks a single overall budget, keeps no state between
 //! queries, and treats every analyst as the same principal. It is the
 //! "stateless" extreme DProvDB argues against: similar queries and similar

@@ -1,6 +1,6 @@
 //! A simulated PrivateSQL baseline (sPrivateSQL, §6.1.1).
 //!
-//! PrivateSQL [36] spends the whole privacy budget up front: every view gets
+//! PrivateSQL \[36\] spends the whole privacy budget up front: every view gets
 //! a static share (proportional to its sensitivity — an equal split when all
 //! views are counting histograms) and one synopsis is generated per view at
 //! setup. Incoming queries are answered from those static synopses when the

@@ -6,6 +6,11 @@ use dprov_engine::EngineError;
 use crate::analyst::AnalystId;
 
 /// Why a query was rejected by the system.
+///
+/// Marked `#[non_exhaustive]`: new rejection classes may be added without a
+/// breaking change, so downstream matches must carry a wildcard arm. The
+/// stable wire representation lives in `dprov-api`.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum RejectReason {
     /// Answering would exceed the analyst's (row) constraint ψ_Ai.
@@ -54,6 +59,11 @@ impl std::fmt::Display for RejectReason {
 /// snapshots). Defined here so the [`crate::recorder::Recorder`] hook on the
 /// commit path can surface them without the core crate depending on the
 /// storage crate.
+///
+/// Marked `#[non_exhaustive]`: variants may grow (new corruption classes,
+/// new media) without breaking downstream matches or the stable `dprov-api`
+/// error codes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum StorageError {
     /// An operating-system I/O failure (the `std::io::Error` rendered to a
@@ -112,6 +122,11 @@ impl std::fmt::Display for StorageError {
 impl std::error::Error for StorageError {}
 
 /// Errors raised by the DProvDB system layer.
+///
+/// Marked `#[non_exhaustive]`: the system grows subsystems (and with them
+/// error variants) over time; downstream matches must carry a wildcard arm
+/// so additions are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
     /// An error from the DP primitives.

@@ -32,6 +32,11 @@ pub mod sensitivity;
 pub mod translation;
 
 /// Errors produced by the DP primitives.
+///
+/// Marked `#[non_exhaustive]`: new mechanisms and accountants bring new
+/// failure modes; downstream matches must carry a wildcard arm so
+/// additions are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum DpError {
     /// An epsilon value was not strictly positive and finite.

@@ -38,6 +38,11 @@ pub mod value;
 pub mod view;
 
 /// Errors produced by the relational engine.
+///
+/// Marked `#[non_exhaustive]`: the query class grows over time, and new
+/// failure modes must not break downstream matches or the stable
+/// `dprov-api` error codes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// A referenced table does not exist.

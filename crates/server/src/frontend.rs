@@ -1,0 +1,680 @@
+//! The protocol frontend: serves the versioned analyst protocol
+//! (`dprov-api`) over the worker pool.
+//!
+//! A [`Frontend`] accepts [`Connection`]s — in-process channel pairs via
+//! [`Frontend::connect`] or TCP sockets via [`Frontend::listen`] — and
+//! runs each through three threads:
+//!
+//! * a **reader** decoding request frames, enforcing the connection state
+//!   machine (`Hello` → `RegisterSession` → everything else) and
+//!   answering control requests (heartbeat, budget, close) inline, so
+//!   they overtake long-running query work;
+//! * a **forwarder** draining query receivers in submission order — the
+//!   session lanes already execute a session's queries FIFO, so waiting
+//!   on the head receiver never delays a later one — and turning each
+//!   outcome into a response frame tagged with its pipelining request id;
+//! * a **writer** owning the send half, serialising response frames from
+//!   both of the above.
+//!
+//! One connection maps to at most one session. Authentication is by
+//! analyst roster name (the roster is trusted configuration installed at
+//! system build time); a reconnecting client may `resume` its previous
+//! session — including across a service restart recovered by
+//! [`QueryService::start_durable`] — and the frontend verifies the
+//! session's ownership before re-attaching.
+//!
+//! The frontend holds the service [`Weak`]ly: dropping the last owning
+//! `Arc<QueryService>` (or calling [`QueryService::shutdown`] after
+//! unwrapping it) invalidates the frontend gracefully — live connections
+//! get retryable `SHUTTING_DOWN` errors instead of hangs, and the
+//! service's worker threads are never kept alive by idle connections.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Weak};
+use std::thread::JoinHandle;
+
+use dprov_api::protocol::{
+    decode_request, encode_response, BudgetReport, Request, Response, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+};
+use dprov_api::{codes, ApiError, Connection};
+use dprov_core::analyst::AnalystId;
+
+use crate::service::{QueryResponse, QueryService, ServerError};
+use crate::session::{SessionError, SessionId};
+
+impl From<SessionError> for ApiError {
+    fn from(e: SessionError) -> Self {
+        // In-crate matches stay exhaustive despite #[non_exhaustive]:
+        // adding a variant forces a conscious code assignment here.
+        let code = match &e {
+            SessionError::Unknown(_) => codes::UNKNOWN_SESSION,
+            SessionError::Expired(_) => codes::SESSION_EXPIRED,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+impl From<ServerError> for ApiError {
+    fn from(e: ServerError) -> Self {
+        match e {
+            ServerError::Session(session) => session.into(),
+            ServerError::ShuttingDown => shutting_down(),
+            ServerError::Core(core) => core.into(),
+            ServerError::Storage(storage) => storage.into(),
+            ServerError::InvalidConfig(msg) => ApiError::new(codes::INVALID_ARGUMENT, msg),
+            ServerError::SessionOwnership { .. } => {
+                ApiError::new(codes::SESSION_OWNERSHIP, e.to_string())
+            }
+        }
+    }
+}
+
+/// Per-connection protocol state.
+#[derive(Default)]
+struct ConnState {
+    hello_done: bool,
+    session: Option<(SessionId, AnalystId)>,
+}
+
+/// What the reader does after handling one request.
+enum Flow {
+    /// Keep reading.
+    Continue,
+    /// Respond (already sent) and close the connection.
+    Close,
+}
+
+/// The analyst-protocol server over a [`QueryService`].
+pub struct Frontend {
+    service: Weak<QueryService>,
+    server_name: String,
+}
+
+impl Frontend {
+    /// A frontend over `service`. The reference is held weakly — see the
+    /// module docs for the lifecycle contract.
+    #[must_use]
+    pub fn new(service: &Arc<QueryService>) -> Arc<Self> {
+        Arc::new(Frontend {
+            service: Arc::downgrade(service),
+            server_name: format!("dprov-server/{}", env!("CARGO_PKG_VERSION")),
+        })
+    }
+
+    /// Opens an in-process connection: the returned [`Connection`] is the
+    /// client side of a zero-copy channel pair whose server side this
+    /// frontend serves on a dedicated thread. Feed it to
+    /// `dprov_api::DProvClient::connect`.
+    #[must_use]
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        let (client, server) = Connection::pair();
+        self.serve(server);
+        client
+    }
+
+    /// Serves one established connection (any transport) on a dedicated
+    /// reader thread; returns its join handle.
+    pub fn serve(self: &Arc<Self>, conn: Connection) -> JoinHandle<()> {
+        let frontend = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("dprov-frontend-conn".to_owned())
+            .spawn(move || frontend.serve_connection(conn))
+            .expect("failed to spawn frontend connection thread")
+    }
+
+    /// Binds a TCP listener and serves every accepted connection — one
+    /// socket per analyst session. Returns a handle carrying the bound
+    /// address (bind port 0 to let the OS pick) and the shutdown control.
+    pub fn listen(self: &Arc<Self>, addr: impl ToSocketAddrs) -> std::io::Result<FrontendListener> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let frontend = Arc::clone(self);
+        let accept_thread = std::thread::Builder::new()
+            .name("dprov-frontend-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if let Ok(conn) = Connection::from_tcp(stream) {
+                                frontend.serve(conn);
+                            }
+                        }
+                        // Persistent accept failures (e.g. EMFILE under
+                        // descriptor exhaustion) would otherwise busy-spin
+                        // this thread at 100% CPU; back off briefly.
+                        Err(_) => {
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                        }
+                    }
+                }
+            })?;
+        Ok(FrontendListener {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The full lifecycle of one connection (runs on the reader thread).
+    fn serve_connection(self: Arc<Self>, conn: Connection) {
+        let (mut sink, mut source) = conn.split();
+
+        // Writer: the single owner of the send half; both the reader and
+        // the forwarder hand it encoded response frames.
+        let (out_tx, out_rx) = mpsc::channel::<Vec<u8>>();
+        let writer = std::thread::Builder::new()
+            .name("dprov-frontend-write".to_owned())
+            .spawn(move || {
+                while let Ok(frame) = out_rx.recv() {
+                    if sink.send(frame).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("failed to spawn frontend writer thread");
+
+        // Forwarder: drains query receivers in submission order. Session
+        // lanes execute a session's queries FIFO, so blocking on the head
+        // receiver never delays a later outcome.
+        let (pending_tx, pending_rx) = mpsc::channel::<(u64, mpsc::Receiver<QueryResponse>)>();
+        let forward_out = out_tx.clone();
+        let forwarder = std::thread::Builder::new()
+            .name("dprov-frontend-forward".to_owned())
+            .spawn(move || {
+                while let Ok((request_id, rx)) = pending_rx.recv() {
+                    let response = match rx.recv() {
+                        Ok(Ok(outcome)) => Response::QueryAnswer(outcome),
+                        Ok(Err(server_error)) => Response::Error(server_error.into()),
+                        // The worker dropped the responder without
+                        // answering: the pool is going away.
+                        Err(_) => Response::Error(ApiError::new(
+                            codes::SHUTTING_DOWN,
+                            "service dropped the job during shutdown",
+                        )),
+                    };
+                    if forward_out
+                        .send(encode_response(request_id, &response))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            })
+            .expect("failed to spawn frontend forwarder thread");
+
+        let mut state = ConnState::default();
+        // The reader stops on clean close or transport failure: either way
+        // the stream is done. Sessions are NOT closed here — a
+        // reconnecting client resumes by id; abandonment is the TTL's job.
+        while let Ok(Some(payload)) = source.recv() {
+            match decode_request(&payload) {
+                Ok((request_id, request)) => {
+                    match self.handle(&mut state, request_id, request, &pending_tx, &out_tx) {
+                        Flow::Continue => {}
+                        Flow::Close => break,
+                    }
+                }
+                Err(e) => {
+                    // The frame boundary is intact (framing is below us)
+                    // but the body is undecodable — the peer speaks a
+                    // different dialect. Report once and drop the
+                    // connection: without a request id, outstanding
+                    // requests cannot be answered reliably anyway.
+                    let _ = out_tx.send(encode_response(0, &Response::Error(e)));
+                    break;
+                }
+            }
+        }
+
+        // Tear down: dropping the channels lets the forwarder finish its
+        // backlog (answers nobody will read) and the writer drain and exit.
+        drop(pending_tx);
+        drop(out_tx);
+        let _ = forwarder.join();
+        let _ = writer.join();
+    }
+
+    /// Handles one decoded request. Control responses are sent inline via
+    /// `out_tx`; query submissions are parked with the forwarder.
+    fn handle(
+        &self,
+        state: &mut ConnState,
+        request_id: u64,
+        request: Request,
+        pending_tx: &mpsc::Sender<(u64, mpsc::Receiver<QueryResponse>)>,
+        out_tx: &mpsc::Sender<Vec<u8>>,
+    ) -> Flow {
+        let respond = |response: Response| {
+            let _ = out_tx.send(encode_response(request_id, &response));
+        };
+        match request {
+            Request::Hello { max_version, .. } => {
+                if state.hello_done {
+                    respond(Response::Error(ApiError::new(
+                        codes::UNEXPECTED_MESSAGE,
+                        "hello already exchanged on this connection",
+                    )));
+                    return Flow::Continue;
+                }
+                // min(client, server), refused only below the floor this
+                // build still understands.
+                let negotiated = max_version.min(PROTOCOL_VERSION);
+                if negotiated < MIN_SUPPORTED_VERSION {
+                    respond(Response::Error(ApiError::new(
+                        codes::UNSUPPORTED_VERSION,
+                        format!(
+                            "client speaks up to version {max_version}; this server supports                              {MIN_SUPPORTED_VERSION}..={PROTOCOL_VERSION}"
+                        ),
+                    )));
+                    return Flow::Close;
+                }
+                state.hello_done = true;
+                respond(Response::HelloAck {
+                    version: negotiated,
+                    server_name: self.server_name.clone(),
+                });
+                Flow::Continue
+            }
+            _ if !state.hello_done => {
+                respond(Response::Error(ApiError::new(
+                    codes::UNEXPECTED_MESSAGE,
+                    "the first message on a connection must be Hello",
+                )));
+                Flow::Close
+            }
+            Request::RegisterSession {
+                analyst_name,
+                resume,
+            } => {
+                if state.session.is_some() {
+                    respond(Response::Error(ApiError::new(
+                        codes::UNEXPECTED_MESSAGE,
+                        "connection already carries a session (one session per connection)",
+                    )));
+                    return Flow::Continue;
+                }
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Close;
+                };
+                let Some(analyst) = service
+                    .system()
+                    .registry()
+                    .find_by_name(&analyst_name)
+                    .map(|a| (a.id, a.privilege.level()))
+                else {
+                    respond(Response::Error(ApiError::new(
+                        codes::UNKNOWN_ANALYST,
+                        format!("no analyst named {analyst_name:?} in the roster"),
+                    )));
+                    return Flow::Continue;
+                };
+                let (analyst_id, privilege) = analyst;
+                let registered = match resume {
+                    Some(session) => service
+                        .resume_session(SessionId(session), analyst_id)
+                        .map(|()| (SessionId(session), true)),
+                    None => service.open_session(analyst_id).map(|id| (id, false)),
+                };
+                match registered {
+                    Ok((session_id, resumed)) => {
+                        state.session = Some((session_id, analyst_id));
+                        respond(Response::SessionRegistered {
+                            session: session_id.0,
+                            analyst: analyst_id.0 as u64,
+                            privilege,
+                            resumed,
+                        });
+                    }
+                    Err(e) => respond(Response::Error(e.into())),
+                }
+                Flow::Continue
+            }
+            Request::SubmitQuery(query_request) => {
+                let Some((session_id, _)) = state.session else {
+                    respond(Response::Error(no_session()));
+                    return Flow::Continue;
+                };
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Continue;
+                };
+                match service.submit(session_id, query_request) {
+                    Ok(rx) => {
+                        // The forwarder answers this id when the worker
+                        // pool does; the reader moves straight on to the
+                        // next pipelined request.
+                        let _ = pending_tx.send((request_id, rx));
+                    }
+                    Err(e) => respond(Response::Error(e.into())),
+                }
+                Flow::Continue
+            }
+            Request::Heartbeat => {
+                let Some((session_id, _)) = state.session else {
+                    respond(Response::Error(no_session()));
+                    return Flow::Continue;
+                };
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Continue;
+                };
+                match service.heartbeat(session_id) {
+                    Ok(()) => respond(Response::HeartbeatAck),
+                    Err(e) => respond(Response::Error(e.into())),
+                }
+                Flow::Continue
+            }
+            Request::BudgetStatus => {
+                let Some((session_id, _)) = state.session else {
+                    respond(Response::Error(no_session()));
+                    return Flow::Continue;
+                };
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Continue;
+                };
+                match service.session_info(session_id) {
+                    Ok(info) => respond(Response::BudgetReport(BudgetReport {
+                        session: info.id.0,
+                        analyst: info.analyst.0 as u64,
+                        privilege: info.privilege,
+                        budget_constraint: info.budget_constraint,
+                        budget_consumed: info.budget_consumed,
+                        budget_remaining: info.budget_remaining,
+                        submitted: info.submitted as u64,
+                        answered: info.answered as u64,
+                        rejected: info.rejected as u64,
+                    })),
+                    Err(e) => respond(Response::Error(e.into())),
+                }
+                Flow::Continue
+            }
+            Request::CloseSession => {
+                let Some((session_id, _)) = state.session.take() else {
+                    respond(Response::Error(no_session()));
+                    return Flow::Close;
+                };
+                if let Some(service) = self.service.upgrade() {
+                    let _ = service.close_session(session_id);
+                }
+                respond(Response::SessionClosed);
+                Flow::Close
+            }
+            // `Request` is #[non_exhaustive]: a request type this build
+            // does not know gets a typed refusal, not a dropped frame.
+            other => {
+                respond(Response::Error(ApiError::new(
+                    codes::UNEXPECTED_MESSAGE,
+                    format!("request type not supported by this server: {other:?}"),
+                )));
+                Flow::Continue
+            }
+        }
+    }
+}
+
+fn shutting_down() -> ApiError {
+    ApiError::new(codes::SHUTTING_DOWN, "service is shutting down")
+}
+
+fn no_session() -> ApiError {
+    ApiError::new(
+        codes::NO_SESSION,
+        "register a session before using this request",
+    )
+}
+
+/// Handle to a TCP-serving frontend (see [`Frontend::listen`]).
+pub struct FrontendListener {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FrontendListener {
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Connections already established keep running until their clients
+    /// disconnect (or until the service itself goes away, at which point
+    /// they receive retryable `SHUTTING_DOWN` errors).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(handle) = self.accept_thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection so it observes
+        // the flag; failure means the listener is already dead.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for FrontendListener {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_api::protocol::encode_request;
+    use dprov_api::DProvClient;
+    use dprov_core::analyst::AnalystRegistry;
+    use dprov_core::config::SystemConfig;
+    use dprov_core::mechanism::MechanismKind;
+    use dprov_core::processor::QueryRequest;
+    use dprov_core::system::DProvDb;
+    use dprov_engine::catalog::ViewCatalog;
+    use dprov_engine::datagen::adult::adult_database;
+    use dprov_engine::query::Query;
+
+    use crate::service::ServiceConfig;
+
+    fn service() -> Arc<QueryService> {
+        let db = adult_database(800, 1);
+        let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+        let mut registry = AnalystRegistry::new();
+        registry.register("alice", 2).unwrap();
+        registry.register("bob", 4).unwrap();
+        let config = SystemConfig::new(8.0).unwrap().with_seed(11);
+        let system = Arc::new(
+            DProvDb::new(
+                db,
+                catalog,
+                registry,
+                config,
+                MechanismKind::AdditiveGaussian,
+            )
+            .unwrap(),
+        );
+        Arc::new(QueryService::start(
+            system,
+            ServiceConfig::builder().workers(2).build().unwrap(),
+        ))
+    }
+
+    fn request(lo: i64, hi: i64, variance: f64) -> QueryRequest {
+        QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, hi), variance)
+    }
+
+    #[test]
+    fn in_process_client_round_trips_the_full_protocol() {
+        let service = service();
+        let frontend = Frontend::new(&service);
+        let mut client = DProvClient::connect(frontend.connect(), "test-client").unwrap();
+        let descriptor = client.register("bob").unwrap();
+        assert_eq!(descriptor.analyst, 1);
+        assert_eq!(descriptor.privilege, 4);
+        assert!(!descriptor.resumed);
+
+        // Synchronous query.
+        let outcome = client.query(&request(30, 39, 500.0)).unwrap();
+        assert!(outcome.is_answered());
+
+        // Pipelined submissions come back matched to their ids.
+        let ids: Vec<_> = (0..6)
+            .map(|i| {
+                client
+                    .submit(&request(20 + i, 45, 600.0 + i as f64))
+                    .unwrap()
+            })
+            .collect();
+        // Control traffic overtakes in-flight queries.
+        client.heartbeat().unwrap();
+        let consumed = ids[0];
+        for id in ids {
+            assert!(client.poll(id).unwrap().is_answered());
+        }
+        // Polling a consumed id fails fast instead of blocking forever.
+        assert_eq!(
+            client.poll(consumed).unwrap_err().code,
+            codes::INVALID_ARGUMENT
+        );
+
+        let budget = client.budget().unwrap();
+        assert_eq!(budget.session, descriptor.session);
+        assert_eq!(budget.submitted, 7);
+        assert!(budget.budget_consumed > 0.0);
+        assert!(budget.budget_remaining < budget.budget_constraint);
+
+        client.close().unwrap();
+        assert_eq!(service.sessions().len(), 0, "close removed the session");
+    }
+
+    #[test]
+    fn protocol_state_machine_is_enforced() {
+        let service = service();
+        let frontend = Frontend::new(&service);
+
+        // Requests before Hello are refused (and the connection closed).
+        let mut raw = frontend.connect();
+        raw.send(encode_request(1, &Request::Heartbeat)).unwrap();
+        let (_, response) =
+            dprov_api::protocol::decode_response(&raw.recv().unwrap().unwrap()).unwrap();
+        match response {
+            Response::Error(e) => assert_eq!(e.code, codes::UNEXPECTED_MESSAGE),
+            other => panic!("expected an error, got {other:?}"),
+        }
+
+        // Unknown analysts are refused at registration.
+        let mut client = DProvClient::connect(frontend.connect(), "t").unwrap();
+        let err = client.register("mallory").unwrap_err();
+        assert_eq!(err.code, codes::UNKNOWN_ANALYST);
+        // The connection survives an auth failure; a roster name works.
+        client.register("alice").unwrap();
+        // Queries before registration are refused on a fresh connection.
+        let mut fresh = DProvClient::connect(frontend.connect(), "t2").unwrap();
+        let err = fresh.query(&request(20, 30, 500.0)).unwrap_err();
+        assert_eq!(err.code, codes::NO_SESSION);
+        // So is closing a session that was never registered.
+        assert_eq!(fresh.close().unwrap_err().code, codes::NO_SESSION);
+    }
+
+    #[test]
+    fn hello_negotiates_min_of_client_and_server_versions() {
+        let service = service();
+        let frontend = Frontend::new(&service);
+        // A future client offering a higher max still lands on this
+        // server's version instead of being refused.
+        let mut raw = frontend.connect();
+        raw.send(encode_request(
+            1,
+            &Request::Hello {
+                max_version: PROTOCOL_VERSION + 40,
+                client_name: "from-the-future".to_owned(),
+            },
+        ))
+        .unwrap();
+        let (_, response) =
+            dprov_api::protocol::decode_response(&raw.recv().unwrap().unwrap()).unwrap();
+        match response {
+            Response::HelloAck { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        // A client below the supported floor is refused. The floor is
+        // currently the first version, so only the degenerate 0 exists.
+        let mut raw = frontend.connect();
+        raw.send(encode_request(
+            1,
+            &Request::Hello {
+                max_version: 0,
+                client_name: "prehistoric".to_owned(),
+            },
+        ))
+        .unwrap();
+        let (_, response) =
+            dprov_api::protocol::decode_response(&raw.recv().unwrap().unwrap()).unwrap();
+        match response {
+            Response::Error(e) => assert_eq!(e.code, codes::UNSUPPORTED_VERSION),
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_reattaches_only_the_owner() {
+        let service = service();
+        let frontend = Frontend::new(&service);
+        let mut client = DProvClient::connect(frontend.connect(), "c1").unwrap();
+        let descriptor = client.register("alice").unwrap();
+        client.query(&request(25, 40, 700.0)).unwrap();
+        let spent = client.budget().unwrap().budget_consumed;
+        drop(client); // connection lost, session stays alive (TTL)
+
+        // The wrong analyst cannot steal the session.
+        let mut thief = DProvClient::connect(frontend.connect(), "c2").unwrap();
+        let err = thief.resume("bob", descriptor.session).unwrap_err();
+        assert_eq!(err.code, codes::SESSION_OWNERSHIP);
+
+        // The owner reconnects and budgets are intact.
+        let mut back = DProvClient::connect(frontend.connect(), "c3").unwrap();
+        let resumed = back.resume("alice", descriptor.session).unwrap();
+        assert!(resumed.resumed);
+        assert_eq!(resumed.session, descriptor.session);
+        assert_eq!(back.budget().unwrap().budget_consumed, spent);
+    }
+
+    #[test]
+    fn dropped_service_yields_retryable_errors_not_hangs() {
+        let service = service();
+        let frontend = Frontend::new(&service);
+        let mut client = DProvClient::connect(frontend.connect(), "c").unwrap();
+        client.register("alice").unwrap();
+        drop(service); // last strong reference: workers wind down
+        let err = client.query(&request(20, 30, 500.0)).unwrap_err();
+        assert_eq!(err.code, codes::SHUTTING_DOWN);
+        assert!(err.retryable);
+    }
+
+    #[test]
+    fn tcp_listener_serves_and_shuts_down() {
+        let service = service();
+        let frontend = Frontend::new(&service);
+        let listener = frontend.listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let mut client = DProvClient::connect_tcp(addr, "tcp-client").unwrap();
+        client.register("bob").unwrap();
+        assert!(client.query(&request(30, 50, 800.0)).unwrap().is_answered());
+        client.close().unwrap();
+        listener.shutdown();
+        // New connections are refused or reset once the listener is gone.
+        assert!(DProvClient::connect_tcp(addr, "late").is_err());
+    }
+}

@@ -16,7 +16,13 @@
 //! * [`service`] — the **worker pool** ([`service::QueryService`]): `N`
 //!   threads pull jobs and execute them through
 //!   `DProvDb::submit_with_rng`; responses travel back over `mpsc`
-//!   channels.
+//!   channels (an internal detail — see [`frontend`]);
+//! * [`frontend`] — the **protocol frontend** ([`frontend::Frontend`]):
+//!   serves the versioned `dprov-api` analyst protocol over the worker
+//!   pool — session registration authenticated against the analyst
+//!   roster, per-connection reader/forwarder/writer threads, in-process
+//!   and TCP transports. This is the analyst-facing surface; the raw
+//!   `submit`-returning-`mpsc::Receiver` path is crate-internal.
 //!
 //! **Budget safety under concurrency** is enforced one layer down, in
 //! `dprov-core`'s admission control: constraint checks and charges commit
@@ -54,12 +60,14 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod frontend;
 pub mod queue;
 pub mod service;
 pub mod session;
 
+pub use frontend::{Frontend, FrontendListener};
 pub use service::{
-    DurabilityConfig, QueryResponse, QueryService, RecoveryReport, ServerError, ServiceConfig,
-    ServiceStats,
+    DurabilityConfig, DurabilityConfigBuilder, QueryResponse, QueryService, RecoveryReport,
+    ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats,
 };
 pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

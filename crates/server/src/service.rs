@@ -16,8 +16,11 @@
 //!   turn (no head-of-line blocking), a session occupies at most one
 //!   worker, and each session's noise stream is independent of the worker
 //!   count (see the [`crate`] docs for the exact determinism guarantee);
-//! * asynchronous responses over `std::sync::mpsc` channels: `submit`
-//!   returns a receiver immediately, `submit_wait` blocks for the outcome.
+//! * asynchronous responses over `std::sync::mpsc` channels — a
+//!   crate-internal detail: same-process embedders block on
+//!   [`QueryService::submit_wait`], and remote/pipelined access goes
+//!   through the versioned analyst protocol served by
+//!   [`crate::frontend::Frontend`].
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -61,19 +64,92 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// A validating builder over the default configuration. Invalid knob
+    /// combinations (`workers == 0`, `queue_capacity == 0`, a zero
+    /// `session_ttl`) are rejected at [`ServiceConfigBuilder::build`]
+    /// time instead of being silently clamped at service start.
+    #[must_use]
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+
     /// A configuration with `workers` worker threads and the remaining
-    /// defaults.
+    /// defaults. Zero is clamped to one worker (historical behaviour).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ServiceConfig::builder()`, which validates instead of clamping"
+    )]
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
-        ServiceConfig {
-            workers: workers.max(1),
-            ..ServiceConfig::default()
+        ServiceConfig::builder()
+            .workers(workers.max(1))
+            .build()
+            .expect("defaults with a non-zero worker count are valid")
+    }
+}
+
+/// Validating builder for [`ServiceConfig`] (see
+/// [`ServiceConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the number of worker threads (must be non-zero).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the submission-queue capacity (must be non-zero).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the session time-to-live (must be non-zero).
+    #[must_use]
+    pub fn session_ttl(mut self, ttl: Duration) -> Self {
+        self.config.session_ttl = ttl;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ServiceConfig, ServerError> {
+        if self.config.workers == 0 {
+            return Err(ServerError::InvalidConfig(
+                "workers must be non-zero (a pool with no workers never answers)".to_owned(),
+            ));
         }
+        if self.config.queue_capacity == 0 {
+            return Err(ServerError::InvalidConfig(
+                "queue_capacity must be non-zero (a zero-capacity queue deadlocks every submit)"
+                    .to_owned(),
+            ));
+        }
+        if self.config.session_ttl.is_zero() {
+            return Err(ServerError::InvalidConfig(
+                "session_ttl must be non-zero (sessions would expire before their first query)"
+                    .to_owned(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
 /// Errors surfaced by the service layer (the DP semantics themselves are
 /// reported inside [`QueryOutcome`], not here).
+///
+/// Marked `#[non_exhaustive]`: the service grows capabilities (and with
+/// them failure modes) over time; downstream matches must carry a
+/// wildcard arm. The stable analyst-facing form is `dprov_api::ApiError`,
+/// which this enum maps into via `From`.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum ServerError {
     /// The session was unknown or expired.
@@ -88,6 +164,15 @@ pub enum ServerError {
     /// withheld: the noise it drew was never observed, so recovery cannot
     /// leak it.
     Storage(StorageError),
+    /// A configuration builder rejected an invalid knob combination.
+    InvalidConfig(String),
+    /// A session-resume attempt named a session owned by another analyst.
+    SessionOwnership {
+        /// The session that was claimed.
+        session: SessionId,
+        /// The analyst that (wrongly) claimed it.
+        claimant: dprov_core::analyst::AnalystId,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -97,6 +182,10 @@ impl std::fmt::Display for ServerError {
             ServerError::ShuttingDown => write!(f, "service is shutting down"),
             ServerError::Core(e) => write!(f, "core error: {e}"),
             ServerError::Storage(e) => write!(f, "storage error: {e}"),
+            ServerError::InvalidConfig(msg) => write!(f, "invalid service configuration: {msg}"),
+            ServerError::SessionOwnership { session, claimant } => {
+                write!(f, "session {session} does not belong to analyst {claimant}")
+            }
         }
     }
 }
@@ -142,6 +231,50 @@ impl DurabilityConfig {
             fsync: true,
             snapshot_every: 4096,
         }
+    }
+
+    /// A validating builder rooted at `dir` (same pattern as
+    /// [`ServiceConfig::builder`]): an empty directory path is rejected at
+    /// build time.
+    #[must_use]
+    pub fn builder(dir: impl Into<PathBuf>) -> DurabilityConfigBuilder {
+        DurabilityConfigBuilder {
+            config: DurabilityConfig::new(dir),
+        }
+    }
+}
+
+/// Validating builder for [`DurabilityConfig`] (see
+/// [`DurabilityConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfigBuilder {
+    config: DurabilityConfig,
+}
+
+impl DurabilityConfigBuilder {
+    /// Whether every ledger append is fsync'd (defaults to `true`).
+    #[must_use]
+    pub fn fsync(mut self, fsync: bool) -> Self {
+        self.config.fsync = fsync;
+        self
+    }
+
+    /// Auto-compaction threshold in ledger appends; `0` disables
+    /// auto-compaction (defaults to 4096).
+    #[must_use]
+    pub fn snapshot_every(mut self, appends: u64) -> Self {
+        self.config.snapshot_every = appends;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<DurabilityConfig, ServerError> {
+        if self.config.dir.as_os_str().is_empty() {
+            return Err(ServerError::InvalidConfig(
+                "durability dir must be a non-empty path".to_owned(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -545,6 +678,40 @@ impl QueryService {
         self.sessions.heartbeat(id).map_err(ServerError::from)
     }
 
+    /// Re-attaches `analyst` to an existing live session (the protocol's
+    /// reconnect path): verifies the session exists, has not expired and
+    /// belongs to that analyst, then refreshes its heartbeat. The
+    /// session's budget state and deterministic noise stream continue
+    /// where they left off.
+    pub fn resume_session(
+        &self,
+        id: SessionId,
+        analyst: dprov_core::analyst::AnalystId,
+    ) -> Result<(), ServerError> {
+        let session = self.sessions.get(id)?;
+        if session.analyst() != analyst {
+            return Err(ServerError::SessionOwnership {
+                session: id,
+                claimant: analyst,
+            });
+        }
+        session.heartbeat();
+        Ok(())
+    }
+
+    /// Closes one session explicitly (the protocol's `CloseSession`). In
+    /// durable mode the closure is journalled best-effort, like expiry. A
+    /// session with queries still in flight finishes them — the lane
+    /// drains regardless — but accepts no new submissions.
+    pub fn close_session(&self, id: SessionId) -> Result<(), ServerError> {
+        self.sessions.get(id)?;
+        self.sessions.remove(id);
+        if let Some(ctx) = &self.durable {
+            let _ = ctx.store.record_session_closed(id.0);
+        }
+        Ok(())
+    }
+
     /// Reaps expired sessions, returning their ids. (Dispatch lanes need
     /// no sweep: a lane is removed by the worker that drains it — or by a
     /// failed submit — the moment it goes idle.) In durable mode the
@@ -623,7 +790,14 @@ impl QueryService {
     /// queue is full (backpressure; the queue holds at most one job per
     /// session, so its capacity bounds the number of concurrently active
     /// sessions, not a session's pipeline depth).
-    pub fn submit(
+    ///
+    /// Crate-internal: the raw `mpsc::Receiver` surface is an
+    /// implementation detail of the worker pool. Analyst-facing pipelining
+    /// goes through the versioned protocol instead — the
+    /// [`crate::frontend::Frontend`] feeds this method and
+    /// `dprov_api::DProvClient::submit`/`poll` expose it; same-process
+    /// embedders get the blocking [`QueryService::submit_wait`].
+    pub(crate) fn submit(
         &self,
         id: SessionId,
         request: QueryRequest,
@@ -771,12 +945,88 @@ mod tests {
         QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, hi), variance)
     }
 
+    fn workers(n: usize) -> ServiceConfig {
+        ServiceConfig::builder().workers(n).build().unwrap()
+    }
+
+    #[test]
+    fn config_builders_validate_their_knobs() {
+        assert!(matches!(
+            ServiceConfig::builder().workers(0).build(),
+            Err(ServerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::builder().queue_capacity(0).build(),
+            Err(ServerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::builder().session_ttl(Duration::ZERO).build(),
+            Err(ServerError::InvalidConfig(_))
+        ));
+        let config = ServiceConfig::builder()
+            .workers(3)
+            .queue_capacity(32)
+            .session_ttl(Duration::from_secs(5))
+            .build()
+            .unwrap();
+        assert_eq!(
+            (config.workers, config.queue_capacity, config.session_ttl),
+            (3, 32, Duration::from_secs(5))
+        );
+        assert!(matches!(
+            DurabilityConfig::builder("").build(),
+            Err(ServerError::InvalidConfig(_))
+        ));
+        let durability = DurabilityConfig::builder("some/dir")
+            .fsync(false)
+            .snapshot_every(8)
+            .build()
+            .unwrap();
+        assert!(!durability.fsync);
+        assert_eq!(durability.snapshot_every, 8);
+        assert_eq!(durability.dir, PathBuf::from("some/dir"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_workers_forwards_to_the_builder() {
+        assert_eq!(
+            ServiceConfig::with_workers(0).workers,
+            1,
+            "historical clamp-to-one behaviour is preserved"
+        );
+        let legacy = ServiceConfig::with_workers(5);
+        let built = ServiceConfig::builder().workers(5).build().unwrap();
+        assert_eq!(legacy.workers, built.workers);
+        assert_eq!(legacy.queue_capacity, built.queue_capacity);
+        assert_eq!(legacy.session_ttl, built.session_ttl);
+    }
+
+    #[test]
+    fn resume_and_close_session_enforce_ownership_and_liveness() {
+        let service =
+            QueryService::start(system(MechanismKind::AdditiveGaussian, 4.0, 2), workers(1));
+        let session = service.open_session(AnalystId(1)).unwrap();
+        service.resume_session(session, AnalystId(1)).unwrap();
+        assert!(matches!(
+            service.resume_session(session, AnalystId(0)),
+            Err(ServerError::SessionOwnership { .. })
+        ));
+        service.close_session(session).unwrap();
+        assert!(matches!(
+            service.close_session(session),
+            Err(ServerError::Session(SessionError::Unknown(_)))
+        ));
+        assert!(matches!(
+            service.resume_session(session, AnalystId(1)),
+            Err(ServerError::Session(SessionError::Unknown(_)))
+        ));
+    }
+
     #[test]
     fn submit_wait_round_trips_an_answer() {
-        let service = QueryService::start(
-            system(MechanismKind::AdditiveGaussian, 4.0, 2),
-            ServiceConfig::with_workers(2),
-        );
+        let service =
+            QueryService::start(system(MechanismKind::AdditiveGaussian, 4.0, 2), workers(2));
         let session = service.open_session(AnalystId(1)).unwrap();
         let outcome = service
             .submit_wait(session, request(30, 39, 500.0))
@@ -795,10 +1045,7 @@ mod tests {
 
     #[test]
     fn unknown_analyst_and_unknown_session_are_rejected() {
-        let service = QueryService::start(
-            system(MechanismKind::Vanilla, 2.0, 1),
-            ServiceConfig::with_workers(1),
-        );
+        let service = QueryService::start(system(MechanismKind::Vanilla, 2.0, 1), workers(1));
         assert!(matches!(
             service.open_session(AnalystId(7)),
             Err(ServerError::Core(_))
@@ -811,10 +1058,8 @@ mod tests {
 
     #[test]
     fn pipelined_submissions_come_back_in_order() {
-        let service = QueryService::start(
-            system(MechanismKind::AdditiveGaussian, 8.0, 2),
-            ServiceConfig::with_workers(4),
-        );
+        let service =
+            QueryService::start(system(MechanismKind::AdditiveGaussian, 8.0, 2), workers(4));
         let session = service.open_session(AnalystId(1)).unwrap();
         let receivers: Vec<_> = (0..10)
             .map(|i| {
@@ -832,10 +1077,8 @@ mod tests {
 
     #[test]
     fn idle_lanes_are_reclaimed_after_the_work_drains() {
-        let service = QueryService::start(
-            system(MechanismKind::AdditiveGaussian, 8.0, 2),
-            ServiceConfig::with_workers(2),
-        );
+        let service =
+            QueryService::start(system(MechanismKind::AdditiveGaussian, 8.0, 2), workers(2));
         let session = service.open_session(AnalystId(1)).unwrap();
         for i in 0..4 {
             let rx = service.submit(session, request(20 + i, 40, 600.0)).unwrap();
@@ -858,8 +1101,11 @@ mod tests {
 
     #[test]
     fn expired_sessions_cannot_submit() {
-        let mut config = ServiceConfig::with_workers(1);
-        config.session_ttl = Duration::from_millis(20);
+        let config = ServiceConfig::builder()
+            .workers(1)
+            .session_ttl(Duration::from_millis(20))
+            .build()
+            .unwrap();
         let service = QueryService::start(system(MechanismKind::Vanilla, 2.0, 1), config);
         let session = service.open_session(AnalystId(0)).unwrap();
         std::thread::sleep(Duration::from_millis(50));
@@ -876,7 +1122,7 @@ mod tests {
         let (live_totals, live_session) = {
             let (service, report) = QueryService::start_durable(
                 raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
-                ServiceConfig::with_workers(1),
+                workers(1),
                 durability(&dir, 0),
             )
             .unwrap();
@@ -897,7 +1143,7 @@ mod tests {
 
         let (service, report) = QueryService::start_durable(
             raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
-            ServiceConfig::with_workers(1),
+            workers(1),
             durability(&dir, 0),
         )
         .unwrap();
@@ -932,7 +1178,7 @@ mod tests {
         {
             let (service, _) = QueryService::start_durable(
                 raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
-                ServiceConfig::with_workers(2),
+                workers(2),
                 durability(&dir, 0),
             )
             .unwrap();
@@ -947,7 +1193,7 @@ mod tests {
         }
         let (service, report) = QueryService::start_durable(
             raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
-            ServiceConfig::with_workers(1),
+            workers(1),
             durability(&dir, 0),
         )
         .unwrap();
@@ -963,7 +1209,7 @@ mod tests {
         let dir = dprov_storage::scratch_dir("svc-autocompact");
         let (service, _) = QueryService::start_durable(
             raw_system(MechanismKind::AdditiveGaussian, 16.0, 2),
-            ServiceConfig::with_workers(1),
+            workers(1),
             durability(&dir, 4),
         )
         .unwrap();
@@ -987,7 +1233,7 @@ mod tests {
         {
             let (service, _) = QueryService::start_durable(
                 raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
-                ServiceConfig::with_workers(1),
+                workers(1),
                 durability(&dir, 0),
             )
             .unwrap();
@@ -1001,7 +1247,7 @@ mod tests {
         assert!(matches!(
             QueryService::start_durable(
                 raw_system(MechanismKind::AdditiveGaussian, 4.0, 2),
-                ServiceConfig::with_workers(1),
+                workers(1),
                 durability(&dir, 0),
             ),
             Err(ServerError::Storage(StorageError::IncompatibleState(_)))
@@ -1025,11 +1271,7 @@ mod tests {
             .unwrap()
         };
         assert!(matches!(
-            QueryService::start_durable(
-                roster_changed,
-                ServiceConfig::with_workers(1),
-                durability(&dir, 0),
-            ),
+            QueryService::start_durable(roster_changed, workers(1), durability(&dir, 0),),
             Err(ServerError::Storage(StorageError::IncompatibleState(_)))
         ));
         // WAL-only stores (crash before any snapshot) refuse mismatches
@@ -1038,7 +1280,7 @@ mod tests {
         {
             let (service, _) = QueryService::start_durable(
                 raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
-                ServiceConfig::with_workers(1),
+                workers(1),
                 durability(&wal_only_dir, 0),
             )
             .unwrap();
@@ -1051,17 +1293,14 @@ mod tests {
         assert!(matches!(
             QueryService::start_durable(
                 raw_system(MechanismKind::AdditiveGaussian, 4.0, 2),
-                ServiceConfig::with_workers(1),
+                workers(1),
                 durability(&wal_only_dir, 0),
             ),
             Err(ServerError::Storage(StorageError::IncompatibleState(_)))
         ));
         std::fs::remove_dir_all(&wal_only_dir).ok();
         // Volatile services have no checkpoint.
-        let volatile = QueryService::start(
-            system(MechanismKind::Vanilla, 2.0, 1),
-            ServiceConfig::with_workers(1),
-        );
+        let volatile = QueryService::start(system(MechanismKind::Vanilla, 2.0, 1), workers(1));
         assert!(matches!(
             volatile.checkpoint(),
             Err(ServerError::Storage(StorageError::Unavailable(_)))
@@ -1071,10 +1310,8 @@ mod tests {
 
     #[test]
     fn shutdown_drains_pending_work() {
-        let service = QueryService::start(
-            system(MechanismKind::AdditiveGaussian, 8.0, 4),
-            ServiceConfig::with_workers(2),
-        );
+        let service =
+            QueryService::start(system(MechanismKind::AdditiveGaussian, 8.0, 4), workers(2));
         let sessions: Vec<_> = (0..4)
             .map(|i| service.open_session(AnalystId(i)).unwrap())
             .collect();

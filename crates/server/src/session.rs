@@ -177,6 +177,11 @@ pub struct SessionRegistry {
 }
 
 /// Errors from session lookups.
+///
+/// Marked `#[non_exhaustive]`: the session lifecycle may grow states (and
+/// with them error variants); downstream matches must carry a wildcard
+/// arm. The stable analyst-facing form is `dprov_api::ApiError`.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionError {
     /// The session id is not registered (never existed or already expired).

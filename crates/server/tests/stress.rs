@@ -41,7 +41,7 @@ fn hammer_shared_view(mechanism: MechanismKind) {
     let system = build_system(mechanism, epsilon);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
-        ServiceConfig::with_workers(WORKERS),
+        ServiceConfig::builder().workers(WORKERS).build().unwrap(),
     ));
 
     let submitters: Vec<_> = (0..ANALYSTS)
@@ -149,7 +149,7 @@ fn mixed_views_under_contention_stay_within_every_constraint() {
     let system = build_system(MechanismKind::AdditiveGaussian, epsilon);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
-        ServiceConfig::with_workers(WORKERS),
+        ServiceConfig::builder().workers(WORKERS).build().unwrap(),
     ));
     let attributes = ["age", "hours_per_week", "education_num"];
 

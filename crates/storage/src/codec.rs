@@ -74,6 +74,16 @@ impl Encoder {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian `i64` (two's complement).
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte (`0` / `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
     /// Appends an `f64` as its raw IEEE-754 bits.
     pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
@@ -163,6 +173,21 @@ impl<'a> Decoder<'a> {
     /// Reads a little-endian `u64`.
     pub fn take_u64(&mut self) -> DecodeResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64` (two's complement).
+    pub fn take_i64(&mut self) -> DecodeResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a boolean written by [`Encoder::put_bool`], rejecting any
+    /// byte other than `0` or `1`.
+    pub fn take_bool(&mut self) -> DecodeResult<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(format!("invalid bool byte {t}")),
+        }
     }
 
     /// Reads an `f64` from raw IEEE-754 bits.

@@ -67,7 +67,7 @@ fn main() {
 
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
-        ServiceConfig::with_workers(4),
+        ServiceConfig::builder().workers(4).build().unwrap(),
     ));
 
     println!(

@@ -87,7 +87,7 @@ fn main() {
     let sessions = {
         let (service, report) = QueryService::start_durable(
             build_system(),
-            ServiceConfig::with_workers(2),
+            ServiceConfig::builder().workers(2).build().unwrap(),
             durability.clone(),
         )
         .expect("fresh store opens cleanly");
@@ -109,9 +109,12 @@ fn main() {
     };
 
     println!("\n== second life (recovering from the same directory) ==");
-    let (service, report) =
-        QueryService::start_durable(build_system(), ServiceConfig::with_workers(2), durability)
-            .expect("recovery must succeed");
+    let (service, report) = QueryService::start_durable(
+        build_system(),
+        ServiceConfig::builder().workers(2).build().unwrap(),
+        durability,
+    )
+    .expect("recovery must succeed");
     println!(
         "  recovered: snapshot={} replayed_commits={} replayed_accesses={} sessions={}{}",
         report.snapshot_restored,

@@ -12,17 +12,23 @@
 //!   baselines and fairness metrics.
 //! * [`workloads`] — the RRQ and BFS workload generators and the
 //!   experiment runner used to regenerate the paper's figures.
+//! * [`api`] — the versioned analyst wire protocol: typed
+//!   requests/responses, CRC-checked frames, the in-process and TCP
+//!   transports, the stable `ApiError` taxonomy and the blocking
+//!   `DProvClient`.
 //! * [`server`] — the concurrent multi-analyst query service: analyst
-//!   sessions, a bounded job queue and a worker pool over the shared,
-//!   thread-safe `DProvDb`.
+//!   sessions, a bounded job queue, a worker pool over the shared,
+//!   thread-safe `DProvDb`, and the protocol `Frontend` serving `api`.
 //! * [`storage`] — the durable provenance ledger: checksummed write-ahead
 //!   log, versioned snapshots, crash-safe recovery and the crash-injection
 //!   test harness.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through,
-//! `examples/concurrent_service.rs` for the multi-analyst service and
+//! `examples/concurrent_service.rs` for the multi-analyst service,
+//! `examples/remote_client.rs` for the client/server split over TCP and
 //! `examples/recover_service.rs` for durable restarts.
 
+pub use dprov_api as api;
 pub use dprov_core as core;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
@@ -32,6 +38,7 @@ pub use dprov_workloads as workloads;
 
 /// Convenience prelude exporting the most commonly used types.
 pub mod prelude {
+    pub use dprov_api::{ApiError, BudgetReport, Connection, DProvClient, ErrorKind};
     pub use dprov_core::analyst::{AnalystId, AnalystRegistry, Privilege};
     pub use dprov_core::config::SystemConfig;
     pub use dprov_core::mechanism::MechanismKind;
@@ -40,6 +47,6 @@ pub mod prelude {
     pub use dprov_dp::budget::{Budget, Delta, Epsilon};
     pub use dprov_engine::database::Database;
     pub use dprov_engine::query::{AggregateKind, Query};
-    pub use dprov_server::{QueryService, ServiceConfig, SessionId};
+    pub use dprov_server::{Frontend, QueryService, ServiceConfig, SessionId};
     pub use dprov_workloads::runner::ExperimentRunner;
 }

@@ -70,7 +70,7 @@ fn run(mechanism: MechanismKind, seed: u64, workers: usize) -> Vec<Vec<f64>> {
     let system = build_system(mechanism, seed);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
-        ServiceConfig::with_workers(workers),
+        ServiceConfig::builder().workers(workers).build().unwrap(),
     ));
     // Registration order is fixed (analyst 0 first), so session ids — and
     // with them the per-session noise streams — are reproducible.

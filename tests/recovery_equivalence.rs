@@ -34,7 +34,7 @@ fn build_system(mechanism: MechanismKind) -> DProvDb {
 
 fn service_config() -> ServiceConfig {
     // One worker: single-session workloads are then fully deterministic.
-    ServiceConfig::with_workers(1)
+    ServiceConfig::builder().workers(1).build().unwrap()
 }
 
 fn durability(dir: &std::path::Path) -> DurabilityConfig {
