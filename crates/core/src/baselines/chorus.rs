@@ -13,7 +13,7 @@ use dprov_dp::rng::DpRng;
 use dprov_dp::sensitivity::Sensitivity;
 use dprov_dp::translation::translate_variance_to_epsilon;
 use dprov_engine::database::Database;
-use dprov_engine::exec::execute;
+use dprov_exec::{ColumnarExecutor, ExecConfig};
 
 use crate::analyst::{AnalystId, AnalystRegistry};
 use crate::config::SystemConfig;
@@ -27,6 +27,9 @@ use super::direct_query_sensitivity;
 /// The plain Chorus baseline.
 pub struct ChorusBaseline {
     db: Database,
+    /// Chorus scans the base table on every single query (it keeps no
+    /// synopses), so its per-query scan runs on the columnar executor.
+    exec: ColumnarExecutor,
     registry: AnalystRegistry,
     config: SystemConfig,
     rng: DpRng,
@@ -37,14 +40,19 @@ pub struct ChorusBaseline {
 }
 
 impl ChorusBaseline {
-    /// Builds the baseline. There is no setup cost: Chorus materialises
-    /// nothing.
+    /// Builds the baseline. Chorus materialises no synopses; its only
+    /// setup cost is ingesting the database into the columnar store the
+    /// per-query scans run on.
     #[must_use]
     pub fn new(db: Database, registry: AnalystRegistry, config: SystemConfig) -> Self {
         let n = registry.len();
         let rng = DpRng::seed_from_u64(config.seed);
+        let setup_start = Instant::now();
+        let exec = ColumnarExecutor::ingest(&db, &ExecConfig::default());
+        let setup_time = setup_start.elapsed();
         ChorusBaseline {
             db,
+            exec,
             registry,
             config,
             rng,
@@ -52,7 +60,7 @@ impl ChorusBaseline {
             per_analyst_consumed: vec![0.0; n],
             per_analyst_answered: vec![0; n],
             stats: SystemStats {
-                setup_time: std::time::Duration::ZERO,
+                setup_time,
                 query_time: std::time::Duration::ZERO,
                 answered: 0,
                 rejected: 0,
@@ -114,15 +122,18 @@ impl ChorusBaseline {
             direct_query_sensitivity(&self.db, &request.query).map_err(CoreError::Engine)?;
         let sigma = analytic_gaussian_sigma(epsilon, self.config.delta.value(), sensitivity)
             .map_err(CoreError::Dp)?;
-        let result = execute(&self.db, &request.query).map_err(CoreError::Engine)?;
-        let truth = match result.scalar() {
-            Some(v) => v,
-            None => {
-                return Ok(QueryOutcome::Rejected {
-                    reason: RejectReason::NotAnswerable,
-                })
-            }
-        };
+        // GROUP BY queries are not scalar — the row path used to discover
+        // that after executing; the columnar path rejects them up front
+        // with the same outcome.
+        if !request.query.group_by.is_empty() {
+            return Ok(QueryOutcome::Rejected {
+                reason: RejectReason::NotAnswerable,
+            });
+        }
+        let truth = self
+            .exec
+            .execute(&request.query)
+            .map_err(CoreError::Engine)?;
         let value = truth + self.rng.gaussian(sigma);
 
         self.consumed_total += epsilon;

@@ -53,6 +53,7 @@ use dprov_engine::query::Query;
 use dprov_engine::transform::LinearQuery;
 use dprov_engine::view::ViewDef;
 use dprov_engine::EngineError;
+use dprov_exec::{ColumnarExecutor, ExecConfig, ExecStats};
 
 use crate::accounting::MultiAnalystLedger;
 use crate::admission::AdmissionControl;
@@ -102,6 +103,11 @@ pub struct DProvDb {
     config: SystemConfig,
     mechanism: MechanismKind,
     db: Database,
+    /// The batched columnar execution layer (`dprov-exec`): the database
+    /// re-ingested as an immutable sharded column-store. Setup-time view
+    /// materialisation and every exact (ground-truth) evaluation route
+    /// through it; shared after setup without locks.
+    exec: ColumnarExecutor,
     catalog: ViewCatalog,
     registry: AnalystRegistry,
     provenance: Mutex<ProvenanceTable>,
@@ -187,10 +193,12 @@ impl DProvDb {
             provenance.add_view(&view.name, constraint);
         }
 
+        // Ingest the database into the columnar execution layer, then
+        // materialise the whole view catalog through it: every view over
+        // one base table shares a single pass over its shards.
+        let exec = ColumnarExecutor::ingest(&db, &ExecConfig::default());
         let mut synopses = SynopsisManager::new(config.delta);
-        for view in catalog.views() {
-            synopses.register_view(&db, view)?;
-        }
+        synopses.register_views(&exec, catalog.views())?;
 
         let view_names: Vec<String> = catalog.views().iter().map(|v| v.name.clone()).collect();
         let admission = AdmissionControl::new(registry.len(), &view_names);
@@ -204,6 +212,7 @@ impl DProvDb {
             config,
             mechanism,
             db,
+            exec,
             catalog,
             registry,
             provenance: Mutex::new(provenance),
@@ -309,14 +318,41 @@ impl DProvDb {
 
     /// The exact (non-private) answer to a query — only used by the
     /// evaluation harness for relative-error measurements, never exposed to
-    /// analysts.
+    /// analysts. Scalar queries run on the columnar executor (vectorised
+    /// kernels, zone-map pruning); GROUP BY queries stay on the engine's
+    /// row-at-a-time path, which reports them as non-scalar.
     pub fn true_answer(&self, query: &Query) -> Result<f64> {
+        if query.group_by.is_empty() {
+            return self.exec.execute(query).map_err(CoreError::Engine);
+        }
         let result = execute(&self.db, query).map_err(CoreError::Engine)?;
         result.scalar().ok_or_else(|| {
             CoreError::Engine(EngineError::InvalidQuery(
                 "true_answer requires a scalar query".to_owned(),
             ))
         })
+    }
+
+    /// Exact answers to a whole batch of scalar queries in a **single
+    /// shared scan** per base table (the `dprov-exec` batch path): `B`
+    /// same-table queries cost 1 scan instead of `B`. Answers are
+    /// bit-identical to calling [`Self::true_answer`] per query.
+    pub fn true_answers(&self, queries: &[Query]) -> Result<Vec<f64>> {
+        self.exec.execute_batch(queries).map_err(CoreError::Engine)
+    }
+
+    /// The columnar execution layer (shard/batch diagnostics, direct batch
+    /// evaluation).
+    #[must_use]
+    pub fn exec(&self) -> &ColumnarExecutor {
+        &self.exec
+    }
+
+    /// Counters of the columnar execution layer: scans, queries, batches
+    /// and the scans-per-query amortisation ratio.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.stats()
     }
 
     /// Per-analyst outcomes for the fairness metrics.
@@ -1018,6 +1054,31 @@ mod tests {
         assert!((system.provenance().row_constraint(AnalystId(1)) - 2.0).abs() < 1e-12);
         assert!((system.provenance().row_constraint(AnalystId(0)) - 0.5).abs() < 1e-12);
         assert!(system.stats().setup_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn batched_true_answers_share_one_scan_and_match_per_query() {
+        let system = build(MechanismKind::Vanilla, 2.0);
+        let queries: Vec<Query> = (0..8)
+            .map(|i| Query::range_count("adult", "age", 20 + i, 40 + i))
+            .collect();
+        let per_query: Vec<f64> = queries
+            .iter()
+            .map(|q| system.true_answer(q).unwrap())
+            .collect();
+        let scans_before = system.exec_stats().scans;
+        let batched = system.true_answers(&queries).unwrap();
+        assert_eq!(
+            system.exec_stats().scans,
+            scans_before + 1,
+            "8 same-table queries must share one scan"
+        );
+        for (a, b) in batched.iter().zip(&per_query) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Setup materialised the whole 13-view catalog in one table pass.
+        assert_eq!(system.exec_stats().histogram_scans, 1);
+        assert_eq!(system.exec_stats().histograms, 13);
     }
 
     #[test]

@@ -23,11 +23,7 @@ impl Histogram {
         let table = db.table(&view.table)?;
         let schema = table.schema();
         let dims = view.dimensions(schema)?;
-        let positions: Vec<usize> = view
-            .attributes
-            .iter()
-            .map(|a| schema.position(a))
-            .collect::<Result<_>>()?;
+        let positions = view.positions(schema)?;
 
         let total: usize = dims.iter().product();
         let mut counts = vec![0.0f64; total.max(1)];

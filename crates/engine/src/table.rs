@@ -105,6 +105,14 @@ impl Table {
         &self.columns[position]
     }
 
+    /// All encoded columns in schema order — the zero-copy ingest path the
+    /// `dprov-exec` columnar execution layer converts tables through (it
+    /// re-partitions these columns into fixed-size shards).
+    #[must_use]
+    pub fn columns(&self) -> &[Vec<u32>] {
+        &self.columns
+    }
+
     /// Decodes the cell at `(row, attribute)`.
     pub fn value_at(&self, row: usize, attribute: &str) -> Result<Value> {
         let pos = self.schema.position(attribute)?;
@@ -149,6 +157,8 @@ mod tests {
         assert_eq!(t.value_at(1, "sex").unwrap(), Value::text("Female"));
         assert_eq!(t.row(1), vec![Value::Int(45), Value::text("Female")]);
         assert_eq!(t.column("age").unwrap(), &[13, 28]);
+        assert_eq!(t.columns().len(), 2);
+        assert_eq!(t.columns()[1], vec![1, 0]);
     }
 
     #[test]

@@ -79,6 +79,13 @@ impl ViewDef {
         Ok(self.dimensions(schema)?.iter().product())
     }
 
+    /// Schema positions of the view's attributes, in view order — shared by
+    /// the engine's row-at-a-time histogram materialisation and the
+    /// `dprov-exec` columnar path.
+    pub fn positions(&self, schema: &Schema) -> Result<Vec<usize>> {
+        self.attributes.iter().map(|a| schema.position(a)).collect()
+    }
+
     /// The ℓ2 sensitivity of releasing this view under bounded DP: one
     /// tuple changing value moves one unit between two cells, so √2 for any
     /// counting histogram.
@@ -183,6 +190,7 @@ mod tests {
         let s = schema();
         assert_eq!(v.dimensions(&s).unwrap(), vec![74, 2]);
         assert_eq!(v.domain_size(&s).unwrap(), 148);
+        assert_eq!(v.positions(&s).unwrap(), vec![0, 1]);
         assert!(v.covers(&["age"]));
         assert!(v.covers(&["age", "sex"]));
         assert!(!v.covers(&["edu"]));

@@ -1,0 +1,49 @@
+//! # `dprov-exec` — batched columnar execution for DProvDB
+//!
+//! The multi-analyst setting concentrates many concurrent analysts on a
+//! small set of shared views and base tables. This crate is the execution
+//! subsystem that makes that concentration cheap instead of expensive:
+//!
+//! * [`store`] — an **immutable, sharded column-store**:
+//!   [`store::ColumnarTable::ingest`] re-partitions an engine table's
+//!   domain-index-encoded columns into fixed-size row shards with
+//!   per-column zone maps (min/max encoded index), the unit of both
+//!   pruning and cache-resident evaluation;
+//! * [`kernel`] — **compiled query kernels**:
+//!   [`kernel::CompiledQuery::compile`] lowers a scalar aggregate query
+//!   into per-attribute accept bitsets, bitwise mask combinators and
+//!   per-domain-index weight tables, evaluated shard-at-a-time without
+//!   revisiting the AST;
+//! * [`executor`] — the **batch executor**:
+//!   [`executor::ColumnarExecutor::execute_batch`] answers every query of
+//!   a batch that targets the same table in a *single pass* over its
+//!   shards (each query's partial aggregate folded shard-by-shard, in
+//!   shard order), and
+//!   [`executor::ColumnarExecutor::materialize_histograms`] materialises a
+//!   whole view catalog in one pass per base table.
+//!
+//! # Equivalence guarantee
+//!
+//! Columnar evaluation is **bit-identical** to the engine's row-at-a-time
+//! [`dprov_engine::exec::execute`]: kernels are compiled by running the
+//! exact row comparison over every decoded domain value, shards preserve
+//! row order, and aggregates accumulate over mask bits in ascending row
+//! order — so the floating-point additions happen in the same sequence.
+//! The `fallback-equivalence` cargo feature makes every batch re-verify
+//! this against the row path at runtime (tests/CI only), and the crate's
+//! `equivalence` proptest suite checks random tables, predicate trees and
+//! batch shapes.
+//!
+//! [`executor::ExecStats::scans_per_query`] quantifies the win: a batch of
+//! `B` same-table queries costs `1/B` scans per query instead of 1.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod executor;
+pub mod kernel;
+pub mod store;
+
+pub use executor::{ColumnarExecutor, ExecConfig, ExecStats};
+pub use kernel::CompiledQuery;
+pub use store::{ColumnShard, ColumnarTable};

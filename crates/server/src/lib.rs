@@ -14,9 +14,13 @@
 //! * [`queue`] — a bounded MPMC **job queue** (`Mutex` + `Condvar`)
 //!   providing backpressure between submitters and workers;
 //! * [`service`] — the **worker pool** ([`service::QueryService`]): `N`
-//!   threads pull jobs and execute them through
-//!   `DProvDb::submit_with_rng`; responses travel back over `mpsc`
-//!   channels (an internal detail — see [`frontend`]);
+//!   threads drain the queue in **per-view micro-batches** (bounded batch
+//!   size plus an optional linger window, see
+//!   [`service::ServiceConfig::max_batch`]) and execute each job through
+//!   `DProvDb::submit_with_rng`; batching regroups cross-session work so
+//!   same-view jobs run back-to-back on hot admission/synopsis state, and
+//!   responses travel back over `mpsc` channels (an internal detail — see
+//!   [`frontend`]);
 //! * [`frontend`] — the **protocol frontend** ([`frontend::Frontend`]):
 //!   serves the versioned `dprov-api` analyst protocol over the worker
 //!   pool — session registration authenticated against the analyst
@@ -34,11 +38,15 @@
 //!
 //! **Determinism**: each session's noise stream depends only on the system
 //! seed, the session registration order and the session's own submission
-//! order — never on thread scheduling. Answers are therefore identical
-//! across runs and worker counts under the vanilla mechanism, and under
-//! the additive mechanism whenever sessions work disjoint views, provided
-//! the budget is uncontended (validated by the workspace's
-//! `determinism.rs` integration test). Two quantities remain
+//! order — never on thread scheduling, and never on the micro-batch knobs:
+//! the session lanes admit at most one job per session into any batch, so
+//! regrouping a batch by view can only reorder work *across* sessions and
+//! keeps same-view work in arrival order. Answers are therefore identical
+//! across runs, worker counts and batch/linger settings under the vanilla
+//! mechanism, and under the additive mechanism whenever sessions work
+//! disjoint views, provided the budget is uncontended (validated by the
+//! workspace's `determinism.rs` and `batch_equivalence.rs` integration
+//! tests). Two quantities remain
 //! scheduling-sensitive: the additive mechanism's hidden global synopsis
 //! on a view *shared* by racing sessions grows in cross-session arrival
 //! order, and near budget exhaustion the provenance checks' cross-analyst
@@ -67,7 +75,7 @@ pub mod session;
 
 pub use frontend::{Frontend, FrontendListener};
 pub use service::{
-    DurabilityConfig, DurabilityConfigBuilder, QueryResponse, QueryService, RecoveryReport,
-    ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats,
+    DurabilityConfig, DurabilityConfigBuilder, PendingQuery, QueryResponse, QueryService,
+    RecoveryReport, ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats,
 };
 pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

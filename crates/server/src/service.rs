@@ -51,6 +51,20 @@ pub struct ServiceConfig {
     /// How long a session may go without a heartbeat or submission before
     /// it is considered expired.
     pub session_ttl: Duration,
+    /// Upper bound on the per-view micro-batch a worker drains from the
+    /// queue in one go (`1` disables batching). Batching regroups
+    /// *cross-session* execution order by view so same-view work runs
+    /// back-to-back on hot synopsis/admission state; per-session FIFO and
+    /// per-session noise streams are unaffected (the session lanes admit
+    /// at most one job per session into any batch). In a multi-worker
+    /// pool a worker additionally never takes more than its fair share
+    /// (`ceil(queued / workers)`) of a burst, so batching cannot
+    /// serialise work other workers could run in parallel.
+    pub max_batch: usize,
+    /// How long a worker may wait for stragglers to fill a micro-batch
+    /// once it holds at least one job. Zero (the default) never delays an
+    /// answer: the batch is whatever is already queued.
+    pub max_linger: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +73,8 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 256,
             session_ttl: Duration::from_secs(60),
+            max_batch: 8,
+            max_linger: Duration::ZERO,
         }
     }
 }
@@ -66,27 +82,14 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// A validating builder over the default configuration. Invalid knob
     /// combinations (`workers == 0`, `queue_capacity == 0`, a zero
-    /// `session_ttl`) are rejected at [`ServiceConfigBuilder::build`]
-    /// time instead of being silently clamped at service start.
+    /// `session_ttl`, `max_batch == 0`) are rejected at
+    /// [`ServiceConfigBuilder::build`] time instead of being silently
+    /// clamped at service start.
     #[must_use]
     pub fn builder() -> ServiceConfigBuilder {
         ServiceConfigBuilder {
             config: ServiceConfig::default(),
         }
-    }
-
-    /// A configuration with `workers` worker threads and the remaining
-    /// defaults. Zero is clamped to one worker (historical behaviour).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ServiceConfig::builder()`, which validates instead of clamping"
-    )]
-    #[must_use]
-    pub fn with_workers(workers: usize) -> Self {
-        ServiceConfig::builder()
-            .workers(workers.max(1))
-            .build()
-            .expect("defaults with a non-zero worker count are valid")
     }
 }
 
@@ -119,6 +122,21 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets the micro-batch size bound (must be non-zero; `1` disables
+    /// batching).
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the micro-batch linger window (zero never delays an answer).
+    #[must_use]
+    pub fn max_linger(mut self, linger: Duration) -> Self {
+        self.config.max_linger = linger;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<ServiceConfig, ServerError> {
         if self.config.workers == 0 {
@@ -136,6 +154,11 @@ impl ServiceConfigBuilder {
             return Err(ServerError::InvalidConfig(
                 "session_ttl must be non-zero (sessions would expire before their first query)"
                     .to_owned(),
+            ));
+        }
+        if self.config.max_batch == 0 {
+            return Err(ServerError::InvalidConfig(
+                "max_batch must be non-zero (use 1 to disable micro-batching)".to_owned(),
             ));
         }
         Ok(self.config)
@@ -389,6 +412,9 @@ pub struct ServiceStats {
     pub submitted: usize,
     /// Jobs fully executed (answered or rejected).
     pub completed: usize,
+    /// Per-view micro-batches drained by the workers (`completed /
+    /// batches` is the realised batch size).
+    pub batches: usize,
     /// Jobs currently waiting in the queue.
     pub queued: usize,
     /// Live sessions.
@@ -406,6 +432,7 @@ pub struct QueryService {
     workers: Vec<JoinHandle<()>>,
     submitted: Arc<AtomicUsize>,
     completed: Arc<AtomicUsize>,
+    batches: Arc<AtomicUsize>,
     durable: Option<Arc<DurableCtx>>,
 }
 
@@ -519,17 +546,31 @@ impl QueryService {
         let lanes: Arc<LaneMap> = Arc::new(Mutex::new(HashMap::new()));
         let submitted = Arc::new(AtomicUsize::new(0));
         let completed = Arc::new(AtomicUsize::new(0));
+        let batches = Arc::new(AtomicUsize::new(0));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let system = Arc::clone(&system);
                 let queue = Arc::clone(&queue);
                 let lanes = Arc::clone(&lanes);
                 let completed = Arc::clone(&completed);
+                let batches = Arc::clone(&batches);
                 let durable = durable.clone();
+                let (max_batch, max_linger) = (config.max_batch.max(1), config.max_linger);
+                let pool_size = config.workers.max(1);
                 std::thread::Builder::new()
                     .name(format!("dprov-worker-{i}"))
                     .spawn(move || {
-                        Self::worker_loop(&system, &queue, &lanes, &completed, durable.as_deref());
+                        Self::worker_loop(
+                            &system,
+                            &queue,
+                            &lanes,
+                            &completed,
+                            &batches,
+                            durable.as_deref(),
+                            max_batch,
+                            max_linger,
+                            pool_size,
+                        );
                     })
                     .expect("failed to spawn worker thread")
             })
@@ -542,6 +583,7 @@ impl QueryService {
             workers,
             submitted,
             completed,
+            batches,
             durable,
         }
     }
@@ -558,89 +600,151 @@ impl QueryService {
         store.compact(fingerprint, &core)
     }
 
+    /// The grouping key for per-view micro-batching. Queries over the same
+    /// table and attribute set resolve to the same catalog view, so the
+    /// key clusters same-view work without paying a full view-selection
+    /// pass (which iterates every view's domain) before admission.
+    fn view_key(request: &QueryRequest) -> String {
+        let mut attrs = request.query.referenced_attributes();
+        attrs.sort();
+        format!("{}\u{1f}{}", request.query.table, attrs.join(","))
+    }
+
+    /// Stable-regroups a micro-batch by view key: same-view jobs stay in
+    /// arrival order (so each view's budget/synopsis state evolves exactly
+    /// as under one-at-a-time draining) and run back-to-back on hot
+    /// admission-lock, provenance-entry and synopsis-shard state.
+    fn group_by_view(jobs: Vec<Job>) -> Vec<Job> {
+        if jobs.len() <= 1 {
+            return jobs;
+        }
+        let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+        for job in jobs {
+            let key = Self::view_key(&job.request);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, group)) => group.push(job),
+                None => groups.push((key, vec![job])),
+            }
+        }
+        groups.into_iter().flat_map(|(_, group)| group).collect()
+    }
+
+    /// Executes one job end to end (submit → durable session checkpoint →
+    /// respond → compaction check) and returns the session's next pending
+    /// job, chained from its lane without a round-trip through the global
+    /// queue.
+    fn execute_job(
+        system: &DProvDb,
+        lanes: &LaneMap,
+        completed: &AtomicUsize,
+        durable: Option<&DurableCtx>,
+        job: Job,
+    ) -> Option<Job> {
+        // Executing a query also counts as session activity.
+        job.session.heartbeat();
+        let result = {
+            let mut rng = job.session.rng.lock().expect("session rng poisoned");
+            system.submit_with_rng(job.session.analyst(), &job.request, &mut rng)
+        };
+        completed.fetch_add(1, Ordering::Relaxed);
+        let response: QueryResponse = match result {
+            Ok(outcome) => {
+                // Durable mode: persist the session's noise-stream
+                // position BEFORE acknowledging the answer. An
+                // acknowledged answer therefore implies its draws
+                // are checkpointed — a recovered session can never
+                // re-release randomness an analyst has observed. If
+                // the append fails the answer is withheld (the
+                // noise was never observed, so rewinding is safe).
+                let persisted = durable.map_or(Ok(()), |ctx| {
+                    ctx.store.record_session(&SessionCheckpoint {
+                        session: job.session.id().0,
+                        analyst: job.session.analyst(),
+                        rng: job.session.rng_checkpoint(),
+                    })
+                });
+                match persisted {
+                    Ok(()) => {
+                        job.session.record_outcome(outcome.is_answered());
+                        Ok(outcome)
+                    }
+                    Err(e) => Err(ServerError::Storage(e)),
+                }
+            }
+            Err(e) => Err(ServerError::Core(e)),
+        };
+        // The submitter may have dropped its receiver; that is fine.
+        let _ = job.responder.send(response);
+
+        // Periodic compaction: fold the ledger into a snapshot once
+        // it has grown past the watermark (raised after failures so
+        // a broken disk does not stall every job; the error stays
+        // queryable via `last_compaction_error`).
+        if let Some(ctx) = durable {
+            if ctx.snapshot_every > 0
+                && ctx.store.appends_since_snapshot()
+                    >= ctx.next_compaction_at.load(Ordering::SeqCst)
+            {
+                let _ = ctx.try_compact(system);
+            }
+        }
+
+        let mut lanes = lanes.lock().expect("lane map poisoned");
+        let lane = lanes
+            .get_mut(&job.session.id().0)
+            .expect("executing session has a lane");
+        match lane.pending.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                // Idle lanes are removed outright — `submit` recreates
+                // them on demand — so lanes never outlive their work (no
+                // leak when sessions expire mid-flight).
+                lanes.remove(&job.session.id().0);
+                None
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         system: &DProvDb,
         queue: &BoundedQueue<Job>,
         lanes: &LaneMap,
         completed: &AtomicUsize,
+        batches: &AtomicUsize,
         durable: Option<&DurableCtx>,
+        max_batch: usize,
+        max_linger: Duration,
+        pool_size: usize,
     ) {
-        while let Some(mut job) = queue.pop() {
-            // Chain through the session's lane: execute the runnable job,
-            // then pull the session's next pending job directly (no
-            // round-trip through the global queue). A session thus occupies
-            // at most one worker and its jobs run in submission order, and
-            // chains keep draining even after the queue is closed.
-            loop {
-                // Executing a query also counts as session activity.
-                job.session.heartbeat();
-                let result = {
-                    let mut rng = job.session.rng.lock().expect("session rng poisoned");
-                    system.submit_with_rng(job.session.analyst(), &job.request, &mut rng)
-                };
-                completed.fetch_add(1, Ordering::Relaxed);
-                let response: QueryResponse = match result {
-                    Ok(outcome) => {
-                        // Durable mode: persist the session's noise-stream
-                        // position BEFORE acknowledging the answer. An
-                        // acknowledged answer therefore implies its draws
-                        // are checkpointed — a recovered session can never
-                        // re-release randomness an analyst has observed. If
-                        // the append fails the answer is withheld (the
-                        // noise was never observed, so rewinding is safe).
-                        let persisted = durable.map_or(Ok(()), |ctx| {
-                            ctx.store.record_session(&SessionCheckpoint {
-                                session: job.session.id().0,
-                                analyst: job.session.analyst(),
-                                rng: job.session.rng_checkpoint(),
-                            })
-                        });
-                        match persisted {
-                            Ok(()) => {
-                                job.session.record_outcome(outcome.is_answered());
-                                Ok(outcome)
-                            }
-                            Err(e) => Err(ServerError::Storage(e)),
-                        }
-                    }
-                    Err(e) => Err(ServerError::Core(e)),
-                };
-                // The submitter may have dropped its receiver; that is fine.
-                let _ = job.responder.send(response);
-
-                // Periodic compaction: fold the ledger into a snapshot once
-                // it has grown past the watermark (raised after failures so
-                // a broken disk does not stall every job; the error stays
-                // queryable via `last_compaction_error`).
-                if let Some(ctx) = durable {
-                    if ctx.snapshot_every > 0
-                        && ctx.store.appends_since_snapshot()
-                            >= ctx.next_compaction_at.load(Ordering::SeqCst)
-                    {
-                        let _ = ctx.try_compact(system);
-                    }
+        // Jobs chained from session lanes after the previous round; they
+        // bypass the global queue, so chains keep draining even after the
+        // queue is closed (accepted work always completes).
+        let mut carry: Vec<Job> = Vec::new();
+        loop {
+            // Assemble the next micro-batch: chained work first, topped up
+            // from the queue. Only an idle worker blocks (and only an idle
+            // worker lingers) — carried jobs are never delayed — and the
+            // fair-share cap (`pool_size` consumers) keeps one worker from
+            // draining a burst its siblings could run in parallel.
+            let mut jobs = std::mem::take(&mut carry);
+            if jobs.is_empty() {
+                jobs = queue.pop_batch(max_batch, max_linger, pool_size);
+                if jobs.is_empty() {
+                    return; // closed and drained
                 }
+            } else if jobs.len() < max_batch {
+                jobs.extend(queue.try_pop_batch(max_batch - jobs.len(), pool_size));
+            }
+            batches.fetch_add(1, Ordering::Relaxed);
 
-                let next = {
-                    let mut lanes = lanes.lock().expect("lane map poisoned");
-                    let lane = lanes
-                        .get_mut(&job.session.id().0)
-                        .expect("executing session has a lane");
-                    match lane.pending.pop_front() {
-                        Some(next) => Some(next),
-                        None => {
-                            // Idle lanes are removed outright — `submit`
-                            // recreates them on demand — so lanes never
-                            // outlive their work (no leak when sessions
-                            // expire mid-flight).
-                            lanes.remove(&job.session.id().0);
-                            None
-                        }
-                    }
-                };
-                match next {
-                    Some(next) => job = next,
-                    None => break,
+            // Per-view regrouping: session lanes admit at most one job per
+            // session into any batch, so per-session FIFO (and with it
+            // every session's noise-stream order) is preserved no matter
+            // how the batch is regrouped across sessions.
+            for job in Self::group_by_view(jobs) {
+                if let Some(next) = Self::execute_job(system, lanes, completed, durable, job) {
+                    carry.push(next);
                 }
             }
         }
@@ -850,8 +954,24 @@ impl QueryService {
 
     /// Submits a query and blocks until its outcome is available.
     pub fn submit_wait(&self, id: SessionId, request: QueryRequest) -> QueryResponse {
-        let rx = self.submit(id, request)?;
-        rx.recv().map_err(|_| ServerError::ShuttingDown)?
+        self.submit_pipelined(id, request)?.wait()
+    }
+
+    /// Submits a query without blocking for its outcome — the same-process
+    /// pipelined path. A single embedder thread can queue many submissions
+    /// back-to-back (one per session, plus per-session lanes beyond that)
+    /// and resolve them later with [`PendingQuery::wait`]; this is what
+    /// lets the workers' per-view micro-batches actually fill up when the
+    /// service is driven in-process. Remote pipelining goes through the
+    /// protocol [`crate::frontend::Frontend`] instead.
+    pub fn submit_pipelined(
+        &self,
+        id: SessionId,
+        request: QueryRequest,
+    ) -> Result<PendingQuery, ServerError> {
+        Ok(PendingQuery {
+            rx: self.submit(id, request)?,
+        })
     }
 
     /// The shared system behind the service.
@@ -872,6 +992,7 @@ impl QueryService {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
             queued: self.queue.len(),
             sessions: self.sessions.len(),
             system: self.system.stats(),
@@ -896,6 +1017,22 @@ impl QueryService {
 
 /// Result alias for [`QueryService::open_session`].
 pub type QuerySessionResult = Result<SessionId, ServerError>;
+
+/// A pending in-process submission returned by
+/// [`QueryService::submit_pipelined`]; the worker pool resolves it
+/// asynchronously.
+#[derive(Debug)]
+pub struct PendingQuery {
+    rx: mpsc::Receiver<QueryResponse>,
+}
+
+impl PendingQuery {
+    /// Blocks until the submission's outcome is available. A service torn
+    /// down before answering reports [`ServerError::ShuttingDown`].
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().map_err(|_| ServerError::ShuttingDown)?
+    }
+}
 
 impl Drop for QueryService {
     fn drop(&mut self) {
@@ -963,16 +1100,24 @@ mod tests {
             ServiceConfig::builder().session_ttl(Duration::ZERO).build(),
             Err(ServerError::InvalidConfig(_))
         ));
+        assert!(matches!(
+            ServiceConfig::builder().max_batch(0).build(),
+            Err(ServerError::InvalidConfig(_))
+        ));
         let config = ServiceConfig::builder()
             .workers(3)
             .queue_capacity(32)
             .session_ttl(Duration::from_secs(5))
+            .max_batch(16)
+            .max_linger(Duration::from_micros(250))
             .build()
             .unwrap();
         assert_eq!(
             (config.workers, config.queue_capacity, config.session_ttl),
             (3, 32, Duration::from_secs(5))
         );
+        assert_eq!(config.max_batch, 16);
+        assert_eq!(config.max_linger, Duration::from_micros(250));
         assert!(matches!(
             DurabilityConfig::builder("").build(),
             Err(ServerError::InvalidConfig(_))
@@ -988,18 +1133,56 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn with_workers_forwards_to_the_builder() {
-        assert_eq!(
-            ServiceConfig::with_workers(0).workers,
-            1,
-            "historical clamp-to-one behaviour is preserved"
+    fn micro_batches_drain_multiple_jobs_per_round() {
+        // One slow-to-start worker + many queued jobs: the realised batch
+        // count must come in under the completed count once batching kicks
+        // in, and every answer still arrives.
+        let config = ServiceConfig::builder()
+            .workers(1)
+            .max_batch(8)
+            .max_linger(Duration::from_millis(100))
+            .build()
+            .unwrap();
+        let service = QueryService::start(system(MechanismKind::AdditiveGaussian, 16.0, 8), config);
+        let sessions: Vec<_> = (0..8)
+            .map(|a| service.open_session(AnalystId(a)).unwrap())
+            .collect();
+        let receivers: Vec<_> = sessions
+            .iter()
+            .map(|&s| service.submit(s, request(25, 45, 700.0)).unwrap())
+            .collect();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().unwrap().is_answered());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert!(
+            stats.batches < stats.completed,
+            "8 jobs should drain in fewer than 8 micro-batches (got {})",
+            stats.batches
         );
-        let legacy = ServiceConfig::with_workers(5);
-        let built = ServiceConfig::builder().workers(5).build().unwrap();
-        assert_eq!(legacy.workers, built.workers);
-        assert_eq!(legacy.queue_capacity, built.queue_capacity);
-        assert_eq!(legacy.session_ttl, built.session_ttl);
+    }
+
+    #[test]
+    fn batching_preserves_per_session_fifo() {
+        let config = ServiceConfig::builder()
+            .workers(2)
+            .max_batch(16)
+            .build()
+            .unwrap();
+        let service = QueryService::start(system(MechanismKind::AdditiveGaussian, 8.0, 2), config);
+        let session = service.open_session(AnalystId(1)).unwrap();
+        let receivers: Vec<_> = (0..10)
+            .map(|i| {
+                service
+                    .submit(session, request(20 + i, 40 + i, 400.0 + i as f64))
+                    .unwrap()
+            })
+            .collect();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().unwrap().is_answered());
+        }
+        assert_eq!(service.session_info(session).unwrap().answered, 10);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`bfs`] — the breadth-first search exploration task: each analyst
 //!   adaptively traverses the decomposition tree of an attribute's domain,
 //!   descending only into regions whose noisy count exceeds a threshold;
+//! * [`skew`] — skewed multi-analyst scenarios: Zipfian view popularity
+//!   with a configurable analyst count, producing both batch-friendly
+//!   (concentrated) and batch-hostile (uniform) traffic mixes for the
+//!   batched execution subsystem;
 //! * [`sequence`] — the round-robin and random analyst interleavings;
 //! * [`runner`] — drives any [`dprov_core::processor::QueryProcessor`] over
 //!   a workload and collects the metrics of §6.1.3 ([`metrics`]): number of
@@ -22,3 +26,4 @@ pub mod metrics;
 pub mod rrq;
 pub mod runner;
 pub mod sequence;
+pub mod skew;

@@ -1,0 +1,225 @@
+//! Skewed multi-analyst scenarios (Zipfian view popularity).
+//!
+//! The batched execution subsystem (`dprov-exec` + the server's per-view
+//! micro-batches) pays off when concurrent analysts concentrate on a few
+//! shared views and degenerates to one-at-a-time execution when every
+//! query targets a different view. This generator produces both traffic
+//! mixes from one knob: view (attribute) popularity follows a Zipf
+//! distribution with exponent `s` — rank-`k` attribute drawn with weight
+//! `1 / (k+1)^s` — so `s = 0` is uniform (**batch-hostile**: a micro-batch
+//! rarely shares a view) and large `s` concentrates almost all traffic on
+//! the most popular view (**batch-friendly**: whole batches share one
+//! scan).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dprov_core::processor::QueryRequest;
+use dprov_engine::database::Database;
+use dprov_engine::query::Query;
+use dprov_engine::schema::AttributeType;
+use dprov_engine::Result as EngineResult;
+
+use crate::rrq::RrqWorkload;
+
+/// Configuration of the skewed-scenario generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkewConfig {
+    /// The table queried.
+    pub table: String,
+    /// Number of analysts in the scenario.
+    pub analysts: usize,
+    /// Number of queries generated per analyst.
+    pub queries_per_analyst: usize,
+    /// Zipf exponent of the view-popularity distribution: `0.0` is
+    /// uniform over the integer attributes, larger values concentrate the
+    /// workload on the first attributes.
+    pub zipf_s: f64,
+    /// Accuracy requirements are drawn uniformly from this inclusive range
+    /// of expected squared errors.
+    pub accuracy_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkewConfig {
+    /// A scenario over `table` with the given analyst count and skew.
+    #[must_use]
+    pub fn new(table: &str, analysts: usize, queries_per_analyst: usize, zipf_s: f64) -> Self {
+        SkewConfig {
+            table: table.to_owned(),
+            analysts,
+            queries_per_analyst,
+            zipf_s,
+            accuracy_range: (5_000.0, 50_000.0),
+            seed: 0,
+        }
+    }
+
+    /// Batch-friendly traffic: heavy skew (`s = 2.5`) concentrates nearly
+    /// every query on the most popular view, so per-view micro-batches
+    /// fill up.
+    #[must_use]
+    pub fn batch_friendly(table: &str, analysts: usize, queries_per_analyst: usize) -> Self {
+        SkewConfig::new(table, analysts, queries_per_analyst, 2.5)
+    }
+
+    /// Batch-hostile traffic: no skew (`s = 0`) spreads queries uniformly
+    /// over every integer attribute, so a micro-batch rarely shares a
+    /// view.
+    #[must_use]
+    pub fn batch_hostile(table: &str, analysts: usize, queries_per_analyst: usize) -> Self {
+        SkewConfig::new(table, analysts, queries_per_analyst, 0.0)
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a skewed multi-analyst workload over the integer attributes
+/// of the configured table. Every query is a range count whose bounds are
+/// uniform over the chosen attribute's domain, submitted in accuracy mode;
+/// the result reuses [`RrqWorkload`] so the experiment runner and the
+/// service benches drive it unchanged.
+pub fn generate(db: &Database, config: &SkewConfig) -> EngineResult<RrqWorkload> {
+    let table = db.table(&config.table)?;
+    let candidates: Vec<(String, i64, i64)> = table
+        .schema()
+        .attributes()
+        .iter()
+        .filter_map(|a| match a.attr_type {
+            AttributeType::Integer { min, max, .. } if max > min => {
+                Some((a.name.clone(), min, max))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "skew generation requires at least one integer attribute"
+    );
+
+    // Zipf weights over attribute ranks.
+    let weights: Vec<f64> = (0..candidates.len())
+        .map(|k| 1.0 / ((k + 1) as f64).powf(config.zipf_s))
+        .collect();
+    let weight_total: f64 = weights.iter().sum();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut per_analyst = Vec::with_capacity(config.analysts);
+    for _ in 0..config.analysts {
+        let mut queries = Vec::with_capacity(config.queries_per_analyst);
+        for _ in 0..config.queries_per_analyst {
+            let mut draw = rng.gen::<f64>() * weight_total;
+            let mut chosen = 0;
+            for (k, w) in weights.iter().enumerate() {
+                chosen = k;
+                if draw < *w {
+                    break;
+                }
+                draw -= w;
+            }
+            let (attr, min, max) = &candidates[chosen];
+            let a = rng.gen_range(*min..=*max);
+            let b = rng.gen_range(*min..=*max);
+            let (lo, hi) = (a.min(b), a.max(b));
+            let (v_lo, v_hi) = config.accuracy_range;
+            let variance = rng.gen_range(v_lo..=v_hi);
+            queries.push(QueryRequest::with_accuracy(
+                Query::range_count(&config.table, attr, lo, hi),
+                variance,
+            ));
+        }
+        per_analyst.push(queries);
+    }
+    Ok(RrqWorkload { per_analyst })
+}
+
+/// The fraction of queries (across all analysts) that reference the named
+/// attribute — the observable "view popularity" of a generated workload.
+#[must_use]
+pub fn attribute_share(workload: &RrqWorkload, attribute: &str) -> f64 {
+    let total = workload.total_queries();
+    if total == 0 {
+        return 0.0;
+    }
+    let hits = workload
+        .per_analyst
+        .iter()
+        .flatten()
+        .filter(|r| {
+            r.query
+                .referenced_attributes()
+                .iter()
+                .any(|a| a == attribute)
+        })
+        .count();
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_engine::datagen::adult::adult_database;
+    use dprov_engine::expr::Predicate;
+
+    #[test]
+    fn generates_the_requested_shape_deterministically() {
+        let db = adult_database(300, 1);
+        let config = SkewConfig::new("adult", 5, 40, 1.0).with_seed(9);
+        let w = generate(&db, &config).unwrap();
+        assert_eq!(w.per_analyst.len(), 5);
+        assert_eq!(w.total_queries(), 200);
+        assert_eq!(generate(&db, &config).unwrap(), w);
+        assert_ne!(generate(&db, &config.clone().with_seed(10)).unwrap(), w);
+        for request in w.per_analyst.iter().flatten() {
+            match &request.query.predicate {
+                Predicate::Range { low, high, .. } => assert!(low <= high),
+                other => panic!("unexpected predicate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_friendly_concentrates_and_batch_hostile_spreads() {
+        let db = adult_database(300, 1);
+        let friendly = generate(
+            &db,
+            &SkewConfig::batch_friendly("adult", 4, 400).with_seed(3),
+        )
+        .unwrap();
+        let hostile = generate(
+            &db,
+            &SkewConfig::batch_hostile("adult", 4, 400).with_seed(3),
+        )
+        .unwrap();
+        // "age" is the rank-0 integer attribute of the adult schema.
+        let friendly_share = attribute_share(&friendly, "age");
+        let hostile_share = attribute_share(&hostile, "age");
+        assert!(
+            friendly_share > 0.6,
+            "heavy skew should concentrate on the top view, got {friendly_share}"
+        );
+        // The adult schema has 5 integer attributes; uniform traffic puts
+        // roughly 1/5 of the queries on each.
+        assert!(
+            hostile_share < 0.35,
+            "uniform traffic should spread out, got {hostile_share}"
+        );
+        assert!(friendly_share > 2.0 * hostile_share);
+    }
+
+    #[test]
+    fn zero_analysts_and_empty_share_are_well_defined() {
+        let db = adult_database(100, 1);
+        let w = generate(&db, &SkewConfig::new("adult", 0, 10, 1.0)).unwrap();
+        assert_eq!(w.total_queries(), 0);
+        assert_eq!(attribute_share(&w, "age"), 0.0);
+        assert!(generate(&db, &SkewConfig::new("nope", 1, 1, 1.0)).is_err());
+    }
+}

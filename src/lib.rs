@@ -7,6 +7,10 @@
 //!   accuracy→privacy translation).
 //! * [`engine`] — the in-memory relational engine, histogram views and
 //!   synthetic dataset generators.
+//! * [`exec`] — the batched columnar execution subsystem: immutable
+//!   sharded column-stores ingested from engine tables, compiled
+//!   predicate/aggregate kernels, and multi-query batch evaluation that
+//!   amortises one shard scan over every query in the batch.
 //! * [`core`] — the DProvDB system itself: privacy provenance table,
 //!   synopsis management, the vanilla and additive-Gaussian mechanisms,
 //!   baselines and fairness metrics.
@@ -32,6 +36,7 @@ pub use dprov_api as api;
 pub use dprov_core as core;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
+pub use dprov_exec as exec;
 pub use dprov_server as server;
 pub use dprov_storage as storage;
 pub use dprov_workloads as workloads;
@@ -47,6 +52,7 @@ pub mod prelude {
     pub use dprov_dp::budget::{Budget, Delta, Epsilon};
     pub use dprov_engine::database::Database;
     pub use dprov_engine::query::{AggregateKind, Query};
+    pub use dprov_exec::{ColumnarExecutor, ExecConfig};
     pub use dprov_server::{Frontend, QueryService, ServiceConfig, SessionId};
     pub use dprov_workloads::runner::ExperimentRunner;
 }

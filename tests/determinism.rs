@@ -67,10 +67,26 @@ fn script(analyst: usize) -> Vec<QueryRequest> {
 /// count (submissions racing from one thread per analyst) and returns each
 /// analyst's ordered answer values.
 fn run(mechanism: MechanismKind, seed: u64, workers: usize) -> Vec<Vec<f64>> {
+    run_batched(mechanism, seed, workers, 8, std::time::Duration::ZERO)
+}
+
+/// Like [`run`], with explicit micro-batch knobs.
+fn run_batched(
+    mechanism: MechanismKind,
+    seed: u64,
+    workers: usize,
+    max_batch: usize,
+    max_linger: std::time::Duration,
+) -> Vec<Vec<f64>> {
     let system = build_system(mechanism, seed);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
-        ServiceConfig::builder().workers(workers).build().unwrap(),
+        ServiceConfig::builder()
+            .workers(workers)
+            .max_batch(max_batch)
+            .max_linger(max_linger)
+            .build()
+            .unwrap(),
     ));
     // Registration order is fixed (analyst 0 first), so session ids — and
     // with them the per-session noise streams — are reproducible.
@@ -119,6 +135,33 @@ fn same_seed_same_answers_across_runs_and_worker_counts() {
                 baseline,
                 run(mechanism, 7, workers),
                 "{mechanism}: answers changed with {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_and_linger_settings_do_not_change_per_session_results() {
+    // Micro-batching regroups cross-session execution by view; under the
+    // documented determinism conditions (ample budget, one attribute per
+    // analyst) the per-session answers are a pure function of (seed,
+    // session id, submission index), so every batch size and linger
+    // setting must reproduce them bit for bit — batching changes *when*
+    // work runs, never *what* any analyst receives.
+    use std::time::Duration;
+    for mechanism in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+        let baseline = run_batched(mechanism, 21, 1, 1, Duration::ZERO);
+        for (workers, max_batch, linger) in [
+            (1, 4, Duration::ZERO),
+            (1, 16, Duration::from_millis(2)),
+            (2, 8, Duration::from_millis(1)),
+            (4, 64, Duration::ZERO),
+        ] {
+            assert_eq!(
+                baseline,
+                run_batched(mechanism, 21, workers, max_batch, linger),
+                "{mechanism}: answers changed at batch={max_batch}, linger={linger:?}, \
+                 workers={workers}"
             );
         }
     }
