@@ -35,6 +35,22 @@ use crate::transport::Connection;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestId(u64);
 
+/// What one epoch seal did, as reported over the wire (see
+/// [`DProvClient::seal_epoch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSealReport {
+    /// The sealed epoch's number.
+    pub epoch: u64,
+    /// Update batches the epoch applied.
+    pub batches: u64,
+    /// Delta rows (inserts + deletes) the epoch applied.
+    pub rows: u64,
+    /// Views whose exact histograms were patched.
+    pub views_patched: u64,
+    /// Cached noisy synopses invalidated under the epoch policy.
+    pub synopses_invalidated: u64,
+}
+
 /// The session a client is attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionDescriptor {
@@ -213,6 +229,54 @@ impl DProvClient {
     pub fn close(mut self) -> Result<(), ApiError> {
         match self.call(&Request::CloseSession)? {
             Response::SessionClosed => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Authenticates this connection as a data updater (a role distinct
+    /// from analysts; the name is checked against the service's configured
+    /// updater roster). Required before [`DProvClient::apply_update`] /
+    /// [`DProvClient::seal_epoch`].
+    pub fn register_updater(&mut self, updater_name: &str) -> Result<(), ApiError> {
+        match self.call(&Request::RegisterUpdater {
+            updater_name: updater_name.to_owned(),
+        })? {
+            Response::UpdaterRegistered => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits one insert/delete batch. The batch is validated and made
+    /// durable before the acknowledgement; it takes effect at the next
+    /// [`DProvClient::seal_epoch`]. Returns `(batch_seq, pending)`.
+    pub fn apply_update(
+        &mut self,
+        batch: &dprov_delta::UpdateBatch,
+    ) -> Result<(u64, u64), ApiError> {
+        match self.call(&Request::ApplyUpdate(batch.clone()))? {
+            Response::UpdateAccepted { batch_seq, pending } => Ok((batch_seq, pending)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Seals every pending update batch into the next epoch and returns
+    /// the sealed report `(epoch, batches, rows, views_patched,
+    /// synopses_invalidated)`.
+    pub fn seal_epoch(&mut self) -> Result<EpochSealReport, ApiError> {
+        match self.call(&Request::SealEpoch)? {
+            Response::EpochSealed {
+                epoch,
+                batches,
+                rows,
+                views_patched,
+                synopses_invalidated,
+            } => Ok(EpochSealReport {
+                epoch,
+                batches,
+                rows,
+                views_patched,
+                synopses_invalidated,
+            }),
             other => Err(unexpected(&other)),
         }
     }

@@ -41,6 +41,9 @@ pub mod codes {
     pub const UNKNOWN_ANALYST: u16 = 200;
     /// A session-resume attempt named a session owned by another analyst.
     pub const SESSION_OWNERSHIP: u16 = 201;
+    /// The presented name is not in the configured updater roster, or the
+    /// connection is not registered as an updater.
+    pub const NOT_UPDATER: u16 = 202;
 
     /// The session id is not registered.
     pub const UNKNOWN_SESSION: u16 = 300;
@@ -81,6 +84,10 @@ pub mod codes {
     pub const SQL_PARSE: u16 = 426;
     /// The query is malformed (e.g. SUM over a categorical attribute).
     pub const INVALID_QUERY: u16 = 427;
+    /// An update's delete names a row the logical table does not hold.
+    pub const UPDATE_MISSING_ROW: u16 = 428;
+    /// An update batch carried no inserts and no deletes.
+    pub const UPDATE_EMPTY: u16 = 429;
 
     /// The service is shutting down and accepts no new work.
     pub const SHUTTING_DOWN: u16 = 500;
@@ -297,12 +304,30 @@ impl From<StorageError> for ApiError {
     }
 }
 
+impl From<dprov_delta::DeltaError> for ApiError {
+    fn from(e: dprov_delta::DeltaError) -> Self {
+        let code = match &e {
+            dprov_delta::DeltaError::Engine(engine) => {
+                return ApiError {
+                    message: e.to_string(),
+                    ..ApiError::from(engine.clone())
+                }
+            }
+            dprov_delta::DeltaError::MissingRow { .. } => codes::UPDATE_MISSING_ROW,
+            dprov_delta::DeltaError::EmptyBatch => codes::UPDATE_EMPTY,
+            _ => codes::INVALID_ARGUMENT,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
 impl From<CoreError> for ApiError {
     fn from(e: CoreError) -> Self {
         match e {
             CoreError::Dp(dp) => dp.into(),
             CoreError::Engine(engine) => engine.into(),
             CoreError::Storage(storage) => storage.into(),
+            CoreError::Delta(delta) => delta.into(),
             CoreError::UnknownAnalyst(a) => {
                 ApiError::new(codes::UNKNOWN_ANALYST, format!("unknown analyst: {a}"))
             }

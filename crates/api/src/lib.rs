@@ -40,7 +40,7 @@ pub mod protocol;
 pub mod transport;
 mod wire;
 
-pub use client::{DProvClient, RequestId, SessionDescriptor};
+pub use client::{DProvClient, EpochSealReport, RequestId, SessionDescriptor};
 pub use error::{codes, ApiError, ErrorKind};
 pub use protocol::{BudgetReport, Request, Response, PROTOCOL_VERSION};
 pub use transport::{Connection, FrameSink, FrameSource};

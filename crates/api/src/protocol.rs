@@ -25,14 +25,22 @@ use crate::error::{codes, ApiError, ErrorKind};
 use crate::wire;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version 2 (dynamic data): `QueryAnswer` bodies carry the update epoch
+/// the answer reflects, and the updater-role messages
+/// ([`Request::RegisterUpdater`], [`Request::ApplyUpdate`],
+/// [`Request::SealEpoch`]) were appended under new tags.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// The oldest protocol version this build still understands. `Hello`
 /// negotiation settles on `min(client max, server max)` and fails only
 /// when that falls below the receiving side's floor — so bumping
 /// [`PROTOCOL_VERSION`] does not cut off older peers until their version
-/// is explicitly dropped here.
-pub const MIN_SUPPORTED_VERSION: u8 = 1;
+/// is explicitly dropped here. Version 1 was dropped with the dynamic-data
+/// extension: the `QueryAnswer` body gained the epoch field, so a v1 peer
+/// would mis-frame every answer (new *tags* are append-only; changing an
+/// existing body requires raising the floor).
+pub const MIN_SUPPORTED_VERSION: u8 = 2;
 
 /// A request from an analyst client to the service.
 ///
@@ -69,6 +77,22 @@ pub enum Request {
     BudgetStatus,
     /// Closes the session and ends the conversation.
     CloseSession,
+    /// Authenticates the connection as a data **updater** (a role distinct
+    /// from analysts: updaters mutate base tables and never query).
+    /// Checked against the service's configured updater roster.
+    RegisterUpdater {
+        /// The updater's configured name (trusted-configuration identity,
+        /// like analyst roster names).
+        updater_name: String,
+    },
+    /// Submits one insert/delete batch (updater connections only). The
+    /// batch is validated, journalled durably and becomes pending; it
+    /// takes effect at the next [`Request::SealEpoch`].
+    ApplyUpdate(dprov_delta::UpdateBatch),
+    /// Seals every pending update batch into the next epoch (updater
+    /// connections only). Quiesces in-flight query micro-batches so no
+    /// answer is torn across versions.
+    SealEpoch,
 }
 
 /// The analyst-facing view of a session's budget state, returned by
@@ -130,6 +154,28 @@ pub enum Response {
     BudgetReport(BudgetReport),
     /// Answer to [`Request::CloseSession`].
     SessionClosed,
+    /// Answer to [`Request::RegisterUpdater`].
+    UpdaterRegistered,
+    /// Answer to [`Request::ApplyUpdate`].
+    UpdateAccepted {
+        /// The accepted batch's sequence number.
+        batch_seq: u64,
+        /// Batches now pending (including this one).
+        pending: u64,
+    },
+    /// Answer to [`Request::SealEpoch`].
+    EpochSealed {
+        /// The sealed epoch's number.
+        epoch: u64,
+        /// Update batches the epoch applied.
+        batches: u64,
+        /// Delta rows (inserts + deletes) the epoch applied.
+        rows: u64,
+        /// Views whose exact histograms were patched.
+        views_patched: u64,
+        /// Cached noisy synopses invalidated under the epoch policy.
+        synopses_invalidated: u64,
+    },
     /// The request failed; carries the stable error taxonomy.
     Error(ApiError),
 }
@@ -140,6 +186,9 @@ const TAG_SUBMIT: u8 = 3;
 const TAG_HEARTBEAT: u8 = 4;
 const TAG_BUDGET: u8 = 5;
 const TAG_CLOSE: u8 = 6;
+const TAG_REGISTER_UPDATER: u8 = 7;
+const TAG_APPLY_UPDATE: u8 = 8;
+const TAG_SEAL_EPOCH: u8 = 9;
 
 const TAG_HELLO_ACK: u8 = 129;
 const TAG_REGISTERED: u8 = 130;
@@ -147,6 +196,9 @@ const TAG_ANSWER: u8 = 131;
 const TAG_HEARTBEAT_ACK: u8 = 132;
 const TAG_BUDGET_REPORT: u8 = 133;
 const TAG_CLOSED: u8 = 134;
+const TAG_UPDATER_REGISTERED: u8 = 135;
+const TAG_UPDATE_ACCEPTED: u8 = 136;
+const TAG_EPOCH_SEALED: u8 = 137;
 const TAG_ERROR: u8 = 255;
 
 fn header(enc: &mut Encoder, tag: u8, request_id: u64) {
@@ -190,6 +242,15 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
         Request::Heartbeat => header(&mut enc, TAG_HEARTBEAT, request_id),
         Request::BudgetStatus => header(&mut enc, TAG_BUDGET, request_id),
         Request::CloseSession => header(&mut enc, TAG_CLOSE, request_id),
+        Request::RegisterUpdater { updater_name } => {
+            header(&mut enc, TAG_REGISTER_UPDATER, request_id);
+            enc.put_str(updater_name);
+        }
+        Request::ApplyUpdate(batch) => {
+            header(&mut enc, TAG_APPLY_UPDATE, request_id);
+            wire::put_update_batch(&mut enc, batch);
+        }
+        Request::SealEpoch => header(&mut enc, TAG_SEAL_EPOCH, request_id),
     }
     enc.into_bytes()
 }
@@ -237,6 +298,26 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             enc.put_u64(report.rejected);
         }
         Response::SessionClosed => header(&mut enc, TAG_CLOSED, request_id),
+        Response::UpdaterRegistered => header(&mut enc, TAG_UPDATER_REGISTERED, request_id),
+        Response::UpdateAccepted { batch_seq, pending } => {
+            header(&mut enc, TAG_UPDATE_ACCEPTED, request_id);
+            enc.put_u64(*batch_seq);
+            enc.put_u64(*pending);
+        }
+        Response::EpochSealed {
+            epoch,
+            batches,
+            rows,
+            views_patched,
+            synopses_invalidated,
+        } => {
+            header(&mut enc, TAG_EPOCH_SEALED, request_id);
+            enc.put_u64(*epoch);
+            enc.put_u64(*batches);
+            enc.put_u64(*rows);
+            enc.put_u64(*views_patched);
+            enc.put_u64(*synopses_invalidated);
+        }
         Response::Error(e) => {
             header(&mut enc, TAG_ERROR, request_id);
             enc.put_u32(u32::from(e.code));
@@ -291,6 +372,13 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ApiError> {
         TAG_HEARTBEAT => Request::Heartbeat,
         TAG_BUDGET => Request::BudgetStatus,
         TAG_CLOSE => Request::CloseSession,
+        TAG_REGISTER_UPDATER => Request::RegisterUpdater {
+            updater_name: dec.take_str().map_err(wire::malformed)?,
+        },
+        TAG_APPLY_UPDATE => {
+            Request::ApplyUpdate(wire::take_update_batch(&mut dec).map_err(wire::malformed)?)
+        }
+        TAG_SEAL_EPOCH => Request::SealEpoch,
         t => {
             return Err(wire::malformed(format!("unknown request tag {t}")));
         }
@@ -328,6 +416,18 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ApiError> {
             rejected: dec.take_u64().map_err(wire::malformed)?,
         }),
         TAG_CLOSED => Response::SessionClosed,
+        TAG_UPDATER_REGISTERED => Response::UpdaterRegistered,
+        TAG_UPDATE_ACCEPTED => Response::UpdateAccepted {
+            batch_seq: dec.take_u64().map_err(wire::malformed)?,
+            pending: dec.take_u64().map_err(wire::malformed)?,
+        },
+        TAG_EPOCH_SEALED => Response::EpochSealed {
+            epoch: dec.take_u64().map_err(wire::malformed)?,
+            batches: dec.take_u64().map_err(wire::malformed)?,
+            rows: dec.take_u64().map_err(wire::malformed)?,
+            views_patched: dec.take_u64().map_err(wire::malformed)?,
+            synopses_invalidated: dec.take_u64().map_err(wire::malformed)?,
+        },
         TAG_ERROR => {
             let code_raw = dec.take_u32().map_err(wire::malformed)?;
             let code = u16::try_from(code_raw)

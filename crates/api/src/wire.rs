@@ -269,6 +269,8 @@ pub(crate) fn put_outcome(enc: &mut Encoder, outcome: &QueryOutcome) {
             enc.put_f64(a.epsilon_charged);
             enc.put_f64(a.noise_variance);
             enc.put_bool(a.from_cache);
+            // Protocol v2: the update epoch the answer reflects.
+            enc.put_u64(a.epoch);
         }
         QueryOutcome::Rejected { reason } => {
             enc.put_u8(1);
@@ -292,6 +294,7 @@ pub(crate) fn take_outcome(dec: &mut Decoder<'_>) -> DecodeResult<QueryOutcome> 
                 epsilon_charged: dec.take_f64()?,
                 noise_variance: dec.take_f64()?,
                 from_cache: dec.take_bool()?,
+                epoch: dec.take_u64()?,
             }))
         }
         1 => Ok(QueryOutcome::Rejected {
@@ -299,6 +302,44 @@ pub(crate) fn take_outcome(dec: &mut Decoder<'_>) -> DecodeResult<QueryOutcome> 
         }),
         t => Err(format!("unknown outcome tag {t}")),
     }
+}
+
+pub(crate) fn put_update_batch(enc: &mut Encoder, batch: &dprov_delta::UpdateBatch) {
+    enc.put_str(&batch.table);
+    put_value_rows(enc, &batch.inserts);
+    put_value_rows(enc, &batch.deletes);
+}
+
+pub(crate) fn take_update_batch(dec: &mut Decoder<'_>) -> DecodeResult<dprov_delta::UpdateBatch> {
+    Ok(dprov_delta::UpdateBatch {
+        table: dec.take_str()?,
+        inserts: take_value_rows(dec)?,
+        deletes: take_value_rows(dec)?,
+    })
+}
+
+fn put_value_rows(enc: &mut Encoder, rows: &[Vec<Value>]) {
+    enc.put_u32(rows.len() as u32);
+    for row in rows {
+        enc.put_u32(row.len() as u32);
+        for value in row {
+            put_value(enc, value);
+        }
+    }
+}
+
+fn take_value_rows(dec: &mut Decoder<'_>) -> DecodeResult<Vec<Vec<Value>>> {
+    let n = bounded_len(dec, 4, "update rows")?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = bounded_len(dec, 2, "update row cells")?;
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            row.push(take_value(dec)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 /// Wraps a decode-reason string into the protocol's malformed-payload

@@ -113,6 +113,7 @@ fn arb_outcome(rng: &mut StdRng) -> QueryOutcome {
             epsilon_charged: rng.gen_range(0.0f64..32.0),
             noise_variance: rng.gen_range(0.0f64..1e9),
             from_cache: rng.gen::<bool>(),
+            epoch: rng.gen::<u64>(),
         })
     } else {
         QueryOutcome::Rejected {
@@ -147,7 +148,7 @@ fn arb_api_error(rng: &mut StdRng) -> ApiError {
 
 /// Every request variant, chosen by `tag` so proptest cases sweep them all.
 fn arb_request(rng: &mut StdRng, tag: u32) -> Request {
-    match tag % 6 {
+    match tag % 9 {
         0 => Request::Hello {
             max_version: rng.gen_range(0u32..=255) as u8,
             client_name: arb_string(rng),
@@ -163,13 +164,43 @@ fn arb_request(rng: &mut StdRng, tag: u32) -> Request {
         2 => Request::SubmitQuery(arb_query_request(rng)),
         3 => Request::Heartbeat,
         4 => Request::BudgetStatus,
-        _ => Request::CloseSession,
+        5 => Request::CloseSession,
+        6 => Request::RegisterUpdater {
+            updater_name: arb_string(rng),
+        },
+        7 => Request::ApplyUpdate(arb_update_batch(rng)),
+        _ => Request::SealEpoch,
+    }
+}
+
+fn arb_value_row(rng: &mut StdRng) -> Vec<dprov_engine::value::Value> {
+    use dprov_engine::value::Value;
+    (0..rng.gen_range(0usize..5))
+        .map(|_| {
+            if rng.gen::<bool>() {
+                Value::Int(rng.gen_range(i64::MIN..i64::MAX))
+            } else {
+                Value::Text(arb_string(rng))
+            }
+        })
+        .collect()
+}
+
+fn arb_update_batch(rng: &mut StdRng) -> dprov_delta::UpdateBatch {
+    dprov_delta::UpdateBatch {
+        table: arb_string(rng),
+        inserts: (0..rng.gen_range(0usize..4))
+            .map(|_| arb_value_row(rng))
+            .collect(),
+        deletes: (0..rng.gen_range(0usize..4))
+            .map(|_| arb_value_row(rng))
+            .collect(),
     }
 }
 
 /// Every response variant, chosen by `tag`.
 fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
-    match tag % 7 {
+    match tag % 10 {
         0 => Response::HelloAck {
             version: rng.gen_range(0u32..=255) as u8,
             server_name: arb_string(rng),
@@ -194,6 +225,18 @@ fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
             rejected: rng.gen::<u64>(),
         }),
         5 => Response::SessionClosed,
+        6 => Response::UpdaterRegistered,
+        7 => Response::UpdateAccepted {
+            batch_seq: rng.gen::<u64>(),
+            pending: rng.gen::<u64>(),
+        },
+        8 => Response::EpochSealed {
+            epoch: rng.gen::<u64>(),
+            batches: rng.gen::<u64>(),
+            rows: rng.gen::<u64>(),
+            views_patched: rng.gen::<u64>(),
+            synopses_invalidated: rng.gen::<u64>(),
+        },
         _ => Response::Error(arb_api_error(rng)),
     }
 }
@@ -204,7 +247,7 @@ proptest! {
     /// Requests round-trip bit-for-bit through payload encoding, and
     /// through the CRC frame wrapping a byte-stream transport applies.
     #[test]
-    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..6, request_id in 0u64..u64::MAX) {
+    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..9, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let request = arb_request(&mut rng, tag);
         let payload = encode_request(request_id, &request);
@@ -219,7 +262,7 @@ proptest! {
 
     /// Responses round-trip bit-for-bit the same way.
     #[test]
-    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..7, request_id in 0u64..u64::MAX) {
+    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..10, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let response = arb_response(&mut rng, tag);
         let payload = encode_response(request_id, &response);

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dprov_api::DProvClient;
-use dprov_bench::report::{banner, fmt_f64, Table};
+use dprov_bench::report::{banner, fmt_f64, BenchJson, Table};
 use dprov_core::analyst::{AnalystId, AnalystRegistry};
 use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
 use dprov_core::mechanism::MechanismKind;
@@ -171,6 +171,10 @@ fn main() {
         elapsed
     };
 
+    let mut json = BenchJson::new("client_throughput");
+    json.arg("total_queries", queries)
+        .arg("analysts", ANALYSTS)
+        .arg("workers", WORKERS);
     for (path, elapsed) in [
         ("direct", direct),
         ("in-process", in_process),
@@ -182,8 +186,15 @@ fn main() {
             fmt_f64(queries as f64 / elapsed, 0),
             fmt_f64(direct / elapsed, 2),
         ]);
+        json.row(&[
+            ("path", path.into()),
+            ("elapsed_s", elapsed.into()),
+            ("qps", (queries as f64 / elapsed).into()),
+            ("vs_direct", (direct / elapsed).into()),
+        ]);
     }
     table.print();
+    json.emit();
     println!(
         "\nin-process − direct prices the message codec; tcp − in-process prices framing + loopback."
     );

@@ -1,0 +1,161 @@
+//! Throughput of the dynamic-data subsystem (`dprov-delta`): update
+//! ingest rate, epoch-seal latency, and incremental patching vs full
+//! rebuild at growing table sizes.
+//!
+//! The point of incremental maintenance is that a seal's cost scales with
+//! the **delta**, not with the table: patching a view's histogram from
+//! `k` delta rows is `O(k)`, while a full rebuild re-scans all `N` rows
+//! of every affected view. This bin seals the same update stream under
+//! both maintenance modes (answers are bit-identical — asserted inline)
+//! and reports the widening gap as the base table grows.
+//!
+//! ```text
+//! cargo run --release --bin delta_throughput [-- epochs [rows_per_batch]]
+//! ```
+
+use std::time::Instant;
+
+use dprov_bench::report::{banner, BenchJson, Table};
+use dprov_core::analyst::AnalystRegistry;
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_delta::{MaintenanceMode, UpdateBatch};
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_engine::value::Value;
+
+const TABLE_SIZES: [usize; 3] = [10_000, 100_000, 400_000];
+
+fn build_system(rows: usize, mode: MaintenanceMode) -> DProvDb {
+    let db = adult_database(rows, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    registry.register("analyst", 4).unwrap();
+    let config = SystemConfig::new(8.0)
+        .unwrap()
+        .with_seed(7)
+        .with_maintenance(mode);
+    DProvDb::new(
+        db,
+        catalog,
+        registry,
+        config,
+        MechanismKind::AdditiveGaussian,
+    )
+    .unwrap()
+}
+
+fn adult_row(age: i64, hours: i64) -> Vec<Value> {
+    vec![
+        Value::Int(age),
+        Value::text("Private"),
+        Value::text("HS-grad"),
+        Value::Int(9),
+        Value::text("Never-married"),
+        Value::text("Sales"),
+        Value::text("Not-in-family"),
+        Value::text("White"),
+        Value::text("Male"),
+        Value::Int(0),
+        Value::Int(0),
+        Value::Int(hours),
+        Value::text("<=50K"),
+    ]
+}
+
+fn batch(epoch: usize, rows_per_batch: usize) -> UpdateBatch {
+    UpdateBatch::insert(
+        "adult",
+        (0..rows_per_batch)
+            .map(|i| adult_row(17 + ((epoch * 7 + i) % 74) as i64, 1 + (i % 99) as i64))
+            .collect(),
+    )
+}
+
+/// Runs `epochs` seals of `rows_per_batch`-row batches; returns (total
+/// seal seconds, final audit answer).
+fn run(system: &DProvDb, epochs: usize, rows_per_batch: usize) -> (f64, f64) {
+    let mut seal_time = 0.0;
+    for epoch in 0..epochs {
+        system.apply_update(&batch(epoch, rows_per_batch)).unwrap();
+        let start = Instant::now();
+        system.seal_epoch().unwrap();
+        seal_time += start.elapsed().as_secs_f64();
+    }
+    let audit = system
+        .true_answer(&Query::range_count("adult", "age", 25, 45))
+        .unwrap();
+    (seal_time, audit)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let epochs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let rows_per_batch: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    println!(
+        "delta_throughput: {epochs} epochs x {rows_per_batch}-row insert batches over the adult \
+         table (13 one-way views patched per seal)"
+    );
+    let mut json = BenchJson::new("delta_throughput");
+    json.arg("epochs", epochs)
+        .arg("rows_per_batch", rows_per_batch);
+
+    banner("epoch seal cost — incremental patch vs full rebuild");
+    let mut table = Table::new(&[
+        "base_rows",
+        "mode",
+        "seal_ms_avg",
+        "seals_per_s",
+        "delta_rows_per_s",
+        "speedup",
+    ]);
+    for rows in TABLE_SIZES {
+        let mut rebuild_avg = None;
+        let mut rebuild_audit = None;
+        for (label, mode) in [
+            ("full-rebuild", MaintenanceMode::FullRebuild),
+            ("incremental", MaintenanceMode::Incremental),
+        ] {
+            let system = build_system(rows, mode);
+            let (seal_s, audit) = run(&system, epochs, rows_per_batch);
+            // Both modes must land on the identical exact state (the
+            // full-rebuild run, first in the loop, is the reference).
+            let reference = *rebuild_audit.get_or_insert(audit);
+            assert_eq!(
+                audit.to_bits(),
+                reference.to_bits(),
+                "maintenance modes diverged at {rows} rows"
+            );
+            let avg_ms = seal_s * 1e3 / epochs as f64;
+            let baseline = *rebuild_avg.get_or_insert(avg_ms);
+            table.add_row(&[
+                rows.to_string(),
+                label.to_owned(),
+                format!("{avg_ms:.3}"),
+                format!("{:.0}", epochs as f64 / seal_s),
+                format!("{:.0}", (epochs * rows_per_batch) as f64 / seal_s),
+                format!("{:.2}x", baseline / avg_ms),
+            ]);
+            json.row(&[
+                ("base_rows", rows.into()),
+                ("mode", label.into()),
+                ("seal_ms_avg", avg_ms.into()),
+                ("seals_per_s", (epochs as f64 / seal_s).into()),
+                (
+                    "delta_rows_per_s",
+                    ((epochs * rows_per_batch) as f64 / seal_s).into(),
+                ),
+                ("speedup_vs_rebuild", (baseline / avg_ms).into()),
+            ]);
+        }
+    }
+    table.print();
+    json.emit();
+    println!(
+        "\nincremental seal cost tracks the delta (rows_per_batch), not the base table; \
+         audit answers asserted bit-identical across modes"
+    );
+}

@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use dprov_bench::report::{banner, Table};
+use dprov_bench::report::{banner, BenchJson, Table};
 use dprov_engine::database::Database;
 use dprov_engine::datagen::adult::adult_database;
 use dprov_engine::exec::execute;
@@ -60,6 +60,9 @@ fn main() {
     let queries = workload(&db, total_queries);
     let exec = ColumnarExecutor::ingest(&db, &ExecConfig::default());
 
+    let mut json = BenchJson::new("exec_throughput");
+    json.arg("total_queries", total_queries).arg("rows", rows);
+
     // Reference: the engine's row-at-a-time path, one scan per query.
     let row_start = Instant::now();
     let reference: Vec<f64> = queries
@@ -86,6 +89,14 @@ fn main() {
         "1.00x".to_owned(),
         "1.000".to_owned(),
     ]);
+    json.row(&[
+        ("mode", "row-at-a-time".into()),
+        ("batch", 1usize.into()),
+        ("elapsed_s", row_elapsed.into()),
+        ("qps", row_qps.into()),
+        ("speedup", 1.0.into()),
+        ("scans_per_query", 1.0.into()),
+    ]);
 
     for batch in BATCH_SIZES {
         exec.reset_stats();
@@ -107,20 +118,30 @@ fn main() {
         }
 
         let qps = total_queries as f64 / elapsed;
+        let mode = if batch == 1 {
+            "columnar"
+        } else {
+            "columnar batched"
+        };
         table.add_row(&[
-            if batch == 1 {
-                "columnar".to_owned()
-            } else {
-                "columnar batched".to_owned()
-            },
+            mode.to_owned(),
             batch.to_string(),
             format!("{elapsed:.3}"),
             format!("{qps:.0}"),
             format!("{:.2}x", qps / row_qps),
             format!("{:.3}", stats.scans_per_query()),
         ]);
+        json.row(&[
+            ("mode", mode.into()),
+            ("batch", batch.into()),
+            ("elapsed_s", elapsed.into()),
+            ("qps", qps.into()),
+            ("speedup", (qps / row_qps).into()),
+            ("scans_per_query", stats.scans_per_query().into()),
+        ]);
     }
     table.print();
+    json.emit();
 
     // The acceptance gate for batching: amortisation below 1 scan/query
     // for every batch size ≥ 4 over the shared relation.

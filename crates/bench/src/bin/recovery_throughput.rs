@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dprov_bench::report::{banner, Table};
+use dprov_bench::report::{banner, BenchJson, Table};
 use dprov_core::analyst::{AnalystId, AnalystRegistry};
 use dprov_core::config::SystemConfig;
 use dprov_core::mechanism::MechanismKind;
@@ -124,6 +124,8 @@ fn main() {
     banner("durable commit overhead — additive Gaussian, all-miss workload");
     println!("{total} charge-committing queries, {ANALYSTS} analysts, 3 views\n");
 
+    let mut json = BenchJson::new("recovery_throughput");
+    json.arg("total_queries", total).arg("analysts", ANALYSTS);
     let mut table = Table::new(&["mode", "elapsed_s", "qps", "overhead", "answered"]);
     let mut dirs: Vec<(String, std::path::PathBuf)> = Vec::new();
     let mut baseline_qps = None;
@@ -142,6 +144,14 @@ fn main() {
             format!("{:.1}%", (baseline / qps - 1.0) * 100.0),
             answered.to_string(),
         ]);
+        json.row(&[
+            ("phase", "commit".into()),
+            ("mode", label.into()),
+            ("elapsed_s", elapsed.into()),
+            ("qps", qps.into()),
+            ("overhead_pct", ((baseline / qps - 1.0) * 100.0).into()),
+            ("answered", answered.into()),
+        ]);
         if let Some(dir) = dir {
             dirs.push((label.to_string(), dir));
         }
@@ -158,7 +168,15 @@ fn main() {
             format!("{elapsed:.3}"),
             format!("{:.0}", commits as f64 / elapsed.max(1e-9)),
         ]);
+        json.row(&[
+            ("phase", "recovery".into()),
+            ("mode", label.as_str().into()),
+            ("replayed_commits", commits.into()),
+            ("elapsed_s", elapsed.into()),
+            ("commits_per_s", (commits as f64 / elapsed.max(1e-9)).into()),
+        ]);
         std::fs::remove_dir_all(dir).ok();
     }
     table.print();
+    json.emit();
 }

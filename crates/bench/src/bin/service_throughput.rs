@@ -23,7 +23,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dprov_bench::report::{banner, Table};
+use dprov_bench::report::{banner, BenchJson, Table};
 use dprov_core::analyst::{AnalystId, AnalystRegistry};
 use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
 use dprov_core::mechanism::MechanismKind;
@@ -116,7 +116,7 @@ fn run_once(
     )
 }
 
-fn sweep(workload: &RrqWorkload, mechanism: MechanismKind) {
+fn sweep(workload: &RrqWorkload, mechanism: MechanismKind, json: &mut BenchJson) {
     banner(&format!("{} — worker sweep", mechanism));
     let mut table = Table::new(&[
         "workers",
@@ -141,6 +141,16 @@ fn sweep(workload: &RrqWorkload, mechanism: MechanismKind) {
             rejected.to_string(),
             cache_hits.to_string(),
         ]);
+        json.row(&[
+            ("mechanism", mechanism.to_string().into()),
+            ("workers", workers.into()),
+            ("elapsed_s", elapsed.into()),
+            ("qps", qps.into()),
+            ("speedup", (qps / baseline).into()),
+            ("answered", answered.into()),
+            ("rejected", rejected.into()),
+            ("cache_hits", cache_hits.into()),
+        ]);
     }
     table.print();
 }
@@ -162,7 +172,12 @@ fn main() {
             ""
         }
     );
+    let mut json = BenchJson::new("service_throughput");
+    json.arg("analysts", ANALYSTS)
+        .arg("per_analyst", per_analyst)
+        .arg("hardware_threads", cores);
     let workload = workload(per_analyst);
-    sweep(&workload, MechanismKind::Vanilla);
-    sweep(&workload, MechanismKind::AdditiveGaussian);
+    sweep(&workload, MechanismKind::Vanilla, &mut json);
+    sweep(&workload, MechanismKind::AdditiveGaussian, &mut json);
+    json.emit();
 }

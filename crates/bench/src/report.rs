@@ -1,6 +1,24 @@
-//! Fixed-width table printing and JSON output for experiment binaries.
+//! Fixed-width table printing and machine-readable JSON output for
+//! experiment binaries.
+//!
+//! Every bench bin prints its human-readable tables to stdout **and**
+//! writes a `BENCH_<name>.json` file (schema documented in `BENCH.md`):
+//!
+//! ```json
+//! {
+//!   "bench": "<name>",
+//!   "args": { "<knob>": <value>, ... },
+//!   "rows": [ { "<column>": <value>, ... }, ... ]
+//! }
+//! ```
+//!
+//! Values are JSON numbers, strings or booleans; non-finite floats render
+//! as `null`. The file lands in the current working directory unless
+//! `BENCH_JSON_DIR` points elsewhere — CI's bench smoke step greps these
+//! files for sanity.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +77,178 @@ impl Table {
     }
 }
 
+/// One JSON scalar in a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number from a float (non-finite renders as `null`).
+    Num(f64),
+    /// A JSON integer.
+    Int(i64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i64)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_value(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Num(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        JsonValue::Num(_) => out.push_str("null"),
+        JsonValue::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        JsonValue::Str(s) => escape_json(s, out),
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn render_object(fields: &[(String, JsonValue)], out: &mut String) {
+    out.push('{');
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        escape_json(key, out);
+        out.push_str(": ");
+        render_value(value, out);
+    }
+    out.push('}');
+}
+
+/// A machine-readable bench report, written alongside the stdout tables
+/// as `BENCH_<name>.json` (see the module docs for the schema).
+#[derive(Debug, Clone, Default)]
+pub struct BenchJson {
+    bench: String,
+    args: Vec<(String, JsonValue)>,
+    rows: Vec<Vec<(String, JsonValue)>>,
+}
+
+impl BenchJson {
+    /// A report for the named bench bin.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        BenchJson {
+            bench: bench.to_owned(),
+            args: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one invocation knob (dataset size, query count, ...).
+    pub fn arg(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.args.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Appends one result row of `(column, value)` pairs.
+    pub fn row(&mut self, fields: &[(&str, JsonValue)]) -> &mut Self {
+        self.rows.push(
+            fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        );
+        self
+    }
+
+    /// Renders the whole report as a JSON document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"bench\": ");
+        escape_json(&self.bench, &mut out);
+        out.push_str(", \"args\": ");
+        render_object(&self.args, &mut out);
+        out.push_str(", \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("\n  ");
+            render_object(row, &mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `BENCH_JSON_DIR` (or the current
+    /// directory) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("BENCH_JSON_DIR").map_or_else(PathBuf::new, PathBuf::from);
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Writes the report, printing where it landed (or the error — a
+    /// bench never fails its run because the report could not be saved).
+    pub fn emit(&self) {
+        match self.write() {
+            Ok(path) => println!("\nmachine-readable report: {}", path.display()),
+            Err(e) => eprintln!("\nWARNING: could not write bench JSON: {e}"),
+        }
+    }
+}
+
 /// Formats a float with a fixed number of decimals (helper for table
 /// cells).
 #[must_use]
@@ -102,5 +292,26 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(1.23456, 2), "1.23");
         assert_eq!(fmt_f64(2.0, 0), "2");
+    }
+
+    #[test]
+    fn bench_json_renders_the_documented_schema() {
+        let mut report = BenchJson::new("exec_throughput");
+        report.arg("queries", 2_000usize).arg("rows", 50_000usize);
+        report.row(&[
+            ("mode", "row-at-a-time".into()),
+            ("qps", 1671.5.into()),
+            ("ok", true.into()),
+        ]);
+        report.row(&[("mode", "columnar".into()), ("nan", f64::NAN.into())]);
+        let out = report.render();
+        assert!(out.contains("\"bench\": \"exec_throughput\""));
+        assert!(out.contains("\"args\": {\"queries\": 2000, \"rows\": 50000}"));
+        assert!(out.contains("{\"mode\": \"row-at-a-time\", \"qps\": 1671.5, \"ok\": true}"));
+        assert!(out.contains("\"nan\": null"), "{out}");
+        // Strings escape cleanly.
+        let mut tricky = BenchJson::new("x");
+        tricky.row(&[("s", "a\"b\\c\nd".into())]);
+        assert!(tricky.render().contains(r#""s": "a\"b\\c\nd""#));
     }
 }

@@ -147,6 +147,7 @@ impl ChorusBaseline {
             epsilon_charged: epsilon,
             noise_variance: sigma * sigma,
             from_cache: false,
+            epoch: 0,
         }))
     }
 }

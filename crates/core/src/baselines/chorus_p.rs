@@ -174,6 +174,7 @@ impl QueryProcessor for ChorusPBaseline {
                 epsilon_charged: epsilon,
                 noise_variance: sigma * sigma,
                 from_cache: false,
+                epoch: 0,
             }))
         })();
         self.stats.query_time += start.elapsed();

@@ -171,6 +171,7 @@ impl QueryProcessor for SPrivateSqlBaseline {
                 epsilon_charged: 0.0,
                 noise_variance: delivered_variance,
                 from_cache: true,
+                epoch: 0,
             }))
         })();
         self.stats.query_time += start.elapsed();

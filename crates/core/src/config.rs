@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use dprov_delta::{EpochPolicy, MaintenanceMode};
 use dprov_dp::accountant::CompositionMethod;
 use dprov_dp::budget::{Delta, Epsilon};
 use dprov_dp::translation::DEFAULT_EPSILON_PRECISION;
@@ -64,6 +65,13 @@ pub struct SystemConfig {
     pub translation_precision: f64,
     /// RNG seed for noise generation (experiments repeat over several seeds).
     pub seed: u64,
+    /// What happens to noisy synopses of a view whose data changed at an
+    /// epoch seal (the dynamic-data budget policy; see `dprov-delta`).
+    pub epoch_policy: EpochPolicy,
+    /// How exact histograms are maintained at a seal: incremental patching
+    /// (production) or full rebuild (the bit-identical oracle the
+    /// equivalence suites compare against).
+    pub maintenance: MaintenanceMode,
 }
 
 impl SystemConfig {
@@ -82,7 +90,24 @@ impl SystemConfig {
             composition: CompositionMethod::Sequential,
             translation_precision: DEFAULT_EPSILON_PRECISION,
             seed: 0,
+            epoch_policy: EpochPolicy::default(),
+            maintenance: MaintenanceMode::default(),
         })
+    }
+
+    /// Sets the per-epoch synopsis budget policy for dynamic data.
+    #[must_use]
+    pub fn with_epoch_policy(mut self, policy: EpochPolicy) -> Self {
+        self.epoch_policy = policy;
+        self
+    }
+
+    /// Sets the histogram maintenance mode (equivalence testing uses
+    /// [`MaintenanceMode::FullRebuild`] as the oracle).
+    #[must_use]
+    pub fn with_maintenance(mut self, mode: MaintenanceMode) -> Self {
+        self.maintenance = mode;
+        self
     }
 
     /// Sets the per-query δ.

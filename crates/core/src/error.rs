@@ -144,6 +144,10 @@ pub enum CoreError {
     /// The durable recorder refused or failed a write-ahead append; the
     /// associated in-memory commit was not applied.
     Storage(StorageError),
+    /// An update batch failed validation (see `dprov-delta`): bad rows,
+    /// a delete naming a row the logical table does not hold, or an
+    /// empty batch.
+    Delta(dprov_delta::DeltaError),
 }
 
 impl From<DpError> for CoreError {
@@ -164,6 +168,12 @@ impl From<StorageError> for CoreError {
     }
 }
 
+impl From<dprov_delta::DeltaError> for CoreError {
+    fn from(e: dprov_delta::DeltaError) -> Self {
+        CoreError::Delta(e)
+    }
+}
+
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -174,6 +184,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::InvalidCorruptionGraph(msg) => write!(f, "invalid corruption graph: {msg}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Delta(e) => write!(f, "update error: {e}"),
         }
     }
 }

@@ -72,6 +72,12 @@ pub struct AnsweredQuery {
     /// True when the answer came from a cached/local synopsis without
     /// spending new budget.
     pub from_cache: bool,
+    /// The update epoch the answer's synopsis was released against
+    /// (0 = the immutable setup state). Under a carry-forward epoch
+    /// policy this may lag the system's current epoch by up to the
+    /// configured staleness bound; under re-noise it always equals the
+    /// epoch current at release time.
+    pub epoch: u64,
 }
 
 /// The outcome of a submission.
@@ -145,6 +151,7 @@ mod tests {
             epsilon_charged: 0.1,
             noise_variance: 2.0,
             from_cache: false,
+            epoch: 0,
         });
         assert!(answered.is_answered());
         assert!(answered.answered().is_some());

@@ -38,6 +38,8 @@
 //! [`crate::system::DProvDb::replay_access`] for the ledger suffix; all of
 //! them mutate memory *without* echoing back into the recorder.
 
+use dprov_delta::{EncodedBatch, UpdateLog};
+
 use crate::analyst::AnalystId;
 use crate::error::StorageError;
 use crate::mechanism::MechanismKind;
@@ -98,6 +100,26 @@ pub trait Recorder: Send + Sync {
     /// release failed and the in-memory charge was rolled back. Best-effort:
     /// a lost tombstone makes recovery over-count spend (safe direction).
     fn record_rollback(&self, seq: u64) -> Result<(), StorageError>;
+
+    /// Persists one validated update batch. Called under the update-log
+    /// lock, before the batch becomes pending in memory — an `Err` refuses
+    /// the update. The default implementation accepts silently, which is
+    /// correct only for volatile recorders (in-memory test doubles);
+    /// durable recorders must override it.
+    fn record_update(&self, batch: &EncodedBatch) -> Result<(), StorageError> {
+        let _ = batch;
+        Ok(())
+    }
+
+    /// Persists an epoch seal covering every update batch with
+    /// `seq < through_seq` not sealed earlier. Called under the epoch
+    /// freeze, before the seal is applied in memory — an `Err` aborts the
+    /// seal with nothing applied. Default: accept silently (volatile
+    /// recorders only).
+    fn record_epoch_seal(&self, epoch: u64, through_seq: u64) -> Result<(), StorageError> {
+        let _ = (epoch, through_seq);
+        Ok(())
+    }
 }
 
 /// Serialisable state of one provenance-table entry.
@@ -131,6 +153,8 @@ pub struct GlobalSynopsisState {
     pub epsilon: f64,
     /// Actual per-bin variance.
     pub variance: f64,
+    /// The update epoch the synopsis was released against.
+    pub epoch: u64,
     /// The noisy counts.
     pub counts: Vec<f64>,
 }
@@ -144,6 +168,8 @@ pub struct LocalSynopsisState {
     pub epsilon: f64,
     /// Actual per-bin variance.
     pub variance: f64,
+    /// The update epoch the synopsis was released against.
+    pub epoch: u64,
     /// The noisy counts.
     pub counts: Vec<f64>,
 }
@@ -181,6 +207,11 @@ pub struct CoreState {
     pub accesses: Vec<AccessRecord>,
     /// The synopsis cache, one entry per view with any cached state.
     pub synopses: Vec<ViewCacheState>,
+    /// The dynamic-data state: pending update batches plus the sealed
+    /// epoch history (recovery re-applies the seals deterministically to
+    /// rebuild segments and patched histograms). Grows with total
+    /// updates, like `accesses` — summarising it is a known follow-up.
+    pub deltas: UpdateLog,
 }
 
 #[cfg(test)]

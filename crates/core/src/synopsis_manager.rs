@@ -27,10 +27,12 @@
 //! Queries over different views therefore proceed fully in parallel.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use serde::{Deserialize, Serialize};
 
+use dprov_delta::{patch_histogram, EncodedBatch, EpochPolicy};
 use dprov_dp::budget::Delta;
 use dprov_dp::mechanism::analytic_gaussian::analytic_gaussian_sigma;
 use dprov_dp::rng::DpRng;
@@ -53,18 +55,28 @@ pub struct GlobalGrowth {
     pub release_sigma: f64,
 }
 
-/// A synopsis together with the nominal budget spent on it.
+/// A synopsis together with the nominal budget spent on it and the update
+/// epoch it was released against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BudgetedSynopsis {
     /// The noisy counts and their actual per-bin variance.
     pub synopsis: Synopsis,
     /// The nominal epsilon this synopsis is worth.
     pub epsilon: f64,
+    /// The update epoch whose exact histogram the release observed.
+    pub epoch: u64,
 }
 
 /// The mutable, per-view slice of cache state guarded by one shard lock.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 struct ShardState {
+    /// The exact histogram at the view's current data epoch (patched
+    /// incrementally — or rebuilt — at every epoch seal that touches the
+    /// view's base table).
+    exact: Histogram,
+    /// The epoch of the last seal that changed this view's data (0 =
+    /// setup state: the view has never been touched by an update).
+    data_epoch: u64,
     /// The hidden global synopsis (additive mechanism), if released yet.
     global: Option<BudgetedSynopsis>,
     /// Local synopses (additive mechanism) or cached per-analyst synopses
@@ -72,12 +84,11 @@ struct ShardState {
     locals: HashMap<usize, BudgetedSynopsis>,
 }
 
-/// One managed view: immutable definition and exact histogram, plus the
-/// lock-guarded mutable state.
+/// One managed view: immutable definition plus the lock-guarded mutable
+/// state (exact histogram, data epoch, cached synopses).
 #[derive(Debug)]
 struct ViewShard {
     def: ViewDef,
-    exact: Histogram,
     state: RwLock<ShardState>,
 }
 
@@ -88,6 +99,8 @@ struct ViewShard {
 pub struct SynopsisManager {
     delta: Delta,
     shards: HashMap<String, ViewShard>,
+    /// The last sealed update epoch; new releases are stamped with it.
+    epoch: AtomicU64,
 }
 
 impl Clone for SynopsisManager {
@@ -102,12 +115,12 @@ impl Clone for SynopsisManager {
                         name.clone(),
                         ViewShard {
                             def: shard.def.clone(),
-                            exact: shard.exact.clone(),
                             state: RwLock::new(shard.state.read().expect("shard poisoned").clone()),
                         },
                     )
                 })
                 .collect(),
+            epoch: AtomicU64::new(self.epoch.load(Ordering::SeqCst)),
         }
     }
 }
@@ -119,7 +132,14 @@ impl SynopsisManager {
         SynopsisManager {
             delta,
             shards: HashMap::new(),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The last sealed update epoch new releases are stamped with.
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Registers a view and materialises its exact histogram (this is the
@@ -155,8 +175,12 @@ impl SynopsisManager {
             def.name.clone(),
             ViewShard {
                 def: def.clone(),
-                exact,
-                state: RwLock::new(ShardState::default()),
+                state: RwLock::new(ShardState {
+                    exact,
+                    data_epoch: 0,
+                    global: None,
+                    locals: HashMap::new(),
+                }),
             },
         );
     }
@@ -178,9 +202,82 @@ impl SynopsisManager {
         Ok(self.shard(view)?.def.sensitivity())
     }
 
-    /// The exact histogram of a registered view.
-    pub fn exact_histogram(&self, view: &str) -> Result<&Histogram> {
-        Ok(&self.shard(view)?.exact)
+    /// The exact histogram of a registered view at its current data epoch
+    /// (cloned out of the shard — the histogram mutates at epoch seals).
+    pub fn exact_histogram(&self, view: &str) -> Result<Histogram> {
+        Ok(self.read_state(view)?.exact.clone())
+    }
+
+    /// The epoch of the last seal that changed a view's data (0 = never
+    /// touched by an update).
+    pub fn data_epoch(&self, view: &str) -> Result<u64> {
+        Ok(self.read_state(view)?.data_epoch)
+    }
+
+    /// The registered view definitions whose base table is `table`.
+    #[must_use]
+    pub fn views_over_table(&self, table: &str) -> Vec<ViewDef> {
+        let mut defs: Vec<ViewDef> = self
+            .shards
+            .values()
+            .filter(|s| s.def.table == table)
+            .map(|s| s.def.clone())
+            .collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
+    }
+
+    /// Patches a view's exact histogram in place from the delta rows of an
+    /// epoch's batches (incremental maintenance; bit-identical to a full
+    /// rebuild — see `dprov-delta`). Does not advance any epoch counter;
+    /// callers follow up with [`Self::apply_epoch`].
+    pub fn patch_exact(
+        &self,
+        view: &str,
+        schema: &dprov_engine::schema::Schema,
+        batches: &[EncodedBatch],
+    ) -> Result<()> {
+        let shard = self.shard(view)?;
+        let mut state = shard.state.write().expect("shard poisoned");
+        patch_histogram(&mut state.exact, &shard.def, schema, batches)
+            .map_err(|e| CoreError::InvalidConfig(format!("incremental patch failed: {e}")))
+    }
+
+    /// Replaces a view's exact histogram wholesale (the full-rebuild
+    /// maintenance mode the equivalence suites compare against).
+    pub fn set_exact(&self, view: &str, exact: Histogram) -> Result<()> {
+        let shard = self.shard(view)?;
+        shard.state.write().expect("shard poisoned").exact = exact;
+        Ok(())
+    }
+
+    /// Applies an epoch seal to the cache: advances the release epoch,
+    /// marks the touched views' data epoch, and invalidates every cached
+    /// synopsis the policy no longer retains (touched views immediately
+    /// under re-noise; any view whose stale synopses exceed the
+    /// carry-forward bound). Returns the number of synopses invalidated.
+    pub fn apply_epoch(&self, new_epoch: u64, touched: &[String], policy: EpochPolicy) -> usize {
+        self.epoch.store(new_epoch, Ordering::SeqCst);
+        let mut invalidated = 0usize;
+        for (name, shard) in &self.shards {
+            let mut state = shard.state.write().expect("shard poisoned");
+            if touched.iter().any(|t| t == name) {
+                state.data_epoch = new_epoch;
+            }
+            let data_epoch = state.data_epoch;
+            if let Some(global) = &state.global {
+                if !policy.retains(global.epoch, data_epoch, new_epoch) {
+                    state.global = None;
+                    invalidated += 1;
+                }
+            }
+            let before = state.locals.len();
+            state
+                .locals
+                .retain(|_, local| policy.retains(local.epoch, data_epoch, new_epoch));
+            invalidated += before - state.locals.len();
+        }
+        invalidated
     }
 
     /// The nominal epsilon of the current global synopsis, if any.
@@ -268,6 +365,7 @@ impl SynopsisManager {
                         analyst,
                         epsilon: s.epsilon,
                         variance: s.synopsis.per_bin_variance,
+                        epoch: s.epoch,
                         counts: s.synopsis.counts.clone(),
                     })
                     .collect();
@@ -277,6 +375,7 @@ impl SynopsisManager {
                     global: state.global.as_ref().map(|g| GlobalSynopsisState {
                         epsilon: g.epsilon,
                         variance: g.synopsis.per_bin_variance,
+                        epoch: g.epoch,
                         counts: g.synopsis.counts.clone(),
                     }),
                     locals,
@@ -300,6 +399,7 @@ impl SynopsisManager {
             state.global = view.global.as_ref().map(|g| BudgetedSynopsis {
                 synopsis: Synopsis::new(&view.view, g.counts.clone(), g.variance),
                 epsilon: g.epsilon,
+                epoch: g.epoch,
             });
             state.locals = view
                 .locals
@@ -310,6 +410,7 @@ impl SynopsisManager {
                         BudgetedSynopsis {
                             synopsis: Synopsis::new(&view.view, l.counts.clone(), l.variance),
                             epsilon: l.epsilon,
+                            epoch: l.epoch,
                         },
                     )
                 })
@@ -320,13 +421,14 @@ impl SynopsisManager {
 
     /// Generates a *fresh, independent* synopsis of the view at the given
     /// budget — the vanilla mechanism's release, also used for the static
-    /// sPrivateSQL synopses. Touches only the immutable exact histogram, so
-    /// it runs without taking any lock.
+    /// sPrivateSQL synopses. Reads the exact histogram under the shard's
+    /// read guard, so it observes a whole number of sealed epochs.
     pub fn fresh_synopsis(&self, view: &str, epsilon: f64, rng: &mut DpRng) -> Result<Synopsis> {
         let shard = self.shard(view)?;
         let sigma =
             analytic_gaussian_sigma(epsilon, self.delta.value(), shard.def.sensitivity().value())?;
-        let counts: Vec<f64> = shard
+        let state = shard.state.read().expect("shard poisoned");
+        let counts: Vec<f64> = state
             .exact
             .counts
             .iter()
@@ -381,12 +483,14 @@ impl SynopsisManager {
         let delta = self.delta.value();
         let shard = self.shard(view)?;
         let sens = shard.def.sensitivity().value();
-        let mut state = shard.state.write().expect("shard poisoned");
+        let release_epoch = self.current_epoch();
+        let mut guard = shard.state.write().expect("shard poisoned");
+        let state = &mut *guard;
 
         match &mut state.global {
             None => {
                 let sigma = analytic_gaussian_sigma(target_epsilon, delta, sens)?;
-                let counts: Vec<f64> = shard
+                let counts: Vec<f64> = state
                     .exact
                     .counts
                     .iter()
@@ -395,6 +499,7 @@ impl SynopsisManager {
                 state.global = Some(BudgetedSynopsis {
                     synopsis: Synopsis::new(view, counts, sigma * sigma),
                     epsilon: target_epsilon,
+                    epoch: release_epoch,
                 });
                 Ok(Some(GlobalGrowth {
                     spent_epsilon: target_epsilon,
@@ -405,7 +510,7 @@ impl SynopsisManager {
             Some(global) => {
                 let delta_eps = target_epsilon - global.epsilon;
                 let sigma_delta = analytic_gaussian_sigma(delta_eps, delta, sens)?;
-                let fresh_counts: Vec<f64> = shard
+                let fresh_counts: Vec<f64> = state
                     .exact
                     .counts
                     .iter()
@@ -419,6 +524,13 @@ impl SynopsisManager {
                     .optimal_combination_weight(fresh.per_bin_variance);
                 global.synopsis = global.synopsis.combine(&fresh, w);
                 global.epsilon = target_epsilon;
+                // The merge keeps the OLDER component's epoch: under a
+                // carry-forward policy a merged synopsis still embeds
+                // stale-epoch observations, so stamping it newer would let
+                // old data escape the staleness bound forever. (Under
+                // re-noise a stale global cannot reach this point — it was
+                // invalidated at the seal.) Mirrors `refine_local`.
+                global.epoch = global.epoch.min(release_epoch);
                 Ok(Some(GlobalGrowth {
                     spent_epsilon: delta_eps,
                     release_sigma: sigma_delta,
@@ -484,6 +596,7 @@ impl SynopsisManager {
         let refined = BudgetedSynopsis {
             synopsis: Synopsis::new(view, counts, variance),
             epsilon: existing.epsilon.max(fresh.epsilon),
+            epoch: existing.epoch.min(fresh.epoch),
         };
         self.store_local(analyst, view, refined.clone());
         Ok(refined)
@@ -506,7 +619,7 @@ impl SynopsisManager {
         let delta = self.delta.value();
         let shard = self.shard(view)?;
         let sens = shard.def.sensitivity().value();
-        let (global_counts, global_variance) = {
+        let (global_counts, global_variance, global_epoch) = {
             let state = shard.state.read().expect("shard poisoned");
             let global = state.global.as_ref().ok_or_else(|| {
                 CoreError::InvalidConfig(format!(
@@ -517,6 +630,7 @@ impl SynopsisManager {
             (
                 global.synopsis.counts.clone(),
                 global.synopsis.per_bin_variance,
+                global.epoch,
             )
         };
 
@@ -531,6 +645,7 @@ impl SynopsisManager {
         let local = BudgetedSynopsis {
             synopsis: Synopsis::new(view, counts, target_variance),
             epsilon: local_epsilon,
+            epoch: global_epoch,
         };
         self.store_local(analyst, view, local.clone());
         Ok(local)

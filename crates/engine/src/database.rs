@@ -8,18 +8,47 @@ use crate::table::Table;
 use crate::{EngineError, Result};
 
 /// An in-memory database instance.
+///
+/// Instances are **epoch-versioned**: the database carries the id of the
+/// last sealed update epoch (0 = the immutable setup state). The dynamic
+/// data subsystem (`dprov-delta`) mutates tables through
+/// [`Database::table_mut`] / [`crate::table::Table::apply_encoded_updates`]
+/// and advances the epoch once per sealed batch set, so every consumer can
+/// tag the state it answered against.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    #[serde(default)]
+    epoch: u64,
 }
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty database (at epoch 0).
     #[must_use]
     pub fn new() -> Self {
         Database {
             tables: BTreeMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// The id of the last sealed update epoch this instance reflects.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the epoch id after a sealed batch of updates has been
+    /// applied, returning the new epoch.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Sets the epoch id directly (recovery replays use this to land on
+    /// the exact pre-crash epoch).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Registers a table, replacing any previous table with the same name.
@@ -79,6 +108,16 @@ mod tests {
         assert_eq!(db.table("a").unwrap().num_rows(), 5);
         assert!(db.table("c").is_err());
         assert_eq!(db.total_rows(), 12);
+    }
+
+    #[test]
+    fn epoch_starts_at_zero_and_advances() {
+        let mut db = Database::new();
+        assert_eq!(db.epoch(), 0);
+        assert_eq!(db.advance_epoch(), 1);
+        assert_eq!(db.advance_epoch(), 2);
+        db.set_epoch(7);
+        assert_eq!(db.epoch(), 7);
     }
 
     #[test]

@@ -93,6 +93,79 @@ impl Table {
         Ok(())
     }
 
+    /// Deletes the first row whose encoded cells equal `indices`, returning
+    /// `true` when a match was found and removed. Multiset semantics: each
+    /// call removes at most one occurrence. Rows after the match shift up
+    /// one position (the table is columnar; order of the *remaining* rows
+    /// is preserved).
+    pub fn delete_encoded_row(&mut self, indices: &[u32]) -> Result<bool> {
+        if indices.len() != self.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: indices.len(),
+            });
+        }
+        let rows = self.num_rows();
+        'rows: for row in 0..rows {
+            for (col, &want) in self.columns.iter().zip(indices) {
+                if col[row] != want {
+                    continue 'rows;
+                }
+            }
+            for col in &mut self.columns {
+                col.remove(row);
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Number of rows whose encoded cells equal `indices` (multiset
+    /// multiplicity — what update validation checks before accepting a
+    /// delete).
+    pub fn count_encoded_rows(&self, indices: &[u32]) -> Result<usize> {
+        if indices.len() != self.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: indices.len(),
+            });
+        }
+        let rows = self.num_rows();
+        let mut hits = 0usize;
+        'rows: for row in 0..rows {
+            for (col, &want) in self.columns.iter().zip(indices) {
+                if col[row] != want {
+                    continue 'rows;
+                }
+            }
+            hits += 1;
+        }
+        Ok(hits)
+    }
+
+    /// Applies one update batch — encoded inserts appended in order, then
+    /// encoded deletes each removing one matching row. The mutable table
+    /// handle of the dynamic-data subsystem: `dprov-delta` seals epochs
+    /// through this after validating every row. Errors on an arity
+    /// mismatch; a delete with no matching row is reported in the returned
+    /// count (callers that validated beforehand treat it as a bug).
+    pub fn apply_encoded_updates(
+        &mut self,
+        inserts: &[Vec<u32>],
+        deletes: &[Vec<u32>],
+    ) -> Result<usize> {
+        for row in inserts {
+            self.insert_encoded_row(row)?;
+        }
+        let mut deleted = 0usize;
+        for row in deletes {
+            if self.delete_encoded_row(row)? {
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+
     /// The encoded column for an attribute.
     pub fn column(&self, attribute: &str) -> Result<&[u32]> {
         let pos = self.schema.position(attribute)?;
@@ -192,5 +265,44 @@ mod tests {
     fn unknown_attribute_errors() {
         let t = sample_table();
         assert!(t.column("salary").is_err());
+    }
+
+    #[test]
+    fn delete_removes_one_matching_row_and_preserves_order() {
+        let mut t = sample_table();
+        for (age, sex) in [(30, "Male"), (45, "Female"), (30, "Male"), (50, "Male")] {
+            t.insert_row(&[Value::Int(age), Value::text(sex)]).unwrap();
+        }
+        let target = [13u32, 1]; // age 30, Male
+        assert_eq!(t.count_encoded_rows(&target).unwrap(), 2);
+        assert!(t.delete_encoded_row(&target).unwrap());
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.count_encoded_rows(&target).unwrap(), 1);
+        // Remaining rows keep their relative order.
+        assert_eq!(t.row(0), vec![Value::Int(45), Value::text("Female")]);
+        assert_eq!(t.row(1), vec![Value::Int(30), Value::text("Male")]);
+        assert_eq!(t.row(2), vec![Value::Int(50), Value::text("Male")]);
+        // Deleting a row that is not present reports false, mutates nothing.
+        assert!(!t.delete_encoded_row(&[0, 0]).unwrap());
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.delete_encoded_row(&[0]).is_err());
+        assert!(t.count_encoded_rows(&[0]).is_err());
+    }
+
+    #[test]
+    fn apply_encoded_updates_inserts_then_deletes() {
+        let mut t = sample_table();
+        t.insert_row(&[Value::Int(40), Value::text("Female")])
+            .unwrap();
+        let deleted = t
+            .apply_encoded_updates(
+                &[vec![13, 1], vec![14, 0]],
+                &[vec![23, 0], vec![99, 1]], // second delete matches nothing
+            )
+            .unwrap();
+        assert_eq!(deleted, 1);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0), vec![Value::Int(30), Value::text("Male")]);
+        assert_eq!(t.row(1), vec![Value::Int(31), Value::text("Female")]);
     }
 }

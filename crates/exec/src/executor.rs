@@ -1,9 +1,14 @@
-//! The columnar executor: shared scans and multi-query batch evaluation.
+//! The columnar executor: shared scans, multi-query batch evaluation, and
+//! epoch-versioned delta segments.
 //!
 //! [`ColumnarExecutor::ingest`] converts every table of a
-//! [`Database`] into the sharded columnar format once; after that the
-//! executor is immutable (plus atomic counters) and freely shareable
-//! across threads.
+//! [`Database`] into the sharded columnar format once. Base shards are
+//! immutable; dynamic data arrives through
+//! [`ColumnarExecutor::append_epoch`], which appends one epoch's delta
+//! segment per updated table behind a per-table `RwLock` — readers (query
+//! scans, histogram materialisation) take the read side, so the executor
+//! stays freely shareable across threads and a scan always sees a whole
+//! number of sealed epochs (never a torn segment).
 //!
 //! The central operation is [`ColumnarExecutor::execute_batch`]: all
 //! queries in a batch that target the same table are answered in **one
@@ -14,10 +19,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use dprov_engine::database::Database;
 use dprov_engine::histogram::Histogram;
 use dprov_engine::query::Query;
+use dprov_engine::schema::Schema;
 use dprov_engine::view::{flat_index, ViewDef, ViewKind};
 use dprov_engine::{EngineError, Result};
 
@@ -59,6 +66,8 @@ pub struct ExecStats {
     pub shards_visited: u64,
     /// (query, shard) pairs skipped by a zone-map proof during query scans.
     pub shards_pruned: u64,
+    /// Delta segments appended (one per (epoch, updated table) pair).
+    pub segments_appended: u64,
 }
 
 impl ExecStats {
@@ -74,10 +83,22 @@ impl ExecStats {
     }
 }
 
+/// One table's delta segment for an epoch seal: the encoded delta rows
+/// (inserts then deletes, in submission order) and their signed weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSegment {
+    /// The updated table.
+    pub table: String,
+    /// One vector per attribute (schema order), all the same length.
+    pub columns: Vec<Vec<u32>>,
+    /// One signed weight per delta row (`+1` insert, `-1` delete).
+    pub weights: Vec<f64>,
+}
+
 /// Groups item indices by their table name, in first-appearance order
 /// (the shared-scan unit: one pass per group).
 fn group_by_table<'a>(keys: impl Iterator<Item = &'a str>) -> Vec<(&'a str, Vec<usize>)> {
-    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    let mut groups: Vec<(&'a str, Vec<usize>)> = Vec::new();
     for (i, key) in keys.enumerate() {
         match groups.iter_mut().find(|(name, _)| *name == key) {
             Some((_, members)) => members.push(i),
@@ -96,16 +117,25 @@ struct StatsCells {
     histograms: AtomicU64,
     shards_visited: AtomicU64,
     shards_pruned: AtomicU64,
+    segments_appended: AtomicU64,
 }
 
 /// The columnar execution engine over one ingested database.
 #[derive(Debug)]
 pub struct ColumnarExecutor {
-    tables: HashMap<String, ColumnarTable>,
+    /// Per-table shard sets behind read-write locks: scans share the read
+    /// side; epoch seals take the write side of each updated table.
+    tables: HashMap<String, RwLock<ColumnarTable>>,
+    /// Schemas are immutable after ingest (updates never alter a schema),
+    /// so compilation reads them without touching a table lock.
+    schemas: HashMap<String, Schema>,
+    /// The last sealed epoch visible to scans.
+    epoch: AtomicU64,
     stats: StatsCells,
-    /// Retained row-store copy for the `fallback-equivalence` cross-check.
+    /// Retained row-store copy for the `fallback-equivalence` cross-check,
+    /// kept in step with sealed epochs.
     #[cfg(feature = "fallback-equivalence")]
-    fallback_db: Database,
+    fallback_db: RwLock<Database>,
 }
 
 impl ColumnarExecutor {
@@ -113,35 +143,98 @@ impl ColumnarExecutor {
     /// format.
     #[must_use]
     pub fn ingest(db: &Database, config: &ExecConfig) -> Self {
-        let tables = db
-            .table_names()
-            .into_iter()
-            .map(|name| {
-                let table = db.table(name).expect("listed table exists");
-                (
-                    name.to_owned(),
-                    ColumnarTable::ingest(table, config.shard_rows),
-                )
-            })
-            .collect();
+        let mut tables = HashMap::new();
+        let mut schemas = HashMap::new();
+        for name in db.table_names() {
+            let table = db.table(name).expect("listed table exists");
+            schemas.insert(name.to_owned(), table.schema().clone());
+            tables.insert(
+                name.to_owned(),
+                RwLock::new(ColumnarTable::ingest(table, config.shard_rows)),
+            );
+        }
         ColumnarExecutor {
             tables,
+            schemas,
+            epoch: AtomicU64::new(db.epoch()),
             stats: StatsCells::default(),
             #[cfg(feature = "fallback-equivalence")]
-            fallback_db: db.clone(),
+            fallback_db: RwLock::new(db.clone()),
         }
     }
 
-    /// The ingested columnar form of a table.
-    pub fn table(&self, name: &str) -> Result<&ColumnarTable> {
-        self.tables
+    /// The schema of an ingested table (immutable across epochs).
+    pub fn schema(&self, name: &str) -> Result<&Schema> {
+        self.schemas
             .get(name)
             .ok_or_else(|| EngineError::UnknownTable(name.to_owned()))
     }
 
+    /// Runs `f` against the current shard set of a table (read-locked:
+    /// concurrent scans proceed in parallel, epoch seals wait).
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&ColumnarTable) -> R) -> Result<R> {
+        let lock = self
+            .tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_owned()))?;
+        Ok(f(&lock.read().expect("table lock poisoned")))
+    }
+
+    /// The last sealed update epoch visible to scans.
+    #[must_use]
+    pub fn sealed_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Appends one epoch's delta segments: for every updated table a new
+    /// immutable shard run is appended after its existing shard set (old
+    /// shards are never rewritten), then the executor's epoch advances.
+    /// Tables not named keep serving their existing shards at the new
+    /// epoch. Callers serialise seals (epochs arrive in order) and are
+    /// responsible for quiescing in-flight *multi-table* readers; a
+    /// single-table scan is internally consistent either way because it
+    /// holds the table's read lock for the whole pass.
+    pub fn append_epoch(&self, epoch: u64, segments: &[EpochSegment]) -> Result<()> {
+        for segment in segments {
+            let lock = self
+                .tables
+                .get(&segment.table)
+                .ok_or_else(|| EngineError::UnknownTable(segment.table.clone()))?;
+            let mut table = lock.write().expect("table lock poisoned");
+            // Tables untouched by earlier epochs lag behind; fast-forward
+            // them with empty segments so shard epoch tags stay truthful.
+            while table.sealed_epoch() + 1 < epoch {
+                let arity = table.schema().arity();
+                let next = table.sealed_epoch() + 1;
+                table.append_delta_segment(&vec![Vec::new(); arity], &[], next);
+            }
+            table.append_delta_segment(&segment.columns, &segment.weights, epoch);
+            self.stats.segments_appended.fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "fallback-equivalence")]
+        {
+            let mut db = self.fallback_db.write().expect("fallback db poisoned");
+            for segment in segments {
+                let table = db.table_mut(&segment.table)?;
+                let rows = segment.weights.len();
+                for row in 0..rows {
+                    let encoded: Vec<u32> = segment.columns.iter().map(|col| col[row]).collect();
+                    if segment.weights[row] >= 0.0 {
+                        table.insert_encoded_row(&encoded)?;
+                    } else {
+                        table.delete_encoded_row(&encoded)?;
+                    }
+                }
+            }
+            db.set_epoch(epoch);
+        }
+        self.epoch.fetch_max(epoch, Ordering::SeqCst);
+        Ok(())
+    }
+
     /// Compiles a query against its table's schema.
     pub fn compile(&self, query: &Query) -> Result<CompiledQuery> {
-        CompiledQuery::compile(query, self.table(&query.table)?.schema())
+        CompiledQuery::compile(query, self.schema(&query.table)?)
     }
 
     /// Executes one scalar query (a batch of one: exactly one table pass).
@@ -177,15 +270,16 @@ impl ColumnarExecutor {
         let mut pruned = 0u64;
         let mut visited = 0u64;
         for (name, members) in &groups {
-            let table = self.table(name)?;
-            for shard in table.shards() {
-                visited += 1;
-                for &i in members {
-                    if compiled[i].eval_shard(shard, &mut partials[i]) == ShardOutcome::Pruned {
-                        pruned += 1;
+            self.with_table(name, |table| {
+                for shard in table.shards() {
+                    visited += 1;
+                    for &i in members {
+                        if compiled[i].eval_shard(shard, &mut partials[i]) == ShardOutcome::Pruned {
+                            pruned += 1;
+                        }
                     }
                 }
-            }
+            })?;
         }
 
         self.stats
@@ -222,7 +316,10 @@ impl ColumnarExecutor {
     /// among all views over it (the setup-time cost of Tables 1/3: a
     /// catalog of `k` views over one table costs 1 scan instead of `k`).
     /// Results are bit-identical to
-    /// [`dprov_engine::histogram::Histogram::materialize`].
+    /// [`dprov_engine::histogram::Histogram::materialize`] against the
+    /// logically equivalent (physically rebuilt) table: delta rows fold
+    /// their signed weight into the addressed cell, and every cell count
+    /// is exact integer arithmetic in `f64`.
     pub fn materialize_histograms(&self, views: &[ViewDef]) -> Result<Vec<Histogram>> {
         struct Build {
             dims: Vec<usize>,
@@ -233,7 +330,7 @@ impl ColumnarExecutor {
 
         let mut builds: Vec<Build> = Vec::with_capacity(views.len());
         for view in views {
-            let schema = self.table(&view.table)?.schema();
+            let schema = self.schema(&view.table)?;
             let dims = view.dimensions(schema)?;
             let positions = view.positions(schema)?;
             let clip = match view.kind {
@@ -255,23 +352,26 @@ impl ColumnarExecutor {
         let groups = group_by_table(views.iter().map(|v| v.table.as_str()));
 
         for (name, members) in &groups {
-            let table = self.table(name)?;
-            for shard in table.shards() {
-                for &i in members {
-                    let build = &mut builds[i];
-                    let mut cell = vec![0usize; build.positions.len()];
-                    for row in 0..shard.rows() {
-                        for (d, &pos) in build.positions.iter().enumerate() {
-                            let mut idx = shard.column(pos)[row] as usize;
-                            if let Some((lo, hi)) = build.clip {
-                                idx = idx.clamp(lo, hi);
+            self.with_table(name, |table| {
+                for shard in table.shards() {
+                    for &i in members {
+                        let build = &mut builds[i];
+                        let mut cell = vec![0usize; build.positions.len()];
+                        let weights = shard.weights();
+                        for row in 0..shard.rows() {
+                            for (d, &pos) in build.positions.iter().enumerate() {
+                                let mut idx = shard.column(pos)[row] as usize;
+                                if let Some((lo, hi)) = build.clip {
+                                    idx = idx.clamp(lo, hi);
+                                }
+                                cell[d] = idx;
                             }
-                            cell[d] = idx;
+                            let w = weights.map_or(1.0, |ws| ws[row]);
+                            build.counts[flat_index(&build.dims, &cell)] += w;
                         }
-                        build.counts[flat_index(&build.dims, &cell)] += 1.0;
                     }
                 }
-            }
+            })?;
         }
 
         self.stats
@@ -303,6 +403,7 @@ impl ColumnarExecutor {
             histograms: self.stats.histograms.load(Ordering::Relaxed),
             shards_visited: self.stats.shards_visited.load(Ordering::Relaxed),
             shards_pruned: self.stats.shards_pruned.load(Ordering::Relaxed),
+            segments_appended: self.stats.segments_appended.load(Ordering::Relaxed),
         }
     }
 
@@ -315,14 +416,18 @@ impl ColumnarExecutor {
         self.stats.histograms.store(0, Ordering::Relaxed);
         self.stats.shards_visited.store(0, Ordering::Relaxed);
         self.stats.shards_pruned.store(0, Ordering::Relaxed);
+        self.stats.segments_appended.store(0, Ordering::Relaxed);
     }
 
     /// Cross-checks columnar results against the engine's row-at-a-time
-    /// evaluator; any divergence is a bug in the kernels, so it panics.
+    /// evaluator over the epoch-synchronised fallback database; any
+    /// divergence is a bug in the kernels (or the delta fold), so it
+    /// panics.
     #[cfg(feature = "fallback-equivalence")]
     fn cross_check(&self, queries: &[Query], results: &[f64]) {
+        let db = self.fallback_db.read().expect("fallback db poisoned");
         for (query, &got) in queries.iter().zip(results) {
-            let reference = dprov_engine::exec::execute(&self.fallback_db, query)
+            let reference = dprov_engine::exec::execute(&db, query)
                 .expect("fallback evaluation of a compiled query cannot fail")
                 .scalar()
                 .expect("compiled queries are scalar");
@@ -454,6 +559,17 @@ mod tests {
             .is_err());
         assert_eq!(exec.stats().scans, before);
         assert!(exec.execute_batch(&[]).unwrap().is_empty());
+        // Unknown tables are also refused at epoch-append time.
+        assert!(exec
+            .append_epoch(
+                1,
+                &[EpochSegment {
+                    table: "nope".to_owned(),
+                    columns: Vec::new(),
+                    weights: Vec::new(),
+                }]
+            )
+            .is_err());
     }
 
     #[test]
@@ -468,5 +584,78 @@ mod tests {
         assert_eq!(columnar.to_bits(), reference.to_bits());
         let stats = exec.stats();
         assert!(stats.shards_visited > 0);
+    }
+
+    #[test]
+    fn epoch_appends_update_answers_and_histograms_exactly() {
+        let (mut db, exec) = executor(256);
+        // Build one epoch of updates: insert 5 rows (copies of row 0 with
+        // age forced to 30), delete 3 existing rows by value.
+        let adult = db.table("adult").unwrap();
+        let schema = adult.schema().clone();
+        let age_pos = schema.position("age").unwrap();
+        let arity = schema.arity();
+        let mut columns: Vec<Vec<u32>> = vec![Vec::new(); arity];
+        let mut weights = Vec::new();
+        let encoded_row = |t: &dprov_engine::table::Table, row: usize| -> Vec<u32> {
+            (0..arity).map(|c| t.column_at(c)[row]).collect()
+        };
+        for _ in 0..5 {
+            let mut row = encoded_row(adult, 0);
+            row[age_pos] = 13; // age 30
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+            weights.push(1.0);
+        }
+        for del in 1..4 {
+            let row = encoded_row(adult, del);
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+            weights.push(-1.0);
+        }
+        exec.append_epoch(
+            1,
+            &[EpochSegment {
+                table: "adult".to_owned(),
+                columns: columns.clone(),
+                weights: weights.clone(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(exec.sealed_epoch(), 1);
+        assert_eq!(exec.stats().segments_appended, 1);
+
+        // Physically rebuild the reference table.
+        {
+            let table = db.table_mut("adult").unwrap();
+            let inserts: Vec<Vec<u32>> = (0..5)
+                .map(|i| (0..arity).map(|c| columns[c][i]).collect())
+                .collect();
+            let deletes: Vec<Vec<u32>> = (5..8)
+                .map(|i| (0..arity).map(|c| columns[c][i]).collect())
+                .collect();
+            assert_eq!(table.apply_encoded_updates(&inserts, &deletes).unwrap(), 3);
+        }
+
+        for q in [
+            Query::count("adult"),
+            Query::range_count("adult", "age", 30, 30),
+            Query::sum("adult", "hours_per_week"),
+            Query::avg("adult", "hours_per_week"),
+        ] {
+            let columnar = exec.execute(&q).unwrap();
+            let reference = execute(&db, &q).unwrap().scalar().unwrap();
+            assert_eq!(columnar.to_bits(), reference.to_bits(), "{}", q.describe());
+        }
+        for view in [
+            ViewDef::histogram("v_age", "adult", &["age"]),
+            ViewDef::clipped("v_hours", "adult", "hours_per_week", 10, 60),
+        ] {
+            let patched = exec.materialize_histogram(&view).unwrap();
+            let rebuilt = Histogram::materialize(&db, &view).unwrap();
+            assert_eq!(patched, rebuilt, "{}", view.name);
+        }
     }
 }

@@ -377,7 +377,13 @@ impl CompiledQuery {
         &self.table
     }
 
-    /// Folds one shard into the partial aggregate.
+    /// Folds one shard into the partial aggregate. Base shards take the
+    /// unweighted fast path (popcounts, whole-shard row counts); delta
+    /// shards fold each row's signed weight into COUNT and `weight ×
+    /// value` into SUM, so a delete-by-value row cancels the contribution
+    /// of the row it deletes. Every accumulated term is an exact integer
+    /// in `f64` (all domain values are integers), so the weighted fold is
+    /// bit-identical to scanning a physically rebuilt table.
     pub(crate) fn eval_shard(
         &self,
         shard: &ColumnShard,
@@ -385,28 +391,64 @@ impl CompiledQuery {
     ) -> ShardOutcome {
         match self.predicate.zone_verdict(shard) {
             ZoneVerdict::NoRow => return ShardOutcome::Pruned,
-            ZoneVerdict::EveryRow => {
-                partial.count += shard.rows() as f64;
-                if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
-                    let column = shard.column(*col);
-                    for &v in column {
-                        partial.sum += weights[v as usize];
+            ZoneVerdict::EveryRow => match shard.weights() {
+                None => {
+                    partial.count += shard.rows() as f64;
+                    if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
+                        let column = shard.column(*col);
+                        for &v in column {
+                            partial.sum += weights[v as usize];
+                        }
                     }
                 }
-            }
+                Some(row_weights) => {
+                    for &w in row_weights {
+                        partial.count += w;
+                    }
+                    if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
+                        let column = shard.column(*col);
+                        for (&v, &w) in column.iter().zip(row_weights) {
+                            partial.sum += w * weights[v as usize];
+                        }
+                    }
+                }
+            },
             ZoneVerdict::Scan => {
                 let mask = self.predicate.eval_mask(shard);
-                let matched: u32 = mask.iter().map(|w| w.count_ones()).sum();
-                partial.count += f64::from(matched);
-                if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
-                    let column = shard.column(*col);
-                    // Ascending row order keeps the floating-point sum
-                    // bit-identical to the row-at-a-time loop.
-                    for (word_idx, mut word) in mask.iter().copied().enumerate() {
-                        while word != 0 {
-                            let row = word_idx * 64 + word.trailing_zeros() as usize;
-                            partial.sum += weights[column[row] as usize];
-                            word &= word - 1;
+                match shard.weights() {
+                    None => {
+                        let matched: u32 = mask.iter().map(|w| w.count_ones()).sum();
+                        partial.count += f64::from(matched);
+                        if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
+                            let column = shard.column(*col);
+                            // Ascending row order keeps the floating-point
+                            // sum bit-identical to the row-at-a-time loop.
+                            for (word_idx, mut word) in mask.iter().copied().enumerate() {
+                                while word != 0 {
+                                    let row = word_idx * 64 + word.trailing_zeros() as usize;
+                                    partial.sum += weights[column[row] as usize];
+                                    word &= word - 1;
+                                }
+                            }
+                        }
+                    }
+                    Some(row_weights) => {
+                        let value_weights = match &self.aggregate {
+                            CompiledAggregate::Weighted { col, weights, .. } => {
+                                Some((shard.column(*col), weights))
+                            }
+                            CompiledAggregate::Count => None,
+                        };
+                        for (word_idx, mut word) in mask.iter().copied().enumerate() {
+                            while word != 0 {
+                                let row = word_idx * 64 + word.trailing_zeros() as usize;
+                                let w = row_weights[row];
+                                partial.count += w;
+                                if let Some((column, weights)) = value_weights {
+                                    partial.sum += w * weights[column[row] as usize];
+                                }
+                                word &= word - 1;
+                            }
                         }
                     }
                 }
@@ -520,6 +562,65 @@ mod tests {
         assert_eq!(compiled.finish(&partial), 2.0);
         assert_eq!(outcomes[0], ShardOutcome::Pruned);
         assert_eq!(outcomes[1], ShardOutcome::Scanned);
+    }
+
+    #[test]
+    fn weighted_delta_shards_cancel_deleted_rows_exactly() {
+        // Table + a delta segment (insert (24, M, 18), delete (25, F, 33))
+        // must answer exactly like a physically rebuilt table.
+        let mut base = Table::new("t", schema());
+        let rows = [
+            (20, "F", 5),
+            (22, "M", 18),
+            (25, "F", 33),
+            (25, "M", 47),
+            (29, "F", 52),
+        ];
+        for (age, sex, hours) in rows {
+            base.insert_row(&[Value::Int(age), Value::text(sex), Value::Int(hours)])
+                .unwrap();
+        }
+        let mut store = ColumnarTable::ingest(&base, 3);
+        // Encoded: age 24 -> 4, M -> 1, hours 18 -> bin 1; delete row
+        // (25, F, 33) -> (5, 0, 3).
+        store.append_delta_segment(&[vec![4, 5], vec![1, 0], vec![1, 3]], &[1.0, -1.0], 1);
+
+        let mut rebuilt = Table::new("t", schema());
+        for (age, sex, hours) in [
+            (20, "F", 5),
+            (22, "M", 18),
+            (25, "M", 47),
+            (29, "F", 52),
+            (24, "M", 18),
+        ] {
+            rebuilt
+                .insert_row(&[Value::Int(age), Value::text(sex), Value::Int(hours)])
+                .unwrap();
+        }
+
+        let queries = [
+            Query::count("t"),
+            Query::sum("t", "hours"),
+            Query::avg("t", "hours"),
+            Query::count("t").filter(Predicate::equals("sex", "F")),
+            Query::range_count("t", "age", 24, 26),
+            Query::sum("t", "hours").filter(Predicate::range("age", 25, 29)),
+        ];
+        let mut rebuilt_db = dprov_engine::database::Database::new();
+        rebuilt_db.add_table(rebuilt);
+        for q in &queries {
+            let compiled = CompiledQuery::compile(q, store.schema()).unwrap();
+            let mut partial = PartialAggregate::default();
+            for shard in store.shards() {
+                compiled.eval_shard(shard, &mut partial);
+            }
+            let got = compiled.finish(&partial);
+            let want = dprov_engine::exec::execute(&rebuilt_db, q)
+                .unwrap()
+                .scalar()
+                .unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "{}", q.describe());
+        }
     }
 
     #[test]

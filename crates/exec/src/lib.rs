@@ -44,6 +44,6 @@ pub mod executor;
 pub mod kernel;
 pub mod store;
 
-pub use executor::{ColumnarExecutor, ExecConfig, ExecStats};
+pub use executor::{ColumnarExecutor, EpochSegment, ExecConfig, ExecStats};
 pub use kernel::CompiledQuery;
 pub use store::{ColumnShard, ColumnarTable};

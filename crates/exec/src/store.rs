@@ -1,4 +1,5 @@
-//! The immutable, sharded column-store.
+//! The sharded column-store: immutable base shards plus append-only,
+//! epoch-tagged delta segments.
 //!
 //! [`ColumnarTable::ingest`] converts a [`dprov_engine::table::Table`] —
 //! whose cells are already domain-index encoded `u32`s — into fixed-size
@@ -7,14 +8,22 @@
 //! shard), so kernels can skip whole shards whose value ranges provably
 //! cannot satisfy a predicate.
 //!
-//! The store is immutable after ingest: every accessor takes `&self`, so a
-//! table can be scanned by any number of threads without locking.
+//! Base shards are immutable after ingest. Dynamic data arrives as
+//! **delta segments** ([`ColumnarTable::append_delta_segment`]): per-epoch
+//! immutable shard runs appended after the existing shard set — old shards
+//! are **never rewritten**. A delta shard carries a per-row signed weight
+//! (`+1` insert, `-1` delete-by-value); kernels fold `weight` (COUNT) and
+//! `weight × value` (SUM) so a deleted row's contribution cancels exactly.
+//! All domain values are integers, so the weighted aggregates stay exact
+//! integer arithmetic in `f64` — bit-identical to re-scanning a physically
+//! rebuilt table.
 
 use dprov_engine::schema::Schema;
 use dprov_engine::table::Table;
 
-/// One fixed-size horizontal partition of a table: a slice of every column
-/// plus per-column zone maps.
+/// One horizontal partition of a table: a slice of every column plus
+/// per-column zone maps, and — for delta segments — per-row signed
+/// weights.
 #[derive(Debug, Clone)]
 pub struct ColumnShard {
     /// One vector per attribute (schema order), each `rows` long.
@@ -22,28 +31,44 @@ pub struct ColumnShard {
     /// `(min, max)` encoded index per attribute over this shard's rows.
     zones: Vec<(u32, u32)>,
     rows: usize,
+    /// Per-row signed weights (`None` for base shards — implicitly all
+    /// `+1.0`). Delta shards carry `+1.0` per inserted row and `-1.0` per
+    /// deleted row.
+    weights: Option<Vec<f64>>,
+    /// The update epoch that sealed this shard (`0` for base shards).
+    epoch: u64,
 }
 
 impl ColumnShard {
     fn from_columns(columns: &[Vec<u32>], start: usize, end: usize) -> Self {
         let rows = end - start;
         let columns: Vec<Vec<u32>> = columns.iter().map(|c| c[start..end].to_vec()).collect();
-        let zones = columns
-            .iter()
-            .map(|c| {
-                let mut lo = u32::MAX;
-                let mut hi = 0u32;
-                for &v in c {
-                    lo = lo.min(v);
-                    hi = hi.max(v);
-                }
-                (lo, hi)
-            })
-            .collect();
+        let zones = zone_maps(&columns);
         ColumnShard {
             columns,
             zones,
             rows,
+            weights: None,
+            epoch: 0,
+        }
+    }
+
+    fn from_delta(
+        columns: &[Vec<u32>],
+        weights: &[f64],
+        start: usize,
+        end: usize,
+        epoch: u64,
+    ) -> Self {
+        let rows = end - start;
+        let columns: Vec<Vec<u32>> = columns.iter().map(|c| c[start..end].to_vec()).collect();
+        let zones = zone_maps(&columns);
+        ColumnShard {
+            columns,
+            zones,
+            rows,
+            weights: Some(weights[start..end].to_vec()),
+            epoch,
         }
     }
 
@@ -65,15 +90,49 @@ impl ColumnShard {
     pub fn zone(&self, position: usize) -> (u32, u32) {
         self.zones[position]
     }
+
+    /// Per-row signed weights; `None` means every row weighs `+1.0` (base
+    /// shards).
+    #[must_use]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// The update epoch that sealed this shard (`0` for base shards).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
-/// An immutable columnar table: the schema plus its row shards.
+fn zone_maps(columns: &[Vec<u32>]) -> Vec<(u32, u32)> {
+    columns
+        .iter()
+        .map(|c| {
+            let mut lo = u32::MAX;
+            let mut hi = 0u32;
+            for &v in c {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// A columnar table: the schema, the immutable base shards, and the
+/// append-only epoch-tagged delta segments.
 #[derive(Debug, Clone)]
 pub struct ColumnarTable {
     name: String,
     schema: Schema,
     shards: Vec<ColumnShard>,
+    /// Physical rows across all shards (delta rows count once each,
+    /// whether they carry weight `+1` or `-1`).
     rows: usize,
+    shard_rows: usize,
+    /// The last update epoch whose segment was appended (0 = base only).
+    sealed_epoch: u64,
 }
 
 impl ColumnarTable {
@@ -99,7 +158,47 @@ impl ColumnarTable {
             schema: table.schema().clone(),
             shards,
             rows,
+            shard_rows,
+            sealed_epoch: 0,
         }
+    }
+
+    /// Appends one epoch's delta segment: `columns` holds the delta rows
+    /// (inserts and deletes, in submission order) and `weights` one signed
+    /// weight per row. Existing shards are untouched — the segment becomes
+    /// new shards after the current shard set, partitioned by the table's
+    /// configured shard size. Epochs must arrive in order (`epoch ==
+    /// sealed_epoch + 1`); empty segments still advance the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column count does not match the schema arity, when
+    /// column lengths and the weight count disagree, or when the epoch is
+    /// out of sequence — these are internal sequencing bugs, not inputs.
+    pub fn append_delta_segment(&mut self, columns: &[Vec<u32>], weights: &[f64], epoch: u64) {
+        assert_eq!(
+            columns.len(),
+            self.schema.arity(),
+            "delta segment arity mismatch"
+        );
+        assert_eq!(
+            epoch,
+            self.sealed_epoch + 1,
+            "delta segments must seal consecutive epochs"
+        );
+        let rows = weights.len();
+        for col in columns {
+            assert_eq!(col.len(), rows, "delta column length mismatch");
+        }
+        let mut start = 0;
+        while start < rows {
+            let end = (start + self.shard_rows).min(rows);
+            self.shards
+                .push(ColumnShard::from_delta(columns, weights, start, end, epoch));
+            start = end;
+        }
+        self.rows += rows;
+        self.sealed_epoch = epoch;
     }
 
     /// The table name.
@@ -114,16 +213,25 @@ impl ColumnarTable {
         &self.schema
     }
 
-    /// Total number of rows across all shards.
+    /// Total number of physical rows across all shards (delta delete
+    /// markers count as rows; the *logical* row count is the weighted sum
+    /// a COUNT(*) scan returns).
     #[must_use]
     pub fn num_rows(&self) -> usize {
         self.rows
     }
 
-    /// The shards, in row order.
+    /// The shards, in row order: base shards first, then each epoch's
+    /// delta shards in seal order.
     #[must_use]
     pub fn shards(&self) -> &[ColumnShard] {
         &self.shards
+    }
+
+    /// The last update epoch whose segment was appended (0 = base only).
+    #[must_use]
+    pub fn sealed_epoch(&self) -> u64 {
+        self.sealed_epoch
     }
 }
 
@@ -166,6 +274,12 @@ mod tests {
             .flat_map(|s| s.column(0).iter().copied())
             .collect();
         assert_eq!(rebuilt, t.columns()[0]);
+        // Base shards carry no weights and epoch 0.
+        for shard in c.shards() {
+            assert!(shard.weights().is_none());
+            assert_eq!(shard.epoch(), 0);
+        }
+        assert_eq!(c.sealed_epoch(), 0);
     }
 
     #[test]
@@ -188,5 +302,39 @@ mod tests {
         assert!(c.shards().is_empty());
         let c = ColumnarTable::ingest(&table(3), 0);
         assert_eq!(c.shards().len(), 3);
+    }
+
+    #[test]
+    fn delta_segments_append_without_rewriting_base_shards() {
+        let mut c = ColumnarTable::ingest(&table(6), 4);
+        let base_shards = c.shards().len();
+        let base_rows = c.num_rows();
+        // Epoch 1: two inserts and one delete-by-value.
+        let columns = vec![vec![5u32, 9, 0], vec![1u32, 0, 0]];
+        let weights = vec![1.0, 1.0, -1.0];
+        c.append_delta_segment(&columns, &weights, 1);
+        assert_eq!(c.sealed_epoch(), 1);
+        assert_eq!(c.num_rows(), base_rows + 3);
+        assert_eq!(c.shards().len(), base_shards + 1);
+        let delta = c.shards().last().unwrap();
+        assert_eq!(delta.epoch(), 1);
+        assert_eq!(delta.weights(), Some(&[1.0, 1.0, -1.0][..]));
+        assert_eq!(delta.zone(0), (0, 9));
+        // Epoch 2: empty segment still advances the epoch, adds no shard.
+        c.append_delta_segment(&[Vec::new(), Vec::new()], &[], 2);
+        assert_eq!(c.sealed_epoch(), 2);
+        assert_eq!(c.shards().len(), base_shards + 1);
+        // Segments larger than the shard size split like base ingestion.
+        let columns = vec![vec![1u32; 10], vec![0u32; 10]];
+        let weights = vec![1.0; 10];
+        c.append_delta_segment(&columns, &weights, 3);
+        assert_eq!(c.shards().len(), base_shards + 1 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive epochs")]
+    fn out_of_sequence_epochs_panic() {
+        let mut c = ColumnarTable::ingest(&table(3), 4);
+        c.append_delta_segment(&[Vec::new(), Vec::new()], &[], 5);
     }
 }

@@ -76,6 +76,9 @@ impl From<ServerError> for ApiError {
 struct ConnState {
     hello_done: bool,
     session: Option<(SessionId, AnalystId)>,
+    /// True once the connection authenticated as a data updater
+    /// (a role disjoint from analyst sessions).
+    is_updater: bool,
 }
 
 /// What the reader does after handling one request.
@@ -397,6 +400,61 @@ impl Frontend {
                 }
                 Flow::Continue
             }
+            Request::RegisterUpdater { updater_name } => {
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Close;
+                };
+                if !service.is_updater(&updater_name) {
+                    respond(Response::Error(ApiError::new(
+                        codes::NOT_UPDATER,
+                        format!("{updater_name:?} is not in the configured updater roster"),
+                    )));
+                    return Flow::Continue;
+                }
+                state.is_updater = true;
+                respond(Response::UpdaterRegistered);
+                Flow::Continue
+            }
+            Request::ApplyUpdate(batch) => {
+                if !state.is_updater {
+                    respond(Response::Error(not_updater()));
+                    return Flow::Continue;
+                }
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Continue;
+                };
+                match service.apply_update(&batch) {
+                    Ok(batch_seq) => respond(Response::UpdateAccepted {
+                        batch_seq,
+                        pending: service.system().pending_updates() as u64,
+                    }),
+                    Err(e) => respond(Response::Error(e.into())),
+                }
+                Flow::Continue
+            }
+            Request::SealEpoch => {
+                if !state.is_updater {
+                    respond(Response::Error(not_updater()));
+                    return Flow::Continue;
+                }
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Continue;
+                };
+                match service.seal_epoch() {
+                    Ok(report) => respond(Response::EpochSealed {
+                        epoch: report.epoch,
+                        batches: report.batches as u64,
+                        rows: report.rows as u64,
+                        views_patched: report.views_patched.len() as u64,
+                        synopses_invalidated: report.synopses_invalidated as u64,
+                    }),
+                    Err(e) => respond(Response::Error(e.into())),
+                }
+                Flow::Continue
+            }
             Request::CloseSession => {
                 let Some((session_id, _)) = state.session.take() else {
                     respond(Response::Error(no_session()));
@@ -429,6 +487,13 @@ fn no_session() -> ApiError {
     ApiError::new(
         codes::NO_SESSION,
         "register a session before using this request",
+    )
+}
+
+fn not_updater() -> ApiError {
+    ApiError::new(
+        codes::NOT_UPDATER,
+        "register as an updater before submitting updates or sealing epochs",
     )
 }
 
@@ -661,6 +726,99 @@ mod tests {
         let err = client.query(&request(20, 30, 500.0)).unwrap_err();
         assert_eq!(err.code, codes::SHUTTING_DOWN);
         assert!(err.retryable);
+    }
+
+    #[test]
+    fn updater_role_is_enforced_and_drives_epochs_over_the_protocol() {
+        use dprov_delta::UpdateBatch;
+        use dprov_engine::value::Value;
+        let db = adult_database(800, 1);
+        let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+        let mut registry = AnalystRegistry::new();
+        registry.register("alice", 2).unwrap();
+        let config = SystemConfig::new(8.0).unwrap().with_seed(11);
+        let system = Arc::new(
+            DProvDb::new(
+                db,
+                catalog,
+                registry,
+                config,
+                MechanismKind::AdditiveGaussian,
+            )
+            .unwrap(),
+        );
+        let service = Arc::new(QueryService::start(
+            system,
+            ServiceConfig::builder()
+                .workers(2)
+                .updaters(&["loader"])
+                .build()
+                .unwrap(),
+        ));
+        let frontend = Frontend::new(&service);
+
+        let row = vec![
+            Value::Int(30),
+            Value::text("Private"),
+            Value::text("HS-grad"),
+            Value::Int(9),
+            Value::text("Never-married"),
+            Value::text("Sales"),
+            Value::text("Not-in-family"),
+            Value::text("White"),
+            Value::text("Male"),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(40),
+            Value::text("<=50K"),
+        ];
+        let batch = UpdateBatch::insert("adult", vec![row.clone()]);
+
+        // Updates without the role are refused; unknown names too.
+        let mut analyst = DProvClient::connect(frontend.connect(), "a").unwrap();
+        analyst.register("alice").unwrap();
+        assert_eq!(
+            analyst.apply_update(&batch).unwrap_err().code,
+            codes::NOT_UPDATER
+        );
+        assert_eq!(analyst.seal_epoch().unwrap_err().code, codes::NOT_UPDATER);
+        let mut wrong = DProvClient::connect(frontend.connect(), "w").unwrap();
+        assert_eq!(
+            wrong.register_updater("mallory").unwrap_err().code,
+            codes::NOT_UPDATER
+        );
+
+        // A rostered updater drives the whole epoch lifecycle.
+        let mut updater = DProvClient::connect(frontend.connect(), "u").unwrap();
+        updater.register_updater("loader").unwrap();
+        let (seq, pending) = updater.apply_update(&batch).unwrap();
+        assert_eq!((seq, pending), (0, 1));
+        // Invalid updates surface the typed taxonomy over the wire.
+        let mut bad_row = row.clone();
+        bad_row[0] = Value::Int(5);
+        assert_eq!(
+            updater
+                .apply_update(&UpdateBatch::insert("adult", vec![bad_row]))
+                .unwrap_err()
+                .code,
+            codes::VALUE_OUT_OF_DOMAIN
+        );
+        assert_eq!(
+            updater
+                .apply_update(&UpdateBatch::insert("adult", Vec::new()))
+                .unwrap_err()
+                .code,
+            codes::UPDATE_EMPTY
+        );
+        let report = updater.seal_epoch().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.rows, 1);
+        assert!(report.views_patched > 0);
+
+        // Analyst answers now carry the new epoch.
+        let outcome = analyst.query(&request(25, 45, 700.0)).unwrap();
+        assert_eq!(outcome.answered().unwrap().epoch, 1);
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct ServiceConfig {
     /// once it holds at least one job. Zero (the default) never delays an
     /// answer: the batch is whatever is already queued.
     pub max_linger: Duration,
+    /// Names authorised to act as data **updaters** (submit update
+    /// batches and seal epochs) — trusted configuration, like the analyst
+    /// roster. Empty (the default) refuses every updater registration.
+    pub updaters: Vec<String>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +79,7 @@ impl Default for ServiceConfig {
             session_ttl: Duration::from_secs(60),
             max_batch: 8,
             max_linger: Duration::ZERO,
+            updaters: Vec::new(),
         }
     }
 }
@@ -134,6 +139,14 @@ impl ServiceConfigBuilder {
     #[must_use]
     pub fn max_linger(mut self, linger: Duration) -> Self {
         self.config.max_linger = linger;
+        self
+    }
+
+    /// Sets the updater roster (names authorised to submit updates and
+    /// seal epochs).
+    #[must_use]
+    pub fn updaters<S: AsRef<str>>(mut self, names: &[S]) -> Self {
+        self.config.updaters = names.iter().map(|s| s.as_ref().to_owned()).collect();
         self
     }
 
@@ -312,6 +325,10 @@ pub struct RecoveryReport {
     pub replayed_accesses: usize,
     /// Sessions restored with their noise streams fast-forwarded.
     pub restored_sessions: usize,
+    /// Update batches replayed (those after the last seal land pending).
+    pub replayed_updates: usize,
+    /// Epoch seals re-applied (segments + histogram patches, bit-exact).
+    pub replayed_epochs: usize,
     /// Damage found (and discarded) at the ledger tail, if any.
     pub wal_corruption: Option<StorageError>,
 }
@@ -415,6 +432,8 @@ pub struct ServiceStats {
     /// Per-view micro-batches drained by the workers (`completed /
     /// batches` is the realised batch size).
     pub batches: usize,
+    /// Update epochs sealed through this service.
+    pub epochs_sealed: usize,
     /// Jobs currently waiting in the queue.
     pub queued: usize,
     /// Live sessions.
@@ -434,6 +453,15 @@ pub struct QueryService {
     completed: Arc<AtomicUsize>,
     batches: Arc<AtomicUsize>,
     durable: Option<Arc<DurableCtx>>,
+    /// Names authorised as data updaters (from [`ServiceConfig`]).
+    updaters: Vec<String>,
+    /// Epoch barrier: each worker holds the read side across one whole
+    /// per-view micro-batch; [`QueryService::seal_epoch`] takes the write
+    /// side, so a seal quiesces at micro-batch boundaries and no batch's
+    /// answers straddle two epochs.
+    epoch_barrier: Arc<std::sync::RwLock<()>>,
+    /// Epochs sealed through this service.
+    epochs_sealed: Arc<AtomicUsize>,
 }
 
 impl QueryService {
@@ -503,6 +531,26 @@ impl QueryService {
                 .map_err(ServerError::Core)?;
             report.snapshot_restored = true;
         }
+        // Dynamic-data replay before budget commits: epoch seals rebuild
+        // segments and patched histograms deterministically; updates after
+        // the last seal land back in the pending log (the crash-mid-epoch
+        // contract: recovered state = last sealed epoch + pending batches).
+        for step in &recovered.deltas {
+            match step {
+                dprov_storage::DeltaReplay::Update(batch) => {
+                    system
+                        .replay_update(batch.clone())
+                        .map_err(ServerError::Core)?;
+                    report.replayed_updates += 1;
+                }
+                dprov_storage::DeltaReplay::Seal { epoch, through_seq } => {
+                    system
+                        .replay_epoch_seal(*epoch, *through_seq)
+                        .map_err(ServerError::Core)?;
+                    report.replayed_epochs += 1;
+                }
+            }
+        }
         for commit in &recovered.commits {
             system.replay_commit(commit).map_err(ServerError::Core)?;
         }
@@ -547,6 +595,7 @@ impl QueryService {
         let submitted = Arc::new(AtomicUsize::new(0));
         let completed = Arc::new(AtomicUsize::new(0));
         let batches = Arc::new(AtomicUsize::new(0));
+        let epoch_barrier = Arc::new(std::sync::RwLock::new(()));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let system = Arc::clone(&system);
@@ -555,6 +604,7 @@ impl QueryService {
                 let completed = Arc::clone(&completed);
                 let batches = Arc::clone(&batches);
                 let durable = durable.clone();
+                let epoch_barrier = Arc::clone(&epoch_barrier);
                 let (max_batch, max_linger) = (config.max_batch.max(1), config.max_linger);
                 let pool_size = config.workers.max(1);
                 std::thread::Builder::new()
@@ -567,6 +617,7 @@ impl QueryService {
                             &completed,
                             &batches,
                             durable.as_deref(),
+                            &epoch_barrier,
                             max_batch,
                             max_linger,
                             pool_size,
@@ -585,6 +636,9 @@ impl QueryService {
             completed,
             batches,
             durable,
+            updaters: config.updaters.clone(),
+            epoch_barrier,
+            epochs_sealed: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -713,6 +767,7 @@ impl QueryService {
         completed: &AtomicUsize,
         batches: &AtomicUsize,
         durable: Option<&DurableCtx>,
+        epoch_barrier: &std::sync::RwLock<()>,
         max_batch: usize,
         max_linger: Duration,
         pool_size: usize,
@@ -741,7 +796,11 @@ impl QueryService {
             // Per-view regrouping: session lanes admit at most one job per
             // session into any batch, so per-session FIFO (and with it
             // every session's noise-stream order) is preserved no matter
-            // how the batch is regrouped across sessions.
+            // how the batch is regrouped across sessions. The epoch
+            // barrier is held across the whole micro-batch: a seal
+            // quiesces at batch boundaries, so one batch's answers never
+            // straddle two epochs.
+            let _epoch = epoch_barrier.read().expect("epoch barrier poisoned");
             for job in Self::group_by_view(jobs) {
                 if let Some(next) = Self::execute_job(system, lanes, completed, durable, job) {
                     carry.push(next);
@@ -974,6 +1033,38 @@ impl QueryService {
         })
     }
 
+    /// True when `name` is in the configured updater roster.
+    #[must_use]
+    pub fn is_updater(&self, name: &str) -> bool {
+        self.updaters.iter().any(|u| u == name)
+    }
+
+    /// The last sealed update epoch the service answers against.
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        self.system.current_epoch()
+    }
+
+    /// Submits one update batch (validated, journalled durably, pending
+    /// until the next seal). Role enforcement happens at the protocol
+    /// frontend; embedders calling this directly are trusted code.
+    pub fn apply_update(&self, batch: &dprov_delta::UpdateBatch) -> Result<u64, ServerError> {
+        self.system.apply_update(batch).map_err(ServerError::Core)
+    }
+
+    /// Seals every pending update batch into the next epoch. Takes the
+    /// epoch barrier's write side first, so in-flight per-view
+    /// micro-batches drain before the core seal runs — no batch's answers
+    /// are torn across versions — then quiesces the core's own epoch gate
+    /// and applies the seal (deterministic, no randomness, no budget
+    /// spend; see [`DProvDb::seal_epoch`]).
+    pub fn seal_epoch(&self) -> Result<dprov_core::system::EpochReport, ServerError> {
+        let _barrier = self.epoch_barrier.write().expect("epoch barrier poisoned");
+        let report = self.system.seal_epoch().map_err(ServerError::Core)?;
+        self.epochs_sealed.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
     /// The shared system behind the service.
     #[must_use]
     pub fn system(&self) -> &Arc<DProvDb> {
@@ -993,6 +1084,7 @@ impl QueryService {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            epochs_sealed: self.epochs_sealed.load(Ordering::Relaxed),
             queued: self.queue.len(),
             sessions: self.sessions.len(),
             system: self.system.stats(),
@@ -1488,6 +1580,125 @@ mod tests {
             volatile.checkpoint(),
             Err(ServerError::Storage(StorageError::Unavailable(_)))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn adult_row(age: i64) -> Vec<dprov_engine::value::Value> {
+        use dprov_engine::value::Value;
+        vec![
+            Value::Int(age),
+            Value::text("Private"),
+            Value::text("HS-grad"),
+            Value::Int(9),
+            Value::text("Never-married"),
+            Value::text("Sales"),
+            Value::text("Not-in-family"),
+            Value::text("White"),
+            Value::text("Male"),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(40),
+            Value::text("<=50K"),
+        ]
+    }
+
+    #[test]
+    fn updates_seal_under_live_query_traffic_without_torn_answers() {
+        use dprov_delta::UpdateBatch;
+        let config = ServiceConfig::builder()
+            .workers(2)
+            .max_batch(8)
+            .updaters(&["loader"])
+            .build()
+            .unwrap();
+        assert!(config.updaters.contains(&"loader".to_owned()));
+        let service = QueryService::start(system(MechanismKind::AdditiveGaussian, 16.0, 4), config);
+        assert!(service.is_updater("loader"));
+        assert!(!service.is_updater("mallory"));
+        let sessions: Vec<_> = (0..4)
+            .map(|a| service.open_session(AnalystId(a)).unwrap())
+            .collect();
+
+        // Interleave queries and epochs: answers must carry a consistent
+        // epoch tag and the exact state must move with the seals.
+        let q = Query::range_count("adult", "age", 30, 30);
+        let before = service.system().true_answer(&q).unwrap();
+        for round in 0u64..3 {
+            let receivers: Vec<_> = sessions
+                .iter()
+                .map(|&s| service.submit(s, request(25, 45, 900.0)).unwrap())
+                .collect();
+            let batch = UpdateBatch::insert("adult", vec![adult_row(30), adult_row(30)]);
+            service.apply_update(&batch).unwrap();
+            let report = service.seal_epoch().unwrap();
+            assert_eq!(report.epoch, round + 1);
+            assert_eq!(report.rows, 2);
+            for rx in receivers {
+                let outcome = rx.recv().unwrap().unwrap();
+                let answered = outcome.answered().expect("answered");
+                // An answer reflects a whole epoch — one at or before the
+                // seal that just ran.
+                assert!(answered.epoch <= round + 1);
+            }
+        }
+        assert_eq!(service.current_epoch(), 3);
+        assert_eq!(
+            service.system().true_answer(&q).unwrap(),
+            before + 6.0,
+            "three sealed epochs x two inserted rows"
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.epochs_sealed, 3);
+    }
+
+    #[test]
+    fn durable_service_recovers_epochs_and_pending_updates_across_hard_drop() {
+        use dprov_delta::UpdateBatch;
+        let dir = dprov_storage::scratch_dir("svc-epochs");
+        let q = Query::range_count("adult", "age", 30, 31);
+        let live_answer = {
+            let (service, _) = QueryService::start_durable(
+                raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+                workers(1),
+                durability(&dir, 0),
+            )
+            .unwrap();
+            service
+                .apply_update(&UpdateBatch::insert("adult", vec![adult_row(30)]))
+                .unwrap();
+            service.seal_epoch().unwrap();
+            // A second batch left pending: the crash contract recovers it
+            // as pending, not applied.
+            service
+                .apply_update(&UpdateBatch::insert("adult", vec![adult_row(31)]))
+                .unwrap();
+            let session = service.open_session(AnalystId(1)).unwrap();
+            service
+                .submit_wait(session, request(25, 45, 700.0))
+                .unwrap();
+            service.system().true_answer(&q).unwrap()
+            // Dropped WITHOUT shutdown: WAL-only recovery.
+        };
+
+        let (service, report) = QueryService::start_durable(
+            raw_system(MechanismKind::AdditiveGaussian, 8.0, 2),
+            workers(1),
+            durability(&dir, 0),
+        )
+        .unwrap();
+        assert_eq!(report.replayed_epochs, 1);
+        assert_eq!(report.replayed_updates, 2);
+        assert_eq!(service.current_epoch(), 1);
+        assert_eq!(service.system().pending_updates(), 1);
+        assert_eq!(
+            service.system().true_answer(&q).unwrap().to_bits(),
+            live_answer.to_bits(),
+            "recovered to the last sealed epoch, bit-exact"
+        );
+        // Sealing after recovery applies the recovered pending batch.
+        let sealed = service.seal_epoch().unwrap();
+        assert_eq!(sealed.epoch, 2);
+        assert_eq!(service.system().true_answer(&q).unwrap(), live_answer + 1.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -113,6 +113,19 @@ impl Encoder {
             None => self.put_u8(0),
         }
     }
+
+    /// Appends a list of domain-index-encoded rows (count, then per row a
+    /// cell count and the `u32` cells) — the update-batch row layout
+    /// shared by the WAL's update frames and the snapshot's update log.
+    pub fn put_u32_rows(&mut self, rows: &[Vec<u32>]) {
+        self.put_u32(rows.len() as u32);
+        for row in rows {
+            self.put_u32(row.len() as u32);
+            for &v in row {
+                self.put_u32(v);
+            }
+        }
+    }
 }
 
 /// A cursor over encoded bytes with typed take helpers. Every taker
@@ -218,6 +231,29 @@ impl<'a> Decoder<'a> {
             1 => Ok(Some(self.take_f64()?)),
             t => Err(format!("invalid option tag {t}")),
         }
+    }
+
+    /// Reads encoded rows written by [`Encoder::put_u32_rows`], bounding
+    /// every length prefix by the remaining payload so corrupt counts
+    /// cannot drive unbounded allocation.
+    pub fn take_u32_rows(&mut self) -> DecodeResult<Vec<Vec<u32>>> {
+        let n = self.take_u32()? as usize;
+        if n.saturating_mul(4) > self.remaining() {
+            return Err(format!("row count {n} exceeds the payload"));
+        }
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = self.take_u32()? as usize;
+            if len.saturating_mul(4) > self.remaining() {
+                return Err(format!("row arity {len} exceeds the payload"));
+            }
+            let mut row = Vec::with_capacity(len);
+            for _ in 0..len {
+                row.push(self.take_u32()?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
     }
 }
 

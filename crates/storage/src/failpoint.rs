@@ -111,6 +111,14 @@ impl Recorder for FailpointRecorder {
     fn record_rollback(&self, seq: u64) -> Result<(), StorageError> {
         self.gate(&WalRecord::Rollback { seq })
     }
+
+    fn record_update(&self, batch: &dprov_delta::EncodedBatch) -> Result<(), StorageError> {
+        self.gate(&WalRecord::Update(batch.clone()))
+    }
+
+    fn record_epoch_seal(&self, epoch: u64, through_seq: u64) -> Result<(), StorageError> {
+        self.gate(&WalRecord::EpochSeal { epoch, through_seq })
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ pub mod wal;
 pub use failpoint::{CrashMode, FailpointRecorder};
 pub use snapshot::{SnapshotState, SNAPSHOT_VERSION};
 pub use store::{
-    analysts_digest, config_fingerprint, ProvenanceStore, RecoveredState, StoreOptions,
+    analysts_digest, config_fingerprint, DeltaReplay, ProvenanceStore, RecoveredState, StoreOptions,
 };
 pub use wal::{SessionCheckpoint, WalRecord};
 

@@ -32,6 +32,7 @@ use dprov_core::recorder::{
     ProvenanceEntryState, ViewCacheState,
 };
 use dprov_core::StorageError;
+use dprov_delta::{EncodedBatch, SealedEpoch, UpdateLog};
 use dprov_dp::rng::RngCheckpoint;
 
 use crate::codec::{crc32, Decoder, Encoder};
@@ -40,8 +41,11 @@ use crate::wal::SessionCheckpoint;
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"DPSNAP01";
 
-/// Newest snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Newest snapshot format version this build reads and writes. Version 2
+/// added the dynamic-data state (synopsis release epochs and the update
+/// log); version-1 snapshots still read, with every epoch defaulting to 0
+/// and an empty update log.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A full durable-state snapshot.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -107,6 +111,7 @@ fn encode_body(state: &SnapshotState) -> Vec<u8> {
                 enc.put_u8(1);
                 enc.put_f64(g.epsilon);
                 enc.put_f64(g.variance);
+                enc.put_u64(g.epoch);
                 enc.put_f64_slice(&g.counts);
             }
             None => enc.put_u8(0),
@@ -116,6 +121,7 @@ fn encode_body(state: &SnapshotState) -> Vec<u8> {
             enc.put_u64(local.analyst as u64);
             enc.put_f64(local.epsilon);
             enc.put_f64(local.variance);
+            enc.put_u64(local.epoch);
             enc.put_f64_slice(&local.counts);
         }
     }
@@ -128,10 +134,45 @@ fn encode_body(state: &SnapshotState) -> Vec<u8> {
         enc.put_opt_f64(session.rng.spare_normal);
     }
     enc.put_u64(state.next_session_id);
+
+    // Version 2: the dynamic-data update log (pending + sealed history).
+    enc.put_u64(state.core.deltas.next_seq);
+    enc.put_u64(state.core.deltas.current_epoch);
+    put_batches(&mut enc, &state.core.deltas.pending);
+    enc.put_u32(state.core.deltas.sealed.len() as u32);
+    for epoch in &state.core.deltas.sealed {
+        enc.put_u64(epoch.epoch);
+        enc.put_u64(epoch.through_seq);
+        put_batches(&mut enc, &epoch.batches);
+    }
     enc.into_bytes()
 }
 
-fn decode_body(body: &[u8]) -> Result<SnapshotState, String> {
+fn put_batches(enc: &mut Encoder, batches: &[EncodedBatch]) {
+    enc.put_u32(batches.len() as u32);
+    for batch in batches {
+        enc.put_u64(batch.seq);
+        enc.put_str(&batch.table);
+        enc.put_u32_rows(&batch.inserts);
+        enc.put_u32_rows(&batch.deletes);
+    }
+}
+
+fn take_batches(dec: &mut Decoder<'_>) -> Result<Vec<EncodedBatch>, String> {
+    let n = dec.take_u32()? as usize;
+    let mut batches = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        batches.push(EncodedBatch {
+            seq: dec.take_u64()?,
+            table: dec.take_str()?,
+            inserts: dec.take_u32_rows()?,
+            deletes: dec.take_u32_rows()?,
+        });
+    }
+    Ok(batches)
+}
+
+fn decode_body(body: &[u8], version: u32) -> Result<SnapshotState, String> {
     let mut dec = Decoder::new(body);
     let fingerprint = dec.take_u64()?;
     let next_seq = dec.take_u64()?;
@@ -182,6 +223,7 @@ fn decode_body(body: &[u8]) -> Result<SnapshotState, String> {
             1 => Some(GlobalSynopsisState {
                 epsilon: dec.take_f64()?,
                 variance: dec.take_f64()?,
+                epoch: if version >= 2 { dec.take_u64()? } else { 0 },
                 counts: dec.take_f64_slice()?,
             }),
             t => return Err(format!("invalid global-synopsis tag {t}")),
@@ -193,6 +235,7 @@ fn decode_body(body: &[u8]) -> Result<SnapshotState, String> {
                 analyst: dec.take_u64()? as usize,
                 epsilon: dec.take_f64()?,
                 variance: dec.take_f64()?,
+                epoch: if version >= 2 { dec.take_u64()? } else { 0 },
                 counts: dec.take_f64_slice()?,
             });
         }
@@ -216,6 +259,30 @@ fn decode_body(body: &[u8]) -> Result<SnapshotState, String> {
         });
     }
     let next_session_id = dec.take_u64()?;
+
+    let deltas = if version >= 2 {
+        let next_seq = dec.take_u64()?;
+        let current_epoch = dec.take_u64()?;
+        let pending = take_batches(&mut dec)?;
+        let n = dec.take_u32()? as usize;
+        let mut sealed = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            sealed.push(SealedEpoch {
+                epoch: dec.take_u64()?,
+                through_seq: dec.take_u64()?,
+                batches: take_batches(&mut dec)?,
+            });
+        }
+        UpdateLog {
+            next_seq,
+            current_epoch,
+            pending,
+            sealed,
+        }
+    } else {
+        UpdateLog::default()
+    };
+
     if !dec.is_empty() {
         return Err(format!(
             "{} trailing bytes after snapshot body",
@@ -231,6 +298,7 @@ fn decode_body(body: &[u8]) -> Result<SnapshotState, String> {
             ledger_releases,
             accesses,
             synopses,
+            deltas,
         },
         sessions,
         next_session_id,
@@ -313,7 +381,7 @@ pub fn read_snapshot(path: &Path) -> Result<Option<SnapshotState>, StorageError>
     if crc32(body) != crc {
         return Err(corrupt(body_start as u64, "snapshot checksum mismatch"));
     }
-    decode_body(body)
+    decode_body(body, version)
         .map(Some)
         .map_err(|reason| corrupt(body_start as u64, format!("undecodable snapshot: {reason}")))
 }
@@ -351,15 +419,37 @@ mod tests {
                     global: Some(GlobalSynopsisState {
                         epsilon: 0.625,
                         variance: 121.0,
+                        epoch: 2,
                         counts: vec![1.5, 2.5, -0.25],
                     }),
                     locals: vec![LocalSynopsisState {
                         analyst: 1,
                         epsilon: 0.5,
                         variance: 150.0,
+                        epoch: 1,
                         counts: vec![1.0, 2.0, 0.0],
                     }],
                 }],
+                deltas: UpdateLog {
+                    next_seq: 3,
+                    current_epoch: 2,
+                    pending: vec![EncodedBatch {
+                        seq: 2,
+                        table: "adult".to_owned(),
+                        inserts: vec![vec![1, 2], vec![3, 4]],
+                        deletes: Vec::new(),
+                    }],
+                    sealed: vec![SealedEpoch {
+                        epoch: 1,
+                        through_seq: 2,
+                        batches: vec![EncodedBatch {
+                            seq: 0,
+                            table: "adult".to_owned(),
+                            inserts: vec![vec![5, 6]],
+                            deletes: vec![vec![7, 8]],
+                        }],
+                    }],
+                },
             },
             sessions: vec![SessionCheckpoint {
                 session: 2,

@@ -19,6 +19,7 @@ use std::sync::Mutex;
 
 use dprov_core::recorder::{AccessRecord, CommitRecord, Recorder};
 use dprov_core::StorageError;
+use dprov_delta::EncodedBatch;
 
 use crate::snapshot::{read_snapshot, write_snapshot, SnapshotState};
 use crate::wal::{scan, SessionCheckpoint, WalRecord, WalWriter};
@@ -38,6 +39,24 @@ impl Default for StoreOptions {
     }
 }
 
+/// One dynamic-data replay step, in write-ahead order. Updates and seals
+/// must be re-applied in exactly this order: a crash between update
+/// frames and their seal recovers the updates as *pending*, at the last
+/// sealed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaReplay {
+    /// Re-enqueue one validated update batch as pending.
+    Update(EncodedBatch),
+    /// Re-apply one epoch seal over the pending batches below the
+    /// watermark.
+    Seal {
+        /// The sealed epoch's number.
+        epoch: u64,
+        /// The batch-sequence watermark the seal covers.
+        through_seq: u64,
+    },
+}
+
 /// Everything recovery reconstructed from disk.
 #[derive(Debug)]
 pub struct RecoveredState {
@@ -54,6 +73,10 @@ pub struct RecoveredState {
     pub commits: Vec<CommitRecord>,
     /// Ledger data accesses after the snapshot, in record order.
     pub accesses: Vec<AccessRecord>,
+    /// Dynamic-data replay steps after the snapshot (update batches and
+    /// epoch seals, in write-ahead order, reconciled against the
+    /// snapshot's batch-sequence and epoch watermarks).
+    pub deltas: Vec<DeltaReplay>,
     /// Live session checkpoints: snapshot sessions overlaid with the
     /// ledger's newer checkpoints, closed sessions removed; sorted by id.
     pub sessions: Vec<SessionCheckpoint>,
@@ -218,9 +241,15 @@ impl ProvenanceStore {
         // ledger truncation leaves both on disk; replaying the overlap
         // would double-count every pre-snapshot charge, so filter by seq.
         let snapshot_seq = snapshot.as_ref().map_or(0, |s| s.core.next_seq);
+        // The dynamic-data watermarks: everything below them is already
+        // folded into the snapshot's update log (same crash-overlap
+        // reasoning as `snapshot_seq` for commits).
+        let snapshot_batch_seq = snapshot.as_ref().map_or(0, |s| s.core.deltas.next_seq);
+        let snapshot_epoch = snapshot.as_ref().map_or(0, |s| s.core.deltas.current_epoch);
         let mut next_seq = snapshot_seq;
         let mut next_session_id = snapshot.as_ref().map_or(0, |s| s.next_session_id);
         let mut wal_fingerprint: Option<u64> = None;
+        let mut deltas = Vec::new();
         for record in scanned.records {
             match record {
                 WalRecord::Commit(c) => {
@@ -247,6 +276,16 @@ impl ProvenanceStore {
                 WalRecord::Fingerprint { fingerprint } => {
                     wal_fingerprint.get_or_insert(fingerprint);
                 }
+                WalRecord::Update(batch) => {
+                    if batch.seq >= snapshot_batch_seq {
+                        deltas.push(DeltaReplay::Update(batch));
+                    }
+                }
+                WalRecord::EpochSeal { epoch, through_seq } => {
+                    if epoch > snapshot_epoch {
+                        deltas.push(DeltaReplay::Seal { epoch, through_seq });
+                    }
+                }
             }
         }
 
@@ -267,6 +306,7 @@ impl ProvenanceStore {
             snapshot,
             commits,
             accesses,
+            deltas,
             sessions: sessions.values().copied().collect(),
             next_seq,
             next_session_id,
@@ -423,6 +463,14 @@ impl Recorder for ProvenanceStore {
 
     fn record_rollback(&self, seq: u64) -> Result<(), StorageError> {
         self.append(&WalRecord::Rollback { seq })
+    }
+
+    fn record_update(&self, batch: &EncodedBatch) -> Result<(), StorageError> {
+        self.append(&WalRecord::Update(batch.clone()))
+    }
+
+    fn record_epoch_seal(&self, epoch: u64, through_seq: u64) -> Result<(), StorageError> {
+        self.append(&WalRecord::EpochSeal { epoch, through_seq })
     }
 }
 
@@ -635,6 +683,63 @@ mod tests {
             analysts_digest([("external", 2), ("internal", 4), ("third", 1)])
         );
         assert_eq!(base, analysts_digest([("external", 2), ("internal", 4)]));
+    }
+
+    fn update(seq: u64) -> EncodedBatch {
+        EncodedBatch {
+            seq,
+            table: "adult".to_owned(),
+            inserts: vec![vec![seq as u32, 1]],
+            deletes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn delta_records_recover_in_wal_order_and_respect_snapshot_watermarks() {
+        let dir = scratch_dir("store-delta");
+        {
+            let (store, _) = ProvenanceStore::open(&dir).unwrap();
+            store.record_update(&update(0)).unwrap();
+            store.record_update(&update(1)).unwrap();
+            store.record_epoch_seal(1, 2).unwrap();
+            store.record_update(&update(2)).unwrap();
+            // Crash before the second seal: batch 2 must recover pending.
+        }
+        let (_, recovered) = ProvenanceStore::open(&dir).unwrap();
+        assert_eq!(
+            recovered.deltas,
+            vec![
+                DeltaReplay::Update(update(0)),
+                DeltaReplay::Update(update(1)),
+                DeltaReplay::Seal {
+                    epoch: 1,
+                    through_seq: 2
+                },
+                DeltaReplay::Update(update(2)),
+            ]
+        );
+
+        // A snapshot covering batch seqs < 2 and epoch 1 filters the
+        // already-folded prefix (the compact-crash overlap window).
+        let state = crate::snapshot::SnapshotState {
+            fingerprint: 1,
+            core: dprov_core::recorder::CoreState {
+                deltas: dprov_delta::UpdateLog {
+                    next_seq: 2,
+                    current_epoch: 1,
+                    pending: Vec::new(),
+                    sealed: Vec::new(),
+                },
+                ..Default::default()
+            },
+            sessions: Vec::new(),
+            next_session_id: 0,
+        };
+        crate::snapshot::write_snapshot(&ProvenanceStore::snapshot_path(&dir), &state, false)
+            .unwrap();
+        let (_, recovered) = ProvenanceStore::open(&dir).unwrap();
+        assert_eq!(recovered.deltas, vec![DeltaReplay::Update(update(2))]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -29,6 +29,7 @@ use dprov_core::analyst::AnalystId;
 use dprov_core::mechanism::MechanismKind;
 use dprov_core::recorder::{AccessRecord, CommitRecord};
 use dprov_core::StorageError;
+use dprov_delta::EncodedBatch;
 use dprov_dp::rng::RngCheckpoint;
 
 use crate::codec::{crc32, Decoder, Encoder};
@@ -45,6 +46,8 @@ const TAG_ROLLBACK: u8 = 3;
 const TAG_SESSION: u8 = 4;
 const TAG_SESSION_CLOSED: u8 = 5;
 const TAG_FINGERPRINT: u8 = 6;
+const TAG_UPDATE: u8 = 7;
+const TAG_EPOCH_SEAL: u8 = 8;
 
 /// A persisted position of one analyst session's deterministic noise
 /// stream. Recovery rebuilds the session's generator fast-forwarded to
@@ -87,6 +90,20 @@ pub enum WalRecord {
     Fingerprint {
         /// See `crate::store::config_fingerprint`.
         fingerprint: u64,
+    },
+    /// One validated update batch (appended before it becomes pending in
+    /// memory). Rows are domain-index encoded, so replay is deterministic
+    /// integer work.
+    Update(EncodedBatch),
+    /// An epoch seal: every update batch with `seq < through_seq` not
+    /// sealed earlier belongs to `epoch`. Appended before the seal is
+    /// applied in memory; a crash *between* update frames and this frame
+    /// recovers the updates as pending, at the previous sealed epoch.
+    EpochSeal {
+        /// The sealed epoch's number.
+        epoch: u64,
+        /// The batch-sequence watermark the seal covers.
+        through_seq: u64,
     },
 }
 
@@ -132,6 +149,18 @@ impl WalRecord {
                 enc.put_u8(TAG_FINGERPRINT);
                 enc.put_u64(*fingerprint);
             }
+            WalRecord::Update(batch) => {
+                enc.put_u8(TAG_UPDATE);
+                enc.put_u64(batch.seq);
+                enc.put_str(&batch.table);
+                enc.put_u32_rows(&batch.inserts);
+                enc.put_u32_rows(&batch.deletes);
+            }
+            WalRecord::EpochSeal { epoch, through_seq } => {
+                enc.put_u8(TAG_EPOCH_SEAL);
+                enc.put_u64(*epoch);
+                enc.put_u64(*through_seq);
+            }
         }
         enc.into_bytes()
     }
@@ -175,6 +204,16 @@ impl WalRecord {
             },
             TAG_FINGERPRINT => WalRecord::Fingerprint {
                 fingerprint: dec.take_u64()?,
+            },
+            TAG_UPDATE => WalRecord::Update(EncodedBatch {
+                seq: dec.take_u64()?,
+                table: dec.take_str()?,
+                inserts: dec.take_u32_rows()?,
+                deletes: dec.take_u32_rows()?,
+            }),
+            TAG_EPOCH_SEAL => WalRecord::EpochSeal {
+                epoch: dec.take_u64()?,
+                through_seq: dec.take_u64()?,
             },
             tag => return Err(format!("unknown record tag {tag}")),
         };
@@ -449,6 +488,22 @@ mod tests {
                 },
             }),
             WalRecord::SessionClosed { session: 4 },
+            WalRecord::Update(EncodedBatch {
+                seq: 17,
+                table: "adult".to_owned(),
+                inserts: vec![vec![1, 2, 3], vec![4, 5, 6]],
+                deletes: vec![vec![7, 8, 9]],
+            }),
+            WalRecord::Update(EncodedBatch {
+                seq: 18,
+                table: "empty-rows".to_owned(),
+                inserts: vec![Vec::new()],
+                deletes: Vec::new(),
+            }),
+            WalRecord::EpochSeal {
+                epoch: 3,
+                through_seq: 19,
+            },
         ];
         for record in records {
             assert_eq!(WalRecord::decode(&record.encode()).unwrap(), record);

@@ -16,9 +16,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use dprov_core::processor::QueryRequest;
+use dprov_delta::UpdateBatch;
 use dprov_engine::database::Database;
 use dprov_engine::query::Query;
 use dprov_engine::schema::AttributeType;
+use dprov_engine::value::Value;
 use dprov_engine::Result as EngineResult;
 
 use crate::rrq::RrqWorkload;
@@ -140,6 +142,173 @@ pub fn generate(db: &Database, config: &SkewConfig) -> EngineResult<RrqWorkload>
     Ok(RrqWorkload { per_analyst })
 }
 
+/// One event of a streaming (dynamic-data) scenario, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// An analyst submits a query.
+    Query {
+        /// The submitting analyst's index.
+        analyst: usize,
+        /// The submission.
+        request: QueryRequest,
+    },
+    /// The updater submits one insert/delete batch (pending until the
+    /// next seal).
+    Update(UpdateBatch),
+    /// The updater seals the pending batches into the next epoch.
+    Seal,
+}
+
+/// Configuration of the streaming scenario generator: interleaved update
+/// batches and Zipf-popular queries with a configurable update rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// The query mix (table, analysts, Zipfian view popularity, accuracy
+    /// range, seed). `queries_per_analyst` bounds the total query events.
+    pub base: SkewConfig,
+    /// The fraction of events that are updates (0.0 = static workload,
+    /// 0.5 = one update per query on average).
+    pub update_rate: f64,
+    /// Rows per update batch (split between inserts and deletes of
+    /// previously inserted rows).
+    pub rows_per_update: usize,
+    /// A [`StreamEvent::Seal`] is emitted after this many update batches
+    /// (the epoch cadence).
+    pub seal_every: usize,
+}
+
+impl StreamingConfig {
+    /// An update-heavy preset: ~40% of events are update batches, sealing
+    /// every 4 batches — the churn end of the spectrum, where the epoch
+    /// policy dominates budget behaviour.
+    #[must_use]
+    pub fn update_heavy(table: &str, analysts: usize, queries_per_analyst: usize) -> Self {
+        StreamingConfig {
+            base: SkewConfig::batch_friendly(table, analysts, queries_per_analyst),
+            update_rate: 0.4,
+            rows_per_update: 8,
+            seal_every: 4,
+        }
+    }
+
+    /// A query-heavy preset: ~5% of events are update batches, sealing
+    /// every 2 batches — long-lived deployments with occasional ingest.
+    #[must_use]
+    pub fn query_heavy(table: &str, analysts: usize, queries_per_analyst: usize) -> Self {
+        StreamingConfig {
+            base: SkewConfig::batch_friendly(table, analysts, queries_per_analyst),
+            update_rate: 0.05,
+            rows_per_update: 16,
+            seal_every: 2,
+        }
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base.seed = seed;
+        self
+    }
+}
+
+/// Generates a streaming scenario: query events drawn exactly like
+/// [`generate`] (Zipfian view popularity over the integer attributes),
+/// interleaved with update batches at the configured rate and a seal
+/// every `seal_every` batches. Inserts sample uniform rows from the full
+/// schema domain; deletes remove rows *previously inserted by the
+/// stream*, so every batch validates against any base table contents.
+/// The final event is always a [`StreamEvent::Seal`], so a driven run
+/// ends on a sealed epoch. Deterministic in the seed.
+pub fn generate_stream(db: &Database, config: &StreamingConfig) -> EngineResult<Vec<StreamEvent>> {
+    let table = db.table(&config.base.table)?;
+    let schema = table.schema().clone();
+    let queries = generate(db, &config.base)?;
+    // Interleave: flatten per-analyst queries round-robin (analyst 0's
+    // first query, analyst 1's first, ... then the seconds) so concurrent
+    // sessions stay busy throughout the stream.
+    let mut per_analyst: Vec<std::collections::VecDeque<QueryRequest>> = queries
+        .per_analyst
+        .into_iter()
+        .map(std::collections::VecDeque::from)
+        .collect();
+    let total_queries: usize = per_analyst
+        .iter()
+        .map(std::collections::VecDeque::len)
+        .sum();
+
+    let mut rng = StdRng::seed_from_u64(config.base.seed.wrapping_add(0x5EED_57E0));
+    let mut events = Vec::new();
+    let mut inserted_pool: Vec<Vec<Value>> = Vec::new();
+    let mut updates_since_seal = 0usize;
+    let mut emitted_queries = 0usize;
+    let mut next_analyst = 0usize;
+
+    let sample_row = |rng: &mut StdRng| -> Vec<Value> {
+        schema
+            .attributes()
+            .iter()
+            .map(|attr| attr.value_at(rng.gen_range(0..attr.domain_size())))
+            .collect()
+    };
+
+    while emitted_queries < total_queries {
+        let is_update = config.update_rate > 0.0 && rng.gen::<f64>() < config.update_rate;
+        if is_update {
+            let mut inserts = Vec::new();
+            let mut deletes = Vec::new();
+            for _ in 0..config.rows_per_update.max(1) {
+                // Delete a previously inserted row half the time (when
+                // the pool has one); otherwise insert a fresh row.
+                if !inserted_pool.is_empty() && rng.gen::<bool>() {
+                    let pick = rng.gen_range(0..inserted_pool.len());
+                    deletes.push(inserted_pool.swap_remove(pick));
+                } else {
+                    let row = sample_row(&mut rng);
+                    inserted_pool.push(row.clone());
+                    inserts.push(row);
+                }
+            }
+            events.push(StreamEvent::Update(UpdateBatch {
+                table: config.base.table.clone(),
+                inserts,
+                deletes,
+            }));
+            updates_since_seal += 1;
+            if updates_since_seal >= config.seal_every.max(1) {
+                events.push(StreamEvent::Seal);
+                updates_since_seal = 0;
+            }
+        } else {
+            // Round-robin over analysts that still have queries left.
+            for _ in 0..per_analyst.len() {
+                let analyst = next_analyst % per_analyst.len();
+                next_analyst += 1;
+                if let Some(request) = per_analyst[analyst].pop_front() {
+                    events.push(StreamEvent::Query { analyst, request });
+                    emitted_queries += 1;
+                    break;
+                }
+            }
+        }
+    }
+    events.push(StreamEvent::Seal);
+    Ok(events)
+}
+
+/// The fraction of events that are update batches (the realised update
+/// rate of a generated stream).
+#[must_use]
+pub fn update_share(events: &[StreamEvent]) -> f64 {
+    if events.is_empty() {
+        return 0.0;
+    }
+    let updates = events
+        .iter()
+        .filter(|e| matches!(e, StreamEvent::Update(_)))
+        .count();
+    updates as f64 / events.len() as f64
+}
+
 /// The fraction of queries (across all analysts) that reference the named
 /// attribute — the observable "view popularity" of a generated workload.
 #[must_use]
@@ -212,6 +381,68 @@ mod tests {
             "uniform traffic should spread out, got {hostile_share}"
         );
         assert!(friendly_share > 2.0 * hostile_share);
+    }
+
+    #[test]
+    fn streaming_presets_hit_their_update_rates_deterministically() {
+        let db = adult_database(300, 1);
+        let heavy = generate_stream(
+            &db,
+            &StreamingConfig::update_heavy("adult", 4, 50).with_seed(5),
+        )
+        .unwrap();
+        let light = generate_stream(
+            &db,
+            &StreamingConfig::query_heavy("adult", 4, 50).with_seed(5),
+        )
+        .unwrap();
+        // Determinism in the seed.
+        assert_eq!(
+            generate_stream(
+                &db,
+                &StreamingConfig::update_heavy("adult", 4, 50).with_seed(5)
+            )
+            .unwrap(),
+            heavy
+        );
+        // The realised update shares separate the presets.
+        assert!(update_share(&heavy) > 0.25, "{}", update_share(&heavy));
+        assert!(update_share(&light) < 0.12, "{}", update_share(&light));
+        assert!(update_share(&heavy) > 3.0 * update_share(&light));
+        // Every requested query is present, streams end on a seal.
+        for events in [&heavy, &light] {
+            let queries = events
+                .iter()
+                .filter(|e| matches!(e, StreamEvent::Query { .. }))
+                .count();
+            assert_eq!(queries, 200);
+            assert_eq!(events.last(), Some(&StreamEvent::Seal));
+        }
+        // Update batches validate against an engine mirror: inserts are
+        // in-domain and deletes only name rows inserted earlier.
+        let mut mirror = db.table("adult").unwrap().clone();
+        let base_rows = mirror.num_rows();
+        for event in &heavy {
+            if let StreamEvent::Update(batch) = event {
+                for row in &batch.inserts {
+                    mirror.insert_row(row).unwrap();
+                }
+                for row in &batch.deletes {
+                    let schema = mirror.schema();
+                    let encoded: Vec<u32> = schema
+                        .attributes()
+                        .iter()
+                        .zip(row)
+                        .map(|(a, v)| a.index_of(v).unwrap() as u32)
+                        .collect();
+                    assert!(
+                        mirror.delete_encoded_row(&encoded).unwrap(),
+                        "stream deleted a row it never inserted"
+                    );
+                }
+            }
+        }
+        assert!(mirror.num_rows() >= base_rows);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   sharded column-stores ingested from engine tables, compiled
 //!   predicate/aggregate kernels, and multi-query batch evaluation that
 //!   amortises one shard scan over every query in the batch.
+//! * [`delta`] — dynamic data: the epoch-versioned update log
+//!   (insert/delete batches sealing into numbered epochs), incremental
+//!   view maintenance (histogram patches proven bit-identical to full
+//!   rebuilds), and the per-epoch synopsis budget policies.
 //! * [`core`] — the DProvDB system itself: privacy provenance table,
 //!   synopsis management, the vanilla and additive-Gaussian mechanisms,
 //!   baselines and fairness metrics.
@@ -34,6 +38,7 @@
 
 pub use dprov_api as api;
 pub use dprov_core as core;
+pub use dprov_delta as delta;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
 pub use dprov_exec as exec;
@@ -48,7 +53,8 @@ pub mod prelude {
     pub use dprov_core::config::SystemConfig;
     pub use dprov_core::mechanism::MechanismKind;
     pub use dprov_core::processor::{QueryOutcome, QueryProcessor, QueryRequest};
-    pub use dprov_core::system::DProvDb;
+    pub use dprov_core::system::{DProvDb, EpochReport};
+    pub use dprov_delta::{EpochPolicy, MaintenanceMode, UpdateBatch};
     pub use dprov_dp::budget::{Budget, Delta, Epsilon};
     pub use dprov_engine::database::Database;
     pub use dprov_engine::query::{AggregateKind, Query};
