@@ -281,6 +281,19 @@ impl DProvClient {
         }
     }
 
+    /// Fetches the service's observability snapshot: stage-latency
+    /// histograms (p50/p95/p99/max), event counters, queue/batch
+    /// telemetry and per-(analyst, view) remaining-budget gauges. Works
+    /// on any connection after the `Hello` handshake — no session
+    /// required, so a dashboard can poll without consuming an analyst
+    /// slot.
+    pub fn metrics(&mut self) -> Result<dprov_obs::MetricsSnapshot, ApiError> {
+        match self.call(&Request::MetricsSnapshot)? {
+            Response::MetricsReport(snapshot) => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Sends a request and returns its id.
     fn send(&mut self, request: &Request) -> Result<u64, ApiError> {
         let id = self.next_id;

@@ -22,8 +22,9 @@
 //!   socket per analyst session);
 //! * [`client`] — the blocking [`DProvClient`]: synchronous
 //!   [`DProvClient::query`], pipelined
-//!   [`DProvClient::submit`]/[`DProvClient::poll`], and budget
-//!   introspection via [`DProvClient::budget`].
+//!   [`DProvClient::submit`]/[`DProvClient::poll`], budget
+//!   introspection via [`DProvClient::budget`], and the service-wide
+//!   observability snapshot via [`DProvClient::metrics`].
 //!
 //! The server side of the contract — the `Frontend` that serves these
 //! messages over the worker pool — lives in `dprov-server`; this crate

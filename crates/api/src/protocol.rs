@@ -93,6 +93,12 @@ pub enum Request {
     /// connections only). Quiesces in-flight query micro-batches so no
     /// answer is torn across versions.
     SealEpoch,
+    /// Asks for the service's observability snapshot: stage-latency
+    /// histograms, event counters, queue/batch telemetry and the
+    /// per-(analyst, view) remaining-budget gauges. Available to any
+    /// connection after `Hello`; no session required (the snapshot is
+    /// service-wide, like an operator dashboard).
+    MetricsSnapshot,
 }
 
 /// The analyst-facing view of a session's budget state, returned by
@@ -176,6 +182,10 @@ pub enum Response {
         /// Cached noisy synopses invalidated under the epoch policy.
         synopses_invalidated: u64,
     },
+    /// Answer to [`Request::MetricsSnapshot`] — the typed observability
+    /// snapshot. Name-keyed and append-only: new metrics appear under new
+    /// names without renumbering anything.
+    MetricsReport(dprov_obs::MetricsSnapshot),
     /// The request failed; carries the stable error taxonomy.
     Error(ApiError),
 }
@@ -189,6 +199,7 @@ const TAG_CLOSE: u8 = 6;
 const TAG_REGISTER_UPDATER: u8 = 7;
 const TAG_APPLY_UPDATE: u8 = 8;
 const TAG_SEAL_EPOCH: u8 = 9;
+const TAG_METRICS: u8 = 10;
 
 const TAG_HELLO_ACK: u8 = 129;
 const TAG_REGISTERED: u8 = 130;
@@ -199,6 +210,7 @@ const TAG_CLOSED: u8 = 134;
 const TAG_UPDATER_REGISTERED: u8 = 135;
 const TAG_UPDATE_ACCEPTED: u8 = 136;
 const TAG_EPOCH_SEALED: u8 = 137;
+const TAG_METRICS_REPORT: u8 = 138;
 const TAG_ERROR: u8 = 255;
 
 fn header(enc: &mut Encoder, tag: u8, request_id: u64) {
@@ -251,6 +263,7 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
             wire::put_update_batch(&mut enc, batch);
         }
         Request::SealEpoch => header(&mut enc, TAG_SEAL_EPOCH, request_id),
+        Request::MetricsSnapshot => header(&mut enc, TAG_METRICS, request_id),
     }
     enc.into_bytes()
 }
@@ -318,6 +331,10 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             enc.put_u64(*views_patched);
             enc.put_u64(*synopses_invalidated);
         }
+        Response::MetricsReport(snapshot) => {
+            header(&mut enc, TAG_METRICS_REPORT, request_id);
+            wire::put_metrics_snapshot(&mut enc, snapshot);
+        }
         Response::Error(e) => {
             header(&mut enc, TAG_ERROR, request_id);
             enc.put_u32(u32::from(e.code));
@@ -379,6 +396,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ApiError> {
             Request::ApplyUpdate(wire::take_update_batch(&mut dec).map_err(wire::malformed)?)
         }
         TAG_SEAL_EPOCH => Request::SealEpoch,
+        TAG_METRICS => Request::MetricsSnapshot,
         t => {
             return Err(wire::malformed(format!("unknown request tag {t}")));
         }
@@ -428,6 +446,9 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ApiError> {
             views_patched: dec.take_u64().map_err(wire::malformed)?,
             synopses_invalidated: dec.take_u64().map_err(wire::malformed)?,
         },
+        TAG_METRICS_REPORT => {
+            Response::MetricsReport(wire::take_metrics_snapshot(&mut dec).map_err(wire::malformed)?)
+        }
         TAG_ERROR => {
             let code_raw = dec.take_u32().map_err(wire::malformed)?;
             let code = u16::try_from(code_raw)

@@ -342,6 +342,84 @@ fn take_value_rows(dec: &mut Decoder<'_>) -> DecodeResult<Vec<Vec<Value>>> {
     Ok(rows)
 }
 
+pub(crate) fn put_metrics_snapshot(enc: &mut Encoder, snap: &dprov_obs::MetricsSnapshot) {
+    enc.put_u32(snap.counters.len() as u32);
+    for (name, value) in &snap.counters {
+        enc.put_str(name);
+        enc.put_u64(*value);
+    }
+    enc.put_u32(snap.gauges.len() as u32);
+    for (name, value) in &snap.gauges {
+        enc.put_str(name);
+        enc.put_f64(*value);
+    }
+    enc.put_u32(snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        enc.put_str(name);
+        enc.put_u64(h.count);
+        enc.put_u64(h.sum);
+        enc.put_u64(h.max);
+        enc.put_u64(h.p50);
+        enc.put_u64(h.p95);
+        enc.put_u64(h.p99);
+    }
+    enc.put_u32(snap.budgets.len() as u32);
+    for b in &snap.budgets {
+        enc.put_str(&b.analyst);
+        enc.put_str(&b.view);
+        enc.put_f64(b.entry_epsilon);
+        enc.put_f64(b.remaining_epsilon);
+    }
+}
+
+pub(crate) fn take_metrics_snapshot(
+    dec: &mut Decoder<'_>,
+) -> DecodeResult<dprov_obs::MetricsSnapshot> {
+    // Every entry starts with a length-prefixed name, so 4 bytes is a
+    // safe lower bound for the payload-bounded length checks.
+    let n = bounded_len(dec, 4, "metric counters")?;
+    let counters = (0..n)
+        .map(|_| Ok((dec.take_str()?, dec.take_u64()?)))
+        .collect::<DecodeResult<Vec<_>>>()?;
+    let n = bounded_len(dec, 4, "metric gauges")?;
+    let gauges = (0..n)
+        .map(|_| Ok((dec.take_str()?, dec.take_f64()?)))
+        .collect::<DecodeResult<Vec<_>>>()?;
+    let n = bounded_len(dec, 4, "metric histograms")?;
+    let histograms = (0..n)
+        .map(|_| {
+            Ok((
+                dec.take_str()?,
+                dprov_obs::HistogramSnapshot {
+                    count: dec.take_u64()?,
+                    sum: dec.take_u64()?,
+                    max: dec.take_u64()?,
+                    p50: dec.take_u64()?,
+                    p95: dec.take_u64()?,
+                    p99: dec.take_u64()?,
+                },
+            ))
+        })
+        .collect::<DecodeResult<Vec<_>>>()?;
+    let n = bounded_len(dec, 4, "budget gauges")?;
+    let budgets = (0..n)
+        .map(|_| {
+            Ok(dprov_obs::BudgetGauge {
+                analyst: dec.take_str()?,
+                view: dec.take_str()?,
+                entry_epsilon: dec.take_f64()?,
+                remaining_epsilon: dec.take_f64()?,
+            })
+        })
+        .collect::<DecodeResult<Vec<_>>>()?;
+    Ok(dprov_obs::MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        budgets,
+    })
+}
+
 /// Wraps a decode-reason string into the protocol's malformed-payload
 /// error.
 pub(crate) fn malformed(reason: impl std::fmt::Display) -> ApiError {

@@ -146,9 +146,40 @@ fn arb_api_error(rng: &mut StdRng) -> ApiError {
     e
 }
 
+fn arb_metrics_snapshot(rng: &mut StdRng) -> dprov_obs::MetricsSnapshot {
+    use dprov_obs::{BudgetGauge, HistogramSnapshot};
+    let arb_hist = |rng: &mut StdRng| HistogramSnapshot {
+        count: rng.gen::<u64>(),
+        sum: rng.gen::<u64>(),
+        max: rng.gen::<u64>(),
+        p50: rng.gen::<u64>(),
+        p95: rng.gen::<u64>(),
+        p99: rng.gen::<u64>(),
+    };
+    dprov_obs::MetricsSnapshot {
+        counters: (0..rng.gen_range(0usize..5))
+            .map(|_| (arb_string(rng), rng.gen::<u64>()))
+            .collect(),
+        gauges: (0..rng.gen_range(0usize..5))
+            .map(|_| (arb_string(rng), rng.gen_range(-1e12f64..1e12)))
+            .collect(),
+        histograms: (0..rng.gen_range(0usize..5))
+            .map(|_| (arb_string(rng), arb_hist(rng)))
+            .collect(),
+        budgets: (0..rng.gen_range(0usize..4))
+            .map(|_| BudgetGauge {
+                analyst: arb_string(rng),
+                view: arb_string(rng),
+                entry_epsilon: rng.gen_range(0.0f64..64.0),
+                remaining_epsilon: rng.gen_range(0.0f64..64.0),
+            })
+            .collect(),
+    }
+}
+
 /// Every request variant, chosen by `tag` so proptest cases sweep them all.
 fn arb_request(rng: &mut StdRng, tag: u32) -> Request {
-    match tag % 9 {
+    match tag % 10 {
         0 => Request::Hello {
             max_version: rng.gen_range(0u32..=255) as u8,
             client_name: arb_string(rng),
@@ -169,7 +200,8 @@ fn arb_request(rng: &mut StdRng, tag: u32) -> Request {
             updater_name: arb_string(rng),
         },
         7 => Request::ApplyUpdate(arb_update_batch(rng)),
-        _ => Request::SealEpoch,
+        8 => Request::SealEpoch,
+        _ => Request::MetricsSnapshot,
     }
 }
 
@@ -200,7 +232,7 @@ fn arb_update_batch(rng: &mut StdRng) -> dprov_delta::UpdateBatch {
 
 /// Every response variant, chosen by `tag`.
 fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
-    match tag % 10 {
+    match tag % 11 {
         0 => Response::HelloAck {
             version: rng.gen_range(0u32..=255) as u8,
             server_name: arb_string(rng),
@@ -237,6 +269,7 @@ fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
             views_patched: rng.gen::<u64>(),
             synopses_invalidated: rng.gen::<u64>(),
         },
+        9 => Response::MetricsReport(arb_metrics_snapshot(rng)),
         _ => Response::Error(arb_api_error(rng)),
     }
 }
@@ -247,7 +280,7 @@ proptest! {
     /// Requests round-trip bit-for-bit through payload encoding, and
     /// through the CRC frame wrapping a byte-stream transport applies.
     #[test]
-    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..9, request_id in 0u64..u64::MAX) {
+    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..10, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let request = arb_request(&mut rng, tag);
         let payload = encode_request(request_id, &request);
@@ -262,7 +295,7 @@ proptest! {
 
     /// Responses round-trip bit-for-bit the same way.
     #[test]
-    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..10, request_id in 0u64..u64::MAX) {
+    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..11, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let response = arb_response(&mut rng, tag);
         let payload = encode_response(request_id, &response);

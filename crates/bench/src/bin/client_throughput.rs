@@ -11,7 +11,10 @@
 //! The spread between the rows prices the protocol layers: `in-process −
 //! direct` is the message codec, `tcp − in-process` is framing plus the
 //! kernel's loopback path. Pipelining matters: clients enqueue a whole
-//! script before polling, so TCP latency is overlapped, not summed.
+//! script before polling, so TCP latency is overlapped, not summed — the
+//! per-query percentiles therefore measure submit→poll completion *under
+//! pipelining* (they include queue residency, which is why the pipelined
+//! paths show higher tail latency at higher throughput).
 //!
 //! ```text
 //! cargo run --release --bin client_throughput [-- total_queries]
@@ -21,7 +24,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dprov_api::DProvClient;
-use dprov_bench::report::{banner, fmt_f64, BenchJson, Table};
+use dprov_bench::report::{cell, cell_fmt, fmt_f64, BenchReport, Latencies};
 use dprov_core::analyst::{AnalystId, AnalystRegistry};
 use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
 use dprov_core::mechanism::MechanismKind;
@@ -72,21 +75,25 @@ fn workload(per_analyst: usize) -> RrqWorkload {
 }
 
 /// Direct embedding: one thread per analyst, blocking round trips.
-fn run_direct(workload: &RrqWorkload) -> f64 {
+fn run_direct(workload: &RrqWorkload) -> (f64, Latencies) {
     let service = build_service();
     let sessions: Vec<_> = (0..ANALYSTS)
         .map(|a| service.open_session(AnalystId(a)).unwrap())
         .collect();
+    let latencies = Arc::new(Latencies::new());
     let start = Instant::now();
     let handles: Vec<_> = sessions
         .into_iter()
         .enumerate()
         .map(|(a, session)| {
             let service = Arc::clone(&service);
+            let latencies = Arc::clone(&latencies);
             let batch = workload.per_analyst[a].clone();
             std::thread::spawn(move || {
                 for request in batch {
-                    service.submit_wait(session, request).unwrap();
+                    latencies
+                        .time(|| service.submit_wait(session, request))
+                        .unwrap();
                 }
             })
         })
@@ -94,25 +101,32 @@ fn run_direct(workload: &RrqWorkload) -> f64 {
     for h in handles {
         h.join().unwrap();
     }
-    start.elapsed().as_secs_f64()
+    let elapsed = start.elapsed().as_secs_f64();
+    let latencies = Arc::try_unwrap(latencies).expect("latencies still shared");
+    (elapsed, latencies)
 }
 
 /// Protocol clients (pipelined): `connect` yields one pre-registered
 /// client per analyst; each client enqueues its whole script, then polls.
-fn run_clients(workload: &RrqWorkload, clients: Vec<DProvClient>) -> f64 {
+/// A query's latency is its submit instant → its poll returning, i.e. the
+/// analyst-visible completion time under pipelining.
+fn run_clients(workload: &RrqWorkload, clients: Vec<DProvClient>) -> (f64, Latencies) {
+    let latencies = Arc::new(Latencies::new());
     let start = Instant::now();
     let handles: Vec<_> = clients
         .into_iter()
         .enumerate()
         .map(|(a, mut client)| {
+            let latencies = Arc::clone(&latencies);
             let batch = workload.per_analyst[a].clone();
             std::thread::spawn(move || {
                 let ids: Vec<_> = batch
                     .iter()
-                    .map(|request| client.submit(request).unwrap())
+                    .map(|request| (client.submit(request).unwrap(), Instant::now()))
                     .collect();
-                for id in ids {
+                for (id, submitted) in ids {
                     client.poll(id).unwrap();
+                    latencies.record(submitted.elapsed());
                 }
             })
         })
@@ -120,7 +134,9 @@ fn run_clients(workload: &RrqWorkload, clients: Vec<DProvClient>) -> f64 {
     for h in handles {
         h.join().unwrap();
     }
-    start.elapsed().as_secs_f64()
+    let elapsed = start.elapsed().as_secs_f64();
+    let latencies = Arc::try_unwrap(latencies).expect("latencies still shared");
+    (elapsed, latencies)
 }
 
 fn main() {
@@ -132,16 +148,32 @@ fn main() {
     let workload = workload(per_analyst);
     let queries = per_analyst * ANALYSTS;
 
-    banner(&format!(
-        "client_throughput — {queries} queries, {ANALYSTS} analysts, {WORKERS} workers \
-         (host parallelism: {})",
-        std::thread::available_parallelism().map_or(1, usize::from)
-    ));
+    let mut report = BenchReport::new("client_throughput");
+    report
+        .arg("total_queries", queries)
+        .arg("analysts", ANALYSTS)
+        .arg("workers", WORKERS);
+    report.section(
+        &format!(
+            "client_throughput — {queries} queries, {ANALYSTS} analysts, {WORKERS} workers \
+             (host parallelism: {})",
+            std::thread::available_parallelism().map_or(1, usize::from)
+        ),
+        &[
+            "path",
+            "elapsed_s",
+            "qps",
+            "vs_direct",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
 
-    let mut table = Table::new(&["path", "elapsed_s", "qps", "vs_direct"]);
-    let direct = run_direct(&workload);
+    let (direct, direct_lat) = run_direct(&workload);
 
-    let in_process = {
+    let (in_process, in_process_lat) = {
         let service = build_service();
         let frontend = Frontend::new(&service);
         let clients = (0..ANALYSTS)
@@ -154,7 +186,7 @@ fn main() {
         run_clients(&workload, clients)
     };
 
-    let tcp = {
+    let (tcp, tcp_lat) = {
         let service = build_service();
         let frontend = Frontend::new(&service);
         let listener = frontend.listen("127.0.0.1:0").unwrap();
@@ -166,35 +198,28 @@ fn main() {
                 client
             })
             .collect();
-        let elapsed = run_clients(&workload, clients);
+        let out = run_clients(&workload, clients);
         listener.shutdown();
-        elapsed
+        out
     };
 
-    let mut json = BenchJson::new("client_throughput");
-    json.arg("total_queries", queries)
-        .arg("analysts", ANALYSTS)
-        .arg("workers", WORKERS);
-    for (path, elapsed) in [
-        ("direct", direct),
-        ("in-process", in_process),
-        ("tcp-loopback", tcp),
+    for (path, elapsed, latencies) in [
+        ("direct", direct, direct_lat),
+        ("in-process", in_process, in_process_lat),
+        ("tcp-loopback", tcp, tcp_lat),
     ] {
-        table.add_row(&[
-            path.to_owned(),
-            fmt_f64(elapsed, 3),
-            fmt_f64(queries as f64 / elapsed, 0),
-            fmt_f64(direct / elapsed, 2),
-        ]);
-        json.row(&[
-            ("path", path.into()),
-            ("elapsed_s", elapsed.into()),
-            ("qps", (queries as f64 / elapsed).into()),
-            ("vs_direct", (direct / elapsed).into()),
-        ]);
+        let qps = queries as f64 / elapsed;
+        let vs_direct = direct / elapsed;
+        let mut row = vec![
+            cell("path", path),
+            cell_fmt("elapsed_s", elapsed, fmt_f64(elapsed, 3)),
+            cell_fmt("qps", qps, fmt_f64(qps, 0)),
+            cell_fmt("vs_direct", vs_direct, fmt_f64(vs_direct, 2)),
+        ];
+        row.extend(latencies.percentile_cells());
+        report.row(&row);
     }
-    table.print();
-    json.emit();
+    report.finish();
     println!(
         "\nin-process − direct prices the message codec; tcp − in-process prices framing + loopback."
     );

@@ -7,15 +7,15 @@
 //! `k` delta rows is `O(k)`, while a full rebuild re-scans all `N` rows
 //! of every affected view. This bin seals the same update stream under
 //! both maintenance modes (answers are bit-identical — asserted inline)
-//! and reports the widening gap as the base table grows.
+//! and reports the widening gap as the base table grows. Latency
+//! percentiles are per seal (the pause an updater experiences at each
+//! epoch boundary).
 //!
 //! ```text
 //! cargo run --release --bin delta_throughput [-- epochs [rows_per_batch]]
 //! ```
 
-use std::time::Instant;
-
-use dprov_bench::report::{banner, BenchJson, Table};
+use dprov_bench::report::{cell, cell_fmt, fmt_f64, BenchReport, Latencies};
 use dprov_core::analyst::AnalystRegistry;
 use dprov_core::config::SystemConfig;
 use dprov_core::mechanism::MechanismKind;
@@ -74,20 +74,19 @@ fn batch(epoch: usize, rows_per_batch: usize) -> UpdateBatch {
     )
 }
 
-/// Runs `epochs` seals of `rows_per_batch`-row batches; returns (total
-/// seal seconds, final audit answer).
-fn run(system: &DProvDb, epochs: usize, rows_per_batch: usize) -> (f64, f64) {
-    let mut seal_time = 0.0;
+/// Runs `epochs` seals of `rows_per_batch`-row batches; returns the
+/// per-seal latencies (their sum is the total seal time) and the final
+/// audit answer.
+fn run(system: &DProvDb, epochs: usize, rows_per_batch: usize) -> (Latencies, f64) {
+    let latencies = Latencies::new();
     for epoch in 0..epochs {
         system.apply_update(&batch(epoch, rows_per_batch)).unwrap();
-        let start = Instant::now();
-        system.seal_epoch().unwrap();
-        seal_time += start.elapsed().as_secs_f64();
+        latencies.time(|| system.seal_epoch()).unwrap();
     }
     let audit = system
         .true_answer(&Query::range_count("adult", "age", 25, 45))
         .unwrap();
-    (seal_time, audit)
+    (latencies, audit)
 }
 
 fn main() {
@@ -99,19 +98,26 @@ fn main() {
         "delta_throughput: {epochs} epochs x {rows_per_batch}-row insert batches over the adult \
          table (13 one-way views patched per seal)"
     );
-    let mut json = BenchJson::new("delta_throughput");
-    json.arg("epochs", epochs)
+    let mut report = BenchReport::new("delta_throughput");
+    report
+        .arg("epochs", epochs)
         .arg("rows_per_batch", rows_per_batch);
 
-    banner("epoch seal cost — incremental patch vs full rebuild");
-    let mut table = Table::new(&[
-        "base_rows",
-        "mode",
-        "seal_ms_avg",
-        "seals_per_s",
-        "delta_rows_per_s",
-        "speedup",
-    ]);
+    report.section(
+        "epoch seal cost — incremental patch vs full rebuild",
+        &[
+            "base_rows",
+            "mode",
+            "seal_ms_avg",
+            "seals_per_s",
+            "delta_rows_per_s",
+            "speedup",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
     for rows in TABLE_SIZES {
         let mut rebuild_avg = None;
         let mut rebuild_audit = None;
@@ -120,7 +126,7 @@ fn main() {
             ("incremental", MaintenanceMode::Incremental),
         ] {
             let system = build_system(rows, mode);
-            let (seal_s, audit) = run(&system, epochs, rows_per_batch);
+            let (latencies, audit) = run(&system, epochs, rows_per_batch);
             // Both modes must land on the identical exact state (the
             // full-rebuild run, first in the loop, is the reference).
             let reference = *rebuild_audit.get_or_insert(audit);
@@ -129,31 +135,29 @@ fn main() {
                 reference.to_bits(),
                 "maintenance modes diverged at {rows} rows"
             );
+            let seal_s = latencies.total_seconds();
             let avg_ms = seal_s * 1e3 / epochs as f64;
             let baseline = *rebuild_avg.get_or_insert(avg_ms);
-            table.add_row(&[
-                rows.to_string(),
-                label.to_owned(),
-                format!("{avg_ms:.3}"),
-                format!("{:.0}", epochs as f64 / seal_s),
-                format!("{:.0}", (epochs * rows_per_batch) as f64 / seal_s),
-                format!("{:.2}x", baseline / avg_ms),
-            ]);
-            json.row(&[
-                ("base_rows", rows.into()),
-                ("mode", label.into()),
-                ("seal_ms_avg", avg_ms.into()),
-                ("seals_per_s", (epochs as f64 / seal_s).into()),
-                (
+            let seals_per_s = epochs as f64 / seal_s;
+            let delta_rows_per_s = (epochs * rows_per_batch) as f64 / seal_s;
+            let speedup = baseline / avg_ms;
+            let mut row = vec![
+                cell("base_rows", rows),
+                cell("mode", label),
+                cell_fmt("seal_ms_avg", avg_ms, fmt_f64(avg_ms, 3)),
+                cell_fmt("seals_per_s", seals_per_s, fmt_f64(seals_per_s, 0)),
+                cell_fmt(
                     "delta_rows_per_s",
-                    ((epochs * rows_per_batch) as f64 / seal_s).into(),
+                    delta_rows_per_s,
+                    fmt_f64(delta_rows_per_s, 0),
                 ),
-                ("speedup_vs_rebuild", (baseline / avg_ms).into()),
-            ]);
+                cell_fmt("speedup_vs_rebuild", speedup, format!("{speedup:.2}x")),
+            ];
+            row.extend(latencies.percentile_cells());
+            report.row(&row);
         }
     }
-    table.print();
-    json.emit();
+    report.finish();
     println!(
         "\nincremental seal cost tracks the delta (rows_per_batch), not the base table; \
          audit answers asserted bit-identical across modes"

@@ -17,6 +17,10 @@
 //!   every query folding each shard while it is cache-hot. This is the
 //!   amortisation the server's per-view micro-batches feed.
 //!
+//! Latency percentiles are per evaluation call: one query for the row and
+//! columnar ×1 modes, one whole batch for the batched modes (the unit a
+//! waiting micro-batch experiences).
+//!
 //! Even on 1 vCPU the batched mode wins: amortisation needs no
 //! parallelism, it just stops re-reading the same columns.
 //!
@@ -26,7 +30,7 @@
 
 use std::time::Instant;
 
-use dprov_bench::report::{banner, BenchJson, Table};
+use dprov_bench::report::{cell, cell_fmt, fmt_f64, BenchReport, Latencies};
 use dprov_engine::database::Database;
 use dprov_engine::datagen::adult::adult_database;
 use dprov_engine::exec::execute;
@@ -47,6 +51,34 @@ fn workload(db: &Database, total_queries: usize) -> Vec<Query> {
         .collect()
 }
 
+/// One table/JSON row shared by all three modes.
+#[allow(clippy::too_many_arguments)]
+fn mode_row(
+    report: &mut BenchReport,
+    mode: &str,
+    batch: usize,
+    elapsed: f64,
+    qps: f64,
+    speedup: f64,
+    scans_per_query: f64,
+    latencies: &Latencies,
+) {
+    let mut row = vec![
+        cell("mode", mode),
+        cell("batch", batch),
+        cell_fmt("elapsed_s", elapsed, fmt_f64(elapsed, 3)),
+        cell_fmt("qps", qps, fmt_f64(qps, 0)),
+        cell_fmt("speedup", speedup, format!("{speedup:.2}x")),
+        cell_fmt(
+            "scans_per_query",
+            scans_per_query,
+            fmt_f64(scans_per_query, 3),
+        ),
+    ];
+    row.extend(latencies.percentile_cells());
+    report.row(&row);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let total_queries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
@@ -60,50 +92,51 @@ fn main() {
     let queries = workload(&db, total_queries);
     let exec = ColumnarExecutor::ingest(&db, &ExecConfig::default());
 
-    let mut json = BenchJson::new("exec_throughput");
-    json.arg("total_queries", total_queries).arg("rows", rows);
+    let mut report = BenchReport::new("exec_throughput");
+    report.arg("total_queries", total_queries).arg("rows", rows);
+    report.section(
+        "row-at-a-time vs columnar vs batched",
+        &[
+            "mode",
+            "batch",
+            "elapsed_s",
+            "qps",
+            "speedup",
+            "scans/query",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
 
     // Reference: the engine's row-at-a-time path, one scan per query.
+    let row_latencies = Latencies::new();
     let row_start = Instant::now();
     let reference: Vec<f64> = queries
         .iter()
-        .map(|q| execute(&db, q).unwrap().scalar().unwrap())
+        .map(|q| row_latencies.time(|| execute(&db, q).unwrap().scalar().unwrap()))
         .collect();
     let row_elapsed = row_start.elapsed().as_secs_f64();
     let row_qps = total_queries as f64 / row_elapsed;
-
-    banner("row-at-a-time vs columnar vs batched");
-    let mut table = Table::new(&[
-        "mode",
-        "batch",
-        "elapsed_s",
-        "qps",
-        "speedup",
-        "scans/query",
-    ]);
-    table.add_row(&[
-        "row-at-a-time".to_owned(),
-        "-".to_owned(),
-        format!("{row_elapsed:.3}"),
-        format!("{row_qps:.0}"),
-        "1.00x".to_owned(),
-        "1.000".to_owned(),
-    ]);
-    json.row(&[
-        ("mode", "row-at-a-time".into()),
-        ("batch", 1usize.into()),
-        ("elapsed_s", row_elapsed.into()),
-        ("qps", row_qps.into()),
-        ("speedup", 1.0.into()),
-        ("scans_per_query", 1.0.into()),
-    ]);
+    mode_row(
+        &mut report,
+        "row-at-a-time",
+        1,
+        row_elapsed,
+        row_qps,
+        1.0,
+        1.0,
+        &row_latencies,
+    );
 
     for batch in BATCH_SIZES {
         exec.reset_stats();
+        let latencies = Latencies::new();
         let start = Instant::now();
         let mut results = Vec::with_capacity(total_queries);
         for chunk in queries.chunks(batch) {
-            results.extend(exec.execute_batch(chunk).unwrap());
+            results.extend(latencies.time(|| exec.execute_batch(chunk).unwrap()));
         }
         let elapsed = start.elapsed().as_secs_f64();
         let stats = exec.stats();
@@ -123,25 +156,18 @@ fn main() {
         } else {
             "columnar batched"
         };
-        table.add_row(&[
-            mode.to_owned(),
-            batch.to_string(),
-            format!("{elapsed:.3}"),
-            format!("{qps:.0}"),
-            format!("{:.2}x", qps / row_qps),
-            format!("{:.3}", stats.scans_per_query()),
-        ]);
-        json.row(&[
-            ("mode", mode.into()),
-            ("batch", batch.into()),
-            ("elapsed_s", elapsed.into()),
-            ("qps", qps.into()),
-            ("speedup", (qps / row_qps).into()),
-            ("scans_per_query", stats.scans_per_query().into()),
-        ]);
+        mode_row(
+            &mut report,
+            mode,
+            batch,
+            elapsed,
+            qps,
+            qps / row_qps,
+            stats.scans_per_query(),
+            &latencies,
+        );
     }
-    table.print();
-    json.emit();
+    report.finish();
 
     // The acceptance gate for batching: amortisation below 1 scan/query
     // for every batch size ≥ 4 over the shared relation.

@@ -8,6 +8,9 @@
 //! * **wal+fsync** — `sync_data` on every append (full durability; the
 //!   fsync dominates, so this measures the disk, not the code).
 //!
+//! Latency percentiles are per committing query, so the tail shows what a
+//! single analyst-visible answer pays for durability in each mode.
+//!
 //! The recovery phase then reopens each durable store and measures
 //! replay-into-a-fresh-system time, the cost a restart actually pays.
 //!
@@ -18,7 +21,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dprov_bench::report::{banner, BenchJson, Table};
+use dprov_bench::report::{cell, cell_fmt, fmt_f64, BenchReport, Latencies};
 use dprov_core::analyst::{AnalystId, AnalystRegistry};
 use dprov_core::config::SystemConfig;
 use dprov_core::mechanism::MechanismKind;
@@ -79,7 +82,7 @@ enum Mode {
 fn run_mode(
     mode: &Mode,
     queries: &[(AnalystId, QueryRequest)],
-) -> (f64, usize, Option<std::path::PathBuf>) {
+) -> (f64, usize, Latencies, Option<std::path::PathBuf>) {
     let mut system = build_system();
     let dir = match mode {
         Mode::Volatile => None,
@@ -91,14 +94,19 @@ fn run_mode(
             Some(dir)
         }
     };
+    let latencies = Latencies::new();
     let start = Instant::now();
     let mut answered = 0usize;
     for (analyst, request) in queries {
-        if system.submit(*analyst, request).unwrap().is_answered() {
+        if latencies
+            .time(|| system.submit(*analyst, request))
+            .unwrap()
+            .is_answered()
+        {
             answered += 1;
         }
     }
-    (start.elapsed().as_secs_f64(), answered, dir)
+    (start.elapsed().as_secs_f64(), answered, latencies, dir)
 }
 
 fn measure_recovery(dir: &std::path::Path) -> (f64, usize) {
@@ -121,12 +129,25 @@ fn main() {
         .unwrap_or(2_000);
     let queries = workload(total);
 
-    banner("durable commit overhead — additive Gaussian, all-miss workload");
-    println!("{total} charge-committing queries, {ANALYSTS} analysts, 3 views\n");
+    let mut report = BenchReport::new("recovery_throughput");
+    report.arg("total_queries", total).arg("analysts", ANALYSTS);
 
-    let mut json = BenchJson::new("recovery_throughput");
-    json.arg("total_queries", total).arg("analysts", ANALYSTS);
-    let mut table = Table::new(&["mode", "elapsed_s", "qps", "overhead", "answered"]);
+    report.section(
+        "durable commit overhead — additive Gaussian, all-miss workload",
+        &[
+            "phase",
+            "mode",
+            "elapsed_s",
+            "qps",
+            "overhead",
+            "answered",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
+    println!("{total} charge-committing queries, {ANALYSTS} analysts, 3 views");
     let mut dirs: Vec<(String, std::path::PathBuf)> = Vec::new();
     let mut baseline_qps = None;
     for (label, mode) in [
@@ -134,49 +155,46 @@ fn main() {
         ("wal", Mode::Wal { fsync: false }),
         ("wal+fsync", Mode::Wal { fsync: true }),
     ] {
-        let (elapsed, answered, dir) = run_mode(&mode, &queries);
+        let (elapsed, answered, latencies, dir) = run_mode(&mode, &queries);
         let qps = total as f64 / elapsed;
         let baseline = *baseline_qps.get_or_insert(qps);
-        table.add_row(&[
-            label.to_string(),
-            format!("{elapsed:.3}"),
-            format!("{qps:.0}"),
-            format!("{:.1}%", (baseline / qps - 1.0) * 100.0),
-            answered.to_string(),
-        ]);
-        json.row(&[
-            ("phase", "commit".into()),
-            ("mode", label.into()),
-            ("elapsed_s", elapsed.into()),
-            ("qps", qps.into()),
-            ("overhead_pct", ((baseline / qps - 1.0) * 100.0).into()),
-            ("answered", answered.into()),
-        ]);
+        let overhead_pct = (baseline / qps - 1.0) * 100.0;
+        let mut row = vec![
+            cell("phase", "commit"),
+            cell("mode", label),
+            cell_fmt("elapsed_s", elapsed, fmt_f64(elapsed, 3)),
+            cell_fmt("qps", qps, fmt_f64(qps, 0)),
+            cell_fmt("overhead_pct", overhead_pct, format!("{overhead_pct:.1}%")),
+            cell("answered", answered),
+        ];
+        row.extend(latencies.percentile_cells());
+        report.row(&row);
         if let Some(dir) = dir {
             dirs.push((label.to_string(), dir));
         }
     }
-    table.print();
 
-    banner("recovery replay");
-    let mut table = Table::new(&["store", "replayed_commits", "recover_s", "commits_per_s"]);
+    report.section(
+        "recovery replay",
+        &[
+            "phase",
+            "store",
+            "replayed_commits",
+            "recover_s",
+            "commits_per_s",
+        ],
+    );
     for (label, dir) in &dirs {
         let (elapsed, commits) = measure_recovery(dir);
-        table.add_row(&[
-            label.clone(),
-            commits.to_string(),
-            format!("{elapsed:.3}"),
-            format!("{:.0}", commits as f64 / elapsed.max(1e-9)),
-        ]);
-        json.row(&[
-            ("phase", "recovery".into()),
-            ("mode", label.as_str().into()),
-            ("replayed_commits", commits.into()),
-            ("elapsed_s", elapsed.into()),
-            ("commits_per_s", (commits as f64 / elapsed.max(1e-9)).into()),
+        let commits_per_s = commits as f64 / elapsed.max(1e-9);
+        report.row(&[
+            cell("phase", "recovery"),
+            cell("mode", label.as_str()),
+            cell("replayed_commits", commits),
+            cell_fmt("elapsed_s", elapsed, fmt_f64(elapsed, 3)),
+            cell_fmt("commits_per_s", commits_per_s, fmt_f64(commits_per_s, 0)),
         ]);
         std::fs::remove_dir_all(dir).ok();
     }
-    table.print();
-    json.emit();
+    report.finish();
 }

@@ -12,6 +12,10 @@
 //!   accuracy consistent), so its scaling comes from cross-view
 //!   parallelism and the lock-free cache-hit fast path.
 //!
+//! A final section measures the observability overhead: the same workload
+//! with the default (enabled) metrics registry versus a no-op registry,
+//! which must stay within a few percent (see `BENCH.md`).
+//!
 //! On a single-core host the worker sweep degenerates to a scheduling-
 //! overhead measurement (no physical parallelism exists); the binary
 //! prints the detected parallelism so the numbers can be read in context.
@@ -23,20 +27,26 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dprov_bench::report::{banner, BenchJson, Table};
+use dprov_bench::report::{cell, cell_fmt, fmt_f64, BenchReport, Latencies};
 use dprov_core::analyst::{AnalystId, AnalystRegistry};
 use dprov_core::config::{AnalystConstraintSpec, SystemConfig};
 use dprov_core::mechanism::MechanismKind;
 use dprov_core::system::DProvDb;
 use dprov_engine::catalog::ViewCatalog;
 use dprov_engine::datagen::adult::adult_database;
+use dprov_obs::MetricsRegistry;
 use dprov_server::{QueryService, ServiceConfig};
 use dprov_workloads::rrq::{generate, RrqConfig, RrqWorkload};
 
 const ANALYSTS: usize = 8;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Worker count for the metrics-overhead comparison and runs per arm
+/// (best-of-N damps scheduler noise so the comparison measures the
+/// instrumentation, not the OS).
+const OVERHEAD_WORKERS: usize = 4;
+const OVERHEAD_RUNS: usize = 3;
 
-fn build_system(mechanism: MechanismKind) -> Arc<DProvDb> {
+fn build_system(mechanism: MechanismKind, metrics_on: bool) -> Arc<DProvDb> {
     let db = adult_database(10_000, 1);
     let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
     let mut registry = AnalystRegistry::new();
@@ -51,7 +61,11 @@ fn build_system(mechanism: MechanismKind) -> Arc<DProvDb> {
         .unwrap()
         .with_seed(5)
         .with_analyst_constraints(AnalystConstraintSpec::ProportionalSum);
-    Arc::new(DProvDb::new(db, catalog, registry, config, mechanism).unwrap())
+    let mut system = DProvDb::new(db, catalog, registry, config, mechanism).unwrap();
+    if !metrics_on {
+        system.set_metrics(MetricsRegistry::disabled());
+    }
+    Arc::new(system)
 }
 
 /// The multi-analyst RRQ workload, spread uniformly over the table's
@@ -67,13 +81,15 @@ fn workload(per_analyst: usize) -> RrqWorkload {
 }
 
 /// Drives the full workload through a service with `workers` threads and
-/// returns (elapsed seconds, answered, rejected, cache hits).
+/// returns (elapsed seconds, answered, rejected, cache hits, per-query
+/// round-trip latencies as seen by the submitters).
 fn run_once(
     workload: &RrqWorkload,
     mechanism: MechanismKind,
     workers: usize,
-) -> (f64, usize, usize, usize) {
-    let system = build_system(mechanism);
+    metrics_on: bool,
+) -> (f64, usize, usize, usize, Latencies) {
+    let system = build_system(mechanism, metrics_on);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
         ServiceConfig::builder().workers(workers).build().unwrap(),
@@ -81,6 +97,7 @@ fn run_once(
     let sessions: Vec<_> = (0..ANALYSTS)
         .map(|a| service.open_session(AnalystId(a)).unwrap())
         .collect();
+    let latencies = Arc::new(Latencies::new());
 
     let start = Instant::now();
     let submitters: Vec<_> = sessions
@@ -88,6 +105,7 @@ fn run_once(
         .enumerate()
         .map(|(a, session)| {
             let service = Arc::clone(&service);
+            let latencies = Arc::clone(&latencies);
             let batch = workload.per_analyst[a].clone();
             std::thread::spawn(move || {
                 // One blocking round trip per query — the supported
@@ -96,7 +114,9 @@ fn run_once(
                 // cross-session parallelism; the pipelined protocol paths
                 // are compared in the `client_throughput` bench.
                 for request in batch {
-                    service.submit_wait(session, request).unwrap();
+                    latencies
+                        .time(|| service.submit_wait(session, request))
+                        .unwrap();
                 }
             })
         })
@@ -108,51 +128,102 @@ fn run_once(
 
     let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
     let stats = service.shutdown();
+    let latencies = Arc::try_unwrap(latencies).expect("latencies still shared");
     (
         elapsed,
         stats.system.answered,
         stats.system.rejected,
         stats.system.cache_hits,
+        latencies,
     )
 }
 
-fn sweep(workload: &RrqWorkload, mechanism: MechanismKind, json: &mut BenchJson) {
-    banner(&format!("{} — worker sweep", mechanism));
-    let mut table = Table::new(&[
-        "workers",
-        "elapsed_s",
-        "qps",
-        "speedup",
-        "answered",
-        "rejected",
-        "cache_hits",
-    ]);
+fn sweep(workload: &RrqWorkload, mechanism: MechanismKind, report: &mut BenchReport) {
+    report.section(
+        &format!("{mechanism} — worker sweep"),
+        &[
+            "mechanism",
+            "workers",
+            "elapsed_s",
+            "qps",
+            "speedup",
+            "answered",
+            "rejected",
+            "cache_hits",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
     let mut baseline_qps = None;
     for workers in WORKER_COUNTS {
-        let (elapsed, answered, rejected, cache_hits) = run_once(workload, mechanism, workers);
+        let (elapsed, answered, rejected, cache_hits, latencies) =
+            run_once(workload, mechanism, workers, true);
         let qps = workload.total_queries() as f64 / elapsed;
         let baseline = *baseline_qps.get_or_insert(qps);
-        table.add_row(&[
-            workers.to_string(),
-            format!("{elapsed:.3}"),
-            format!("{qps:.0}"),
-            format!("{:.2}x", qps / baseline),
-            answered.to_string(),
-            rejected.to_string(),
-            cache_hits.to_string(),
-        ]);
-        json.row(&[
-            ("mechanism", mechanism.to_string().into()),
-            ("workers", workers.into()),
-            ("elapsed_s", elapsed.into()),
-            ("qps", qps.into()),
-            ("speedup", (qps / baseline).into()),
-            ("answered", answered.into()),
-            ("rejected", rejected.into()),
-            ("cache_hits", cache_hits.into()),
-        ]);
+        let speedup = qps / baseline;
+        let mut row = vec![
+            cell("mechanism", mechanism.to_string()),
+            cell("workers", workers),
+            cell_fmt("elapsed_s", elapsed, fmt_f64(elapsed, 3)),
+            cell_fmt("qps", qps, fmt_f64(qps, 0)),
+            cell_fmt("speedup", speedup, format!("{speedup:.2}x")),
+            cell("answered", answered),
+            cell("rejected", rejected),
+            cell("cache_hits", cache_hits),
+        ];
+        row.extend(latencies.percentile_cells());
+        report.row(&row);
     }
-    table.print();
+}
+
+/// The same fixed-width run with the default (enabled) registry and with
+/// `MetricsRegistry::disabled()`: the instrumentation is designed to be
+/// inert, so the enabled arm must track the no-op arm closely.
+fn metrics_overhead(workload: &RrqWorkload, report: &mut BenchReport) {
+    report.section(
+        &format!("metrics overhead — additive-gaussian, {OVERHEAD_WORKERS} workers"),
+        &[
+            "mechanism",
+            "metrics",
+            "qps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
+    let mechanism = MechanismKind::AdditiveGaussian;
+    let mut best = [0.0f64; 2];
+    for (idx, metrics_on) in [(0, false), (1, true)] {
+        let mut best_cells = None;
+        for _ in 0..OVERHEAD_RUNS {
+            let (elapsed, _, _, _, latencies) =
+                run_once(workload, mechanism, OVERHEAD_WORKERS, metrics_on);
+            let qps = workload.total_queries() as f64 / elapsed;
+            if qps > best[idx] {
+                best[idx] = qps;
+                best_cells = Some(latencies.percentile_cells());
+            }
+        }
+        let mut row = vec![
+            cell("mechanism", mechanism.to_string()),
+            cell("metrics", if metrics_on { "on" } else { "off" }),
+            cell_fmt("qps", best[idx], fmt_f64(best[idx], 0)),
+        ];
+        row.extend(best_cells.expect("at least one overhead run"));
+        report.row(&row);
+    }
+    // Positive = the enabled registry costs throughput; small negatives are
+    // run-to-run noise.
+    let overhead_pct = (best[0] / best[1] - 1.0) * 100.0;
+    println!("metrics overhead: {overhead_pct:.2}% (best of {OVERHEAD_RUNS} runs per arm)");
+    report.section("metrics overhead summary", &["metrics", "overhead_pct"]);
+    report.row(&[
+        cell("metrics", "overhead"),
+        cell_fmt("overhead_pct", overhead_pct, fmt_f64(overhead_pct, 2)),
+    ]);
 }
 
 fn main() {
@@ -172,12 +243,14 @@ fn main() {
             ""
         }
     );
-    let mut json = BenchJson::new("service_throughput");
-    json.arg("analysts", ANALYSTS)
+    let mut report = BenchReport::new("service_throughput");
+    report
+        .arg("analysts", ANALYSTS)
         .arg("per_analyst", per_analyst)
         .arg("hardware_threads", cores);
     let workload = workload(per_analyst);
-    sweep(&workload, MechanismKind::Vanilla, &mut json);
-    sweep(&workload, MechanismKind::AdditiveGaussian, &mut json);
-    json.emit();
+    sweep(&workload, MechanismKind::Vanilla, &mut report);
+    sweep(&workload, MechanismKind::AdditiveGaussian, &mut report);
+    metrics_overhead(&workload, &mut report);
+    report.finish();
 }

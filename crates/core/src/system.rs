@@ -57,6 +57,7 @@ use dprov_engine::transform::LinearQuery;
 use dprov_engine::view::ViewDef;
 use dprov_engine::EngineError;
 use dprov_exec::{ColumnarExecutor, ExecConfig, ExecStats};
+use dprov_obs::{CounterId, HistId, MetricsRegistry};
 
 use crate::accounting::MultiAnalystLedger;
 use crate::admission::AdmissionControl;
@@ -158,6 +159,16 @@ pub struct DProvDb {
     /// the write side, so an answer is never torn across two epochs and a
     /// seal waits for in-flight answers to finish.
     epoch_gate: RwLock<()>,
+    /// The observability registry (`dprov-obs`): admission outcomes,
+    /// cache hit/miss, epoch staleness, execute latency and the
+    /// per-(analyst, view) remaining-budget gauges. Recording is
+    /// lock-free and only reads values the hot path already computed, so
+    /// answers/noise/charges are bit-identical with the registry enabled
+    /// or [`MetricsRegistry::disabled`] (the `metrics_determinism` suite
+    /// proves it).
+    metrics: MetricsRegistry,
+    /// Dense view index (catalog order) for the budget-gauge matrix.
+    view_index: std::collections::HashMap<String, usize>,
 }
 
 /// A guard holding the commit pipeline frozen (see
@@ -237,7 +248,13 @@ impl DProvDb {
         let per_analyst_answered = (0..registry.len()).map(|_| AtomicUsize::new(0)).collect();
         let tight_accountant = make_accountant(config.composition, config.delta.value());
 
-        Ok(DProvDb {
+        let view_index = view_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i))
+            .collect();
+
+        let system = DProvDb {
             config,
             mechanism,
             db: RwLock::new(db),
@@ -264,7 +281,81 @@ impl DProvDb {
             access_history: Mutex::new(Vec::new()),
             delta_log: Mutex::new(UpdateLog::new()),
             epoch_gate: RwLock::new(()),
-        })
+            metrics: MetricsRegistry::new(),
+            view_index,
+        };
+        system.publish_budget_matrix();
+        Ok(system)
+    }
+
+    /// Replaces the observability registry (enabled by default; pass
+    /// [`MetricsRegistry::disabled`] for a strict no-op). Must be called
+    /// before the system is shared (hence `&mut self`), like
+    /// [`Self::set_recorder`]. The budget-gauge matrix is re-registered
+    /// and re-published from the current provenance state.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+        self.publish_budget_matrix();
+    }
+
+    /// The observability registry. Clone it into any layer that should
+    /// record into the same set of metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Registers the per-(analyst, view) budget-gauge matrix and seeds
+    /// every cell from the current provenance state.
+    fn publish_budget_matrix(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.metrics.register_budget_matrix(
+            self.registry
+                .analysts()
+                .iter()
+                .map(|a| a.name.clone())
+                .collect(),
+            self.catalog
+                .views()
+                .iter()
+                .map(|v| v.name.clone())
+                .collect(),
+        );
+        let provenance = self.lock_provenance();
+        for analyst in self.registry.ids() {
+            for view in self.catalog.views() {
+                self.observe_budget(&provenance, analyst, &view.name);
+            }
+        }
+    }
+
+    /// Publishes one (analyst, view) budget gauge from the provenance
+    /// state the caller already holds locked. Pure reads plus relaxed
+    /// atomic stores — never mutates admission state.
+    fn observe_budget(&self, provenance: &ProvenanceTable, analyst: AnalystId, view: &str) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let Some(&view_idx) = self.view_index.get(view) else {
+            return;
+        };
+        let entry = provenance.entry(analyst, view);
+        // Headroom for this cell: the analyst's remaining row budget
+        // capped by the view column's remaining room under the
+        // mechanism's accounting (sum for vanilla, max for additive).
+        let column_spent = match self.mechanism {
+            MechanismKind::Vanilla => provenance.column_sum(view),
+            MechanismKind::AdditiveGaussian => provenance.column_max(view),
+        };
+        let column_headroom = provenance.col_constraint(view) - column_spent;
+        let remaining = provenance
+            .row_remaining(analyst)
+            .min(column_headroom)
+            .max(0.0);
+        self.metrics
+            .set_budget(analyst.0, view_idx, entry, remaining);
     }
 
     /// Attaches the durable-commit recorder. Must be called before the
@@ -355,7 +446,13 @@ impl DProvDb {
     pub fn true_answer(&self, query: &Query) -> Result<f64> {
         let _epoch_gate = self.epoch_gate.read().expect("epoch gate poisoned");
         if query.group_by.is_empty() {
-            return self.exec.execute(query).map_err(CoreError::Engine);
+            let scan_start = self.metrics.start();
+            let answer = self.exec.execute(query).map_err(CoreError::Engine);
+            if let Some(t0) = scan_start {
+                self.metrics
+                    .observe_duration(HistId::ScanTime, t0.elapsed());
+            }
+            return answer;
         }
         let db = self.db.read().expect("db lock poisoned");
         let result = execute(&db, query).map_err(CoreError::Engine)?;
@@ -379,10 +476,15 @@ impl DProvDb {
     /// gate acquisition, so every answer reflects exactly that epoch.
     pub fn true_answers_epoch(&self, queries: &[Query]) -> Result<(Vec<f64>, u64)> {
         let _epoch_gate = self.epoch_gate.read().expect("epoch gate poisoned");
+        let scan_start = self.metrics.start();
         let answers = self
             .exec
             .execute_batch(queries)
             .map_err(CoreError::Engine)?;
+        if let Some(t0) = scan_start {
+            self.metrics
+                .observe_duration(HistId::ScanTime, t0.elapsed());
+        }
         Ok((answers, self.synopses.current_epoch()))
     }
 
@@ -482,6 +584,35 @@ impl DProvDb {
                         self.per_analyst_answered[analyst.0].fetch_add(1, Ordering::Relaxed);
                     }
                     QueryOutcome::Rejected { .. } => stats.rejected += 1,
+                }
+            }
+        }
+        // Observability: classify the outcome the hot path already
+        // computed. Reads + relaxed atomics only; no lock, no RNG.
+        if self.metrics.is_enabled() {
+            self.metrics.observe_duration(HistId::Execute, elapsed);
+            if let Ok(outcome) = &outcome {
+                match outcome {
+                    QueryOutcome::Answered(a) => {
+                        self.metrics.incr(CounterId::QueriesAnswered);
+                        if a.from_cache {
+                            self.metrics.incr(CounterId::CacheHits);
+                            // Bounded staleness under `CarryForward`: a
+                            // cache hit whose synopsis predates the
+                            // current epoch is a stale serve.
+                            let current = self.synopses.current_epoch();
+                            if a.epoch < current {
+                                self.metrics.incr(CounterId::StaleServes);
+                                self.metrics
+                                    .observe(HistId::EpochStaleness, current - a.epoch);
+                            }
+                        } else {
+                            self.metrics.incr(CounterId::CacheMisses);
+                        }
+                    }
+                    QueryOutcome::Rejected { .. } => {
+                        self.metrics.incr(CounterId::QueriesRejected);
+                    }
                 }
             }
         }
@@ -713,6 +844,7 @@ impl DProvDb {
                 epsilon,
             )?;
             provenance.charge(analyst, &resolved.view.name, epsilon);
+            self.observe_budget(&provenance, analyst, &resolved.view.name);
             seq
         };
 
@@ -726,8 +858,11 @@ impl DProvDb {
             Err(e) => {
                 // Release failed after the reserve: roll the charge back
                 // and void the write-ahead record with a tombstone.
-                self.lock_provenance()
-                    .charge(analyst, &resolved.view.name, -epsilon);
+                {
+                    let mut provenance = self.lock_provenance();
+                    provenance.charge(analyst, &resolved.view.name, -epsilon);
+                    self.observe_budget(&provenance, analyst, &resolved.view.name);
+                }
                 self.record_rollback(seq);
                 return Err(e);
             }
@@ -864,6 +999,7 @@ impl DProvDb {
                 effective,
             )?;
             provenance.set_entry(analyst, &view_name, new_entry);
+            self.observe_budget(&provenance, analyst, &view_name);
             (previous_entry, effective, seq)
         };
 
@@ -872,8 +1008,11 @@ impl DProvDb {
         // global release touches the data, so only it is recorded in the
         // tight accountant (local synopses are post-processing).
         let rollback = |e: CoreError| {
-            self.lock_provenance()
-                .set_entry(analyst, &view_name, previous_entry);
+            {
+                let mut provenance = self.lock_provenance();
+                provenance.set_entry(analyst, &view_name, previous_entry);
+                self.observe_budget(&provenance, analyst, &view_name);
+            }
             self.record_rollback(seq);
             Err(e)
         };
@@ -1145,8 +1284,11 @@ impl DProvDb {
     /// attach the recorder only after replay.
     pub fn replay_commit(&self, record: &CommitRecord) -> Result<()> {
         self.check_replay_target(record.analyst, &record.view)?;
-        self.lock_provenance()
-            .set_entry(record.analyst, &record.view, record.new_entry);
+        {
+            let mut provenance = self.lock_provenance();
+            provenance.set_entry(record.analyst, &record.view, record.new_entry);
+            self.observe_budget(&provenance, record.analyst, &record.view);
+        }
         self.lock_ledger().record(
             record.analyst,
             Budget::from_parts(Epsilon::unchecked(record.charged), self.config.delta),
@@ -1275,6 +1417,8 @@ impl DProvDb {
         }
         self.synopses.import_cache(&state.synopses)?;
         self.commit_seq.fetch_max(state.next_seq, Ordering::SeqCst);
+        // Re-seed the budget gauges from the imported provenance state.
+        self.publish_budget_matrix();
         Ok(())
     }
 }

@@ -1,0 +1,220 @@
+//! Log-bucketed, lock-free latency/size histograms.
+//!
+//! Values land in power-of-two buckets (`bucket b` holds
+//! `2^(b-1) ..= 2^b - 1`, bucket 0 holds exactly `0`), recorded with
+//! relaxed atomic increments — a recording is two `fetch_add`s, one
+//! `fetch_max` and one array increment, no locks and no allocation.
+//! Snapshots reconstruct p50/p95/p99 from the bucket boundaries, so a
+//! percentile is accurate to within a factor of two of the true value
+//! (and never above the observed maximum).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `u64::MAX` has 64 significant bits plus the zero bucket.
+const BUCKETS: usize = 65;
+
+/// A lock-free log-bucketed histogram of `u64` samples (nanoseconds for
+/// latencies, raw units for sizes).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket for a value: number of significant bits (0 for the value 0).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket.
+#[inline]
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; relaxed ordering throughout.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary. Concurrent recordings may straddle the
+    /// reads (the summary is monotone but not a single linearization
+    /// point); every recording made before the call is included.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the total from the buckets themselves so percentile
+        // targets are consistent with what we walk.
+        let count: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (bucket, n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    return bucket_upper(bucket).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+        }
+    }
+}
+
+/// A compact, `Copy` summary of a [`Histogram`].
+///
+/// Units are whatever the histogram recorded (nanoseconds for latency
+/// histograms, raw counts for size histograms). Percentiles are
+/// bucket-boundary estimates: within 2x of the true sample, never above
+/// [`HistogramSnapshot::max`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+    /// Estimated 50th-percentile sample.
+    pub p50: u64,
+    /// Estimated 95th-percentile sample.
+    pub p95: u64,
+    /// Estimated 99th-percentile sample.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_full_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [0u64, 1, 7, 1 << 20, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        // True p50 = 500, p95 = 950, p99 = 990; estimates are the
+        // enclosing bucket boundary, within 2x and never above max.
+        assert!(s.p50 >= 500 && s.p50 < 1000, "p50 = {}", s.p50);
+        assert!(s.p95 >= 950 && s.p95 <= 1000, "p95 = {}", s.p95);
+        assert!(s.p99 >= 990 && s.p99 <= 1000, "p99 = {}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_everywhere() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.p50, 42.min(bucket_upper(bucket_index(42))));
+        assert_eq!(s.p99, s.p50);
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.max, 39_999);
+    }
+}

@@ -1,0 +1,69 @@
+//! Typed, point-in-time snapshot of a registry — the payload of the
+//! `MetricsSnapshot` protocol request and of
+//! `QueryService::metrics_snapshot`.
+
+use crate::histogram::HistogramSnapshot;
+
+/// The remaining privacy budget of one (analyst, view) provenance cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetGauge {
+    /// Analyst name.
+    pub analyst: String,
+    /// View (query table) name.
+    pub view: String,
+    /// The entry's allocated budget `epsilon_{i,j}`.
+    pub entry_epsilon: f64,
+    /// Budget still unspent in the entry.
+    pub remaining_epsilon: f64,
+}
+
+/// A point-in-time summary of every metric a registry holds.
+///
+/// All collections are name-keyed `Vec`s rather than maps so the type
+/// stays append-only on the wire: readers that don't know a name skip
+/// it, and new metrics never renumber old ones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone event counters, `(name, total)`.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, `(name, value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// Latency/size distributions, `(name, summary)`.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-(analyst, view) remaining-budget gauges.
+    pub budgets: Vec<BudgetGauge>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The remaining budget for one (analyst, view) cell.
+    #[must_use]
+    pub fn budget(&self, analyst: &str, view: &str) -> Option<&BudgetGauge> {
+        self.budgets
+            .iter()
+            .find(|b| b.analyst == analyst && b.view == view)
+    }
+}

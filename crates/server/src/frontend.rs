@@ -30,7 +30,7 @@
 //! service's worker threads are never kept alive by idle connections.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Weak};
 use std::thread::JoinHandle;
 
@@ -40,6 +40,7 @@ use dprov_api::protocol::{
 };
 use dprov_api::{codes, ApiError, Connection};
 use dprov_core::analyst::AnalystId;
+use dprov_obs::{CounterId, HistId, MetricsRegistry, Stage};
 
 use crate::service::{QueryResponse, QueryService, ServerError};
 use crate::session::{SessionError, SessionId};
@@ -89,10 +90,20 @@ enum Flow {
     Close,
 }
 
+/// Trace lanes: workers occupy lanes `0..N`; frontend connections start
+/// here so their decode/reply stages render on distinct trace rows.
+const FRONTEND_LANE_BASE: u64 = 1_000;
+
 /// The analyst-protocol server over a [`QueryService`].
 pub struct Frontend {
     service: Weak<QueryService>,
     server_name: String,
+    /// Cloned from the service's system at construction, so frontend
+    /// events land in the same registry as everything downstream (and
+    /// keep recording even while the service reference is only weak).
+    metrics: MetricsRegistry,
+    /// Connections ever accepted; numbers the per-connection trace lane.
+    connections: AtomicU64,
 }
 
 impl Frontend {
@@ -103,6 +114,8 @@ impl Frontend {
         Arc::new(Frontend {
             service: Arc::downgrade(service),
             server_name: format!("dprov-server/{}", env!("CARGO_PKG_VERSION")),
+            metrics: service.metrics().clone(),
+            connections: AtomicU64::new(0),
         })
     }
 
@@ -167,6 +180,8 @@ impl Frontend {
 
     /// The full lifecycle of one connection (runs on the reader thread).
     fn serve_connection(self: Arc<Self>, conn: Connection) {
+        self.metrics.incr(CounterId::FrontendConnections);
+        let lane = FRONTEND_LANE_BASE + self.connections.fetch_add(1, Ordering::Relaxed);
         let (mut sink, mut source) = conn.split();
 
         // Writer: the single owner of the send half; both the reader and
@@ -188,6 +203,7 @@ impl Frontend {
         // receiver never delays a later outcome.
         let (pending_tx, pending_rx) = mpsc::channel::<(u64, mpsc::Receiver<QueryResponse>)>();
         let forward_out = out_tx.clone();
+        let forward_metrics = self.metrics.clone();
         let forwarder = std::thread::Builder::new()
             .name("dprov-frontend-forward".to_owned())
             .spawn(move || {
@@ -202,10 +218,14 @@ impl Frontend {
                             "service dropped the job during shutdown",
                         )),
                     };
-                    if forward_out
-                        .send(encode_response(request_id, &response))
-                        .is_err()
-                    {
+                    let reply_start = forward_metrics.start();
+                    let frame = encode_response(request_id, &response);
+                    if let Some(t0) = reply_start {
+                        let dur = t0.elapsed();
+                        forward_metrics.observe_duration(HistId::FrontendReply, dur);
+                        forward_metrics.trace(request_id, Stage::Reply, lane, t0, dur);
+                    }
+                    if forward_out.send(frame).is_err() {
                         break;
                     }
                 }
@@ -217,9 +237,16 @@ impl Frontend {
         // the stream is done. Sessions are NOT closed here — a
         // reconnecting client resumes by id; abandonment is the TTL's job.
         while let Ok(Some(payload)) = source.recv() {
+            let decode_start = self.metrics.start();
             match decode_request(&payload) {
                 Ok((request_id, request)) => {
-                    match self.handle(&mut state, request_id, request, &pending_tx, &out_tx) {
+                    if let Some(t0) = decode_start {
+                        let dur = t0.elapsed();
+                        self.metrics.observe_duration(HistId::FrontendDecode, dur);
+                        self.metrics.trace(request_id, Stage::Decode, lane, t0, dur);
+                    }
+                    self.metrics.incr(CounterId::FrontendRequests);
+                    match self.handle(&mut state, request_id, request, lane, &pending_tx, &out_tx) {
                         Flow::Continue => {}
                         Flow::Close => break,
                     }
@@ -251,11 +278,19 @@ impl Frontend {
         state: &mut ConnState,
         request_id: u64,
         request: Request,
+        lane: u64,
         pending_tx: &mpsc::Sender<(u64, mpsc::Receiver<QueryResponse>)>,
         out_tx: &mpsc::Sender<Vec<u8>>,
     ) -> Flow {
         let respond = |response: Response| {
-            let _ = out_tx.send(encode_response(request_id, &response));
+            let reply_start = self.metrics.start();
+            let frame = encode_response(request_id, &response);
+            if let Some(t0) = reply_start {
+                let dur = t0.elapsed();
+                self.metrics.observe_duration(HistId::FrontendReply, dur);
+                self.metrics.trace(request_id, Stage::Reply, lane, t0, dur);
+            }
+            let _ = out_tx.send(frame);
         };
         match request {
             Request::Hello { max_version, .. } => {
@@ -349,7 +384,10 @@ impl Frontend {
                     respond(Response::Error(shutting_down()));
                     return Flow::Continue;
                 };
-                match service.submit(session_id, query_request) {
+                // The protocol's pipelining id doubles as the trace id, so
+                // one request's decode, queue-wait, execute and reply
+                // stages share a key in the exported trace.
+                match service.submit_traced(session_id, query_request, request_id) {
                     Ok(rx) => {
                         // The forwarder answers this id when the worker
                         // pool does; the reader moves straight on to the
@@ -453,6 +491,19 @@ impl Frontend {
                     }),
                     Err(e) => respond(Response::Error(e.into())),
                 }
+                Flow::Continue
+            }
+            Request::MetricsSnapshot => {
+                // Deliberately session-free (like `RegisterUpdater`): an
+                // operator dashboard polls metrics without holding an
+                // analyst budget session. The snapshot is aggregate
+                // telemetry — no per-query answers — so it leaks nothing a
+                // session would gate.
+                let Some(service) = self.service.upgrade() else {
+                    respond(Response::Error(shutting_down()));
+                    return Flow::Continue;
+                };
+                respond(Response::MetricsReport(service.metrics_snapshot()));
                 Flow::Continue
             }
             Request::CloseSession => {

@@ -54,9 +54,11 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueues an item, blocking while the queue is full. Returns the item
-    /// back if the queue has been closed.
-    pub fn push(&self, item: T) -> Result<(), QueueClosed<T>> {
+    /// Enqueues an item, blocking while the queue is full. Returns the
+    /// queue depth *including* the new item (the producer observed it under
+    /// the lock, so it is exact — the service's depth high-watermark feeds
+    /// on this), or the item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<usize, QueueClosed<T>> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if state.closed {
@@ -64,8 +66,9 @@ impl<T> BoundedQueue<T> {
             }
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
+                let depth = state.items.len();
                 self.not_empty.notify_one();
-                return Ok(());
+                return Ok(depth);
             }
             state = self.not_full.wait(state).expect("queue poisoned");
         }
@@ -222,7 +225,8 @@ mod tests {
     fn fifo_within_one_producer() {
         let q = BoundedQueue::new(8);
         for i in 0..5 {
-            q.push(i).unwrap();
+            // Push reports the depth as observed under the lock.
+            assert_eq!(q.push(i).unwrap(), (i + 1) as usize);
         }
         assert_eq!(q.len(), 5);
         for i in 0..5 {

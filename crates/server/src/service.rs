@@ -24,16 +24,17 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dprov_core::processor::{QueryOutcome, QueryRequest};
 use dprov_core::recorder::Recorder;
 use dprov_core::system::{DProvDb, SystemStats};
 use dprov_core::{CoreError, StorageError};
 use dprov_dp::accountant::CompositionMethod;
+use dprov_obs::{CounterId, GaugeId, HistId, Histogram, HistogramSnapshot, MetricsRegistry, Stage};
 use dprov_storage::{
     analysts_digest, config_fingerprint, ProvenanceStore, SessionCheckpoint, StoreOptions,
 };
@@ -408,6 +409,13 @@ struct Job {
     session: Arc<Session>,
     request: QueryRequest,
     responder: mpsc::Sender<QueryResponse>,
+    /// Request id keying this job's trace-journal events (the protocol's
+    /// pipelining id when the job came through the frontend, a
+    /// service-assigned sequence number for in-process submissions).
+    trace_id: u64,
+    /// When the job entered the queue (or a session lane); `None` with a
+    /// disabled registry so the hot path never pays a clock read.
+    enqueued_at: Option<Instant>,
 }
 
 /// Per-session dispatch state: `busy` is true iff exactly one of the
@@ -438,6 +446,15 @@ pub struct ServiceStats {
     pub queued: usize,
     /// Live sessions.
     pub sessions: usize,
+    /// Deepest the submission queue has ever been (monotone
+    /// high-watermark, exact: producers observe the depth under the queue
+    /// lock). Maintained independently of the metrics registry, so it is
+    /// meaningful even on a service running with
+    /// [`dprov_obs::MetricsRegistry::disabled`].
+    pub queue_depth_hwm: usize,
+    /// Distribution of realised micro-batch sizes (jobs per drained
+    /// batch), as a log-bucketed percentile summary. Also registry-free.
+    pub batch_sizes: HistogramSnapshot,
     /// The underlying system's runtime statistics.
     pub system: SystemStats,
 }
@@ -462,6 +479,18 @@ pub struct QueryService {
     epoch_barrier: Arc<std::sync::RwLock<()>>,
     /// Epochs sealed through this service.
     epochs_sealed: Arc<AtomicUsize>,
+    /// The system's metrics handle, cloned at start so the service and
+    /// its workers record into the same registry.
+    metrics: MetricsRegistry,
+    /// Always-on queue-depth high-watermark (see
+    /// [`ServiceStats::queue_depth_hwm`]).
+    queue_depth_hwm: AtomicUsize,
+    /// Always-on micro-batch size distribution (see
+    /// [`ServiceStats::batch_sizes`]); shared with the workers.
+    batch_sizes: Arc<Histogram>,
+    /// Trace-id sequence for in-process submissions (protocol submissions
+    /// carry their own pipelining id).
+    trace_seq: AtomicU64,
 }
 
 impl QueryService {
@@ -561,6 +590,17 @@ impl QueryService {
         report.replayed_accesses = recovered.accesses.len();
 
         let store = Arc::new(store);
+        // The ledger records WAL append/fsync latency into the same
+        // registry as everything else, and recovery's replay counts land
+        // as counters so a dashboard can tell a cold start from a replay.
+        store.set_metrics(system.metrics().clone());
+        system
+            .metrics()
+            .add(CounterId::RecoveredCommits, recovered.commits.len() as u64);
+        system.metrics().add(
+            CounterId::RecoveredSessions,
+            recovered.sessions.len() as u64,
+        );
         system.set_recorder(Arc::clone(&store) as Arc<dyn Recorder>);
 
         let sessions = Arc::new(SessionRegistry::new(
@@ -596,6 +636,8 @@ impl QueryService {
         let completed = Arc::new(AtomicUsize::new(0));
         let batches = Arc::new(AtomicUsize::new(0));
         let epoch_barrier = Arc::new(std::sync::RwLock::new(()));
+        let metrics = system.metrics().clone();
+        let batch_sizes = Arc::new(Histogram::new());
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let system = Arc::clone(&system);
@@ -605,6 +647,8 @@ impl QueryService {
                 let batches = Arc::clone(&batches);
                 let durable = durable.clone();
                 let epoch_barrier = Arc::clone(&epoch_barrier);
+                let metrics = metrics.clone();
+                let batch_sizes = Arc::clone(&batch_sizes);
                 let (max_batch, max_linger) = (config.max_batch.max(1), config.max_linger);
                 let pool_size = config.workers.max(1);
                 std::thread::Builder::new()
@@ -621,6 +665,9 @@ impl QueryService {
                             max_batch,
                             max_linger,
                             pool_size,
+                            i as u64,
+                            &metrics,
+                            &batch_sizes,
                         );
                     })
                     .expect("failed to spawn worker thread")
@@ -639,6 +686,10 @@ impl QueryService {
             updaters: config.updaters.clone(),
             epoch_barrier,
             epochs_sealed: Arc::new(AtomicUsize::new(0)),
+            metrics,
+            queue_depth_hwm: AtomicUsize::new(0),
+            batch_sizes,
+            trace_seq: AtomicU64::new(1),
         }
     }
 
@@ -692,14 +743,30 @@ impl QueryService {
         lanes: &LaneMap,
         completed: &AtomicUsize,
         durable: Option<&DurableCtx>,
+        worker: u64,
+        metrics: &MetricsRegistry,
         job: Job,
     ) -> Option<Job> {
         // Executing a query also counts as session activity.
         job.session.heartbeat();
+        let exec_start = metrics.start();
+        if let (Some(now), Some(enqueued_at)) = (exec_start, job.enqueued_at) {
+            // Queue wait covers time in the global queue *and* in a
+            // session lane — submission to execution start either way.
+            let waited = now.saturating_duration_since(enqueued_at);
+            metrics.observe_duration(HistId::QueueWait, waited);
+            metrics.trace(job.trace_id, Stage::QueueWait, worker, enqueued_at, waited);
+        }
         let result = {
             let mut rng = job.session.rng.lock().expect("session rng poisoned");
             system.submit_with_rng(job.session.analyst(), &job.request, &mut rng)
         };
+        if let Some(t0) = exec_start {
+            // The Execute latency histogram is recorded inside the core
+            // (it also covers cache hits served without a service); here
+            // only the trace stage is added.
+            metrics.trace(job.trace_id, Stage::Execute, worker, t0, t0.elapsed());
+        }
         completed.fetch_add(1, Ordering::Relaxed);
         let response: QueryResponse = match result {
             Ok(outcome) => {
@@ -771,6 +838,9 @@ impl QueryService {
         max_batch: usize,
         max_linger: Duration,
         pool_size: usize,
+        worker: u64,
+        metrics: &MetricsRegistry,
+        batch_sizes: &Histogram,
     ) {
         // Jobs chained from session lanes after the previous round; they
         // bypass the global queue, so chains keep draining even after the
@@ -784,14 +854,28 @@ impl QueryService {
             // draining a burst its siblings could run in parallel.
             let mut jobs = std::mem::take(&mut carry);
             if jobs.is_empty() {
+                let assembly_start = metrics.start();
                 jobs = queue.pop_batch(max_batch, max_linger, pool_size);
                 if jobs.is_empty() {
                     return; // closed and drained
                 }
+                if let Some(t0) = assembly_start {
+                    // `pop_batch` blocks idle until the first job arrives;
+                    // only the linger window counts as assembly, so cap
+                    // the observation there instead of charging idle time.
+                    metrics.observe_duration(HistId::BatchAssembly, t0.elapsed().min(max_linger));
+                }
             } else if jobs.len() < max_batch {
+                let assembly_start = metrics.start();
                 jobs.extend(queue.try_pop_batch(max_batch - jobs.len(), pool_size));
+                if let Some(t0) = assembly_start {
+                    metrics.observe_duration(HistId::BatchAssembly, t0.elapsed());
+                }
             }
             batches.fetch_add(1, Ordering::Relaxed);
+            batch_sizes.record(jobs.len() as u64);
+            metrics.observe(HistId::BatchSize, jobs.len() as u64);
+            metrics.incr(CounterId::BatchesExecuted);
 
             // Per-view regrouping: session lanes admit at most one job per
             // session into any batch, so per-session FIFO (and with it
@@ -802,7 +886,9 @@ impl QueryService {
             // straddle two epochs.
             let _epoch = epoch_barrier.read().expect("epoch barrier poisoned");
             for job in Self::group_by_view(jobs) {
-                if let Some(next) = Self::execute_job(system, lanes, completed, durable, job) {
+                if let Some(next) =
+                    Self::execute_job(system, lanes, completed, durable, worker, metrics, job)
+                {
                     carry.push(next);
                 }
             }
@@ -965,12 +1051,28 @@ impl QueryService {
         id: SessionId,
         request: QueryRequest,
     ) -> Result<mpsc::Receiver<QueryResponse>, ServerError> {
+        let trace_id = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        self.submit_traced(id, request, trace_id)
+    }
+
+    /// [`Self::submit`] with a caller-chosen trace id: the frontend keys a
+    /// job's trace-journal events by its protocol pipelining id, so one
+    /// request's decode, queue-wait, execute and reply stages line up in
+    /// the exported trace.
+    pub(crate) fn submit_traced(
+        &self,
+        id: SessionId,
+        request: QueryRequest,
+        trace_id: u64,
+    ) -> Result<mpsc::Receiver<QueryResponse>, ServerError> {
         let session = self.sessions.get(id)?;
         let (tx, rx) = mpsc::channel();
         let job = Job {
             session: Arc::clone(&session),
             request,
             responder: tx,
+            trace_id,
+            enqueued_at: self.metrics.start(),
         };
         // If the session already has a runnable job, append to its lane —
         // the finishing worker will chain into it (accepted work always
@@ -988,22 +1090,31 @@ impl QueryService {
             }
         };
         if let Some(job) = runnable {
-            if self.queue.push(job).is_err() {
-                // The queue closed under us. Another submitter may have
-                // appended to the lane's pending queue while we were
-                // outside the lock believing a runnable job existed; those
-                // jobs would never be chained into, so fail them here and
-                // retire the lane in the same critical section.
-                let stranded = {
-                    let mut lanes = self.lanes.lock().expect("lane map poisoned");
-                    lanes
-                        .remove(&id.0)
-                        .map_or_else(VecDeque::new, |l| l.pending)
-                };
-                for job in stranded {
-                    let _ = job.responder.send(Err(ServerError::ShuttingDown));
+            match self.queue.push(job) {
+                Ok(depth) => {
+                    // Exact high-watermark: the producer saw `depth` under
+                    // the queue lock. The plain atomic copy keeps
+                    // [`ServiceStats`] meaningful with a disabled registry.
+                    self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+                    self.metrics.gauge_max(GaugeId::QueueDepthHwm, depth as f64);
                 }
-                return Err(ServerError::ShuttingDown);
+                Err(_) => {
+                    // The queue closed under us. Another submitter may have
+                    // appended to the lane's pending queue while we were
+                    // outside the lock believing a runnable job existed;
+                    // those jobs would never be chained into, so fail them
+                    // here and retire the lane in the same critical section.
+                    let stranded = {
+                        let mut lanes = self.lanes.lock().expect("lane map poisoned");
+                        lanes
+                            .remove(&id.0)
+                            .map_or_else(VecDeque::new, |l| l.pending)
+                    };
+                    for job in stranded {
+                        let _ = job.responder.send(Err(ServerError::ShuttingDown));
+                    }
+                    return Err(ServerError::ShuttingDown);
+                }
             }
         }
         session.mark_submitted();
@@ -1087,8 +1198,77 @@ impl QueryService {
             epochs_sealed: self.epochs_sealed.load(Ordering::Relaxed),
             queued: self.queue.len(),
             sessions: self.sessions.len(),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            batch_sizes: self.batch_sizes.snapshot(),
             system: self.system.stats(),
         }
+    }
+
+    /// The metrics registry the service (and its system) records into.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The full observability snapshot served to
+    /// `dprov_api::DProvClient::metrics`: the registry's catalog
+    /// (counters, gauges, latency histograms, per-(analyst, view) budget
+    /// gauges) plus pulled service- and executor-level counters that need
+    /// no per-event recording. With a disabled registry the pulled values
+    /// (and the always-on queue-depth high-watermark and batch-size
+    /// summary) are still reported.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> dprov_obs::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let stats = self.stats();
+        let exec = self.system.exec_stats();
+        if !self.metrics.is_enabled() {
+            // The always-on service copies stand in for the registry's.
+            snap.gauges
+                .push((GaugeId::QueueDepthHwm.name().to_owned(), 0.0));
+            snap.histograms
+                .push((HistId::BatchSize.name().to_owned(), stats.batch_sizes));
+        }
+        // The high-watermark from the always-on atomic is authoritative
+        // either way (it is exact; the gauge is merely its mirror).
+        if let Some(slot) = snap
+            .gauges
+            .iter_mut()
+            .find(|(name, _)| name == GaugeId::QueueDepthHwm.name())
+        {
+            slot.1 = stats.queue_depth_hwm as f64;
+        }
+        snap.gauges
+            .push(("queue.depth".to_owned(), stats.queued as f64));
+        let pulled: [(&str, u64); 14] = [
+            ("service.submitted", stats.submitted as u64),
+            ("service.completed", stats.completed as u64),
+            ("service.batches", stats.batches as u64),
+            ("service.epochs_sealed", stats.epochs_sealed as u64),
+            ("service.sessions", stats.sessions as u64),
+            ("service.cache_hits", stats.system.cache_hits as u64),
+            ("exec.scans", exec.scans),
+            ("exec.queries", exec.queries),
+            ("exec.batches", exec.batches),
+            ("exec.histogram_scans", exec.histogram_scans),
+            ("exec.histograms", exec.histograms),
+            ("exec.shards_visited", exec.shards_visited),
+            ("exec.shards_pruned", exec.shards_pruned),
+            ("exec.segments_appended", exec.segments_appended),
+        ];
+        snap.counters
+            .extend(pulled.iter().map(|&(name, v)| (name.to_owned(), v)));
+        snap.gauges
+            .push(("exec.scans_per_query".to_owned(), exec.scans_per_query()));
+        snap
+    }
+
+    /// The retained request trace as chrome://tracing JSON (load the
+    /// string into `chrome://tracing` or Perfetto). Empty (an empty event
+    /// array) with a disabled registry.
+    #[must_use]
+    pub fn dump_trace(&self) -> String {
+        self.metrics.chrome_trace()
     }
 
     /// Stops accepting new work, drains the queue, joins the workers and

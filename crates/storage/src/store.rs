@@ -336,6 +336,18 @@ impl ProvenanceStore {
         self.append(&WalRecord::Fingerprint { fingerprint })
     }
 
+    /// Attaches an observability registry: subsequent ledger appends
+    /// record their write and fsync latency (`wal.append_ns` /
+    /// `wal.fsync_ns`) and bump the append/fsync counters. Attach before
+    /// sharing the store; recording never changes what is written.
+    pub fn set_metrics(&self, metrics: dprov_obs::MetricsRegistry) {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .writer
+            .set_metrics(metrics);
+    }
+
     /// The store directory.
     #[must_use]
     pub fn dir(&self) -> &Path {

@@ -351,6 +351,10 @@ pub struct WalWriter {
     path: PathBuf,
     fsync: bool,
     len: u64,
+    /// Observability handle (disabled unless attached): append/fsync
+    /// latency histograms and counters. Recording happens after the I/O
+    /// completes and never changes what is written.
+    metrics: dprov_obs::MetricsRegistry,
 }
 
 impl WalWriter {
@@ -390,15 +394,35 @@ impl WalWriter {
             path: path.to_owned(),
             fsync,
             len,
+            metrics: dprov_obs::MetricsRegistry::disabled(),
         })
+    }
+
+    /// Attaches an observability registry; subsequent appends record
+    /// their write and fsync latency into it.
+    pub fn set_metrics(&mut self, metrics: dprov_obs::MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Appends one record; durable on return when fsync mode is on.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        use dprov_obs::{CounterId, HistId};
         let frame = record.encode_frame();
+        let append_start = self.metrics.start();
         self.file.write_all(&frame).map_err(|e| io_err(&e))?;
+        if let Some(t0) = append_start {
+            self.metrics
+                .observe_duration(HistId::WalAppend, t0.elapsed());
+            self.metrics.incr(CounterId::WalAppends);
+        }
         if self.fsync {
+            let fsync_start = self.metrics.start();
             self.file.sync_data().map_err(|e| io_err(&e))?;
+            if let Some(t0) = fsync_start {
+                self.metrics
+                    .observe_duration(HistId::WalFsync, t0.elapsed());
+                self.metrics.incr(CounterId::WalFsyncs);
+            }
         }
         self.len += frame.len() as u64;
         Ok(())

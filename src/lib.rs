@@ -30,6 +30,9 @@
 //! * [`storage`] — the durable provenance ledger: checksummed write-ahead
 //!   log, versioned snapshots, crash-safe recovery and the crash-injection
 //!   test harness.
+//! * [`obs`] — observability: lock-free counters/gauges/histograms, the
+//!   per-request trace journal with chrome-trace export, and the typed
+//!   `MetricsSnapshot` served over the wire protocol.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through,
 //! `examples/concurrent_service.rs` for the multi-analyst service,
@@ -42,6 +45,7 @@ pub use dprov_delta as delta;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
 pub use dprov_exec as exec;
+pub use dprov_obs as obs;
 pub use dprov_server as server;
 pub use dprov_storage as storage;
 pub use dprov_workloads as workloads;
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use dprov_engine::database::Database;
     pub use dprov_engine::query::{AggregateKind, Query};
     pub use dprov_exec::{ColumnarExecutor, ExecConfig};
+    pub use dprov_obs::{MetricsRegistry, MetricsSnapshot};
     pub use dprov_server::{Frontend, QueryService, ServiceConfig, SessionId};
     pub use dprov_workloads::runner::ExperimentRunner;
 }

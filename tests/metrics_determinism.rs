@@ -1,0 +1,256 @@
+//! Observability is provably inert: running the full query stack with the
+//! metrics registry enabled (the default) versus replaced by the no-op
+//! registry produces **bit-identical** analyst-visible results — answer
+//! values, noise variances, epsilon charges, cache provenance — for both
+//! mechanisms. Instrumentation reads clocks and bumps relaxed atomics; it
+//! never touches the RNG streams, the admission decisions or the synopsis
+//! state, and these tests pin that contract.
+//!
+//! The suite also covers the trace journal's bounded capacity and the
+//! consistency of `QueryService::metrics_snapshot` against the service's
+//! own counters, end to end through the protocol `MetricsSnapshot`
+//! request.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dprovdb::api::DProvClient;
+use dprovdb::core::analyst::{AnalystId, AnalystRegistry};
+use dprovdb::core::config::SystemConfig;
+use dprovdb::core::mechanism::MechanismKind;
+use dprovdb::core::processor::{QueryOutcome, QueryRequest};
+use dprovdb::core::system::DProvDb;
+use dprovdb::engine::catalog::ViewCatalog;
+use dprovdb::engine::datagen::adult::adult_database;
+use dprovdb::engine::query::Query;
+use dprovdb::obs::MetricsRegistry;
+use dprovdb::server::{Frontend, QueryService, ServiceConfig};
+
+const ANALYSTS: usize = 4;
+
+fn build_system(mechanism: MechanismKind, seed: u64, metrics: MetricsRegistry) -> Arc<DProvDb> {
+    let db = adult_database(1_500, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    for i in 0..ANALYSTS {
+        registry
+            .register(&format!("analyst-{i}"), (i + 1) as u8)
+            .unwrap();
+    }
+    let config = SystemConfig::new(50.0).unwrap().with_seed(seed);
+    let mut system = DProvDb::new(db, catalog, registry, config, mechanism).unwrap();
+    system.set_metrics(metrics);
+    Arc::new(system)
+}
+
+/// Per-analyst scripts under the documented determinism conditions (ample
+/// budget, one attribute per analyst — see `tests/determinism.rs`), with a
+/// repeat at the end so the synopsis cache-hit path is exercised too.
+fn script(analyst: usize) -> Vec<QueryRequest> {
+    let mut requests: Vec<QueryRequest> = (0..10)
+        .map(|i| {
+            let query = match analyst % 4 {
+                0 => Query::range_count("adult", "age", 20 + i, 40 + i),
+                1 => Query::range_count("adult", "hours_per_week", 10 + i, 40 + i),
+                2 => Query::range_count("adult", "education_num", 1 + (i % 8), 9 + (i % 8)),
+                _ => Query::range_count("adult", "capital_loss", 0, 100 * (i + 1) - 1),
+            };
+            QueryRequest::with_accuracy(query, 400.0 + 150.0 * i as f64)
+        })
+        .collect();
+    // Re-ask the first query with a looser demand: a cache hit.
+    let repeat = requests[0].query.clone();
+    requests.push(QueryRequest::with_accuracy(repeat, 50_000.0));
+    requests
+}
+
+/// Everything an analyst observes about one answer, with floats as raw
+/// bits so the comparison is exact.
+type ObservedOutcome = (u64, Option<String>, u64, u64, bool, u64);
+
+fn observe(outcome: QueryOutcome) -> ObservedOutcome {
+    match outcome {
+        QueryOutcome::Answered(a) => (
+            a.value.to_bits(),
+            a.view,
+            a.epsilon_charged.to_bits(),
+            a.noise_variance.to_bits(),
+            a.from_cache,
+            a.epoch,
+        ),
+        QueryOutcome::Rejected { reason } => panic!("unexpected rejection: {reason}"),
+    }
+}
+
+/// Runs every analyst's script through a worker-pool service built over a
+/// system carrying `metrics`, returning each analyst's ordered, fully
+/// observable outcomes plus the service handle's final snapshot inputs.
+fn run(mechanism: MechanismKind, seed: u64, metrics: MetricsRegistry) -> Vec<Vec<ObservedOutcome>> {
+    let system = build_system(mechanism, seed, metrics);
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::builder()
+            .workers(4)
+            .max_batch(8)
+            .max_linger(Duration::from_millis(1))
+            .build()
+            .unwrap(),
+    ));
+    let sessions: Vec<_> = (0..ANALYSTS)
+        .map(|a| service.open_session(AnalystId(a)).unwrap())
+        .collect();
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .enumerate()
+        .map(|(a, session)| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                script(a)
+                    .into_iter()
+                    .map(|request| observe(service.submit_wait(session, request).unwrap()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+#[test]
+fn enabled_and_noop_registries_deliver_bit_identical_results() {
+    for mechanism in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+        let enabled = run(mechanism, 29, MetricsRegistry::new());
+        let noop = run(mechanism, 29, MetricsRegistry::disabled());
+        assert_eq!(
+            enabled, noop,
+            "{mechanism}: instrumentation changed an analyst-visible bit"
+        );
+        // Sanity: the runs did real work (answers, charges, a cache hit).
+        assert!(enabled.iter().all(|a| a.len() == 11));
+        assert!(
+            enabled.iter().any(|a| a.last().unwrap().4),
+            "{mechanism}: the repeated query should have hit the synopsis cache"
+        );
+    }
+}
+
+#[test]
+fn snapshot_agrees_with_service_stats_end_to_end() {
+    let metrics = MetricsRegistry::new();
+    let system = build_system(MechanismKind::AdditiveGaussian, 31, metrics.clone());
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::builder().workers(2).build().unwrap(),
+    ));
+    let frontend = Frontend::new(&service);
+    let mut client = DProvClient::connect(frontend.connect(), "obs-test").unwrap();
+    client.register("analyst-0").unwrap();
+    for request in script(0) {
+        client.query(&request).unwrap();
+    }
+    // The protocol snapshot is the same aggregation the in-process API
+    // returns: counters must match the service's own bookkeeping.
+    let wire = client.metrics().unwrap();
+    let local = service.metrics_snapshot();
+    let stats = service.stats();
+    for snap in [&wire, &local] {
+        assert_eq!(
+            snap.counter("query.answered").unwrap(),
+            stats.system.answered as u64
+        );
+        assert_eq!(
+            snap.counter("service.submitted").unwrap(),
+            stats.submitted as u64
+        );
+        assert!(snap.counter("synopsis.cache_hits").unwrap() >= 1);
+        assert!(snap.counter("frontend.requests").unwrap() >= 11);
+        // The queue-depth high-watermark gauge mirrors the always-on
+        // ServiceStats field, and every executed batch is size-accounted.
+        assert_eq!(
+            snap.gauge("queue.depth_hwm").unwrap(),
+            stats.queue_depth_hwm as f64
+        );
+        assert_eq!(
+            snap.histogram("batch.size").unwrap().count,
+            stats.batches as u64
+        );
+        assert!(snap.histogram("query.execute_ns").unwrap().count >= 11);
+        // Budget gauges cover the provenance matrix: the worked cell's
+        // provenance entry has accumulated charges, with headroom left
+        // (the script never exhausts its ample budget).
+        let gauge = snap
+            .budget("analyst-0", "adult.age")
+            .expect("budget gauge for the worked (analyst, view) cell");
+        assert!(gauge.entry_epsilon > 0.0);
+        assert!(gauge.remaining_epsilon > 0.0);
+        // An untouched cell carries no charge.
+        let idle = snap.budget("analyst-3", "adult.age").unwrap();
+        assert_eq!(idle.entry_epsilon, 0.0);
+    }
+    drop(client);
+}
+
+#[test]
+fn noop_registry_snapshot_still_serves_always_on_stats() {
+    let system = build_system(MechanismKind::Vanilla, 33, MetricsRegistry::disabled());
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::builder().workers(1).build().unwrap(),
+    ));
+    let session = service.open_session(AnalystId(0)).unwrap();
+    for request in script(0) {
+        service.submit_wait(session, request).unwrap();
+    }
+    let snap = service.metrics_snapshot();
+    let stats = service.stats();
+    // Registry-backed series are absent or empty...
+    assert_eq!(
+        snap.histogram("query.execute_ns").unwrap_or_default().count,
+        0
+    );
+    assert!(snap.counter("query.answered").is_none());
+    assert!(snap.budgets.is_empty());
+    // ...but the registry-free ServiceStats surface is still live.
+    assert!(stats.queue_depth_hwm >= 1);
+    assert_eq!(
+        snap.gauge("queue.depth_hwm").unwrap(),
+        stats.queue_depth_hwm as f64
+    );
+    assert_eq!(
+        snap.histogram("batch.size").unwrap().count,
+        stats.batches as u64
+    );
+    assert_eq!(
+        snap.counter("service.completed").unwrap(),
+        stats.completed as u64
+    );
+}
+
+#[test]
+fn trace_journal_capacity_is_bounded_and_export_is_valid() {
+    let metrics = MetricsRegistry::with_journal_capacity(16);
+    let system = build_system(MechanismKind::Vanilla, 37, metrics.clone());
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::builder().workers(2).build().unwrap(),
+    ));
+    let session = service.open_session(AnalystId(0)).unwrap();
+    for request in script(0) {
+        service.submit_wait(session, request).unwrap();
+    }
+    // 11 queries × ≥2 stages (queue-wait + execute) overflow 16 slots: the
+    // ring keeps the most recent 16 and counts everything it saw.
+    let events = metrics.trace_events();
+    assert!(
+        events.len() <= 16,
+        "journal exceeded capacity: {}",
+        events.len()
+    );
+    assert!(metrics.trace_recorded() > 16);
+    let trace = service.dump_trace();
+    assert!(trace.starts_with('[') && trace.trim_end().ends_with(']'));
+    assert!(
+        trace.contains("\"ph\": \"X\""),
+        "chrome events are complete-phase"
+    );
+    assert!(trace.contains("execute"), "execute stages present: {trace}");
+}
