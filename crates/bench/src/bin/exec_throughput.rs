@@ -35,10 +35,17 @@ use dprov_engine::database::Database;
 use dprov_engine::datagen::adult::adult_database;
 use dprov_engine::exec::execute;
 use dprov_engine::query::Query;
-use dprov_exec::{ColumnarExecutor, ExecConfig};
+use dprov_exec::{ColumnEncoding, ColumnarExecutor, ExecConfig};
 use dprov_workloads::skew::{generate, SkewConfig};
 
 const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+const ENCODINGS: [(ColumnEncoding, &str); 4] = [
+    (ColumnEncoding::Plain, "plain"),
+    (ColumnEncoding::BitPacked, "bit-packed"),
+    (ColumnEncoding::Dictionary, "dictionary"),
+    (ColumnEncoding::Auto, "auto"),
+];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn workload(db: &Database, total_queries: usize) -> Vec<Query> {
     let config = SkewConfig::batch_friendly("adult", 1, total_queries).with_seed(11);
@@ -166,6 +173,57 @@ fn main() {
             stats.scans_per_query(),
             &latencies,
         );
+    }
+    // The tentpole sweep: encoding × scan-thread fan-out at batch 64.
+    // Every cell is bit-identical to the row-at-a-time reference (the
+    // kernels decode to the same domain indices and the parallel merge
+    // is shard-ordered + reassociation-exact), so the only things that
+    // move are bytes and speed.
+    report.section(
+        "encoding x scan-thread sweep (batch 64)",
+        &[
+            "encoding",
+            "threads",
+            "compression_ratio",
+            "elapsed_s",
+            "qps",
+            "speedup",
+        ],
+    );
+    for (encoding, label) in ENCODINGS {
+        let exec = ColumnarExecutor::ingest(
+            &db,
+            &ExecConfig {
+                encoding,
+                ..ExecConfig::default()
+            },
+        );
+        let ratio = exec.compression_ratio();
+        for threads in THREADS {
+            exec.set_scan_threads(threads);
+            let start = Instant::now();
+            let mut results = Vec::with_capacity(total_queries);
+            for chunk in queries.chunks(64) {
+                results.extend(exec.execute_batch(chunk).unwrap());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            for ((q, got), want) in queries.iter().zip(&results).zip(&reference) {
+                assert!(
+                    got.to_bits() == want.to_bits(),
+                    "{label}/{threads}t diverged on {}: {got} vs {want}",
+                    q.describe()
+                );
+            }
+            let qps = total_queries as f64 / elapsed;
+            report.row(&[
+                cell("encoding", label),
+                cell("threads", threads),
+                cell_fmt("compression_ratio", ratio, format!("{ratio:.2}x")),
+                cell_fmt("elapsed_s", elapsed, fmt_f64(elapsed, 3)),
+                cell_fmt("qps", qps, fmt_f64(qps, 0)),
+                cell_fmt("speedup", qps / row_qps, format!("{:.2}x", qps / row_qps)),
+            ]);
+        }
     }
     report.finish();
 

@@ -446,13 +446,14 @@ impl DProvDb {
     pub fn true_answer(&self, query: &Query) -> Result<f64> {
         let _epoch_gate = self.epoch_gate.read().expect("epoch gate poisoned");
         if query.group_by.is_empty() {
-            let scan_start = self.metrics.start();
-            let answer = self.exec.execute(query).map_err(CoreError::Engine);
-            if let Some(t0) = scan_start {
-                self.metrics
-                    .observe_duration(HistId::ScanTime, t0.elapsed());
-            }
-            return answer;
+            let (answers, scan_ns) = self
+                .exec
+                .execute_batch_timed(std::slice::from_ref(query))
+                .map_err(CoreError::Engine)?;
+            // One sample per batch, summed over every scan thread — not
+            // one sample per thread, and not wall-clock around the call.
+            self.metrics.observe(HistId::ScanTime, scan_ns);
+            return Ok(answers[0]);
         }
         let db = self.db.read().expect("db lock poisoned");
         let result = execute(&db, query).map_err(CoreError::Engine)?;
@@ -476,15 +477,13 @@ impl DProvDb {
     /// gate acquisition, so every answer reflects exactly that epoch.
     pub fn true_answers_epoch(&self, queries: &[Query]) -> Result<(Vec<f64>, u64)> {
         let _epoch_gate = self.epoch_gate.read().expect("epoch gate poisoned");
-        let scan_start = self.metrics.start();
-        let answers = self
+        let (answers, scan_ns) = self
             .exec
-            .execute_batch(queries)
+            .execute_batch_timed(queries)
             .map_err(CoreError::Engine)?;
-        if let Some(t0) = scan_start {
-            self.metrics
-                .observe_duration(HistId::ScanTime, t0.elapsed());
-        }
+        // Summed thread-busy time, recorded exactly once per batch
+        // regardless of the scan-thread fan-out.
+        self.metrics.observe(HistId::ScanTime, scan_ns);
         Ok((answers, self.synopses.current_epoch()))
     }
 
@@ -493,6 +492,16 @@ impl DProvDb {
     #[must_use]
     pub fn exec(&self) -> &ColumnarExecutor {
         &self.exec
+    }
+
+    /// Sets how many threads the columnar executor fans shard scans out
+    /// over (clamped to at least 1). Answers are **bit-identical** at any
+    /// thread count — per-thread partials merge in shard order and only
+    /// reassociation-exact aggregates take the parallel path — so this
+    /// knob trades latency for cores without perturbing noise or budget
+    /// accounting.
+    pub fn set_scan_threads(&self, threads: usize) {
+        self.exec.set_scan_threads(threads);
     }
 
     /// Counters of the columnar execution layer: scans, queries, batches

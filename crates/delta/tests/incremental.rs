@@ -17,7 +17,7 @@ use dprov_engine::schema::{Attribute, AttributeType, Schema};
 use dprov_engine::table::Table;
 use dprov_engine::value::Value;
 use dprov_engine::view::ViewDef;
-use dprov_exec::{ColumnarExecutor, ExecConfig};
+use dprov_exec::{ColumnarExecutor, EncodingKind, EpochSegment, ExecConfig};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -104,7 +104,7 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let db = random_db(&mut rng, rows);
-        let exec = ColumnarExecutor::ingest(&db, &ExecConfig { shard_rows });
+        let exec = ColumnarExecutor::ingest(&db, &ExecConfig { shard_rows, ..ExecConfig::default() });
         let views = vec![
             ViewDef::histogram("v_a", "t", &["a"]),
             ViewDef::histogram("v_ab", "t", &["a", "b"]),
@@ -187,4 +187,55 @@ proptest! {
         }
         prop_assert_eq!(exec.sealed_epoch(), epochs as u64);
     }
+}
+
+/// Sealed-epoch delta segments go through the same per-column compression
+/// as the base ingest: the appended shard stores *encoded* columns (under
+/// the default `Auto` policy a small-domain segment never stays plain),
+/// carries its weights, and decodes back to exactly the appended rows.
+#[test]
+fn sealed_delta_segments_are_stored_encoded() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let db = random_db(&mut rng, 60);
+    let exec = ColumnarExecutor::ingest(&db, &ExecConfig::default());
+
+    let columns: Vec<Vec<u32>> = vec![
+        (0..40).map(|i| (i % 15) as u32).collect(),
+        (0..40).map(|i| (i % 3) as u32).collect(),
+        (0..40).map(|i| (i % 6) as u32).collect(),
+    ];
+    let weights: Vec<f64> = (0..40)
+        .map(|i| if i % 5 == 0 { -1.0 } else { 1.0 })
+        .collect();
+    exec.append_epoch(
+        1,
+        &[EpochSegment {
+            table: "t".to_owned(),
+            columns: columns.clone(),
+            weights: weights.clone(),
+        }],
+    )
+    .unwrap();
+
+    exec.with_table("t", |table| {
+        let delta: Vec<_> = table.shards().iter().filter(|s| s.epoch() > 0).collect();
+        assert_eq!(delta.len(), 1, "one appended shard for the sealed epoch");
+        let shard = delta[0];
+        assert_eq!(shard.epoch(), 1);
+        assert_eq!(shard.weights(), Some(&weights[..]));
+        for (pos, expected) in columns.iter().enumerate() {
+            let col = shard.column(pos);
+            assert_ne!(
+                col.kind(),
+                EncodingKind::Plain,
+                "delta column {pos} must arrive compressed"
+            );
+            assert_eq!(&col.to_vec(), expected, "column {pos} decodes losslessly");
+        }
+        assert!(
+            shard.encoded_bytes() < shard.plain_bytes(),
+            "encoded delta shard is smaller than the plain layout"
+        );
+    })
+    .unwrap();
 }

@@ -1,8 +1,9 @@
-//! The columnar executor: shared scans, multi-query batch evaluation, and
-//! epoch-versioned delta segments.
+//! The columnar executor: shared scans, parallel shard-run evaluation,
+//! multi-query batch evaluation, and epoch-versioned delta segments.
 //!
 //! [`ColumnarExecutor::ingest`] converts every table of a
-//! [`Database`] into the sharded columnar format once. Base shards are
+//! [`Database`] into the sharded columnar format once, encoding each
+//! column under the configured [`ColumnEncoding`] policy. Base shards are
 //! immutable; dynamic data arrives through
 //! [`ColumnarExecutor::append_epoch`], which appends one epoch's delta
 //! segment per updated table behind a per-table `RwLock` — readers (query
@@ -16,10 +17,28 @@
 //! kernel folds it into its partial aggregate while the shard is hot in
 //! cache — so a batch of `B` same-table queries costs 1 scan instead of
 //! `B`. [`ExecStats::scans_per_query`] reports the amortisation.
+//!
+//! # Parallel shard scans and the determinism contract
+//!
+//! With [`ExecConfig::scan_threads`] > 1 (adjustable at runtime via
+//! [`ColumnarExecutor::set_scan_threads`]) a pass partitions the shard
+//! set into contiguous runs, one scoped thread per run, and **merges the
+//! per-run partials in shard order**. The partition is a pure function of
+//! the shard count and thread count, each run folds its shards
+//! sequentially exactly like the single-threaded pass, and the merge adds
+//! run partials in ascending shard order — and because every aggregate
+//! term inside the reassociation envelope is an exact `f64` integer
+//! ([`CompiledQuery::reassociation_exact`]), the grouped additions give
+//! *bit-identical* results at every thread count. Queries outside the
+//! envelope are folded on the calling thread in strict shard order, so
+//! they too are thread-count-invariant. Embedders get this path without
+//! any server: the threads are `std::thread::scope` children living only
+//! for the pass.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::RwLock;
+use std::time::Instant;
 
 use dprov_engine::database::Database;
 use dprov_engine::histogram::Histogram;
@@ -28,6 +47,7 @@ use dprov_engine::schema::Schema;
 use dprov_engine::view::{flat_index, ViewDef, ViewKind};
 use dprov_engine::{EngineError, Result};
 
+use crate::encode::ColumnEncoding;
 use crate::kernel::{CompiledQuery, PartialAggregate, ShardOutcome};
 use crate::store::ColumnarTable;
 
@@ -38,11 +58,22 @@ pub struct ExecConfig {
     /// cache-resident batch evaluation; values much smaller than a few
     /// thousand rows pay per-shard overhead without pruning any better.
     pub shard_rows: usize,
+    /// Per-column compression policy applied at ingest and to every delta
+    /// segment (see [`ColumnEncoding`]).
+    pub encoding: ColumnEncoding,
+    /// Threads per table pass (clamped to ≥ 1; also runtime-adjustable
+    /// via [`ColumnarExecutor::set_scan_threads`]). Results are
+    /// bit-identical at every value — see the module docs.
+    pub scan_threads: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { shard_rows: 4096 }
+        ExecConfig {
+            shard_rows: 4096,
+            encoding: ColumnEncoding::Auto,
+            scan_threads: 1,
+        }
     }
 }
 
@@ -108,6 +139,109 @@ fn group_by_table<'a>(keys: impl Iterator<Item = &'a str>) -> Vec<(&'a str, Vec<
     groups
 }
 
+/// One shared pass of `members` (indices into `compiled`) over a table's
+/// shard set, fanned out over up to `threads` scoped threads. Returns
+/// `(shards_visited, (query, shard) pairs pruned, summed thread-busy
+/// nanoseconds)`.
+///
+/// Queries inside the reassociation envelope run relaxed: contiguous
+/// shard runs are folded concurrently (gather fast path enabled) and the
+/// run partials merged **in shard order**. Queries outside it fold
+/// sequentially on the calling thread in strict shard order. Both are
+/// bit-identical at every thread count (see the module docs).
+fn scan_table(
+    compiled: &[CompiledQuery],
+    members: &[usize],
+    table: &ColumnarTable,
+    threads: usize,
+    partials: &mut [PartialAggregate],
+) -> (u64, u64, u64) {
+    let shards = table.shards();
+    if shards.is_empty() {
+        return (0, 0, 0);
+    }
+    let rows = table.num_rows();
+    let (mut relaxed, strict): (Vec<usize>, Vec<usize>) = members
+        .iter()
+        .copied()
+        .partition(|&i| compiled[i].reassociation_exact(rows));
+    let mut pruned = 0u64;
+    let mut busy_ns = 0u64;
+    // Table-level gather: queries whose plan folds the precombined
+    // domain map answer in O(domain) — independent of the shard count —
+    // and drop out of the shard walk entirely. Only reassociation-exact
+    // queries may take it (the precombination regroups additions).
+    if !relaxed.is_empty() {
+        let t0 = Instant::now();
+        relaxed.retain(|&i| !compiled[i].eval_gather_table(table, &mut partials[i]));
+        busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+    if !strict.is_empty() {
+        let t0 = Instant::now();
+        for shard in shards {
+            for &i in &strict {
+                if compiled[i].eval_shard(shard, &mut partials[i], false) == ShardOutcome::Pruned {
+                    pruned += 1;
+                }
+            }
+        }
+        busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+    if !relaxed.is_empty() {
+        let threads = threads.clamp(1, shards.len());
+        if threads == 1 {
+            let t0 = Instant::now();
+            for shard in shards {
+                for &i in &relaxed {
+                    if compiled[i].eval_shard(shard, &mut partials[i], true) == ShardOutcome::Pruned
+                    {
+                        pruned += 1;
+                    }
+                }
+            }
+            busy_ns += t0.elapsed().as_nanos() as u64;
+        } else {
+            let chunk = shards.len().div_ceil(threads);
+            let relaxed = &relaxed;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .chunks(chunk)
+                    .map(|run| {
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let mut parts = vec![PartialAggregate::default(); relaxed.len()];
+                            let mut run_pruned = 0u64;
+                            for shard in run {
+                                for (k, &i) in relaxed.iter().enumerate() {
+                                    if compiled[i].eval_shard(shard, &mut parts[k], true)
+                                        == ShardOutcome::Pruned
+                                    {
+                                        run_pruned += 1;
+                                    }
+                                }
+                            }
+                            (parts, run_pruned, t0.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                // `chunks` yields runs in ascending shard order and the
+                // handles are joined in that same order, so run partials
+                // merge deterministically however the threads were
+                // actually scheduled.
+                for handle in handles {
+                    let (parts, run_pruned, ns) = handle.join().expect("scan thread panicked");
+                    for (k, &i) in relaxed.iter().enumerate() {
+                        partials[i].merge(parts[k]);
+                    }
+                    pruned += run_pruned;
+                    busy_ns += ns;
+                }
+            });
+        }
+    }
+    (shards.len() as u64, pruned, busy_ns)
+}
+
 #[derive(Debug, Default)]
 struct StatsCells {
     scans: AtomicU64,
@@ -131,6 +265,8 @@ pub struct ColumnarExecutor {
     schemas: HashMap<String, Schema>,
     /// The last sealed epoch visible to scans.
     epoch: AtomicU64,
+    /// Threads per table pass (≥ 1), runtime-adjustable.
+    scan_threads: AtomicUsize,
     stats: StatsCells,
     /// Retained row-store copy for the `fallback-equivalence` cross-check,
     /// kept in step with sealed epochs.
@@ -140,7 +276,7 @@ pub struct ColumnarExecutor {
 
 impl ColumnarExecutor {
     /// Ingests every table of the database into the sharded columnar
-    /// format.
+    /// format, encoding columns under the configured policy.
     #[must_use]
     pub fn ingest(db: &Database, config: &ExecConfig) -> Self {
         let mut tables = HashMap::new();
@@ -150,13 +286,18 @@ impl ColumnarExecutor {
             schemas.insert(name.to_owned(), table.schema().clone());
             tables.insert(
                 name.to_owned(),
-                RwLock::new(ColumnarTable::ingest(table, config.shard_rows)),
+                RwLock::new(ColumnarTable::ingest_with(
+                    table,
+                    config.shard_rows,
+                    config.encoding,
+                )),
             );
         }
         ColumnarExecutor {
             tables,
             schemas,
             epoch: AtomicU64::new(db.epoch()),
+            scan_threads: AtomicUsize::new(config.scan_threads.max(1)),
             stats: StatsCells::default(),
             #[cfg(feature = "fallback-equivalence")]
             fallback_db: RwLock::new(db.clone()),
@@ -184,6 +325,49 @@ impl ColumnarExecutor {
     #[must_use]
     pub fn sealed_epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Sets the number of threads a table pass may fan out over (clamped
+    /// to ≥ 1). Takes effect on the next pass; answers are bit-identical
+    /// at every value.
+    pub fn set_scan_threads(&self, threads: usize) {
+        self.scan_threads.store(threads.max(1), Ordering::SeqCst);
+    }
+
+    /// The configured number of threads per table pass.
+    #[must_use]
+    pub fn scan_threads(&self) -> usize {
+        self.scan_threads.load(Ordering::SeqCst)
+    }
+
+    /// Heap bytes of all encoded column payloads across every table.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> usize {
+        self.tables
+            .values()
+            .map(|t| t.read().expect("table lock poisoned").encoded_bytes())
+            .sum()
+    }
+
+    /// Bytes the same payloads would occupy un-encoded (4 bytes/cell).
+    #[must_use]
+    pub fn plain_bytes(&self) -> usize {
+        self.tables
+            .values()
+            .map(|t| t.read().expect("table lock poisoned").plain_bytes())
+            .sum()
+    }
+
+    /// Un-encoded bytes over encoded bytes (> 1 means the encodings are
+    /// saving memory; ∞ if every column collapsed to width 0).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let plain = self.plain_bytes();
+        if plain == 0 {
+            1.0
+        } else {
+            plain as f64 / self.encoded_bytes() as f64
+        }
     }
 
     /// Appends one epoch's delta segments: for every updated table a new
@@ -247,38 +431,50 @@ impl ColumnarExecutor {
     /// submission order. The whole batch fails if any query fails to
     /// compile (nothing is scanned in that case).
     pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<f64>> {
+        Ok(self.execute_batch_timed(queries)?.0)
+    }
+
+    /// Like [`Self::execute_batch`], also returning the summed scan-thread
+    /// busy time in nanoseconds — across *all* threads of all passes of
+    /// this batch, so instrumentation records **one** sample per batch no
+    /// matter how many threads the scan fanned out over.
+    pub fn execute_batch_timed(&self, queries: &[Query]) -> Result<(Vec<f64>, u64)> {
         let compiled = queries
             .iter()
             .map(|q| self.compile(q))
             .collect::<Result<Vec<_>>>()?;
-        let results = self.execute_compiled(&compiled)?;
+        let timed = self.execute_compiled_timed(&compiled)?;
         #[cfg(feature = "fallback-equivalence")]
-        self.cross_check(queries, &results);
-        Ok(results)
+        self.cross_check(queries, &timed.0);
+        Ok(timed)
     }
 
     /// Executes pre-compiled queries (the recompilation-free path for
     /// benchmarks and repeated workloads). Shares scans like
     /// [`Self::execute_batch`].
     pub fn execute_compiled(&self, compiled: &[CompiledQuery]) -> Result<Vec<f64>> {
+        Ok(self.execute_compiled_timed(compiled)?.0)
+    }
+
+    /// Timed form of [`Self::execute_compiled`]; see
+    /// [`Self::execute_batch_timed`] for the nanosecond semantics.
+    pub fn execute_compiled_timed(&self, compiled: &[CompiledQuery]) -> Result<(Vec<f64>, u64)> {
         if compiled.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), 0));
         }
         let groups = group_by_table(compiled.iter().map(CompiledQuery::table));
+        let threads = self.scan_threads();
 
         let mut partials = vec![PartialAggregate::default(); compiled.len()];
         let mut pruned = 0u64;
         let mut visited = 0u64;
+        let mut busy_ns = 0u64;
         for (name, members) in &groups {
             self.with_table(name, |table| {
-                for shard in table.shards() {
-                    visited += 1;
-                    for &i in members {
-                        if compiled[i].eval_shard(shard, &mut partials[i]) == ShardOutcome::Pruned {
-                            pruned += 1;
-                        }
-                    }
-                }
+                let (v, p, ns) = scan_table(compiled, members, table, threads, &mut partials);
+                visited += v;
+                pruned += p;
+                busy_ns += ns;
             })?;
         }
 
@@ -296,11 +492,14 @@ impl ColumnarExecutor {
             .shards_pruned
             .fetch_add(pruned, Ordering::Relaxed);
 
-        Ok(compiled
-            .iter()
-            .zip(&partials)
-            .map(|(q, p)| q.finish(p))
-            .collect())
+        Ok((
+            compiled
+                .iter()
+                .zip(&partials)
+                .map(|(q, p)| q.finish(p))
+                .collect(),
+            busy_ns,
+        ))
     }
 
     /// Materialises one histogram view (see
@@ -353,14 +552,29 @@ impl ColumnarExecutor {
 
         for (name, members) in &groups {
             self.with_table(name, |table| {
+                let arity = table.schema().arity();
+                let mut decoded: Vec<Vec<u32>> = vec![Vec::new(); arity];
                 for shard in table.shards() {
+                    // Decode each attribute any member view addresses once
+                    // per shard; views then index the scratch like the old
+                    // raw columns.
+                    let mut have = vec![false; arity];
+                    for &i in members {
+                        for &pos in &builds[i].positions {
+                            if !have[pos] {
+                                decoded[pos].clear();
+                                shard.column(pos).decode_into(&mut decoded[pos]);
+                                have[pos] = true;
+                            }
+                        }
+                    }
                     for &i in members {
                         let build = &mut builds[i];
                         let mut cell = vec![0usize; build.positions.len()];
                         let weights = shard.weights();
                         for row in 0..shard.rows() {
                             for (d, &pos) in build.positions.iter().enumerate() {
-                                let mut idx = shard.column(pos)[row] as usize;
+                                let mut idx = decoded[pos][row] as usize;
                                 if let Some((lo, hi)) = build.clip {
                                     idx = idx.clamp(lo, hi);
                                 }
@@ -449,7 +663,13 @@ mod tests {
 
     fn executor(shard_rows: usize) -> (Database, ColumnarExecutor) {
         let db = adult_database(2_000, 7);
-        let exec = ColumnarExecutor::ingest(&db, &ExecConfig { shard_rows });
+        let exec = ColumnarExecutor::ingest(
+            &db,
+            &ExecConfig {
+                shard_rows,
+                ..ExecConfig::default()
+            },
+        );
         (db, exec)
     }
 
@@ -469,6 +689,63 @@ mod tests {
             let reference = execute(&db, q).unwrap().scalar().unwrap();
             assert_eq!(columnar.to_bits(), reference.to_bits(), "{}", q.describe());
         }
+    }
+
+    #[test]
+    fn every_encoding_and_thread_count_matches_bit_for_bit() {
+        let db = adult_database(1_500, 23);
+        let queries = [
+            Query::count("adult"),
+            Query::range_count("adult", "age", 25, 44),
+            Query::sum("adult", "hours_per_week"),
+            Query::avg("adult", "hours_per_week").filter(Predicate::equals("sex", "Male")),
+        ];
+        let reference: Vec<u64> = queries
+            .iter()
+            .map(|q| execute(&db, q).unwrap().scalar().unwrap().to_bits())
+            .collect();
+        for encoding in [
+            ColumnEncoding::Auto,
+            ColumnEncoding::Plain,
+            ColumnEncoding::BitPacked,
+            ColumnEncoding::Dictionary,
+        ] {
+            let exec = ColumnarExecutor::ingest(
+                &db,
+                &ExecConfig {
+                    shard_rows: 97,
+                    encoding,
+                    scan_threads: 1,
+                },
+            );
+            for threads in [1, 2, 4, 8] {
+                exec.set_scan_threads(threads);
+                let got = exec.execute_batch(&queries).unwrap();
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(g.to_bits(), *r, "{encoding:?} at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timed_batches_report_thread_busy_time_once_per_batch() {
+        let (_, exec) = executor(64);
+        exec.set_scan_threads(4);
+        let batch: Vec<Query> = (0..8)
+            .map(|i| Query::range_count("adult", "age", 20 + i, 50))
+            .collect();
+        let (results, ns) = exec.execute_batch_timed(&batch).unwrap();
+        assert_eq!(results.len(), 8);
+        // One summed figure for the whole batch, regardless of fan-out.
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn auto_encoding_compresses_the_adult_table() {
+        let (_, exec) = executor(4096);
+        assert!(exec.encoded_bytes() < exec.plain_bytes());
+        assert!(exec.compression_ratio() > 2.0);
     }
 
     #[test]
@@ -504,7 +781,13 @@ mod tests {
             t
         };
         db.add_table(other);
-        let exec = ColumnarExecutor::ingest(&db, &ExecConfig { shard_rows: 64 });
+        let exec = ColumnarExecutor::ingest(
+            &db,
+            &ExecConfig {
+                shard_rows: 64,
+                ..ExecConfig::default()
+            },
+        );
         let batch = vec![
             Query::count("adult"),
             Query::count("adult2"),

@@ -9,22 +9,48 @@
 //!   value — so the compiled kernel matches precisely the rows
 //!   [`Predicate::evaluate_row`] would match, by construction;
 //! * boolean combinators become bitwise AND / OR / NOT over per-shard row
-//!   masks;
+//!   masks, built 64 rows per word directly over the encoded columns
+//!   (dictionary leaves pre-translate their accept bits into code space,
+//!   one bit per dictionary entry);
 //! * the aggregate becomes a per-domain-index weight table (SUM / AVG) or a
-//!   popcount (COUNT).
+//!   popcount (COUNT);
+//! * predicate trees that only reference **one** column additionally fold
+//!   into a single accept bitset over that column's domain (AND/OR/NOT
+//!   applied value-wise), enabling the *gather* fast path below.
 //!
 //! Evaluation is shard-at-a-time: a zone-map pre-check can prove a shard
 //! matches no row (skip it) or every row (skip the mask build); otherwise a
 //! row mask is materialised and the aggregate accumulates over its set bits
 //! **in ascending row order**, which keeps floating-point partials
 //! bit-identical to the engine's sequential row loop.
+//!
+//! # The gather fast path, and why reordering stays bit-identical
+//!
+//! When a query's predicate folds to a single column and its aggregate
+//! weights are that same column's values (or it is a COUNT), the shard's
+//! [domain map](crate::store::ColumnShard::domain_map) answers it in
+//! `O(domain)`: `count = Σ map[v]` and `sum = Σ weights[v]·map[v]` over the
+//! accepted values `v` — no row is touched. This *regroups* the
+//! floating-point additions of the row loop, which is safe because every
+//! term is an exact integer in `f64` (domain values are integers, row
+//! weights are ±1) and [`CompiledQuery::reassociation_exact`] proves all
+//! partials stay below 2⁵³, where f64 addition of integers is exact and
+//! therefore associative. Queries outside that envelope take the strict
+//! sequential path. The same argument covers merging per-thread shard-run
+//! partials in shard order — see the executor.
 
 use dprov_engine::expr::Predicate;
 use dprov_engine::query::{AggregateKind, Query};
 use dprov_engine::schema::{Attribute, Schema};
 use dprov_engine::{EngineError, Result};
 
-use crate::store::ColumnShard;
+use crate::encode::EncodedColumn;
+use crate::store::{ColumnShard, ColumnarTable};
+
+/// Largest magnitude at which every integer-valued `f64` is exactly
+/// representable (2⁵³): below it, integer addition in `f64` is exact and
+/// associative.
+const EXACT_INT_LIMIT: f64 = 9_007_199_254_740_992.0;
 
 /// A predicate leaf compiled into an accept bitset over one attribute's
 /// domain indices.
@@ -62,6 +88,7 @@ impl Leaf {
         CompiledPredicate::Leaf(Leaf { col, bits, range })
     }
 
+    #[inline]
     fn accepts(&self, index: u32) -> bool {
         match self.range {
             Some((lo, hi)) => index >= lo && index <= hi,
@@ -92,6 +119,72 @@ impl Leaf {
         }
         (any, all)
     }
+
+    /// ORs the leaf's row hits into `mask`, walking the encoded column
+    /// word-at-a-time.
+    fn fill_mask(&self, shard: &ColumnShard, mask: &mut [u64]) {
+        match shard.column(self.col) {
+            EncodedColumn::Plain(values) => match self.range {
+                Some((lo, hi)) => {
+                    for (row, &v) in values.iter().enumerate() {
+                        mask[row / 64] |= u64::from(v >= lo && v <= hi) << (row % 64);
+                    }
+                }
+                None => {
+                    for (row, &v) in values.iter().enumerate() {
+                        let i = v as usize;
+                        let hit = self.bits[i / 64] >> (i % 64) & 1;
+                        mask[row / 64] |= hit << (row % 64);
+                    }
+                }
+            },
+            EncodedColumn::Packed { base, codes } => {
+                if codes.width() == 0 {
+                    // All-equal column: one accept test decides every row.
+                    if self.accepts(*base) {
+                        for w in mask.iter_mut() {
+                            *w = !0;
+                        }
+                        clear_tail(mask, shard.rows());
+                    }
+                    return;
+                }
+                match self.range {
+                    // Contiguous accepts translate into code space once.
+                    Some((lo, hi)) if hi >= *base => {
+                        let lo_c = u64::from(lo.saturating_sub(*base));
+                        let hi_c = u64::from(hi - *base);
+                        codes.for_each(|row, c| {
+                            mask[row / 64] |= u64::from(c >= lo_c && c <= hi_c) << (row % 64);
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        codes.for_each(|row, c| {
+                            let i = (*base + c as u32) as usize;
+                            let hit = self.bits[i / 64] >> (i % 64) & 1;
+                            mask[row / 64] |= hit << (row % 64);
+                        });
+                    }
+                }
+            }
+            EncodedColumn::Dict { dict, codes } => {
+                // Translate the accept set into code space: one bit per
+                // dictionary entry, then a single bit test per row.
+                let mut accept = vec![0u64; dict.len().div_ceil(64).max(1)];
+                for (c, &v) in dict.iter().enumerate() {
+                    if self.accepts(v) {
+                        accept[c / 64] |= 1 << (c % 64);
+                    }
+                }
+                codes.for_each(|row, c| {
+                    let c = c as usize;
+                    let hit = accept[c / 64] >> (c % 64) & 1;
+                    mask[row / 64] |= hit << (row % 64);
+                });
+            }
+        }
+    }
 }
 
 /// Three-valued zone-map verdict for a whole shard.
@@ -113,6 +206,18 @@ enum CompiledPredicate {
     And(Vec<CompiledPredicate>),
     Or(Vec<CompiledPredicate>),
     Not(Box<CompiledPredicate>),
+}
+
+/// A predicate tree folded down to a single column: either a constant or
+/// one accept bitset over that column's domain.
+#[derive(Debug, Clone)]
+enum Folded {
+    Const(bool),
+    Col {
+        col: usize,
+        bits: Vec<u64>,
+        domain: usize,
+    },
 }
 
 impl CompiledPredicate {
@@ -157,6 +262,53 @@ impl CompiledPredicate {
                 CompiledPredicate::Not(Box::new(CompiledPredicate::compile(inner, schema)?))
             }
         })
+    }
+
+    /// Folds a tree that references at most one column into a value-wise
+    /// accept bitset over that column's domain (`None` when more than one
+    /// column is involved). Sound because for a single-column predicate,
+    /// row acceptance is a function of that column's value alone, and the
+    /// boolean combinators distribute over the per-value bits.
+    fn fold_single_column(&self, schema: &Schema) -> Option<Folded> {
+        match self {
+            CompiledPredicate::Const(b) => Some(Folded::Const(*b)),
+            CompiledPredicate::Leaf(leaf) => {
+                let domain = schema.attributes()[leaf.col].domain_size();
+                Some(Folded::Col {
+                    col: leaf.col,
+                    bits: leaf.bits.clone(),
+                    domain,
+                })
+            }
+            CompiledPredicate::And(children) => {
+                let mut acc = Folded::Const(true);
+                for c in children {
+                    acc = combine(acc, c.fold_single_column(schema)?, true)?;
+                }
+                Some(acc)
+            }
+            CompiledPredicate::Or(children) => {
+                let mut acc = Folded::Const(false);
+                for c in children {
+                    acc = combine(acc, c.fold_single_column(schema)?, false)?;
+                }
+                Some(acc)
+            }
+            CompiledPredicate::Not(inner) => Some(match inner.fold_single_column(schema)? {
+                Folded::Const(b) => Folded::Const(!b),
+                Folded::Col {
+                    col,
+                    mut bits,
+                    domain,
+                } => {
+                    for w in &mut bits {
+                        *w = !*w;
+                    }
+                    clear_tail(&mut bits, domain);
+                    Folded::Col { col, bits, domain }
+                }
+            }),
+        }
     }
 
     /// Conservative zone-map evaluation: may answer [`ZoneVerdict::Scan`]
@@ -217,21 +369,7 @@ impl CompiledPredicate {
             }
             CompiledPredicate::Leaf(leaf) => {
                 let mut mask = vec![0u64; words];
-                let column = shard.column(leaf.col);
-                match leaf.range {
-                    Some((lo, hi)) => {
-                        for (row, &v) in column.iter().enumerate() {
-                            mask[row / 64] |= u64::from(v >= lo && v <= hi) << (row % 64);
-                        }
-                    }
-                    None => {
-                        for (row, &v) in column.iter().enumerate() {
-                            let i = v as usize;
-                            let hit = leaf.bits[i / 64] >> (i % 64) & 1;
-                            mask[row / 64] |= hit << (row % 64);
-                        }
-                    }
-                }
+                leaf.fill_mask(shard, &mut mask);
                 mask
             }
             CompiledPredicate::And(children) => {
@@ -285,6 +423,50 @@ fn clear_tail(mask: &mut [u64], rows: usize) {
     }
 }
 
+/// Combines two folded single-column predicates under AND (`conj`) or OR.
+fn combine(a: Folded, b: Folded, conj: bool) -> Option<Folded> {
+    Some(match (a, b) {
+        (Folded::Const(x), Folded::Const(y)) => Folded::Const(if conj { x && y } else { x || y }),
+        (Folded::Const(c), other) | (other, Folded::Const(c)) => {
+            if c == conj {
+                // true∧x = x, false∨x = x.
+                other
+            } else {
+                // false∧x = false, true∨x = true.
+                Folded::Const(c)
+            }
+        }
+        (
+            Folded::Col {
+                col: ca,
+                mut bits,
+                domain,
+            },
+            Folded::Col {
+                col: cb,
+                bits: other,
+                ..
+            },
+        ) => {
+            if ca != cb {
+                return None;
+            }
+            for (x, y) in bits.iter_mut().zip(other) {
+                if conj {
+                    *x &= y;
+                } else {
+                    *x |= y;
+                }
+            }
+            Folded::Col {
+                col: ca,
+                bits,
+                domain,
+            }
+        }
+    })
+}
+
 fn lookup<'a>(schema: &'a Schema, attribute: &str) -> Result<(usize, &'a Attribute)> {
     let col = schema.position(attribute)?;
     Ok((col, &schema.attributes()[col]))
@@ -303,12 +485,34 @@ enum CompiledAggregate {
     },
 }
 
+/// The `O(domain)` evaluation plan for queries whose predicate folds to a
+/// single column compatible with the aggregate: fold the shard's domain
+/// map instead of its rows.
+#[derive(Debug, Clone)]
+struct GatherPlan {
+    /// The column whose domain map drives the fold; `None` for an
+    /// unfiltered COUNT, which only needs the shard's weight total.
+    col: Option<usize>,
+    /// Accept bitset over `col`'s domain; `None` accepts every value.
+    accept: Option<Vec<u64>>,
+}
+
 /// Running partial aggregate of one query, folded shard-by-shard in shard
 /// order (which preserves bit-identity with sequential row evaluation).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PartialAggregate {
     count: f64,
     sum: f64,
+}
+
+impl PartialAggregate {
+    /// Adds another partial (a later shard run) onto this one. Exact —
+    /// and therefore order-insensitive within a shard-ordered merge —
+    /// under the [`CompiledQuery::reassociation_exact`] envelope.
+    pub(crate) fn merge(&mut self, other: PartialAggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// The outcome of evaluating one query over one shard.
@@ -327,6 +531,7 @@ pub struct CompiledQuery {
     table: String,
     predicate: CompiledPredicate,
     aggregate: CompiledAggregate,
+    gather: Option<GatherPlan>,
 }
 
 impl CompiledQuery {
@@ -364,10 +569,39 @@ impl CompiledQuery {
                 }
             }
         };
+        let predicate = CompiledPredicate::compile(&query.predicate, schema)?;
+        let gather = match (&aggregate, predicate.fold_single_column(schema)) {
+            // A constant-false predicate prunes every shard via the zone
+            // verdict; no plan needed.
+            (_, None) | (_, Some(Folded::Const(false))) => None,
+            (CompiledAggregate::Count, Some(Folded::Const(true))) => Some(GatherPlan {
+                col: None,
+                accept: None,
+            }),
+            (CompiledAggregate::Count, Some(Folded::Col { col, bits, .. })) => Some(GatherPlan {
+                col: Some(col),
+                accept: Some(bits),
+            }),
+            (CompiledAggregate::Weighted { col, .. }, Some(Folded::Const(true))) => {
+                Some(GatherPlan {
+                    col: Some(*col),
+                    accept: None,
+                })
+            }
+            (
+                CompiledAggregate::Weighted { col: wcol, .. },
+                Some(Folded::Col { col, bits, .. }),
+            ) if col == *wcol => Some(GatherPlan {
+                col: Some(col),
+                accept: Some(bits),
+            }),
+            _ => None,
+        };
         Ok(CompiledQuery {
             table: query.table.clone(),
-            predicate: CompiledPredicate::compile(&query.predicate, schema)?,
+            predicate,
             aggregate,
+            gather,
         })
     }
 
@@ -377,6 +611,102 @@ impl CompiledQuery {
         &self.table
     }
 
+    /// Whether regrouping this query's floating-point additions is exact,
+    /// i.e. whether per-shard-run partials, the domain-map gather and any
+    /// other shard-order merge are provably bit-identical to the strict
+    /// sequential row loop: all aggregate terms must be integers and every
+    /// partial (bounded by `max |weight| × physical rows`) must stay below
+    /// 2⁵³, where integer f64 addition is exact and associative. COUNT
+    /// terms are ±1, so it always qualifies; SUM/AVG qualifies for every
+    /// realistic schema (a 10⁹-valued domain would need ~9·10⁶ billion
+    /// rows to overflow the envelope).
+    #[must_use]
+    pub fn reassociation_exact(&self, physical_rows: usize) -> bool {
+        match &self.aggregate {
+            CompiledAggregate::Count => true,
+            CompiledAggregate::Weighted { weights, .. } => {
+                let mut max_w = 0.0f64;
+                for &w in weights {
+                    if w.fract() != 0.0 {
+                        return false;
+                    }
+                    max_w = max_w.max(w.abs());
+                }
+                max_w * (physical_rows as f64 + 1.0) < EXACT_INT_LIMIT
+            }
+        }
+    }
+
+    /// Folds the shard's domain map under the gather plan. Returns `false`
+    /// when the plan needs a domain map the shard doesn't carry (domain
+    /// too large) and the caller must fall back to the row path.
+    fn eval_gather(
+        &self,
+        plan: &GatherPlan,
+        shard: &ColumnShard,
+        p: &mut PartialAggregate,
+    ) -> bool {
+        let Some(col) = plan.col else {
+            // Unfiltered COUNT: the shard's weight total is the answer.
+            p.count += shard.weight_total();
+            return true;
+        };
+        let Some(map) = shard.domain_map(col) else {
+            return false;
+        };
+        self.fold_domain_map(plan.accept.as_ref(), map, p);
+        true
+    }
+
+    /// Folds a weighted value histogram (one shard's, or the table-level
+    /// combination) into the partial.
+    fn fold_domain_map(&self, accept: Option<&Vec<u64>>, map: &[f64], p: &mut PartialAggregate) {
+        let accepted = |v: usize| accept.is_none_or(|bits| bits[v / 64] >> (v % 64) & 1 != 0);
+        match &self.aggregate {
+            CompiledAggregate::Count => {
+                for (v, &m) in map.iter().enumerate() {
+                    if m != 0.0 && accepted(v) {
+                        p.count += m;
+                    }
+                }
+            }
+            CompiledAggregate::Weighted { weights, .. } => {
+                for (v, &m) in map.iter().enumerate() {
+                    if m != 0.0 && accepted(v) {
+                        p.count += m;
+                        p.sum += weights[v] * m;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers the query from the table's precombined domain map in
+    /// `O(domain)`, independent of the shard count. Returns `false` —
+    /// caller falls back to the shard walk — when the query has no gather
+    /// plan or the table lacks the combined map. Callers must only invoke
+    /// this when [`Self::reassociation_exact`] holds: the table-level map
+    /// regroups the same exact-integer additions the per-shard fold
+    /// performs, so the answer is bit-identical.
+    pub(crate) fn eval_gather_table(
+        &self,
+        table: &ColumnarTable,
+        p: &mut PartialAggregate,
+    ) -> bool {
+        let Some(plan) = &self.gather else {
+            return false;
+        };
+        let Some(col) = plan.col else {
+            p.count += table.weight_total();
+            return true;
+        };
+        let Some(map) = table.combined_map(col) else {
+            return false;
+        };
+        self.fold_domain_map(plan.accept.as_ref(), map, p);
+        true
+    }
+
     /// Folds one shard into the partial aggregate. Base shards take the
     /// unweighted fast path (popcounts, whole-shard row counts); delta
     /// shards fold each row's signed weight into COUNT and `weight ×
@@ -384,21 +714,36 @@ impl CompiledQuery {
     /// of the row it deletes. Every accumulated term is an exact integer
     /// in `f64` (all domain values are integers), so the weighted fold is
     /// bit-identical to scanning a physically rebuilt table.
+    ///
+    /// With `allow_gather` the single-column gather plan may answer the
+    /// shard from its domain map in `O(domain)`; callers must only enable
+    /// it when [`Self::reassociation_exact`] holds for the table.
     pub(crate) fn eval_shard(
         &self,
         shard: &ColumnShard,
         partial: &mut PartialAggregate,
+        allow_gather: bool,
     ) -> ShardOutcome {
-        match self.predicate.zone_verdict(shard) {
-            ZoneVerdict::NoRow => return ShardOutcome::Pruned,
+        let verdict = self.predicate.zone_verdict(shard);
+        if verdict == ZoneVerdict::NoRow {
+            return ShardOutcome::Pruned;
+        }
+        if allow_gather {
+            if let Some(plan) = &self.gather {
+                if self.eval_gather(plan, shard, partial) {
+                    return ShardOutcome::Scanned;
+                }
+            }
+        }
+        match verdict {
+            ZoneVerdict::NoRow => unreachable!("handled above"),
             ZoneVerdict::EveryRow => match shard.weights() {
                 None => {
                     partial.count += shard.rows() as f64;
                     if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
-                        let column = shard.column(*col);
-                        for &v in column {
-                            partial.sum += weights[v as usize];
-                        }
+                        shard
+                            .column(*col)
+                            .for_each(|_, v| partial.sum += weights[v as usize]);
                     }
                 }
                 Some(row_weights) => {
@@ -406,10 +751,9 @@ impl CompiledQuery {
                         partial.count += w;
                     }
                     if let CompiledAggregate::Weighted { col, weights, .. } = &self.aggregate {
-                        let column = shard.column(*col);
-                        for (&v, &w) in column.iter().zip(row_weights) {
-                            partial.sum += w * weights[v as usize];
-                        }
+                        shard.column(*col).for_each(|row, v| {
+                            partial.sum += row_weights[row] * weights[v as usize];
+                        });
                     }
                 }
             },
@@ -426,7 +770,7 @@ impl CompiledQuery {
                             for (word_idx, mut word) in mask.iter().copied().enumerate() {
                                 while word != 0 {
                                     let row = word_idx * 64 + word.trailing_zeros() as usize;
-                                    partial.sum += weights[column[row] as usize];
+                                    partial.sum += weights[column.get(row) as usize];
                                     word &= word - 1;
                                 }
                             }
@@ -445,7 +789,7 @@ impl CompiledQuery {
                                 let w = row_weights[row];
                                 partial.count += w;
                                 if let Some((column, weights)) = value_weights {
-                                    partial.sum += w * weights[column[row] as usize];
+                                    partial.sum += w * weights[column.get(row) as usize];
                                 }
                                 word &= word - 1;
                             }
@@ -478,6 +822,7 @@ impl CompiledQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encode::ColumnEncoding;
     use crate::store::ColumnarTable;
     use dprov_engine::schema::{Attribute, AttributeType};
     use dprov_engine::table::Table;
@@ -491,7 +836,7 @@ mod tests {
         ])
     }
 
-    fn store(shard_rows: usize) -> ColumnarTable {
+    fn store(shard_rows: usize, encoding: ColumnEncoding) -> ColumnarTable {
         let mut t = Table::new("t", schema());
         let rows = [
             (20, "F", 5),
@@ -505,17 +850,41 @@ mod tests {
             t.insert_row(&[Value::Int(age), Value::text(sex), Value::Int(hours)])
                 .unwrap();
         }
-        ColumnarTable::ingest(&t, shard_rows)
+        ColumnarTable::ingest_with(&t, shard_rows, encoding)
     }
 
-    fn run(query: &Query, shard_rows: usize) -> f64 {
-        let table = store(shard_rows);
+    fn run_with(query: &Query, shard_rows: usize, encoding: ColumnEncoding, gather: bool) -> f64 {
+        let table = store(shard_rows, encoding);
         let compiled = CompiledQuery::compile(query, table.schema()).unwrap();
         let mut partial = PartialAggregate::default();
         for shard in table.shards() {
-            compiled.eval_shard(shard, &mut partial);
+            compiled.eval_shard(shard, &mut partial, gather);
         }
         compiled.finish(&partial)
+    }
+
+    fn run(query: &Query, shard_rows: usize) -> f64 {
+        let encodings = [
+            ColumnEncoding::Auto,
+            ColumnEncoding::Plain,
+            ColumnEncoding::BitPacked,
+            ColumnEncoding::Dictionary,
+        ];
+        let mut answers = encodings.iter().flat_map(|&e| {
+            [
+                run_with(query, shard_rows, e, false),
+                run_with(query, shard_rows, e, true),
+            ]
+        });
+        let first = answers.next().unwrap();
+        // Every encoding, with and without the gather fast path, agrees
+        // bit-for-bit.
+        assert!(
+            answers.all(|a| a.to_bits() == first.to_bits()),
+            "encodings/gather disagree for {}",
+            query.describe()
+        );
+        first
     }
 
     #[test]
@@ -549,15 +918,58 @@ mod tests {
     }
 
     #[test]
+    fn single_column_trees_fold_into_a_gather_plan() {
+        let schema = schema();
+        // AND/OR/NOT over one column folds; mixed columns don't.
+        let single = Query::count("t").filter(Predicate::And(vec![
+            Predicate::range("age", 21, 27),
+            Predicate::Not(Box::new(Predicate::equals("age", 25))),
+        ]));
+        let compiled = CompiledQuery::compile(&single, &schema).unwrap();
+        assert!(compiled.gather.is_some());
+        assert_eq!(run(&single, 2), 2.0); // ages 22, 23
+
+        let mixed = Query::count("t").filter(Predicate::And(vec![
+            Predicate::range("age", 21, 27),
+            Predicate::equals("sex", "F"),
+        ]));
+        let compiled = CompiledQuery::compile(&mixed, &schema).unwrap();
+        assert!(compiled.gather.is_none());
+        assert_eq!(run(&mixed, 2), 2.0); // (25,F,33), (23,F,95)
+
+        // SUM gathers only when the filter column IS the aggregate column.
+        let sum_same = Query::sum("t", "hours").filter(Predicate::range("hours", 10, 59));
+        let compiled = CompiledQuery::compile(&sum_same, &schema).unwrap();
+        assert!(compiled.gather.is_some());
+        assert_eq!(run(&sum_same, 2), 130.0); // bins 10, 30, 40, 50
+
+        let sum_other = Query::sum("t", "hours").filter(Predicate::range("age", 20, 24));
+        let compiled = CompiledQuery::compile(&sum_other, &schema).unwrap();
+        assert!(compiled.gather.is_none());
+        assert_eq!(run(&sum_other, 2), 100.0); // bins 0, 10, 90
+    }
+
+    #[test]
+    fn reassociation_envelope_covers_realistic_tables_only() {
+        let schema = schema();
+        let count = CompiledQuery::compile(&Query::count("t"), &schema).unwrap();
+        assert!(count.reassociation_exact(usize::MAX >> 10));
+        let sum = CompiledQuery::compile(&Query::sum("t", "hours"), &schema).unwrap();
+        assert!(sum.reassociation_exact(1 << 40));
+        // A domain value of ~90 overflows 2^53 at ~10^14 rows.
+        assert!(!sum.reassociation_exact(1 << 50));
+    }
+
+    #[test]
     fn zone_maps_prune_impossible_shards() {
-        let table = store(2); // shards: ages [20,22], [25,25], [29,23]
+        let table = store(2, ColumnEncoding::Auto); // shards: ages [20,22], [25,25], [29,23]
         let q = Query::range_count("t", "age", 25, 25);
         let compiled = CompiledQuery::compile(&q, table.schema()).unwrap();
         let mut partial = PartialAggregate::default();
         let outcomes: Vec<ShardOutcome> = table
             .shards()
             .iter()
-            .map(|s| compiled.eval_shard(s, &mut partial))
+            .map(|s| compiled.eval_shard(s, &mut partial, false))
             .collect();
         assert_eq!(compiled.finish(&partial), 2.0);
         assert_eq!(outcomes[0], ShardOutcome::Pruned);
@@ -580,11 +992,6 @@ mod tests {
             base.insert_row(&[Value::Int(age), Value::text(sex), Value::Int(hours)])
                 .unwrap();
         }
-        let mut store = ColumnarTable::ingest(&base, 3);
-        // Encoded: age 24 -> 4, M -> 1, hours 18 -> bin 1; delete row
-        // (25, F, 33) -> (5, 0, 3).
-        store.append_delta_segment(&[vec![4, 5], vec![1, 0], vec![1, 3]], &[1.0, -1.0], 1);
-
         let mut rebuilt = Table::new("t", schema());
         for (age, sex, hours) in [
             (20, "F", 5),
@@ -597,6 +1004,8 @@ mod tests {
                 .insert_row(&[Value::Int(age), Value::text(sex), Value::Int(hours)])
                 .unwrap();
         }
+        let mut rebuilt_db = dprov_engine::database::Database::new();
+        rebuilt_db.add_table(rebuilt);
 
         let queries = [
             Query::count("t"),
@@ -606,20 +1015,36 @@ mod tests {
             Query::range_count("t", "age", 24, 26),
             Query::sum("t", "hours").filter(Predicate::range("age", 25, 29)),
         ];
-        let mut rebuilt_db = dprov_engine::database::Database::new();
-        rebuilt_db.add_table(rebuilt);
-        for q in &queries {
-            let compiled = CompiledQuery::compile(q, store.schema()).unwrap();
-            let mut partial = PartialAggregate::default();
-            for shard in store.shards() {
-                compiled.eval_shard(shard, &mut partial);
+        for encoding in [
+            ColumnEncoding::Auto,
+            ColumnEncoding::Plain,
+            ColumnEncoding::BitPacked,
+            ColumnEncoding::Dictionary,
+        ] {
+            for gather in [false, true] {
+                let mut store = ColumnarTable::ingest_with(&base, 3, encoding);
+                // Encoded: age 24 -> 4, M -> 1, hours 18 -> bin 1; delete
+                // row (25, F, 33) -> (5, 0, 3).
+                store.append_delta_segment(&[vec![4, 5], vec![1, 0], vec![1, 3]], &[1.0, -1.0], 1);
+                for q in &queries {
+                    let compiled = CompiledQuery::compile(q, store.schema()).unwrap();
+                    let mut partial = PartialAggregate::default();
+                    for shard in store.shards() {
+                        compiled.eval_shard(shard, &mut partial, gather);
+                    }
+                    let got = compiled.finish(&partial);
+                    let want = dprov_engine::exec::execute(&rebuilt_db, q)
+                        .unwrap()
+                        .scalar()
+                        .unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{} under {encoding:?} gather={gather}",
+                        q.describe()
+                    );
+                }
             }
-            let got = compiled.finish(&partial);
-            let want = dprov_engine::exec::execute(&rebuilt_db, q)
-                .unwrap()
-                .scalar()
-                .unwrap();
-            assert_eq!(got.to_bits(), want.to_bits(), "{}", q.describe());
         }
     }
 

@@ -1,0 +1,164 @@
+//! Edge battery for the packed column codec: every field width 1..=64,
+//! empty and single-row shards, all-equal columns collapsing to width 0,
+//! and random round-trips under every encoding policy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dprov_exec::{ColumnEncoding, EncodedColumn, EncodingKind, PackedVec};
+
+const POLICIES: [ColumnEncoding; 4] = [
+    ColumnEncoding::Auto,
+    ColumnEncoding::Plain,
+    ColumnEncoding::BitPacked,
+    ColumnEncoding::Dictionary,
+];
+
+fn mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[test]
+fn every_width_round_trips_random_data() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for width in 1..=64u32 {
+        // Lengths straddling word boundaries for this width.
+        let per_word = (64 / width) as usize;
+        for len in [1, per_word, per_word + 1, 3 * per_word + per_word / 2, 257] {
+            let values: Vec<u64> = (0..len).map(|_| rng.gen::<u64>() & mask(width)).collect();
+            let packed = PackedVec::pack(&values, width);
+            assert_eq!(packed.width(), width);
+            assert_eq!(packed.len(), values.len());
+            // Random access agrees with sequential decode.
+            let mut decoded = Vec::new();
+            packed.decode_into(&mut decoded);
+            assert_eq!(decoded, values, "width {width} len {len}");
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "width {width} index {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_widths_hold_their_extremes() {
+    // The widths where the aligned layout changes shape: 1 (64/word),
+    // 7/8/9 (9, 8, 7 fields/word), 63 and 64 (1 field/word).
+    for width in [1u32, 7, 8, 9, 63, 64] {
+        let hi = mask(width);
+        let values = vec![0, hi, 0, hi, hi, 0, hi.min(1), hi];
+        let packed = PackedVec::pack(&values, width);
+        let mut out = Vec::new();
+        packed.decode_into(&mut out);
+        assert_eq!(out, values, "width {width}");
+    }
+    // Width 64 all-ones: no masking may truncate the value.
+    let packed = PackedVec::pack(&[u64::MAX; 5], 64);
+    assert_eq!(packed.get(4), u64::MAX);
+}
+
+#[test]
+fn empty_vectors_pack_at_every_width() {
+    for width in [0u32, 1, 8, 33, 64] {
+        let packed = PackedVec::pack(&[], width);
+        assert_eq!(packed.len(), 0);
+        assert!(packed.is_empty());
+        assert_eq!(packed.words().len(), 0);
+        let mut out = Vec::new();
+        packed.decode_into(&mut out);
+        assert!(out.is_empty());
+    }
+    for policy in POLICIES {
+        let col = EncodedColumn::encode(&[], policy);
+        assert_eq!(col.len(), 0);
+        assert!(col.is_empty());
+        assert!(col.to_vec().is_empty());
+    }
+}
+
+#[test]
+fn single_row_columns_round_trip_under_every_policy() {
+    for policy in POLICIES {
+        for value in [0u32, 1, 255, u32::MAX] {
+            let col = EncodedColumn::encode(&[value], policy);
+            assert_eq!(col.len(), 1);
+            assert_eq!(col.get(0), value, "{policy:?} {value}");
+            assert_eq!(col.to_vec(), vec![value]);
+        }
+    }
+}
+
+#[test]
+fn all_equal_columns_collapse_to_width_zero() {
+    for value in [0u32, 7, u32::MAX] {
+        // Frame-of-reference packing: base = the value, width 0.
+        let packed = EncodedColumn::encode(&vec![value; 1000], ColumnEncoding::BitPacked);
+        assert_eq!(packed.kind(), EncodingKind::Packed);
+        assert_eq!(packed.heap_bytes(), 0, "no payload words for {value}");
+        assert_eq!(packed.to_vec(), vec![value; 1000]);
+        // Dictionary: a single entry, width-0 codes.
+        let dict = EncodedColumn::encode(&vec![value; 1000], ColumnEncoding::Dictionary);
+        assert_eq!(dict.kind(), EncodingKind::Dict);
+        assert!(dict.heap_bytes() <= 4, "only the 1-entry dictionary");
+        assert_eq!(dict.to_vec(), vec![value; 1000]);
+        // Auto picks the free representation.
+        let auto = EncodedColumn::encode(&vec![value; 1000], ColumnEncoding::Auto);
+        assert_eq!(auto.heap_bytes(), 0);
+    }
+}
+
+#[test]
+fn random_columns_round_trip_under_every_policy() {
+    let mut rng = StdRng::seed_from_u64(0xc0dec);
+    for _ in 0..50 {
+        let len = rng.gen_range(0..400usize);
+        let spread = [2u32, 10, 100, 1 << 16, u32::MAX][rng.gen_range(0..5usize)];
+        let base = rng.gen_range(0..=u32::MAX - (spread - 1));
+        let values: Vec<u32> = (0..len).map(|_| base + rng.gen_range(0..spread)).collect();
+        for policy in POLICIES {
+            let col = EncodedColumn::encode(&values, policy);
+            assert_eq!(col.to_vec(), values, "{policy:?} len {len} spread {spread}");
+            // for_each visits rows ascending with the same values.
+            let mut seen = Vec::with_capacity(len);
+            col.for_each(|row, v| {
+                assert_eq!(row, seen.len());
+                seen.push(v);
+            });
+            assert_eq!(seen, values);
+        }
+    }
+}
+
+#[test]
+fn auto_policy_never_loses_to_plain() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let len = rng.gen_range(1..300usize);
+        let values: Vec<u32> = (0..len).map(|_| rng.gen_range(0..50u32)).collect();
+        let auto = EncodedColumn::encode(&values, ColumnEncoding::Auto);
+        assert!(
+            auto.heap_bytes() <= len * 4,
+            "auto ({} B) must never exceed plain ({} B)",
+            auto.heap_bytes(),
+            len * 4
+        );
+    }
+}
+
+#[test]
+fn dictionary_codes_address_a_sorted_deduped_dictionary() {
+    let values = vec![9u32, 3, 9, 3, 1_000_000, 3];
+    let col = EncodedColumn::encode(&values, ColumnEncoding::Dictionary);
+    match &col {
+        EncodedColumn::Dict { dict, codes } => {
+            assert_eq!(dict, &vec![3, 9, 1_000_000]);
+            assert_eq!(codes.width(), 2);
+        }
+        other => panic!("expected Dict, got {other:?}"),
+    }
+    assert_eq!(col.to_vec(), values);
+}

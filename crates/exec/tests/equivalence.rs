@@ -1,6 +1,8 @@
 //! Property suite: batched columnar execution is bit-identical to the
 //! engine's row-at-a-time evaluation over random tables, random predicate
-//! trees, random batches and random shard sizes.
+//! trees, random batches, random shard partitions, every column encoding,
+//! 1–8 scan threads, and random weighted delta segments from sealed
+//! epochs.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -15,7 +17,19 @@ use dprov_engine::schema::{Attribute, AttributeType, Schema};
 use dprov_engine::table::Table;
 use dprov_engine::value::Value;
 use dprov_engine::view::ViewDef;
-use dprov_exec::{ColumnarExecutor, ExecConfig};
+use dprov_exec::{ColumnEncoding, ColumnarExecutor, EpochSegment, ExecConfig};
+
+/// The encoding axis of the matrix ("row" is the engine reference every
+/// case compares against).
+const ENCODINGS: [ColumnEncoding; 4] = [
+    ColumnEncoding::Plain,
+    ColumnEncoding::BitPacked,
+    ColumnEncoding::Dictionary,
+    ColumnEncoding::Auto,
+];
+
+/// The thread axis of the matrix.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -25,20 +39,72 @@ fn schema() -> Schema {
     ])
 }
 
+fn random_row(rng: &mut StdRng) -> Vec<u32> {
+    vec![
+        rng.gen_range(0..20u32),
+        rng.gen_range(0..4u32),
+        rng.gen_range(0..10u32),
+    ]
+}
+
 fn random_db(rng: &mut StdRng, rows: usize) -> Database {
     let mut table = Table::new("t", schema());
     for _ in 0..rows {
-        table
-            .insert_encoded_row(&[
-                rng.gen_range(0..20u32),
-                rng.gen_range(0..4u32),
-                rng.gen_range(0..10u32),
-            ])
-            .unwrap();
+        table.insert_encoded_row(&random_row(rng)).unwrap();
     }
     let mut db = Database::new();
     db.add_table(table);
     db
+}
+
+/// Seals `epochs` random update epochs into the executor (weighted delta
+/// segments: `+1` inserts, `-1` delete-by-value of currently live rows)
+/// and mirrors them into the engine database by physical rebuild, so the
+/// row path stays the ground truth.
+fn apply_random_epochs(rng: &mut StdRng, db: &mut Database, exec: &ColumnarExecutor, epochs: u64) {
+    let mut live: Vec<Vec<u32>> = {
+        let t = db.table("t").unwrap();
+        (0..t.num_rows())
+            .map(|r| (0..3).map(|c| t.column_at(c)[r]).collect())
+            .collect()
+    };
+    for epoch in 1..=epochs {
+        let inserts: Vec<Vec<u32>> = (0..rng.gen_range(0..16usize))
+            .map(|_| random_row(rng))
+            .collect();
+        let mut deletes: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..rng.gen_range(0..8usize) {
+            if live.is_empty() {
+                break;
+            }
+            let victim = rng.gen_range(0..live.len());
+            deletes.push(live.swap_remove(victim));
+        }
+        live.extend(inserts.iter().cloned());
+
+        let mut columns: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        let mut weights = Vec::new();
+        for row in inserts.iter().chain(&deletes) {
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        weights.extend(std::iter::repeat_n(1.0, inserts.len()));
+        weights.extend(std::iter::repeat_n(-1.0, deletes.len()));
+        exec.append_epoch(
+            epoch,
+            &[EpochSegment {
+                table: "t".to_owned(),
+                columns,
+                weights,
+            }],
+        )
+        .unwrap();
+
+        let table = db.table_mut("t").unwrap();
+        let removed = table.apply_encoded_updates(&inserts, &deletes).unwrap();
+        assert_eq!(removed, deletes.len(), "every delete targets a live row");
+    }
 }
 
 /// A random predicate tree of bounded depth over the fixed schema,
@@ -103,18 +169,28 @@ fn random_query(rng: &mut StdRng) -> Query {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Batched == single-query columnar == row-at-a-time, bit for bit,
-    /// regardless of shard size and batch composition.
+    /// The full matrix: batched == single-query columnar == row-at-a-time,
+    /// bit for bit, for every encoding × thread count, at a random shard
+    /// partition and batch composition, over a table carrying random
+    /// weighted delta segments from sealed epochs.
     #[test]
-    fn batched_execution_is_bit_identical_to_sequential(
+    fn full_matrix_is_bit_identical_to_the_row_path(
         seed in 0u64..u64::MAX / 2,
-        rows in 0usize..300,
+        rows in 0usize..250,
         shard_rows in 1usize..80,
         batch_size in 1usize..12,
+        encoding_idx in 0usize..ENCODINGS.len(),
+        threads_idx in 0usize..THREADS.len(),
+        epochs in 0u64..4,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let db = random_db(&mut rng, rows);
-        let exec = ColumnarExecutor::ingest(&db, &ExecConfig { shard_rows });
+        let mut db = random_db(&mut rng, rows);
+        let exec = ColumnarExecutor::ingest(&db, &ExecConfig {
+            shard_rows,
+            encoding: ENCODINGS[encoding_idx],
+            scan_threads: THREADS[threads_idx],
+        });
+        apply_random_epochs(&mut rng, &mut db, &exec, epochs);
         let batch: Vec<Query> = (0..batch_size).map(|_| random_query(&mut rng)).collect();
 
         let batched = exec.execute_batch(&batch).unwrap();
@@ -123,26 +199,44 @@ proptest! {
             let reference = execute(&db, query).unwrap().scalar().unwrap();
             prop_assert_eq!(
                 from_batch.to_bits(), reference.to_bits(),
-                "batched {} != row-at-a-time {} for {}", from_batch, reference, query.describe()
+                "batched {} != row-at-a-time {} for {} ({:?}, {} threads)",
+                from_batch, reference, query.describe(),
+                ENCODINGS[encoding_idx], THREADS[threads_idx]
             );
             prop_assert_eq!(single.to_bits(), reference.to_bits());
         }
         // One scan per batch for the shared table (plus one per single
         // re-execution above).
         prop_assert_eq!(exec.stats().scans, 1 + batch_size as u64);
+
+        // Thread-count invariance on the very same executor: flipping the
+        // fan-out between extremes must not move a single bit.
+        exec.set_scan_threads(if THREADS[threads_idx] == 1 { 8 } else { 1 });
+        let flipped = exec.execute_batch(&batch).unwrap();
+        for (a, b) in batched.iter().zip(&flipped) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     /// Histogram materialisation through the executor equals the engine's
-    /// row loop for full-domain and clipped views at any shard size.
+    /// row loop for full-domain and clipped views at any shard size and
+    /// encoding, including over sealed delta epochs.
     #[test]
     fn histogram_materialisation_matches_the_engine(
         seed in 0u64..u64::MAX / 2,
-        rows in 0usize..300,
+        rows in 0usize..250,
         shard_rows in 1usize..80,
+        encoding_idx in 0usize..ENCODINGS.len(),
+        epochs in 0u64..3,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let db = random_db(&mut rng, rows);
-        let exec = ColumnarExecutor::ingest(&db, &ExecConfig { shard_rows });
+        let mut db = random_db(&mut rng, rows);
+        let exec = ColumnarExecutor::ingest(&db, &ExecConfig {
+            shard_rows,
+            encoding: ENCODINGS[encoding_idx],
+            ..ExecConfig::default()
+        });
+        apply_random_epochs(&mut rng, &mut db, &exec, epochs);
         let lo = rng.gen_range(0..40i64);
         let views = vec![
             ViewDef::histogram("v_a", "t", &["a"]),

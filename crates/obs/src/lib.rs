@@ -159,7 +159,10 @@ pub enum HistId {
     BatchAssembly,
     /// Mechanism execution per query (admission + DP answer).
     Execute,
-    /// Columnar executor time per batched scan.
+    /// Columnar executor busy time per batch: the *sum* of every scan
+    /// thread's shard-scan nanoseconds, recorded as exactly **one**
+    /// sample per executed batch (never one per thread), so the sample
+    /// count equals the batch count at any `scan_threads` setting.
     ScanTime,
     /// Write-ahead ledger append (buffer write, excluding fsync).
     WalAppend,

@@ -70,6 +70,14 @@ pub struct ServiceConfig {
     /// batches and seal epochs) — trusted configuration, like the analyst
     /// roster. Empty (the default) refuses every updater registration.
     pub updaters: Vec<String>,
+    /// Threads the columnar executor fans each shard scan out over
+    /// (`1`, the default, scans inline on the worker thread). Answers,
+    /// noise and budget charges are **bit-identical at every setting**:
+    /// per-thread partials merge in shard order and only
+    /// reassociation-exact aggregates take the parallel path, so this
+    /// knob never perturbs determinism — `tests/determinism.rs` pins a
+    /// full service run at 1 vs 8 threads to the same bytes.
+    pub scan_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +89,7 @@ impl Default for ServiceConfig {
             max_batch: 8,
             max_linger: Duration::ZERO,
             updaters: Vec::new(),
+            scan_threads: 1,
         }
     }
 }
@@ -88,7 +97,7 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// A validating builder over the default configuration. Invalid knob
     /// combinations (`workers == 0`, `queue_capacity == 0`, a zero
-    /// `session_ttl`, `max_batch == 0`) are rejected at
+    /// `session_ttl`, `max_batch == 0`, `scan_threads == 0`) are rejected at
     /// [`ServiceConfigBuilder::build`] time instead of being silently
     /// clamped at service start.
     #[must_use]
@@ -151,6 +160,14 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets the scan-thread fan-out of the columnar executor (must be
+    /// non-zero; `1` scans inline). Bit-identical at every setting.
+    #[must_use]
+    pub fn scan_threads(mut self, threads: usize) -> Self {
+        self.config.scan_threads = threads;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<ServiceConfig, ServerError> {
         if self.config.workers == 0 {
@@ -173,6 +190,11 @@ impl ServiceConfigBuilder {
         if self.config.max_batch == 0 {
             return Err(ServerError::InvalidConfig(
                 "max_batch must be non-zero (use 1 to disable micro-batching)".to_owned(),
+            ));
+        }
+        if self.config.scan_threads == 0 {
+            return Err(ServerError::InvalidConfig(
+                "scan_threads must be non-zero (use 1 for inline scans)".to_owned(),
             ));
         }
         Ok(self.config)
@@ -630,6 +652,7 @@ impl QueryService {
         config: ServiceConfig,
         durable: Option<Arc<DurableCtx>>,
     ) -> Self {
+        system.set_scan_threads(config.scan_threads.max(1));
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let lanes: Arc<LaneMap> = Arc::new(Mutex::new(HashMap::new()));
         let submitted = Arc::new(AtomicUsize::new(0));

@@ -78,6 +78,20 @@ fn run_batched(
     max_batch: usize,
     max_linger: std::time::Duration,
 ) -> Vec<Vec<f64>> {
+    run_full(mechanism, seed, workers, max_batch, max_linger, 1).0
+}
+
+/// Like [`run_batched`], additionally setting the columnar scan-thread
+/// fan-out and returning the final per-analyst budget charges next to
+/// the answers.
+fn run_full(
+    mechanism: MechanismKind,
+    seed: u64,
+    workers: usize,
+    max_batch: usize,
+    max_linger: std::time::Duration,
+    scan_threads: usize,
+) -> (Vec<Vec<f64>>, Vec<(AnalystId, dprovdb::dp::budget::Budget)>) {
     let system = build_system(mechanism, seed);
     let service = Arc::new(QueryService::start(
         Arc::clone(&system),
@@ -85,6 +99,7 @@ fn run_batched(
             .workers(workers)
             .max_batch(max_batch)
             .max_linger(max_linger)
+            .scan_threads(scan_threads)
             .build()
             .unwrap(),
     ));
@@ -114,8 +129,9 @@ fn run_batched(
         })
         .collect();
     let answers = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let charges = system.ledger().all();
     drop(service);
-    answers
+    (answers, charges)
 }
 
 #[test]
@@ -164,6 +180,28 @@ fn batch_and_linger_settings_do_not_change_per_session_results() {
                  workers={workers}"
             );
         }
+    }
+}
+
+#[test]
+fn scan_thread_count_never_moves_a_bit() {
+    // The columnar executor's parallel shard scan merges per-thread
+    // partials in shard order and only fans out reassociation-exact
+    // aggregates, so the scan-thread knob is a pure latency/core
+    // trade-off: a full service run — micro-batching on, both
+    // mechanisms — must produce bit-identical answers (noise included)
+    // and bit-identical per-analyst budget charges at 1 and 8 threads.
+    for mechanism in [MechanismKind::Vanilla, MechanismKind::AdditiveGaussian] {
+        let (answers_1, charges_1) = run_full(mechanism, 31, 2, 8, std::time::Duration::ZERO, 1);
+        let (answers_8, charges_8) = run_full(mechanism, 31, 2, 8, std::time::Duration::ZERO, 8);
+        assert_eq!(
+            answers_1, answers_8,
+            "{mechanism}: answers changed with the scan-thread count"
+        );
+        assert_eq!(
+            charges_1, charges_8,
+            "{mechanism}: budget charges changed with the scan-thread count"
+        );
     }
 }
 

@@ -226,6 +226,34 @@ fn noop_registry_snapshot_still_serves_always_on_stats() {
 }
 
 #[test]
+fn scan_time_records_one_sample_per_batch_at_any_thread_count() {
+    // The `exec.scan_ns` histogram carries the *summed* busy time of
+    // every scan thread, recorded exactly once per executed batch — a
+    // per-thread recording bug would inflate the sample count 8× here.
+    let metrics = MetricsRegistry::new();
+    let system = build_system(MechanismKind::Vanilla, 41, metrics.clone());
+    system.set_scan_threads(8);
+    let queries: Vec<Query> = (0..6)
+        .map(|i| Query::range_count("adult", "age", 20 + i, 40 + i))
+        .collect();
+    for _ in 0..3 {
+        system.true_answers(&queries).unwrap();
+    }
+    system.true_answer(&queries[0]).unwrap();
+    system.true_answer(&queries[1]).unwrap();
+    let scan = metrics
+        .snapshot()
+        .histogram("exec.scan_ns")
+        .expect("scan histogram present");
+    // 3 six-query batches + 2 single-query batches = 5 samples.
+    assert_eq!(
+        scan.count, 5,
+        "one exec.scan_ns sample per batch, never per thread"
+    );
+    assert!(scan.sum > 0, "scans accumulated busy nanoseconds");
+}
+
+#[test]
 fn trace_journal_capacity_is_bounded_and_export_is_valid() {
     let metrics = MetricsRegistry::with_journal_capacity(16);
     let system = build_system(MechanismKind::Vanilla, 37, metrics.clone());
