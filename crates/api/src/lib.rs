@@ -26,6 +26,10 @@
 //!   introspection via [`DProvClient::budget`], and the service-wide
 //!   observability snapshot via [`DProvClient::metrics`].
 //!
+//! The [`cluster`] module adds the node-to-node control messages of the
+//! distributed deployment (consensus, registration, shard fan-out) under
+//! an append-only tag range disjoint from the analyst messages.
+//!
 //! The server side of the contract — the `Frontend` that serves these
 //! messages over the worker pool — lives in `dprov-server`; this crate
 //! deliberately has no dependency on it, so clients can be built (and
@@ -35,6 +39,7 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod frame;
 pub mod protocol;

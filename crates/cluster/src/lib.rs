@@ -1,0 +1,64 @@
+//! # `dprov-cluster` — replicated budget ledger + sharded execution
+//!
+//! DProvDB's provenance ledger is the ground truth for every analyst's
+//! remaining privacy budget; losing an acknowledged charge would let an
+//! analyst re-spend budget the system already granted. This crate makes
+//! the ledger — and the scan path in front of it — survive node crashes
+//! and network partitions, around one headline correctness property:
+//!
+//! > **No charge is acknowledged to an analyst unless it is replicated
+//! > to a majority of budget-ledger replicas.**
+//!
+//! Four pieces, bottom-up:
+//!
+//! * [`raft`] + [`replica`] — a deterministic, tick-driven simplified
+//!   Raft core whose log entries are exactly the storage layer's
+//!   [`dprov_storage::wal::WalRecord`] frames, and a CRC-guarded
+//!   on-disk store for a replica's term/vote/log. Recovery from any
+//!   surviving majority reproduces every acknowledged charge.
+//! * [`sim`] + [`recorder`] — a deterministic in-process replica group
+//!   with jepsen-style fault injection (crash, restart, partition,
+//!   message loss/delay), and the **replication gate**:
+//!   [`recorder::ReplicatedRecorder`] plugs into the core's provenance
+//!   critical section via `DProvDb::set_recorder`, so an in-memory
+//!   charge commit becomes visible only after a majority ack — and a
+//!   refused ack aborts the submission with no state change.
+//! * [`orchestrator`] + [`executor_node`] — executor-node registration
+//!   with capabilities, heartbeats and deadline eviction, plus the
+//!   deterministic contiguous shard assignment; executor nodes answer
+//!   shard-range scans and the gateway-side
+//!   [`executor_node::DistributedScan`] merges per-range partials in
+//!   shard order, **bit-identical** to the single-node scan (with
+//!   silent local fallback on any failure).
+//! * [`gateway`] + [`transport`] — the wiring for one serving process
+//!   (replica group + orchestrator + distributed scan attached to a
+//!   `DProvDb`), and the transports: in-process channels with
+//!   programmable faults, and TCP meshes/shard servers reusing the
+//!   `dprov-api` frame codec and the append-only cluster message tags.
+//!
+//! The fault harness lives in this crate's `tests/nemesis.rs`: seeded
+//! crash/partition schedules drive real analyst workloads and assert,
+//! after every schedule, that recovered spend covers everything
+//! acknowledged, per-analyst constraints hold, and every acknowledged
+//! answer is bit-identical to a fault-free oracle run.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod executor_node;
+pub mod gateway;
+pub mod orchestrator;
+pub mod raft;
+pub mod recorder;
+pub mod replica;
+pub mod sim;
+pub mod transport;
+
+pub use executor_node::{DistributedScan, ExecutorNode, ShardEndpoint};
+pub use gateway::Gateway;
+pub use orchestrator::{NodeCaps, Orchestrator};
+pub use raft::{is_noop, NodeId, PersistentState, RaftConfig, RaftCore, Role};
+pub use recorder::ReplicatedRecorder;
+pub use replica::ReplicaLog;
+pub use sim::{ClusterError, SimCluster};
+pub use transport::{ChannelTransport, ClusterTransport, ShardServer, TcpMesh, TcpShardClient};

@@ -1,0 +1,248 @@
+//! Executor-node registry: registration, heartbeats, eviction, and
+//! deterministic shard assignment.
+//!
+//! The [`Orchestrator`] tracks the executor nodes available for fanned-
+//! out shard scans. Nodes [`register`](Orchestrator::register) with
+//! their capabilities, keep themselves alive with
+//! [`heartbeat`](Orchestrator::heartbeat)s, and are **evicted** when
+//! their deadline expires without one ([`tick`](Orchestrator::tick)
+//! advances the logical clock and sweeps, incrementing the
+//! `cluster.evictions` counter).
+//!
+//! [`assignment`](Orchestrator::assignment) maps a table's shard range
+//! onto the live nodes **deterministically**: live nodes sorted by id
+//! get contiguous, near-equal ranges. Determinism matters twice over —
+//! re-running an assignment after an eviction reproduces the same
+//! partitioning on every gateway (no coordination needed), and because
+//! the gateway merges per-shard partials in shard order (the PR 7
+//! shard-order-merge contract), *any* contiguous partitioning yields
+//! bit-identical answers; this one is just canonical.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use dprov_obs::{CounterId, MetricsRegistry};
+
+use crate::raft::NodeId;
+
+/// What an executor node declares at registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCaps {
+    /// Human-readable node name (diagnostics only).
+    pub name: String,
+    /// The node's scan worker threads (capability metadata; assignment
+    /// is currently uniform, see the module docs).
+    pub scan_threads: u32,
+    /// Ticks without a heartbeat before the node is evicted.
+    pub deadline_ticks: u64,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    caps: NodeCaps,
+    last_heard: u64,
+    heartbeats: u64,
+}
+
+/// The executor-node registry (see the module docs).
+#[derive(Debug)]
+pub struct Orchestrator {
+    nodes: BTreeMap<NodeId, NodeState>,
+    now: u64,
+    metrics: MetricsRegistry,
+    evictions: u64,
+}
+
+impl Orchestrator {
+    /// An empty registry, metrics disabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_metrics(MetricsRegistry::disabled())
+    }
+
+    /// An empty registry reporting evictions into `metrics`.
+    #[must_use]
+    pub fn with_metrics(metrics: MetricsRegistry) -> Self {
+        Orchestrator {
+            nodes: BTreeMap::new(),
+            now: 0,
+            metrics,
+            evictions: 0,
+        }
+    }
+
+    /// Registers (or re-registers) a node. Re-registration refreshes the
+    /// capabilities and revives an evicted node.
+    pub fn register(&mut self, node: NodeId, caps: NodeCaps) {
+        self.nodes.insert(
+            node,
+            NodeState {
+                caps,
+                last_heard: self.now,
+                heartbeats: 0,
+            },
+        );
+    }
+
+    /// Records a heartbeat from `node`. Returns `false` for unknown (or
+    /// already-evicted) nodes, which must re-register.
+    pub fn heartbeat(&mut self, node: NodeId) -> bool {
+        let now = self.now;
+        match self.nodes.get_mut(&node) {
+            Some(state) => {
+                state.last_heard = now;
+                state.heartbeats += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the logical clock one tick and evicts every node whose
+    /// deadline has lapsed. Returns the evicted ids (sorted).
+    pub fn tick(&mut self) -> Vec<NodeId> {
+        self.now += 1;
+        let now = self.now;
+        let expired: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, s)| now - s.last_heard > s.caps.deadline_ticks)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            self.nodes.remove(id);
+        }
+        if !expired.is_empty() {
+            self.evictions += expired.len() as u64;
+            self.metrics
+                .add(CounterId::NodesEvicted, expired.len() as u64);
+        }
+        expired
+    }
+
+    /// The live node ids, ascending.
+    #[must_use]
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Capabilities of a live node.
+    #[must_use]
+    pub fn caps(&self, node: NodeId) -> Option<&NodeCaps> {
+        self.nodes.get(&node).map(|s| &s.caps)
+    }
+
+    /// Total evictions so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Deterministically assigns `shard_count` contiguous shards to the
+    /// live nodes: nodes sorted by id, each taking `ceil(remaining /
+    /// nodes_left)` shards. Empty when no node is live. The same live
+    /// set always produces the same assignment.
+    #[must_use]
+    pub fn assignment(&self, shard_count: usize) -> Vec<(NodeId, Range<usize>)> {
+        let nodes = self.live_nodes();
+        if nodes.is_empty() || shard_count == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(nodes.len());
+        let mut next = 0usize;
+        let mut left = shard_count;
+        for (i, &node) in nodes.iter().enumerate() {
+            if left == 0 {
+                break;
+            }
+            let nodes_left = nodes.len() - i;
+            let take = left.div_ceil(nodes_left);
+            out.push((node, next..next + take));
+            next += take;
+            left -= take;
+        }
+        out
+    }
+}
+
+impl Default for Orchestrator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(deadline: u64) -> NodeCaps {
+        NodeCaps {
+            name: "exec".into(),
+            scan_threads: 2,
+            deadline_ticks: deadline,
+        }
+    }
+
+    #[test]
+    fn heartbeats_keep_a_node_alive_and_silence_evicts_it() {
+        let mut orch = Orchestrator::new();
+        orch.register(1, caps(2));
+        for _ in 0..5 {
+            assert!(orch.tick().is_empty() || orch.caps(1).is_none());
+            orch.heartbeat(1);
+        }
+        assert_eq!(orch.live_nodes(), vec![1]);
+        // Now go silent: deadline 2 → evicted on the third silent tick.
+        assert!(orch.tick().is_empty());
+        assert!(orch.tick().is_empty());
+        assert_eq!(orch.tick(), vec![1]);
+        assert!(orch.live_nodes().is_empty());
+        assert_eq!(orch.evictions(), 1);
+        assert!(!orch.heartbeat(1), "evicted nodes must re-register");
+    }
+
+    #[test]
+    fn assignment_is_contiguous_balanced_and_deterministic() {
+        let mut orch = Orchestrator::new();
+        orch.register(3, caps(10));
+        orch.register(1, caps(10));
+        orch.register(2, caps(10));
+        let a = orch.assignment(10);
+        assert_eq!(a, vec![(1, 0..4), (2, 4..7), (3, 7..10)]);
+        assert_eq!(a, orch.assignment(10), "repeat calls agree");
+        // Fewer shards than nodes: trailing nodes get nothing.
+        assert_eq!(orch.assignment(2), vec![(1, 0..1), (2, 1..2)]);
+        assert!(orch.assignment(0).is_empty());
+    }
+
+    #[test]
+    fn reassignment_after_eviction_is_reproducible() {
+        let build = || {
+            let mut orch = Orchestrator::new();
+            orch.register(1, caps(1));
+            orch.register(2, caps(1));
+            orch.register(3, caps(1));
+            // Node 2 goes silent; the others heartbeat. Deadline 1 →
+            // eviction once two ticks pass without a heartbeat.
+            orch.tick();
+            orch.heartbeat(1);
+            orch.heartbeat(3);
+            let evicted = orch.tick();
+            (evicted, orch.assignment(8))
+        };
+        let (evicted, a) = build();
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(a, vec![(1, 0..4), (3, 4..8)]);
+        assert_eq!(build().1, a, "two orchestrators agree independently");
+    }
+
+    #[test]
+    fn eviction_increments_the_counter() {
+        let metrics = MetricsRegistry::new();
+        let mut orch = Orchestrator::with_metrics(metrics.clone());
+        orch.register(7, caps(0));
+        orch.tick();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("cluster.evictions"), Some(1));
+    }
+}

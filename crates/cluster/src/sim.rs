@@ -1,0 +1,504 @@
+//! A deterministic in-process cluster simulation with fault injection.
+//!
+//! [`SimCluster`] owns one [`RaftCore`] per replica and plays the
+//! network: every outgoing message lands in the destination's FIFO
+//! inbox, and [`SimCluster::step`] advances the whole group one logical
+//! tick and then delivers messages **in node order** until the network
+//! is quiet. Because the cores are pure state machines and delivery
+//! order is fixed, a run is a function of `(seed, fault schedule)` alone
+//! — the jepsen-style nemesis suites replay bit-identically.
+//!
+//! Fault injection mirrors what the paper's deployment model has to
+//! survive:
+//!
+//! * [`SimCluster::crash`] drops a node's in-memory core but keeps its
+//!   *persisted* Raft state (term, vote, log) — exactly what a
+//!   [`crate::replica::ReplicaLog`] would have on disk — and
+//!   [`SimCluster::restart`] rebuilds the core from it;
+//! * [`SimCluster::isolate`] / [`SimCluster::heal`] partition the
+//!   network into groups that cannot exchange messages;
+//! * [`SimCluster::set_drop_one_in`] / [`SimCluster::set_delay_one_in`]
+//!   inject seeded random message loss and reordering.
+//!
+//! [`SimCluster::propose_committed`] is the replication gate the
+//! [`crate::recorder::ReplicatedRecorder`] builds on: it appends a WAL
+//! record through the current leader and pumps until the entry is
+//! **committed on a majority**, returning an error (never a false ack)
+//! when no quorum can be reached under the active faults.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dprov_api::cluster::ClusterMsg;
+use dprov_obs::{CounterId, GaugeId, MetricsRegistry};
+use dprov_storage::wal::WalRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::raft::{NodeId, PersistentState, RaftConfig, RaftCore, Role};
+
+/// Why a proposal could not be acknowledged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No live node holds (or could win) leadership within the round
+    /// budget — typically a majority is down or partitioned away.
+    NoLeader,
+    /// A leader accepted the entry but a majority never acknowledged it
+    /// within the round budget.
+    NoQuorum,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoLeader => write!(f, "no leader reachable (majority down?)"),
+            ClusterError::NoQuorum => write!(f, "entry not acknowledged by a majority"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[derive(Debug)]
+struct SimNode {
+    config: RaftConfig,
+    /// `None` while crashed.
+    core: Option<RaftCore>,
+    /// What this node's disk would hold (kept across crashes).
+    persisted: PersistentState,
+    /// Partition group; nodes in different groups cannot talk.
+    group: u64,
+}
+
+/// The deterministic replica-group simulation (see the module docs).
+#[derive(Debug)]
+pub struct SimCluster {
+    nodes: Vec<SimNode>,
+    inboxes: Vec<VecDeque<(NodeId, ClusterMsg)>>,
+    /// Messages held back one step by the delay fault.
+    delayed: Vec<(NodeId, NodeId, ClusterMsg)>,
+    drop_one_in: u64,
+    delay_one_in: u64,
+    fault_rng: StdRng,
+    metrics: MetricsRegistry,
+    elections_reported: u64,
+}
+
+impl SimCluster {
+    /// A fresh `n`-replica group, fault-free, metrics disabled.
+    #[must_use]
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self::with_metrics(n, seed, MetricsRegistry::disabled())
+    }
+
+    /// A fresh `n`-replica group reporting into `metrics`.
+    #[must_use]
+    pub fn with_metrics(n: u64, seed: u64, metrics: MetricsRegistry) -> Self {
+        assert!(n >= 1, "a replica group needs at least one node");
+        let nodes = (0..n)
+            .map(|i| {
+                let config = RaftConfig::sim(i, n, seed);
+                SimNode {
+                    core: Some(RaftCore::new(config.clone())),
+                    config,
+                    persisted: PersistentState::default(),
+                    group: 0,
+                }
+            })
+            .collect();
+        SimCluster {
+            nodes,
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            delayed: Vec::new(),
+            drop_one_in: 0,
+            delay_one_in: 0,
+            fault_rng: StdRng::seed_from_u64(seed ^ 0xFA17),
+            metrics,
+            elections_reported: 0,
+        }
+    }
+
+    /// Number of replicas (live or crashed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the group has no replicas (never, in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` is currently running.
+    #[must_use]
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].core.is_some()
+    }
+
+    /// The current leader, if a live node holds the role at the highest
+    /// live term (stale leaders in a minority partition still *think*
+    /// they lead; the max-term rule picks the real one once visible).
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.core.as_ref())
+            .filter(|c| c.role() == Role::Leader)
+            .max_by_key(|c| c.term())
+            .map(RaftCore::id)
+    }
+
+    /// The committed WAL records on `node` (live nodes only), with the
+    /// leaders' no-op barrier entries filtered out — callers replaying
+    /// the ledger only ever see real WAL records.
+    #[must_use]
+    pub fn committed_records(&self, node: NodeId) -> Vec<WalRecord> {
+        self.nodes[node as usize]
+            .core
+            .as_ref()
+            .map(|c| {
+                c.committed()
+                    .iter()
+                    .map(|e| e.record.clone())
+                    .filter(|r| !crate::raft::is_noop(r))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The persisted (crash-surviving) state of `node`.
+    #[must_use]
+    pub fn persisted(&self, node: NodeId) -> &PersistentState {
+        &self.nodes[node as usize].persisted
+    }
+
+    /// Crashes `node`: the volatile core and its inbox vanish, the
+    /// persisted state stays.
+    pub fn crash(&mut self, node: NodeId) {
+        self.nodes[node as usize].core = None;
+        self.inboxes[node as usize].clear();
+        self.delayed.retain(|&(_, to, _)| to != node);
+    }
+
+    /// Restarts a crashed node from its persisted state. No-op when the
+    /// node is already up.
+    pub fn restart(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node as usize];
+        if n.core.is_none() {
+            n.core = Some(RaftCore::restore(n.config.clone(), n.persisted.clone()));
+        }
+    }
+
+    /// Partitions `minority` away from the rest of the group. In-flight
+    /// messages across the cut are dropped.
+    pub fn isolate(&mut self, minority: &[NodeId]) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            n.group = u64::from(minority.contains(&(i as NodeId)));
+        }
+        let groups: Vec<u64> = self.nodes.iter().map(|n| n.group).collect();
+        self.delayed
+            .retain(|&(from, to, _)| groups[from as usize] == groups[to as usize]);
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        for n in &mut self.nodes {
+            n.group = 0;
+        }
+    }
+
+    /// Drops roughly one in `k` messages (0 disables).
+    pub fn set_drop_one_in(&mut self, k: u64) {
+        self.drop_one_in = k;
+    }
+
+    /// Delays roughly one in `k` messages by one step (0 disables).
+    pub fn set_delay_one_in(&mut self, k: u64) {
+        self.delay_one_in = k;
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: ClusterMsg) {
+        if self.nodes[from as usize].group != self.nodes[to as usize].group {
+            return; // partitioned
+        }
+        if self.nodes[to as usize].core.is_none() {
+            return; // crashed destination
+        }
+        if self.drop_one_in > 0 && self.fault_rng.gen_range(0..self.drop_one_in) == 0 {
+            return;
+        }
+        if self.delay_one_in > 0 && self.fault_rng.gen_range(0..self.delay_one_in) == 0 {
+            self.delayed.push((from, to, msg));
+            return;
+        }
+        self.inboxes[to as usize].push_back((from, msg));
+    }
+
+    /// Persists node `i`'s durable state (what a `ReplicaLog` fsync
+    /// would do). Called before that node's messages leave, so an acked
+    /// entry is always on "disk" first.
+    fn sync_node(&mut self, i: usize) {
+        if let Some(core) = &self.nodes[i].core {
+            self.nodes[i].persisted = core.persistent();
+        }
+    }
+
+    fn report_metrics(&mut self) {
+        let total: u64 = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.core.as_ref())
+            .map(RaftCore::elections_won)
+            .sum();
+        if total > self.elections_reported {
+            self.metrics
+                .add(CounterId::LeaderElections, total - self.elections_reported);
+            self.elections_reported = total;
+        }
+        if let Some(l) = self.leader() {
+            let lag = self.nodes[l as usize]
+                .core
+                .as_ref()
+                .map_or(0, RaftCore::worst_lag);
+            self.metrics.gauge_set(GaugeId::ReplicationLag, lag as f64);
+        }
+    }
+
+    /// Advances every live node one tick, then delivers messages in node
+    /// order until the network is quiet. Delayed messages from the
+    /// previous step are released first.
+    pub fn step(&mut self) {
+        let held = std::mem::take(&mut self.delayed);
+        for (from, to, msg) in held {
+            // Re-routed without the delay fault (one-step delay only).
+            if self.nodes[from as usize].group == self.nodes[to as usize].group
+                && self.nodes[to as usize].core.is_some()
+            {
+                self.inboxes[to as usize].push_back((from, msg));
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let out = match &mut self.nodes[i].core {
+                Some(core) => core.tick(),
+                None => continue,
+            };
+            self.sync_node(i);
+            for (dest, msg) in out {
+                self.route(i as NodeId, dest, msg);
+            }
+        }
+        self.deliver_all();
+        self.report_metrics();
+    }
+
+    /// Delivers queued messages (in node order, FIFO per inbox) until
+    /// every inbox is empty.
+    fn deliver_all(&mut self) {
+        loop {
+            let mut quiet = true;
+            for i in 0..self.nodes.len() {
+                while let Some((from, msg)) = self.inboxes[i].pop_front() {
+                    quiet = false;
+                    let out = match &mut self.nodes[i].core {
+                        Some(core) => core.handle(from, msg),
+                        None => continue,
+                    };
+                    self.sync_node(i);
+                    for (dest, m) in out {
+                        self.route(i as NodeId, dest, m);
+                    }
+                }
+            }
+            if quiet {
+                break;
+            }
+        }
+    }
+
+    /// Steps until a leader exists (at most `max_rounds` steps).
+    pub fn elect(&mut self, max_rounds: usize) -> Result<NodeId, ClusterError> {
+        for _ in 0..max_rounds {
+            if let Some(l) = self.leader() {
+                return Ok(l);
+            }
+            self.step();
+        }
+        self.leader().ok_or(ClusterError::NoLeader)
+    }
+
+    /// Appends `record` through the current leader and pumps until a
+    /// majority has acknowledged it (the leader's commit index covers
+    /// it). Errors — `NoLeader`, `NoQuorum`, or leadership lost before
+    /// the commit was observed — mean the entry **must not be
+    /// acknowledged** to the caller; it may still commit later, which is
+    /// the safe direction (recovered spend ≥ acknowledged spend).
+    pub fn propose_committed(
+        &mut self,
+        record: WalRecord,
+        max_rounds: usize,
+    ) -> Result<u64, ClusterError> {
+        let leader = self.elect(max_rounds)?;
+        let li = leader as usize;
+        let term;
+        let index;
+        {
+            let core = self.nodes[li].core.as_mut().ok_or(ClusterError::NoLeader)?;
+            term = core.term();
+            let (idx, msgs) = core.propose(record).ok_or(ClusterError::NoLeader)?;
+            index = idx;
+            self.sync_node(li);
+            for (dest, m) in msgs {
+                self.route(leader, dest, m);
+            }
+        }
+        self.deliver_all();
+        for _ in 0..max_rounds {
+            match self.nodes[li].core.as_ref() {
+                Some(core) if core.role() == Role::Leader && core.term() == term => {
+                    if core.commit_index() >= index {
+                        self.report_metrics();
+                        return Ok(index);
+                    }
+                }
+                // Crashed or deposed before the ack: refuse. The entry
+                // may survive via the new leader, but the caller must
+                // not treat it as acknowledged.
+                _ => return Err(ClusterError::NoQuorum),
+            }
+            self.step();
+        }
+        Err(ClusterError::NoQuorum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rollback(seq: u64) -> WalRecord {
+        WalRecord::Rollback { seq }
+    }
+
+    #[test]
+    fn commits_replicate_to_every_node() {
+        let mut sim = SimCluster::new(3, 1);
+        for seq in 0..4 {
+            sim.propose_committed(rollback(seq), 100).unwrap();
+        }
+        for _ in 0..5 {
+            sim.step();
+        }
+        let want: Vec<WalRecord> = (0..4).map(rollback).collect();
+        for node in 0..3 {
+            assert_eq!(sim.committed_records(node), want, "node {node}");
+        }
+    }
+
+    #[test]
+    fn majority_survives_one_crash() {
+        let mut sim = SimCluster::new(3, 2);
+        sim.propose_committed(rollback(0), 100).unwrap();
+        let leader = sim.leader().unwrap();
+        sim.crash(leader);
+        // The two survivors elect a new leader and keep committing.
+        sim.propose_committed(rollback(1), 200).unwrap();
+        let new_leader = sim.leader().unwrap();
+        assert_ne!(new_leader, leader);
+        assert_eq!(
+            sim.committed_records(new_leader),
+            vec![rollback(0), rollback(1)]
+        );
+    }
+
+    #[test]
+    fn minority_partition_blocks_acks_until_heal() {
+        let mut sim = SimCluster::new(3, 3);
+        sim.propose_committed(rollback(0), 100).unwrap();
+        let leader = sim.leader().unwrap();
+        // Cut the leader off with no followers: no quorum for it.
+        sim.isolate(&[leader]);
+        let err = sim.propose_committed(rollback(1), 40).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::NoQuorum | ClusterError::NoLeader
+        ));
+        sim.heal();
+        sim.propose_committed(rollback(2), 200).unwrap();
+        let l = sim.leader().unwrap();
+        let committed = sim.committed_records(l);
+        assert_eq!(committed.first(), Some(&rollback(0)));
+        assert_eq!(committed.last(), Some(&rollback(2)));
+    }
+
+    #[test]
+    fn crashed_node_recovers_its_persisted_log() {
+        let mut sim = SimCluster::new(3, 4);
+        for seq in 0..3 {
+            sim.propose_committed(rollback(seq), 100).unwrap();
+        }
+        for _ in 0..5 {
+            sim.step();
+        }
+        let victim = sim.leader().unwrap();
+        sim.crash(victim);
+        assert!(!sim.is_up(victim));
+        // Persisted log survived the crash (plus election no-ops).
+        let data = sim
+            .persisted(victim)
+            .entries
+            .iter()
+            .filter(|e| !crate::raft::is_noop(&e.record))
+            .count();
+        assert_eq!(data, 3);
+        sim.restart(victim);
+        sim.propose_committed(rollback(3), 200).unwrap();
+        for _ in 0..10 {
+            sim.step();
+        }
+        let want: Vec<WalRecord> = (0..4).map(rollback).collect();
+        assert_eq!(sim.committed_records(victim), want);
+    }
+
+    #[test]
+    fn message_loss_and_delay_only_slow_things_down() {
+        let mut sim = SimCluster::new(3, 5);
+        sim.set_drop_one_in(5);
+        sim.set_delay_one_in(4);
+        for seq in 0..6 {
+            sim.propose_committed(rollback(seq), 400).unwrap();
+        }
+        sim.set_drop_one_in(0);
+        sim.set_delay_one_in(0);
+        for _ in 0..20 {
+            sim.step();
+        }
+        let l = sim.leader().unwrap();
+        let want: Vec<WalRecord> = (0..6).map(rollback).collect();
+        assert_eq!(sim.committed_records(l), want);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed| {
+            let mut sim = SimCluster::new(5, seed);
+            sim.set_drop_one_in(7);
+            let mut acks = Vec::new();
+            for seq in 0..5 {
+                acks.push(sim.propose_committed(rollback(seq), 300).is_ok());
+            }
+            (sim.leader(), acks)
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn metrics_record_elections_and_lag() {
+        let metrics = MetricsRegistry::new();
+        let mut sim = SimCluster::with_metrics(3, 6, metrics.clone());
+        sim.propose_committed(rollback(0), 100).unwrap();
+        let snap = metrics.snapshot();
+        let elections = snap.counter("cluster.leader_elections").unwrap_or(0);
+        assert!(elections >= 1);
+    }
+}

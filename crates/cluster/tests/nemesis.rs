@@ -1,0 +1,367 @@
+//! Jepsen-style fault harness for the replicated budget ledger.
+//!
+//! Every test drives a real analyst workload through a `DProvDb` whose
+//! provenance critical section is gated by a
+//! [`dprov_cluster::ReplicatedRecorder`] over a deterministic
+//! [`dprov_cluster::SimCluster`], while a seeded nemesis schedule
+//! injects crashes, partitions and message loss. After every schedule
+//! the harness asserts the three distributed-correctness properties:
+//!
+//! 1. **Recovered spend covers acknowledged spend** — replaying the
+//!    committed replicated log from any surviving majority reproduces
+//!    every acknowledged provenance entry bit-identically (and never
+//!    less than it);
+//! 2. **Per-analyst constraints hold** — row, column and table
+//!    constraints are never overspent, faults or not;
+//! 3. **Answers are bit-identical to a fault-free oracle** — a refused
+//!    quorum ack aborts the submission with no memory mutation, so a
+//!    healed retry (with the session RNG restored) reproduces exactly
+//!    what a run without faults produces.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dprov_cluster::{ReplicatedRecorder, SimCluster};
+use dprov_core::analyst::{AnalystId, AnalystRegistry};
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_core::system::DProvDb;
+use dprov_dp::rng::DpRng;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_storage::wal::WalRecord;
+
+const ANALYSTS: usize = 3;
+const ROUNDS: usize = 8;
+const REPLICAS: u64 = 3;
+const PUMP: usize = 400;
+
+fn build_system(seed: u64) -> DProvDb {
+    let db = adult_database(800, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    for i in 0..ANALYSTS {
+        registry
+            .register(&format!("analyst-{i}"), (i + 1) as u8)
+            .unwrap();
+    }
+    let config = SystemConfig::new(50.0).unwrap().with_seed(seed);
+    DProvDb::new(db, catalog, registry, config, MechanismKind::Vanilla).unwrap()
+}
+
+/// Disjoint views per analyst (the documented determinism envelope). The
+/// variance bound *tightens* every round so each submission must refresh
+/// its view synopsis and charge — a loosening bound would be answered
+/// from the cache after round 0, bypassing the replication gate.
+fn request(analyst: usize, round: usize) -> QueryRequest {
+    let i = round as i64;
+    let query = match analyst % 3 {
+        0 => Query::range_count("adult", "age", 20 + i, 45 + i),
+        1 => Query::range_count("adult", "hours_per_week", 10 + i, 35 + i),
+        _ => Query::range_count("adult", "education_num", 1 + (i % 8), 8 + (i % 8)),
+    };
+    QueryRequest::with_accuracy(query, 1500.0 - 150.0 * round as f64)
+}
+
+/// Everything an analyst observes about one answer, floats as raw bits.
+type Observed = (u64, Option<String>, u64, u64, bool, u64);
+
+fn observe(outcome: QueryOutcome) -> Observed {
+    match outcome {
+        QueryOutcome::Answered(a) => (
+            a.value.to_bits(),
+            a.view,
+            a.epsilon_charged.to_bits(),
+            a.noise_variance.to_bits(),
+            a.from_cache,
+            a.epoch,
+        ),
+        QueryOutcome::Rejected { reason } => panic!("unexpected rejection: {reason}"),
+    }
+}
+
+fn fresh_rngs(seed: u64) -> Vec<DpRng> {
+    (0..ANALYSTS)
+        .map(|a| DpRng::for_stream(seed, a as u64))
+        .collect()
+}
+
+/// The fault-free reference: same system, same submission order, same
+/// per-analyst RNG streams, no recorder.
+fn oracle_run(seed: u64) -> (Vec<Vec<Observed>>, DProvDb) {
+    let system = build_system(seed);
+    let mut rngs = fresh_rngs(seed);
+    let mut outcomes = vec![Vec::new(); ANALYSTS];
+    for round in 0..ROUNDS {
+        for a in 0..ANALYSTS {
+            let outcome = system
+                .submit_with_rng(AnalystId(a), &request(a, round), &mut rngs[a])
+                .unwrap();
+            outcomes[a].push(observe(outcome));
+        }
+    }
+    (outcomes, system)
+}
+
+/// One nemesis action applied before a given round.
+enum Nemesis {
+    CrashLeader,
+    RestartAll,
+    IsolateLeader,
+    Heal,
+    DropOneIn(u64),
+    DelayOneIn(u64),
+}
+
+fn apply(sim: &mut SimCluster, event: &Nemesis) {
+    match event {
+        Nemesis::CrashLeader => {
+            if let Some(l) = sim.leader() {
+                sim.crash(l);
+            }
+        }
+        Nemesis::RestartAll => {
+            for n in 0..sim.len() as u64 {
+                sim.restart(n);
+            }
+        }
+        Nemesis::IsolateLeader => {
+            if let Some(l) = sim.leader() {
+                sim.isolate(&[l]);
+            }
+        }
+        Nemesis::Heal => {
+            sim.heal();
+            sim.set_drop_one_in(0);
+            sim.set_delay_one_in(0);
+        }
+        Nemesis::DropOneIn(k) => sim.set_drop_one_in(*k),
+        Nemesis::DelayOneIn(k) => sim.set_delay_one_in(*k),
+    }
+}
+
+/// Submits with the clone-and-restore retry discipline: a refused ack
+/// restores the RNG, heals the cluster, and tries again — so every
+/// acknowledged answer matches the oracle bit-for-bit.
+fn submit_acked(
+    system: &DProvDb,
+    cluster: &Arc<Mutex<SimCluster>>,
+    analyst: usize,
+    round: usize,
+    rng: &mut DpRng,
+    refused: &mut usize,
+) -> Observed {
+    let req = request(analyst, round);
+    for _attempt in 0..4 {
+        let backup = rng.clone();
+        match system.submit_with_rng(AnalystId(analyst), &req, rng) {
+            Ok(outcome) => return observe(outcome),
+            Err(_) => {
+                *rng = backup;
+                *refused += 1;
+                let mut sim = cluster.lock().unwrap();
+                sim.heal();
+                sim.set_drop_one_in(0);
+                sim.set_delay_one_in(0);
+                for n in 0..sim.len() as u64 {
+                    sim.restart(n);
+                }
+                for _ in 0..60 {
+                    sim.step();
+                }
+            }
+        }
+    }
+    panic!("submission never acknowledged even after healing the cluster");
+}
+
+/// Runs a schedule, asserts answers + constraints, and returns the
+/// faulted system plus cluster and the refused-ack count.
+fn run_schedule(
+    seed: u64,
+    schedule: BTreeMap<usize, Vec<Nemesis>>,
+) -> (DProvDb, Arc<Mutex<SimCluster>>, usize) {
+    let (oracle, _) = oracle_run(seed);
+    let mut system = build_system(seed);
+    let cluster = Arc::new(Mutex::new(SimCluster::new(REPLICAS, seed)));
+    let recorder = ReplicatedRecorder::new(Arc::clone(&cluster)).with_pump_rounds(PUMP);
+    system.set_recorder(Arc::new(recorder));
+    let mut rngs = fresh_rngs(seed);
+    let mut refused = 0usize;
+    let mut outcomes = vec![Vec::new(); ANALYSTS];
+    for round in 0..ROUNDS {
+        if let Some(events) = schedule.get(&round) {
+            let mut sim = cluster.lock().unwrap();
+            for event in events {
+                apply(&mut sim, event);
+            }
+        }
+        for a in 0..ANALYSTS {
+            let observed = submit_acked(&system, &cluster, a, round, &mut rngs[a], &mut refused);
+            outcomes[a].push(observed);
+        }
+    }
+    assert_eq!(
+        outcomes, oracle,
+        "acknowledged answers diverged from the fault-free oracle"
+    );
+    assert_constraints(&system);
+    (system, cluster, refused)
+}
+
+fn assert_constraints(system: &DProvDb) {
+    let provenance = system.provenance();
+    for a in 0..ANALYSTS {
+        let analyst = AnalystId(a);
+        assert!(
+            provenance.row_total(analyst) <= provenance.row_constraint(analyst) + 1e-6,
+            "analyst {a} row constraint overspent"
+        );
+    }
+    for view in provenance.view_names() {
+        assert!(
+            provenance.column_sum(view) <= provenance.col_constraint(view) + 1e-6,
+            "column constraint overspent on {view}"
+        );
+    }
+}
+
+/// Replays the committed replicated log (as recovery would) into a map
+/// of provenance entries, from the view of one live node.
+fn recovered_entries(sim: &SimCluster, node: u64) -> BTreeMap<(usize, String), u64> {
+    let mut entries = BTreeMap::new();
+    for record in sim.committed_records(node) {
+        if let WalRecord::Commit(c) = record {
+            entries.insert((c.analyst.0, c.view.clone()), c.new_entry.to_bits());
+        }
+    }
+    entries
+}
+
+/// Asserts that recovery from a surviving majority reproduces every
+/// acknowledged provenance entry bit-identically.
+fn assert_recovery(system: &DProvDb, cluster: &Arc<Mutex<SimCluster>>) {
+    let mut sim = cluster.lock().unwrap();
+    // Recovery scenario: total restart, then only a majority comes back.
+    for n in 0..sim.len() as u64 {
+        sim.crash(n);
+    }
+    sim.heal();
+    sim.restart(0);
+    sim.restart(1);
+    for _ in 0..200 {
+        sim.step();
+        if sim.leader().is_some() {
+            break;
+        }
+    }
+    let leader = sim.leader().expect("a majority must elect a leader");
+    // Let the commit index catch up on the survivors.
+    for _ in 0..30 {
+        sim.step();
+    }
+    let recovered = recovered_entries(&sim, leader);
+    assert!(
+        !recovered.is_empty(),
+        "the workload must have replicated commits"
+    );
+    let provenance = system.provenance();
+    for (&(analyst, ref view), &bits) in &recovered {
+        let acknowledged = provenance.entry(AnalystId(analyst), view);
+        assert_eq!(
+            bits,
+            acknowledged.to_bits(),
+            "recovered entry for analyst {analyst} view {view} is not \
+             bit-identical to the acknowledged state"
+        );
+    }
+    // Every acknowledged (non-zero) cell is present in the recovered log.
+    for a in 0..ANALYSTS {
+        for view in provenance.view_names() {
+            let acknowledged = provenance.entry(AnalystId(a), view);
+            if acknowledged != 0.0 {
+                let got = recovered
+                    .get(&(a, view.to_string()))
+                    .copied()
+                    .unwrap_or(0f64.to_bits());
+                assert!(
+                    f64::from_bits(got) >= acknowledged,
+                    "recovered spend below acknowledged spend for \
+                     analyst {a} view {view}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_cluster_matches_the_oracle_and_recovers() {
+    let (system, cluster, refused) = run_schedule(11, BTreeMap::new());
+    assert_eq!(refused, 0, "no faults, no refusals");
+    assert_recovery(&system, &cluster);
+}
+
+#[test]
+fn leader_crashes_mid_stream_are_transparent() {
+    let schedule = BTreeMap::from([
+        (2, vec![Nemesis::CrashLeader]),
+        (4, vec![Nemesis::RestartAll]),
+        (5, vec![Nemesis::CrashLeader]),
+        (7, vec![Nemesis::RestartAll]),
+    ]);
+    let (system, cluster, _refused) = run_schedule(13, schedule);
+    assert_recovery(&system, &cluster);
+}
+
+#[test]
+fn minority_partition_refuses_acks_then_heals() {
+    let schedule = BTreeMap::from([(3, vec![Nemesis::IsolateLeader]), (6, vec![Nemesis::Heal])]);
+    let (system, cluster, refused) = run_schedule(17, schedule);
+    assert!(
+        refused > 0,
+        "isolating the leader must refuse at least one ack"
+    );
+    assert_recovery(&system, &cluster);
+}
+
+#[test]
+fn message_loss_and_reordering_change_no_answer() {
+    let schedule = BTreeMap::from([
+        (1, vec![Nemesis::DropOneIn(7), Nemesis::DelayOneIn(5)]),
+        (6, vec![Nemesis::Heal]),
+    ]);
+    let (system, cluster, _refused) = run_schedule(19, schedule);
+    assert_recovery(&system, &cluster);
+}
+
+#[test]
+fn combined_crash_and_partition_schedule_holds_every_property() {
+    let schedule = BTreeMap::from([
+        (1, vec![Nemesis::DropOneIn(9)]),
+        (2, vec![Nemesis::CrashLeader]),
+        (3, vec![Nemesis::RestartAll, Nemesis::IsolateLeader]),
+        (5, vec![Nemesis::Heal, Nemesis::CrashLeader]),
+        (6, vec![Nemesis::RestartAll]),
+    ]);
+    let (system, cluster, _refused) = run_schedule(23, schedule);
+    assert_recovery(&system, &cluster);
+}
+
+#[test]
+fn nemesis_schedules_are_reproducible() {
+    let run = |seed| {
+        let schedule = BTreeMap::from([
+            (2, vec![Nemesis::CrashLeader]),
+            (4, vec![Nemesis::RestartAll]),
+        ]);
+        let (system, _, refused) = run_schedule(seed, schedule);
+        let provenance = system.provenance();
+        let spend: Vec<u64> = (0..ANALYSTS)
+            .map(|a| provenance.row_total(AnalystId(a)).to_bits())
+            .collect();
+        (spend, refused)
+    };
+    assert_eq!(run(29), run(29), "same seed + schedule, same run");
+}

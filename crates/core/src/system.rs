@@ -1338,6 +1338,20 @@ impl DProvDb {
         }
     }
 
+    /// Caps the sealed delta history carried by future snapshots: merges
+    /// every sealed epoch except the most recent `retain` into one
+    /// baseline epoch (see
+    /// [`dprov_delta::UpdateLog::compact_history`] — replaying the
+    /// baseline is bit-identical to replaying the epochs it replaced).
+    /// Returns the number of epochs merged away. Run it right before a
+    /// snapshot export; it never changes the current epoch, the pending
+    /// set or any answer.
+    pub fn compact_delta_history(&self, retain: u64) -> usize {
+        let mut delta = self.lock_delta();
+        let watermark = delta.current_epoch.saturating_sub(retain);
+        delta.compact_history(watermark)
+    }
+
     /// Exports a consistent snapshot of every durably-relevant piece of
     /// state. Acquires the commit freeze internally; use
     /// [`Self::export_durable_state_frozen`] when the caller already holds

@@ -9,9 +9,10 @@
 //!
 //! Sealing drains the pending batches into a numbered [`SealedEpoch`].
 //! The log keeps the sealed history so durable snapshots can rebuild the
-//! whole segment/histogram state from scratch; like the tight
-//! accountant's access history, that history grows with the total number
-//! of updates (summarising it is a known follow-up).
+//! whole segment/histogram state from scratch; because that history grows
+//! with the total number of updates, [`UpdateLog::compact_history`] can
+//! merge the epochs below a retention watermark into one baseline epoch
+//! whose replay is bit-identical to replaying what it replaced.
 
 use serde::{Deserialize, Serialize};
 
@@ -301,6 +302,38 @@ impl UpdateLog {
         sealed
     }
 
+    /// Merges every sealed epoch at or below `watermark` into one
+    /// baseline epoch, capping the history a snapshot has to carry.
+    /// Returns the number of epochs merged away (0 when fewer than two
+    /// epochs sit at or below the watermark).
+    ///
+    /// The merged epoch keeps the **last** merged epoch's number and
+    /// `through_seq` and concatenates every merged epoch's batches in
+    /// seal order, so replaying it applies exactly the same encoded rows
+    /// in exactly the same order as replaying the epochs it replaced —
+    /// segment rows, histogram patches and recovered answers stay
+    /// bit-identical (delta arithmetic is integer-exact, and the
+    /// executor fast-forwards the skipped epoch numbers with empty
+    /// segments). `current_epoch`, `next_seq` and the pending set are
+    /// untouched: compaction rewrites history, never state.
+    pub fn compact_history(&mut self, watermark: u64) -> usize {
+        let split = self.sealed.partition_point(|e| e.epoch <= watermark);
+        if split < 2 {
+            return 0;
+        }
+        let tail = self.sealed.split_off(split);
+        let last = self.sealed.last().expect("split >= 2");
+        let (epoch, through_seq) = (last.epoch, last.through_seq);
+        let merged = SealedEpoch {
+            epoch,
+            through_seq,
+            batches: self.sealed.drain(..).flat_map(|e| e.batches).collect(),
+        };
+        self.sealed.push(merged);
+        self.sealed.extend(tail);
+        split - 1
+    }
+
     /// Tables touched by the given batches, in first-appearance order.
     #[must_use]
     pub fn touched_tables(batches: &[EncodedBatch]) -> Vec<String> {
@@ -474,6 +507,42 @@ mod tests {
         assert!(e2.batches.is_empty());
         assert_eq!(log.sealed.len(), 2);
         assert_eq!(log.total_rows(), 1);
+    }
+
+    #[test]
+    fn compact_history_merges_epochs_below_the_watermark() {
+        let db = db();
+        let mut log = UpdateLog::new();
+        for rows in [vec![row(21, "F")], vec![row(22, "M")], vec![row(23, "F")]] {
+            let b = log
+                .encode_batch(&db, &UpdateBatch::insert("adult", rows))
+                .unwrap();
+            log.push_pending(b);
+            log.seal();
+        }
+        // Watermark below the second epoch: nothing to merge.
+        assert_eq!(log.clone().compact_history(0), 0);
+        assert_eq!(log.clone().compact_history(1), 0);
+        let rows_before = log.total_rows();
+        assert_eq!(log.compact_history(2), 1);
+        assert_eq!(log.sealed.len(), 2);
+        let merged = &log.sealed[0];
+        assert_eq!(merged.epoch, 2);
+        assert_eq!(merged.through_seq, 2);
+        // Batches of epochs 1 and 2, in seal order.
+        assert_eq!(
+            merged.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(log.sealed[1].epoch, 3);
+        assert_eq!(log.current_epoch, 3);
+        assert_eq!(log.total_rows(), rows_before);
+        // Idempotent at the same watermark; a later watermark folds the
+        // baseline and the next epoch together.
+        assert_eq!(log.compact_history(2), 0);
+        assert_eq!(log.compact_history(3), 1);
+        assert_eq!(log.sealed.len(), 1);
+        assert_eq!(log.sealed[0].epoch, 3);
     }
 
     #[test]

@@ -75,11 +75,16 @@ pub enum CounterId {
     RecoveredSessions,
     /// Micro-batches executed by the worker pool.
     BatchesExecuted,
+    /// Leader elections won across the replication group (terms in which
+    /// some node collected a majority of votes).
+    LeaderElections,
+    /// Executor nodes evicted by the orchestrator for missed heartbeats.
+    NodesEvicted,
 }
 
 impl CounterId {
     /// Every counter, in catalog order.
-    pub const ALL: [CounterId; 12] = [
+    pub const ALL: [CounterId; 14] = [
         CounterId::FrontendConnections,
         CounterId::FrontendRequests,
         CounterId::QueriesAnswered,
@@ -92,6 +97,8 @@ impl CounterId {
         CounterId::RecoveredCommits,
         CounterId::RecoveredSessions,
         CounterId::BatchesExecuted,
+        CounterId::LeaderElections,
+        CounterId::NodesEvicted,
     ];
 
     /// Stable snapshot name of the counter.
@@ -110,6 +117,8 @@ impl CounterId {
             CounterId::RecoveredCommits => "recovery.replayed_commits",
             CounterId::RecoveredSessions => "recovery.replayed_sessions",
             CounterId::BatchesExecuted => "batch.executed",
+            CounterId::LeaderElections => "cluster.leader_elections",
+            CounterId::NodesEvicted => "cluster.evictions",
         }
     }
 
@@ -125,17 +134,21 @@ impl CounterId {
 pub enum GaugeId {
     /// Deepest the bounded job queue has ever been.
     QueueDepthHwm,
+    /// Replication lag of the slowest live follower: leader last log
+    /// index minus that follower's match index, at the last append.
+    ReplicationLag,
 }
 
 impl GaugeId {
     /// Every gauge, in catalog order.
-    pub const ALL: [GaugeId; 1] = [GaugeId::QueueDepthHwm];
+    pub const ALL: [GaugeId; 2] = [GaugeId::QueueDepthHwm, GaugeId::ReplicationLag];
 
     /// Stable snapshot name of the gauge.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             GaugeId::QueueDepthHwm => "queue.depth_hwm",
+            GaugeId::ReplicationLag => "cluster.replication_lag",
         }
     }
 
@@ -172,11 +185,13 @@ pub enum HistId {
     BatchSize,
     /// Epoch lag (current − served) of cache hits under `CarryForward`.
     EpochStaleness,
+    /// Replication: budget charge proposed → majority-acknowledged.
+    QuorumAck,
 }
 
 impl HistId {
     /// Every histogram, in catalog order.
-    pub const ALL: [HistId; 10] = [
+    pub const ALL: [HistId; 11] = [
         HistId::FrontendDecode,
         HistId::FrontendReply,
         HistId::QueueWait,
@@ -187,6 +202,7 @@ impl HistId {
         HistId::WalFsync,
         HistId::BatchSize,
         HistId::EpochStaleness,
+        HistId::QuorumAck,
     ];
 
     /// Stable snapshot name of the histogram.
@@ -203,6 +219,7 @@ impl HistId {
             HistId::WalFsync => "wal.fsync_ns",
             HistId::BatchSize => "batch.size",
             HistId::EpochStaleness => "epoch.staleness",
+            HistId::QuorumAck => "cluster.quorum_ack_ns",
         }
     }
 

@@ -75,7 +75,7 @@ pub mod session;
 
 pub use frontend::{Frontend, FrontendListener};
 pub use service::{
-    DurabilityConfig, DurabilityConfigBuilder, PendingQuery, QueryResponse, QueryService,
-    RecoveryReport, ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats,
+    ClusterRole, DurabilityConfig, DurabilityConfigBuilder, PendingQuery, QueryResponse,
+    QueryService, RecoveryReport, ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats,
 };
 pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

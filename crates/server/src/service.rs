@@ -78,6 +78,28 @@ pub struct ServiceConfig {
     /// knob never perturbs determinism — `tests/determinism.rs` pins a
     /// full service run at 1 vs 8 threads to the same bytes.
     pub scan_threads: usize,
+    /// Role this process plays in a distributed deployment (defaults to
+    /// [`ClusterRole::Standalone`]). The service itself behaves the same
+    /// under every role — the `dprov-cluster` crate attaches the
+    /// replication gate, gateway fan-out or executor endpoint around it —
+    /// but the role is declared here so operators configure one knob and
+    /// introspection (logs, dashboards) can tell the processes apart.
+    pub role: ClusterRole,
+}
+
+/// The role a service process plays in a distributed deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterRole {
+    /// A self-contained single-node service (the default).
+    #[default]
+    Standalone,
+    /// The analyst-facing gateway: serves the unchanged analyst protocol,
+    /// replicates budget charges to the replica group and fans same-view
+    /// micro-batches out to shard-owning executor nodes.
+    Gateway,
+    /// A shard-owning executor node: registers with the orchestrator,
+    /// heartbeats, and answers shard-range scans.
+    ExecutorNode,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +112,7 @@ impl Default for ServiceConfig {
             max_linger: Duration::ZERO,
             updaters: Vec::new(),
             scan_threads: 1,
+            role: ClusterRole::Standalone,
         }
     }
 }
@@ -165,6 +188,13 @@ impl ServiceConfigBuilder {
     #[must_use]
     pub fn scan_threads(mut self, threads: usize) -> Self {
         self.config.scan_threads = threads;
+        self
+    }
+
+    /// Declares the process's role in a distributed deployment.
+    #[must_use]
+    pub fn role(mut self, role: ClusterRole) -> Self {
+        self.config.role = role;
         self
     }
 
@@ -278,6 +308,13 @@ pub struct DurabilityConfig {
     /// appends have accumulated since the last snapshot; `0` disables
     /// auto-compaction (use [`QueryService::checkpoint`] manually).
     pub snapshot_every: u64,
+    /// Sealed-epoch retention for snapshots: keep only the most recent
+    /// `delta_retention` epochs individually and merge everything older
+    /// into one baseline epoch before each snapshot (`0`, the default,
+    /// keeps the full history). Replaying the merged baseline is
+    /// bit-identical to replaying the epochs it replaced, so recovered
+    /// answers and budgets are unaffected — only snapshot size is.
+    pub delta_retention: u64,
 }
 
 impl DurabilityConfig {
@@ -289,6 +326,7 @@ impl DurabilityConfig {
             dir: dir.into(),
             fsync: true,
             snapshot_every: 4096,
+            delta_retention: 0,
         }
     }
 
@@ -323,6 +361,14 @@ impl DurabilityConfigBuilder {
     #[must_use]
     pub fn snapshot_every(mut self, appends: u64) -> Self {
         self.config.snapshot_every = appends;
+        self
+    }
+
+    /// Sealed-epoch retention applied before each snapshot; `0` (the
+    /// default) keeps the full epoch history.
+    #[must_use]
+    pub fn delta_retention(mut self, epochs: u64) -> Self {
+        self.config.delta_retention = epochs;
         self
     }
 
@@ -361,6 +407,9 @@ struct DurableCtx {
     store: Arc<ProvenanceStore>,
     fingerprint: u64,
     snapshot_every: u64,
+    /// Sealed-epoch retention applied before each snapshot (`0` keeps the
+    /// full history).
+    delta_retention: u64,
     /// `appends_since_snapshot` watermark at which the next automatic
     /// compaction fires. Raised past the threshold after a *failed*
     /// attempt so a persistently failing disk does not re-freeze the
@@ -375,6 +424,9 @@ impl DurableCtx {
     /// Runs one compaction, maintaining the backoff watermark and the
     /// surfaced error state.
     fn try_compact(&self, system: &DProvDb) -> Result<(), StorageError> {
+        if self.delta_retention > 0 {
+            system.compact_delta_history(self.delta_retention);
+        }
         let result = QueryService::compact_into(system, &self.store, self.fingerprint);
         let step = self.snapshot_every.max(1);
         match &result {
@@ -639,6 +691,7 @@ impl QueryService {
             store,
             fingerprint,
             snapshot_every: durability.snapshot_every,
+            delta_retention: durability.delta_retention,
             next_compaction_at: std::sync::atomic::AtomicU64::new(durability.snapshot_every.max(1)),
             last_compaction_error: Mutex::new(None),
         });
@@ -1370,6 +1423,7 @@ mod tests {
             dir: dir.to_owned(),
             fsync: false,
             snapshot_every,
+            delta_retention: 0,
         }
     }
 

@@ -95,6 +95,13 @@ impl Encoder {
         self.buf.extend_from_slice(v.as_bytes());
     }
 
+    /// Appends a length-prefixed opaque byte string (e.g. an embedded,
+    /// already-encoded record payload).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
     /// Appends a length-prefixed `f64` slice.
     pub fn put_f64_slice(&mut self, v: &[f64]) {
         self.put_u32(v.len() as u32);
@@ -213,6 +220,14 @@ impl<'a> Decoder<'a> {
         let len = self.take_u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
+    }
+
+    /// Reads a length-prefixed opaque byte string written by
+    /// [`Encoder::put_bytes`]; the length is bounded by the remaining
+    /// payload, so a corrupt prefix cannot drive a giant allocation.
+    pub fn take_bytes(&mut self) -> DecodeResult<Vec<u8>> {
+        let len = self.take_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Reads a length-prefixed `f64` slice.

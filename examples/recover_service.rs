@@ -77,11 +77,11 @@ fn ask(service: &QueryService, session: SessionId, lo: i64, hi: i64, variance: f
 
 fn main() {
     let dir = dprovdb::storage::scratch_dir("recover-example");
-    let durability = DurabilityConfig {
-        dir: dir.clone(),
-        fsync: true,
-        snapshot_every: 0, // explicit checkpointing below
-    };
+    let durability = DurabilityConfig::builder(dir.clone())
+        .fsync(true)
+        .snapshot_every(0) // explicit checkpointing below
+        .build()
+        .unwrap();
 
     println!("== first life (durable store at {}) ==", dir.display());
     let sessions = {

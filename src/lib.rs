@@ -33,6 +33,11 @@
 //! * [`obs`] — observability: lock-free counters/gauges/histograms, the
 //!   per-request trace journal with chrome-trace export, and the typed
 //!   `MetricsSnapshot` served over the wire protocol.
+//! * [`cluster`] — the distributed deployment: a majority-quorum
+//!   replicated budget ledger (simplified Raft over the storage WAL
+//!   records), the executor-node orchestrator with heartbeat/deadline
+//!   eviction, the gateway's deterministic shard fan-out, and the
+//!   in-process nemesis used by the partition/crash harness.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through,
 //! `examples/concurrent_service.rs` for the multi-analyst service,
@@ -40,6 +45,7 @@
 //! `examples/recover_service.rs` for durable restarts.
 
 pub use dprov_api as api;
+pub use dprov_cluster as cluster;
 pub use dprov_core as core;
 pub use dprov_delta as delta;
 pub use dprov_dp as dp;

@@ -1,0 +1,295 @@
+//! Delta-history retention: capping the sealed-epoch history a snapshot
+//! carries (`DurabilityConfig::delta_retention` /
+//! `DProvDb::compact_delta_history`) must be **invisible** to every
+//! analyst- and recovery-visible bit.
+//!
+//! The contract under test, from two directions:
+//!
+//! * **Compaction is inert in memory** — merging old epochs into one
+//!   baseline epoch changes no answer, charge, seal report or audit
+//!   count, because the baseline replays the same encoded rows in the
+//!   same order.
+//! * **WAL-only and snapshot recovery agree** — a service recovered by
+//!   replaying the raw write-ahead ledger (which still carries every
+//!   individual epoch) and a service recovered from a retention-capped
+//!   snapshot (which carries the merged baseline) continue a workload
+//!   bit-identically.
+
+use dprov_core::analyst::{AnalystId, AnalystRegistry};
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_server::{DurabilityConfig, QueryService, ServiceConfig, SessionId};
+use dprov_workloads::skew::{generate_stream, StreamEvent, StreamingConfig};
+
+const SEED: u64 = 47;
+const ANALYSTS: usize = 2;
+const RETAIN: u64 = 2;
+
+fn build_system(mechanism: MechanismKind) -> DProvDb {
+    let db = adult_database(600, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    registry.register("external", 2).unwrap();
+    registry.register("internal", 4).unwrap();
+    let config = SystemConfig::new(10.0).unwrap().with_seed(SEED);
+    DProvDb::new(db, catalog, registry, config, mechanism).unwrap()
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::builder()
+        .workers(1)
+        .updaters(&["loader"])
+        .build()
+        .unwrap()
+}
+
+fn durability(dir: &std::path::Path, retention: u64) -> DurabilityConfig {
+    DurabilityConfig::builder(dir)
+        .fsync(false)
+        .snapshot_every(0)
+        .delta_retention(retention)
+        .build()
+        .unwrap()
+}
+
+fn stream() -> Vec<StreamEvent> {
+    let db = adult_database(600, 1);
+    let mut config = StreamingConfig::update_heavy("adult", ANALYSTS, 18).with_seed(SEED);
+    config.base.accuracy_range = (2_000.0, 20_000.0);
+    generate_stream(&db, &config).unwrap()
+}
+
+/// Everything compared, floats as raw bits so equality is exact.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    answers: Vec<(bool, u64, u64, u64)>,
+    seals: Vec<(u64, usize, usize)>,
+    row_totals: Vec<u64>,
+    final_epoch: u64,
+    audits: Vec<u64>,
+}
+
+fn drive(
+    service: &QueryService,
+    sessions: &[SessionId],
+    events: &[StreamEvent],
+    answers: &mut Vec<(bool, u64, u64, u64)>,
+    seals: &mut Vec<(u64, usize, usize)>,
+) {
+    for event in events {
+        match event {
+            StreamEvent::Query { analyst, request } => {
+                let outcome = service
+                    .submit_wait(sessions[*analyst], request.clone())
+                    .expect("submission must not hard-fail");
+                answers.push(match outcome.answered() {
+                    Some(a) => (
+                        true,
+                        a.value.to_bits(),
+                        a.epsilon_charged.to_bits(),
+                        a.epoch,
+                    ),
+                    None => (false, 0, 0, 0),
+                });
+            }
+            StreamEvent::Update(batch) => {
+                service.apply_update(batch).expect("valid batch");
+            }
+            StreamEvent::Seal => {
+                let report = service.seal_epoch().expect("seal");
+                seals.push((report.epoch, report.rows, report.views_patched.len()));
+            }
+        }
+    }
+}
+
+fn trace_of(
+    service: &QueryService,
+    answers: Vec<(bool, u64, u64, u64)>,
+    seals: Vec<(u64, usize, usize)>,
+) -> RunTrace {
+    let system = service.system();
+    let audits: Vec<u64> = [
+        Query::count("adult"),
+        Query::range_count("adult", "age", 25, 45),
+        Query::sum("adult", "hours_per_week"),
+    ]
+    .iter()
+    .map(|q| system.true_answer(q).unwrap().to_bits())
+    .collect();
+    RunTrace {
+        answers,
+        seals,
+        row_totals: (0..ANALYSTS)
+            .map(|a| system.provenance().row_total(AnalystId(a)).to_bits())
+            .collect(),
+        final_epoch: system.current_epoch(),
+        audits,
+    }
+}
+
+fn open_sessions(service: &QueryService) -> Vec<SessionId> {
+    (0..ANALYSTS)
+        .map(|a| service.open_session(AnalystId(a)).unwrap())
+        .collect()
+}
+
+/// The event index right after the `(RETAIN + 2)`th seal — late enough
+/// that the sealed history exceeds the retention, so both the mid-run
+/// compaction and the retention-capped snapshot genuinely merge epochs.
+fn split_point(events: &[StreamEvent]) -> usize {
+    let mut sealed = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        if matches!(event, StreamEvent::Seal) {
+            sealed += 1;
+            if sealed == RETAIN + 2 {
+                return i + 1;
+            }
+        }
+    }
+    panic!("the stream seals too few epochs for retention {RETAIN}");
+}
+
+/// One uninterrupted volatile run; `compact_mid_run` exercises the
+/// in-memory compaction halfway through.
+fn uninterrupted(mechanism: MechanismKind, compact_mid_run: bool) -> RunTrace {
+    let events = stream();
+    let service = QueryService::start(
+        std::sync::Arc::new(build_system(mechanism)),
+        service_config(),
+    );
+    let sessions = open_sessions(&service);
+    let (mut answers, mut seals) = (Vec::new(), Vec::new());
+    let mid = split_point(&events);
+    drive(
+        &service,
+        &sessions,
+        &events[..mid],
+        &mut answers,
+        &mut seals,
+    );
+    if compact_mid_run {
+        let merged = service.system().compact_delta_history(RETAIN);
+        assert!(
+            merged > 0,
+            "the workload must seal enough epochs for retention {RETAIN} to merge some"
+        );
+        // Idempotent: nothing left below the watermark.
+        assert_eq!(service.system().compact_delta_history(RETAIN), 0);
+    }
+    drive(
+        &service,
+        &sessions,
+        &events[mid..],
+        &mut answers,
+        &mut seals,
+    );
+    trace_of(&service, answers, seals)
+}
+
+/// A durable run that crashes halfway and recovers. With
+/// `snapshot_before_crash` the first half ends in a checkpoint (snapshot
+/// recovery, retention-capped); without it recovery replays the raw WAL
+/// (every individual epoch).
+fn recovered(mechanism: MechanismKind, retention: u64, snapshot_before_crash: bool) -> RunTrace {
+    let events = stream();
+    let dir = dprov_storage::scratch_dir(&format!(
+        "delta-retention-{mechanism}-{retention}-{snapshot_before_crash}"
+    ));
+    let mid = split_point(&events);
+    let (mut answers, mut seals, sessions) = {
+        let (service, _) = QueryService::start_durable(
+            build_system(mechanism),
+            service_config(),
+            durability(&dir, retention),
+        )
+        .unwrap();
+        let sessions = open_sessions(&service);
+        let (mut answers, mut seals) = (Vec::new(), Vec::new());
+        drive(
+            &service,
+            &sessions,
+            &events[..mid],
+            &mut answers,
+            &mut seals,
+        );
+        if snapshot_before_crash {
+            service.checkpoint().unwrap();
+        }
+        (answers, seals, sessions)
+        // Dropped WITHOUT shutdown: the crash.
+    };
+    let trace = {
+        let (service, report) = QueryService::start_durable(
+            build_system(mechanism),
+            service_config(),
+            durability(&dir, retention),
+        )
+        .unwrap();
+        assert_eq!(
+            report.snapshot_restored, snapshot_before_crash,
+            "recovery mode must match the scenario"
+        );
+        drive(
+            &service,
+            &sessions,
+            &events[mid..],
+            &mut answers,
+            &mut seals,
+        );
+        trace_of(&service, answers, seals)
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    trace
+}
+
+fn run_matrix(mechanism: MechanismKind) {
+    let events = stream();
+    assert!(
+        events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Seal))
+            .count() as u64
+            > RETAIN + 1,
+        "the stream must seal more epochs than the retention keeps"
+    );
+
+    let baseline = uninterrupted(mechanism, false);
+    assert!(baseline.final_epoch > RETAIN);
+    assert!(baseline.answers.iter().any(|a| a.0), "answers expected");
+
+    // In-memory compaction changes no visible bit.
+    let compacted = uninterrupted(mechanism, true);
+    assert_eq!(
+        baseline, compacted,
+        "{mechanism}: compacting the delta history must be invisible"
+    );
+
+    // WAL-only recovery (full epoch history in the ledger) and snapshot
+    // recovery (retention-capped baseline epoch) agree with the baseline —
+    // and therefore with each other.
+    let wal_only = recovered(mechanism, RETAIN, false);
+    assert_eq!(
+        baseline, wal_only,
+        "{mechanism}: WAL-only recovery must continue bit-identically"
+    );
+    let snapshot = recovered(mechanism, RETAIN, true);
+    assert_eq!(
+        baseline, snapshot,
+        "{mechanism}: retention-capped snapshot recovery must continue bit-identically"
+    );
+}
+
+#[test]
+fn delta_retention_matrix_vanilla() {
+    run_matrix(MechanismKind::Vanilla);
+}
+
+#[test]
+fn delta_retention_matrix_additive() {
+    run_matrix(MechanismKind::AdditiveGaussian);
+}

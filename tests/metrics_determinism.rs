@@ -282,3 +282,81 @@ fn trace_journal_capacity_is_bounded_and_export_is_valid() {
     );
     assert!(trace.contains("execute"), "execute stages present: {trace}");
 }
+
+/// Drives a single-analyst workload through a `DProvDb` whose commit path
+/// is gated by a `ReplicatedRecorder` over a 3-replica `SimCluster`, with
+/// `metrics` wired into the system, the cluster and the recorder.
+fn cluster_run(metrics: MetricsRegistry) -> Vec<ObservedOutcome> {
+    use dprovdb::cluster::{ReplicatedRecorder, SimCluster};
+    use std::sync::Mutex;
+    let db = adult_database(800, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    registry.register("analyst-0", 2).unwrap();
+    let config = SystemConfig::new(50.0).unwrap().with_seed(43);
+    let mut system = DProvDb::new(db, catalog, registry, config, MechanismKind::Vanilla).unwrap();
+    system.set_metrics(metrics.clone());
+    let cluster = Arc::new(Mutex::new(SimCluster::with_metrics(3, 43, metrics.clone())));
+    let recorder = ReplicatedRecorder::new(cluster).with_metrics(metrics);
+    system.set_recorder(Arc::new(recorder));
+    let mut rng = dprovdb::dp::rng::DpRng::for_stream(43, 0);
+    (0..5)
+        .map(|i| {
+            let query = Query::range_count("adult", "age", 20 + i, 40 + i);
+            // Tightening variance: each round recharges (no cache hit).
+            let request = QueryRequest::with_accuracy(query, 1200.0 - 150.0 * i as f64);
+            observe(
+                system
+                    .submit_with_rng(AnalystId(0), &request, &mut rng)
+                    .unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn cluster_metrics_are_inert_and_their_ids_are_pinned() {
+    // Inertness: the replication-path instrumentation (quorum-ack timings,
+    // election counters, lag gauge) must not change an analyst-visible bit.
+    let metrics = MetricsRegistry::new();
+    let enabled = cluster_run(metrics.clone());
+    let noop = cluster_run(MetricsRegistry::disabled());
+    assert_eq!(
+        enabled, noop,
+        "cluster instrumentation changed an analyst-visible bit"
+    );
+    // Pin the replication series names and that the workload fed them:
+    // every submission replicates an access and a commit record, so the
+    // quorum-ack histogram holds at least two samples per query.
+    let snap = metrics.snapshot();
+    assert!(
+        snap.counter("cluster.leader_elections").unwrap() >= 1,
+        "the replica group must have elected at least once"
+    );
+    let ack = snap
+        .histogram("cluster.quorum_ack_ns")
+        .expect("quorum-ack histogram present");
+    assert!(ack.count >= 10, "expected >= 10 acks, got {}", ack.count);
+    assert!(ack.sum > 0, "acks accumulated wall nanoseconds");
+    assert!(
+        snap.gauge("cluster.replication_lag").is_some(),
+        "replication-lag gauge present"
+    );
+}
+
+#[test]
+fn eviction_counter_id_is_pinned_through_the_snapshot() {
+    use dprovdb::cluster::{NodeCaps, Orchestrator};
+    let metrics = MetricsRegistry::new();
+    let mut orch = Orchestrator::with_metrics(metrics.clone());
+    orch.register(
+        5,
+        NodeCaps {
+            name: "exec-5".into(),
+            scan_threads: 2,
+            deadline_ticks: 0,
+        },
+    );
+    assert_eq!(orch.tick(), vec![5]);
+    assert_eq!(metrics.snapshot().counter("cluster.evictions"), Some(1));
+}

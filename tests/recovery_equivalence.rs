@@ -38,11 +38,11 @@ fn service_config() -> ServiceConfig {
 }
 
 fn durability(dir: &std::path::Path) -> DurabilityConfig {
-    DurabilityConfig {
-        dir: dir.to_owned(),
-        fsync: false,
-        snapshot_every: 0,
-    }
+    DurabilityConfig::builder(dir)
+        .fsync(false)
+        .snapshot_every(0)
+        .build()
+        .unwrap()
 }
 
 fn workload() -> Vec<(usize, QueryRequest)> {
