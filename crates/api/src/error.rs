@@ -36,6 +36,9 @@ pub mod codes {
     pub const FRAME_TOO_LARGE: u16 = 103;
     /// A frame's CRC-32 check failed.
     pub const CHECKSUM_MISMATCH: u16 = 104;
+    /// The connection asked for more multiplexed channels than the server
+    /// allows on one socket.
+    pub const CHANNEL_LIMIT: u16 = 105;
 
     /// No analyst with the presented name is in the roster.
     pub const UNKNOWN_ANALYST: u16 = 200;

@@ -93,6 +93,90 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ApiError> {
     Ok(Some(payload))
 }
 
+/// Incremental frame decoder for readiness-based (non-blocking) readers.
+///
+/// Where [`read_frame`] owns the stream and blocks, `FrameDecoder` is fed
+/// whatever bytes the socket had (`feed`) and hands back complete payloads
+/// as they materialise (`next_frame`). Validation matches `read_frame`
+/// exactly: a declared length above [`MAX_FRAME_LEN`] or a CRC mismatch is
+/// a typed error, after which the stream offset is untrustworthy and the
+/// connection must be dropped. The oversize check fires as soon as the
+/// 8-byte header is visible — a hostile length prefix never drives an
+/// allocation.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so a burst of small
+    /// frames doesn't memmove the tail once per frame.
+    pos: usize,
+}
+
+/// Compact the consumed prefix away once it crosses this many bytes.
+const DECODER_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= DECODER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ApiError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 8 {
+            return Ok(None);
+        }
+        let header = &self.buf[self.pos..self.pos + 8];
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice")) as usize;
+        let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+        if len > MAX_FRAME_LEN {
+            return Err(ApiError::new(
+                codes::FRAME_TOO_LARGE,
+                format!("frame header declares {len} bytes (limit {MAX_FRAME_LEN})"),
+            ));
+        }
+        if avail < 8 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos + 8..self.pos + 8 + len].to_vec();
+        let actual_crc = crc32(&payload);
+        if actual_crc != expected_crc {
+            return Err(ApiError::new(
+                codes::CHECKSUM_MISMATCH,
+                format!("frame checksum mismatch: header says {expected_crc:#010x}, body hashes to {actual_crc:#010x}"),
+            ));
+        }
+        self.pos += 8 + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    #[must_use]
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the buffer ends mid-frame — an EOF here is a truncation,
+    /// not a clean close.
+    #[must_use]
+    pub fn has_partial(&self) -> bool {
+        self.buffered_len() > 0
+    }
+}
+
 enum ReadOutcome {
     /// The buffer was filled completely.
     Full,
@@ -173,5 +257,95 @@ mod tests {
         let mut stream = Cursor::new(bytes);
         let err = read_frame(&mut stream).unwrap_err();
         assert_eq!(err.code, codes::FRAME_TOO_LARGE);
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_delivery() {
+        let payloads: Vec<Vec<u8>> = vec![b"one".to_vec(), vec![], b"three".to_vec()];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&frame(p));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in wire {
+            dec.feed(&[byte]);
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn decoder_pops_multiple_frames_from_one_feed() {
+        let mut wire = frame(b"a");
+        wire.extend_from_slice(&frame(b"bb"));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame().unwrap(), Some(b"a".to_vec()));
+        assert_eq!(dec.next_frame().unwrap(), Some(b"bb".to_vec()));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_header_before_body_arrives() {
+        let mut dec = FrameDecoder::new();
+        let mut header = Vec::new();
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        dec.feed(&header);
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.code, codes::FRAME_TOO_LARGE);
+    }
+
+    #[test]
+    fn decoder_flags_checksum_mismatch() {
+        let mut wire = frame(b"sensitive");
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.code, codes::CHECKSUM_MISMATCH);
+    }
+
+    #[test]
+    fn decoder_tracks_partial_state() {
+        let wire = frame(b"payload");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..5]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.has_partial());
+        dec.feed(&wire[5..]);
+        assert_eq!(dec.next_frame().unwrap(), Some(b"payload".to_vec()));
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reader_over_many_frames() {
+        // Same wire bytes through both paths; compaction must not skew
+        // offsets even when thousands of frames pass through one decoder.
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..5000u32 {
+            let p = i.to_le_bytes().repeat((i % 7 + 1) as usize);
+            wire.extend_from_slice(&frame(&p));
+            expected.push(p);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(113) {
+            dec.feed(chunk);
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, expected);
+        let mut stream = Cursor::new(wire);
+        for p in &expected {
+            assert_eq!(read_frame(&mut stream).unwrap().as_ref(), Some(p));
+        }
     }
 }

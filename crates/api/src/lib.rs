@@ -20,6 +20,10 @@
 //! * [`transport`] — the [`Connection`] abstraction with two
 //!   implementations: an in-process zero-copy channel pair and TCP (one
 //!   socket per analyst session);
+//! * [`mux`] — **connection multiplexing** (protocol v3): a
+//!   [`MuxConnection`] shares one socket between many channels, each a
+//!   virtual [`Connection`] running its own session — so a fleet of
+//!   analysts no longer costs a socket per session;
 //! * [`client`] — the blocking [`DProvClient`]: synchronous
 //!   [`DProvClient::query`], pipelined
 //!   [`DProvClient::submit`]/[`DProvClient::poll`], budget
@@ -42,12 +46,14 @@ pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod frame;
+pub mod mux;
 pub mod protocol;
 pub mod transport;
 mod wire;
 
 pub use client::{DProvClient, EpochSealReport, RequestId, SessionDescriptor};
 pub use error::{codes, ApiError, ErrorKind};
+pub use mux::MuxConnection;
 pub use protocol::{BudgetReport, Request, Response, PROTOCOL_VERSION};
 pub use transport::{Connection, FrameSink, FrameSource};
 pub use wire::MAX_PREDICATE_DEPTH;

@@ -1,0 +1,266 @@
+//! Client-side connection multiplexing: many analyst sessions over one
+//! socket.
+//!
+//! [`MuxConnection`] wraps any established [`Connection`] and hands out
+//! lightweight **channels** — each a virtual [`Connection`] that tunnels
+//! its payloads through [`Request::Mux`] / [`Response::MuxReply`] frames
+//! (protocol v3). A channel behaves exactly like a dedicated socket from
+//! [`crate::client::DProvClient`]'s point of view: it performs its own
+//! inner `Hello`, registers (or [`DProvClient::resume`]s) its own session,
+//! and pipelines its own requests, so per-session resume works unchanged
+//! on a shared socket.
+//!
+//! Demultiplexing uses a leader/follower scheme with no dedicated reader
+//! thread: whichever channel blocks on `recv` first becomes the *leader*
+//! and reads the shared socket; frames for other channels are stashed
+//! under their channel id and the waiters are notified. When the leader's
+//! own frame arrives it hands leadership to any still-blocked follower.
+//! A transport error or peer close is terminal for every channel at once.
+//!
+//! [`DProvClient`]: crate::client::DProvClient
+//! [`DProvClient::resume`]: crate::client::DProvClient::resume
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::{codes, ApiError};
+use crate::protocol::{decode_response, encode_request, Request, Response, PROTOCOL_VERSION};
+use crate::transport::{Connection, FrameSink, FrameSource};
+
+/// Multiplexing needs the v3 tags on both sides.
+const MUX_MIN_VERSION: u8 = 3;
+
+struct RouteState {
+    /// Undelivered inner payloads per channel.
+    stashes: HashMap<u64, VecDeque<Vec<u8>>>,
+    /// Channel ids currently handed out (guards against aliasing).
+    active: HashSet<u64>,
+    /// True while some channel's `recv` owns the shared source.
+    pumping: bool,
+    /// Terminal transport error, fanned out to every channel.
+    dead: Option<ApiError>,
+    /// The peer closed the socket cleanly.
+    closed: bool,
+}
+
+struct MuxShared {
+    sink: Mutex<Box<dyn FrameSink>>,
+    source: Mutex<Box<dyn FrameSource>>,
+    state: Mutex<RouteState>,
+    wakeup: Condvar,
+    next_outer_id: AtomicU64,
+    next_channel: AtomicU64,
+}
+
+/// A shared socket carrying many independent protocol channels.
+///
+/// Cloning is cheap (an `Arc` bump); clones hand out channels over the
+/// same underlying connection.
+#[derive(Clone)]
+pub struct MuxConnection {
+    shared: Arc<MuxShared>,
+}
+
+impl std::fmt::Debug for MuxConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxConnection").finish_non_exhaustive()
+    }
+}
+
+impl MuxConnection {
+    /// Performs the **outer** `Hello` on `conn` and turns it into a
+    /// multiplexed connection. Fails if the server negotiates a version
+    /// below the multiplexing extension (v3).
+    pub fn establish(mut conn: Connection, client_name: &str) -> Result<Self, ApiError> {
+        conn.send(encode_request(
+            0,
+            &Request::Hello {
+                max_version: PROTOCOL_VERSION,
+                client_name: client_name.to_owned(),
+            },
+        ))?;
+        let payload = conn.recv()?.ok_or_else(|| {
+            ApiError::new(codes::CONNECTION_CLOSED, "peer closed during mux handshake")
+        })?;
+        match decode_response(&payload)?.1 {
+            Response::HelloAck { version, .. } if version >= MUX_MIN_VERSION => {}
+            Response::HelloAck { version, .. } => {
+                return Err(ApiError::new(
+                    codes::UNSUPPORTED_VERSION,
+                    format!(
+                        "server negotiated protocol v{version}; multiplexing needs \
+                         v{MUX_MIN_VERSION}"
+                    ),
+                ));
+            }
+            Response::Error(e) => return Err(e),
+            other => {
+                return Err(ApiError::new(
+                    codes::UNEXPECTED_MESSAGE,
+                    format!("unexpected mux handshake response: {other:?}"),
+                ));
+            }
+        }
+        let (sink, source) = conn.split();
+        Ok(MuxConnection {
+            shared: Arc::new(MuxShared {
+                sink: Mutex::new(sink),
+                source: Mutex::new(source),
+                state: Mutex::new(RouteState {
+                    stashes: HashMap::new(),
+                    active: HashSet::new(),
+                    pumping: false,
+                    dead: None,
+                    closed: false,
+                }),
+                wakeup: Condvar::new(),
+                next_outer_id: AtomicU64::new(1),
+                next_channel: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// Connects over TCP and performs the outer handshake.
+    pub fn connect_tcp(
+        addr: impl std::net::ToSocketAddrs,
+        client_name: &str,
+    ) -> Result<Self, ApiError> {
+        Self::establish(Connection::connect_tcp(addr)?, client_name)
+    }
+
+    /// Opens the channel with a caller-chosen id. The id must not be in
+    /// use on this connection. The returned [`Connection`] is virtual:
+    /// hand it to [`crate::client::DProvClient::connect`] like a socket.
+    pub fn channel(&self, id: u64) -> Result<Connection, ApiError> {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        if !state.active.insert(id) {
+            return Err(ApiError::new(
+                codes::INVALID_ARGUMENT,
+                format!("mux channel {id} is already open on this connection"),
+            ));
+        }
+        state.stashes.entry(id).or_default();
+        drop(state);
+        Ok(Connection::from_halves(
+            Box::new(ChannelSink {
+                shared: Arc::clone(&self.shared),
+                channel: id,
+            }),
+            Box::new(ChannelSource {
+                shared: Arc::clone(&self.shared),
+                channel: id,
+            }),
+        ))
+    }
+
+    /// Opens a channel under the next unused auto-assigned id.
+    pub fn open_channel(&self) -> Result<(u64, Connection), ApiError> {
+        loop {
+            let id = self.shared.next_channel.fetch_add(1, Ordering::Relaxed);
+            match self.channel(id) {
+                Ok(conn) => return Ok((id, conn)),
+                Err(e) if e.code == codes::INVALID_ARGUMENT => {} // caller took it manually
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+struct ChannelSink {
+    shared: Arc<MuxShared>,
+    channel: u64,
+}
+
+impl FrameSink for ChannelSink {
+    fn send(&mut self, payload: Vec<u8>) -> Result<(), ApiError> {
+        let outer_id = self.shared.next_outer_id.fetch_add(1, Ordering::Relaxed);
+        let wrapped = encode_request(
+            outer_id,
+            &Request::Mux {
+                channel: self.channel,
+                payload,
+            },
+        );
+        lock_unpoisoned(&self.shared.sink).send(wrapped)
+    }
+}
+
+struct ChannelSource {
+    shared: Arc<MuxShared>,
+    channel: u64,
+}
+
+impl FrameSource for ChannelSource {
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ApiError> {
+        let shared = &*self.shared;
+        let mut state = lock_unpoisoned(&shared.state);
+        loop {
+            if let Some(payload) = state
+                .stashes
+                .get_mut(&self.channel)
+                .and_then(VecDeque::pop_front)
+            {
+                return Ok(Some(payload));
+            }
+            if let Some(e) = &state.dead {
+                return Err(e.clone());
+            }
+            if state.closed {
+                return Ok(None);
+            }
+            if state.pumping {
+                // Another channel owns the socket; it will notify when a
+                // frame lands or the stream dies.
+                state = shared
+                    .wakeup
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            // Become the leader: read the shared source without holding
+            // the routing lock, then publish whatever arrived.
+            state.pumping = true;
+            drop(state);
+            let received = lock_unpoisoned(&shared.source).recv();
+            state = lock_unpoisoned(&shared.state);
+            state.pumping = false;
+            match received {
+                Ok(Some(outer)) => match decode_response(&outer) {
+                    Ok((_, Response::MuxReply { channel, payload })) => {
+                        // Frames for closed channels are dropped on the
+                        // floor (their reader is gone).
+                        if let Some(stash) = state.stashes.get_mut(&channel) {
+                            stash.push_back(payload);
+                        }
+                    }
+                    Ok((_, Response::Error(e))) => state.dead = Some(e),
+                    Ok((_, other)) => {
+                        state.dead = Some(ApiError::new(
+                            codes::UNEXPECTED_MESSAGE,
+                            format!("non-multiplexed response on a mux connection: {other:?}"),
+                        ));
+                    }
+                    Err(e) => state.dead = Some(e),
+                },
+                Ok(None) => state.closed = true,
+                Err(e) => state.dead = Some(e),
+            }
+            shared.wakeup.notify_all();
+        }
+    }
+}
+
+impl Drop for ChannelSource {
+    fn drop(&mut self) {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        state.active.remove(&self.channel);
+        state.stashes.remove(&self.channel);
+    }
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -30,7 +30,13 @@ use crate::wire;
 /// the answer reflects, and the updater-role messages
 /// ([`Request::RegisterUpdater`], [`Request::ApplyUpdate`],
 /// [`Request::SealEpoch`]) were appended under new tags.
-pub const PROTOCOL_VERSION: u8 = 2;
+///
+/// Version 3 (connection multiplexing): [`Request::Mux`] /
+/// [`Response::MuxReply`] were appended under new tags, carrying a channel
+/// id plus a fully-encoded inner message — many analyst sessions can share
+/// one socket, each channel running the ordinary per-connection state
+/// machine. No existing body changed, so the floor stays at 2.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// The oldest protocol version this build still understands. `Hello`
 /// negotiation settles on `min(client max, server max)` and fails only
@@ -39,7 +45,8 @@ pub const PROTOCOL_VERSION: u8 = 2;
 /// is explicitly dropped here. Version 1 was dropped with the dynamic-data
 /// extension: the `QueryAnswer` body gained the epoch field, so a v1 peer
 /// would mis-frame every answer (new *tags* are append-only; changing an
-/// existing body requires raising the floor).
+/// existing body requires raising the floor). Version 2 remains readable:
+/// the multiplexing extension added only new tags.
 pub const MIN_SUPPORTED_VERSION: u8 = 2;
 
 /// A request from an analyst client to the service.
@@ -99,6 +106,20 @@ pub enum Request {
     /// connection after `Hello`; no session required (the snapshot is
     /// service-wide, like an operator dashboard).
     MetricsSnapshot,
+    /// A multiplexed message: `payload` is a fully-encoded inner request
+    /// addressed to the logical channel `channel` on this connection. Each
+    /// channel runs the ordinary connection state machine independently
+    /// (its own inner `Hello`, its own session), so one socket can carry
+    /// many analyst sessions. The outer connection must have completed its
+    /// own `Hello` first; nesting `Mux` inside `Mux` is rejected. The
+    /// outer `request_id` is ignored for routing — responses are matched
+    /// by `(channel, inner request_id)`.
+    Mux {
+        /// Client-chosen logical channel id, stable for the channel's life.
+        channel: u64,
+        /// A complete inner request payload (header + body, unframed).
+        payload: Vec<u8>,
+    },
 }
 
 /// The analyst-facing view of a session's budget state, returned by
@@ -188,6 +209,14 @@ pub enum Response {
     MetricsReport(dprov_obs::MetricsSnapshot),
     /// The request failed; carries the stable error taxonomy.
     Error(ApiError),
+    /// A multiplexed reply: `payload` is a fully-encoded inner response
+    /// for the logical channel `channel` (see [`Request::Mux`]).
+    MuxReply {
+        /// The logical channel the inner response belongs to.
+        channel: u64,
+        /// A complete inner response payload (header + body, unframed).
+        payload: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -200,6 +229,7 @@ const TAG_REGISTER_UPDATER: u8 = 7;
 const TAG_APPLY_UPDATE: u8 = 8;
 const TAG_SEAL_EPOCH: u8 = 9;
 const TAG_METRICS: u8 = 10;
+const TAG_MUX: u8 = 11;
 
 const TAG_HELLO_ACK: u8 = 129;
 const TAG_REGISTERED: u8 = 130;
@@ -211,6 +241,7 @@ const TAG_UPDATER_REGISTERED: u8 = 135;
 const TAG_UPDATE_ACCEPTED: u8 = 136;
 const TAG_EPOCH_SEALED: u8 = 137;
 const TAG_METRICS_REPORT: u8 = 138;
+const TAG_MUX_REPLY: u8 = 139;
 const TAG_ERROR: u8 = 255;
 
 fn header(enc: &mut Encoder, tag: u8, request_id: u64) {
@@ -264,6 +295,11 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
         }
         Request::SealEpoch => header(&mut enc, TAG_SEAL_EPOCH, request_id),
         Request::MetricsSnapshot => header(&mut enc, TAG_METRICS, request_id),
+        Request::Mux { channel, payload } => {
+            header(&mut enc, TAG_MUX, request_id);
+            enc.put_u64(*channel);
+            enc.put_bytes(payload);
+        }
     }
     enc.into_bytes()
 }
@@ -342,6 +378,11 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             enc.put_bool(e.retryable);
             enc.put_str(&e.message);
         }
+        Response::MuxReply { channel, payload } => {
+            header(&mut enc, TAG_MUX_REPLY, request_id);
+            enc.put_u64(*channel);
+            enc.put_bytes(payload);
+        }
     }
     enc.into_bytes()
 }
@@ -349,11 +390,12 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
 /// Reads and validates the message header, returning `(tag, request_id)`.
 fn take_header(dec: &mut Decoder<'_>) -> Result<(u8, u64), ApiError> {
     let version = dec.take_u8().map_err(wire::malformed)?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(ApiError::new(
             codes::UNSUPPORTED_VERSION,
             format!(
-                "protocol version {version} not supported (this build speaks {PROTOCOL_VERSION})"
+                "protocol version {version} not supported (this build speaks \
+                 {MIN_SUPPORTED_VERSION}..={PROTOCOL_VERSION})"
             ),
         ));
     }
@@ -397,6 +439,10 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ApiError> {
         }
         TAG_SEAL_EPOCH => Request::SealEpoch,
         TAG_METRICS => Request::MetricsSnapshot,
+        TAG_MUX => Request::Mux {
+            channel: dec.take_u64().map_err(wire::malformed)?,
+            payload: dec.take_bytes().map_err(wire::malformed)?,
+        },
         t => {
             return Err(wire::malformed(format!("unknown request tag {t}")));
         }
@@ -465,6 +511,10 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ApiError> {
                 retryable,
             })
         }
+        TAG_MUX_REPLY => Response::MuxReply {
+            channel: dec.take_u64().map_err(wire::malformed)?,
+            payload: dec.take_bytes().map_err(wire::malformed)?,
+        },
         t => {
             return Err(wire::malformed(format!("unknown response tag {t}")));
         }

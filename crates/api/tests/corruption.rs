@@ -146,6 +146,91 @@ fn deep_predicate_nesting_is_bounded_not_a_stack_overflow() {
     assert!(err.message.contains("nesting"), "got: {}", err.message);
 }
 
+#[test]
+fn every_truncation_of_a_mux_frame_is_a_typed_error() {
+    let payload = encode_request(
+        5,
+        &Request::Mux {
+            channel: 3,
+            payload: sample_request_payload(),
+        },
+    );
+    for cut in 0..payload.len() {
+        let err =
+            decode_request(&payload[..cut]).expect_err("a truncated mux frame must not decode");
+        assert!(
+            err.code == codes::MALFORMED_FRAME || err.code == codes::UNSUPPORTED_VERSION,
+            "cut at {cut}: unexpected code {}",
+            err.code
+        );
+    }
+}
+
+#[test]
+fn mux_inner_payload_length_cannot_exceed_the_frame() {
+    // Corrupt the inner-payload length prefix to claim more bytes than the
+    // message holds: the decoder must refuse, not over-read or allocate.
+    let inner = sample_request_payload();
+    let mut payload = encode_request(
+        5,
+        &Request::Mux {
+            channel: 3,
+            payload: inner,
+        },
+    );
+    // Header (10 bytes) + channel u64 (8) puts the bytes-length u32 next.
+    let len_at = 10 + 8;
+    payload[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = decode_request(&payload).unwrap_err();
+    assert_eq!(err.code, codes::MALFORMED_FRAME);
+}
+
+#[test]
+fn mux_with_garbage_inner_payload_decodes_outer_only() {
+    // The outer mux codec treats the inner payload as opaque: outer decode
+    // succeeds, and the garbage surfaces as a typed error only when the
+    // channel state machine decodes the inner message.
+    let garbage = vec![0xDE, 0xAD, 0xBE, 0xEF];
+    let payload = encode_request(
+        5,
+        &Request::Mux {
+            channel: 9,
+            payload: garbage.clone(),
+        },
+    );
+    match decode_request(&payload).expect("outer frame is well-formed") {
+        (_, Request::Mux { channel, payload }) => {
+            assert_eq!(channel, 9);
+            let err = decode_request(&payload).expect_err("garbage inner must not decode");
+            assert!(
+                err.code == codes::MALFORMED_FRAME || err.code == codes::UNSUPPORTED_VERSION,
+                "unexpected code {}",
+                err.code
+            );
+            assert_eq!(payload, garbage);
+        }
+        other => panic!("decoded to {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Single-byte corruption of a mux frame either fails typed or decodes
+    /// to *some* request — never panics, never aliases into the original.
+    #[test]
+    fn flipped_mux_frame_bytes_never_panic(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut payload = encode_request(
+            5,
+            &Request::Mux { channel: rng.gen::<u64>(), payload: sample_request_payload() },
+        );
+        let at = rng.gen_range(0usize..payload.len());
+        payload[at] ^= 1 << rng.gen_range(0u32..8);
+        let _ = decode_request(&payload);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 

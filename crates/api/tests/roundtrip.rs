@@ -179,7 +179,21 @@ fn arb_metrics_snapshot(rng: &mut StdRng) -> dprov_obs::MetricsSnapshot {
 
 /// Every request variant, chosen by `tag` so proptest cases sweep them all.
 fn arb_request(rng: &mut StdRng, tag: u32) -> Request {
-    match tag % 10 {
+    match tag % 11 {
+        10 => Request::Mux {
+            channel: rng.gen::<u64>(),
+            // The outer codec treats the inner payload as opaque bytes;
+            // sweep both well-formed inner messages and raw noise.
+            payload: if rng.gen::<bool>() {
+                let inner_tag = rng.gen_range(0u32..10);
+                let inner_id = rng.gen::<u64>();
+                encode_request(inner_id, &arb_request(rng, inner_tag))
+            } else {
+                (0..rng.gen_range(0usize..64))
+                    .map(|_| rng.gen_range(0u32..=255) as u8)
+                    .collect()
+            },
+        },
         0 => Request::Hello {
             max_version: rng.gen_range(0u32..=255) as u8,
             client_name: arb_string(rng),
@@ -232,7 +246,19 @@ fn arb_update_batch(rng: &mut StdRng) -> dprov_delta::UpdateBatch {
 
 /// Every response variant, chosen by `tag`.
 fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
-    match tag % 11 {
+    match tag % 12 {
+        10 => Response::MuxReply {
+            channel: rng.gen::<u64>(),
+            payload: if rng.gen::<bool>() {
+                let inner_tag = rng.gen_range(0u32..10);
+                let inner_id = rng.gen::<u64>();
+                encode_response(inner_id, &arb_response(rng, inner_tag))
+            } else {
+                (0..rng.gen_range(0usize..64))
+                    .map(|_| rng.gen_range(0u32..=255) as u8)
+                    .collect()
+            },
+        },
         0 => Response::HelloAck {
             version: rng.gen_range(0u32..=255) as u8,
             server_name: arb_string(rng),
@@ -280,7 +306,7 @@ proptest! {
     /// Requests round-trip bit-for-bit through payload encoding, and
     /// through the CRC frame wrapping a byte-stream transport applies.
     #[test]
-    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..10, request_id in 0u64..u64::MAX) {
+    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..11, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let request = arb_request(&mut rng, tag);
         let payload = encode_request(request_id, &request);
@@ -295,7 +321,7 @@ proptest! {
 
     /// Responses round-trip bit-for-bit the same way.
     #[test]
-    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..11, request_id in 0u64..u64::MAX) {
+    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..12, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let response = arb_response(&mut rng, tag);
         let payload = encode_response(request_id, &response);
@@ -317,6 +343,52 @@ proptest! {
         prop_assert!(decode_response(&encode_request(9, &request)).is_err());
         let response = arb_response(&mut rng, tag);
         prop_assert!(decode_request(&encode_response(9, &response)).is_err());
+    }
+
+    /// A well-formed inner message survives the mux wrapping bit-for-bit:
+    /// outer decode yields the channel and the exact inner payload, and
+    /// the inner payload decodes back to the original message.
+    #[test]
+    fn mux_wrapping_preserves_inner_messages(
+        seed in 0u64..u64::MAX,
+        tag in 0u32..10,
+        channel in 0u64..u64::MAX,
+        inner_id in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inner_request = arb_request(&mut rng, tag);
+        let inner_payload = encode_request(inner_id, &inner_request);
+        let outer = encode_request(0, &Request::Mux {
+            channel,
+            payload: inner_payload.clone(),
+        });
+        match decode_request(&outer).expect("outer mux frame must decode") {
+            (_, Request::Mux { channel: ch, payload }) => {
+                prop_assert_eq!(ch, channel);
+                prop_assert_eq!(&payload, &inner_payload);
+                let (rid, decoded) = decode_request(&payload).expect("inner must decode");
+                prop_assert_eq!(rid, inner_id);
+                prop_assert_eq!(decoded, inner_request);
+            }
+            other => prop_assert!(false, "decoded to {other:?}"),
+        }
+
+        let inner_response = arb_response(&mut rng, tag);
+        let inner_payload = encode_response(inner_id, &inner_response);
+        let outer = encode_response(0, &Response::MuxReply {
+            channel,
+            payload: inner_payload.clone(),
+        });
+        match decode_response(&outer).expect("outer mux reply must decode") {
+            (_, Response::MuxReply { channel: ch, payload }) => {
+                prop_assert_eq!(ch, channel);
+                prop_assert_eq!(&payload, &inner_payload);
+                let (rid, decoded) = decode_response(&payload).expect("inner must decode");
+                prop_assert_eq!(rid, inner_id);
+                prop_assert_eq!(decoded, inner_response);
+            }
+            other => prop_assert!(false, "decoded to {other:?}"),
+        }
     }
 }
 

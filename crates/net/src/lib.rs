@@ -1,0 +1,213 @@
+//! # `dprov-net` — the C10k event-loop frontend
+//!
+//! The thread-per-connection [`dprov_server::Frontend`] spends three OS
+//! threads per analyst connection, which caps a deployment at a few
+//! hundred concurrent analysts long before the query engine is the
+//! bottleneck. This crate serves the **same versioned analyst protocol**
+//! from a *fixed* pool of readiness-driven loop threads
+//! ([`EventLoopFrontend`]): every connection is a non-blocking socket
+//! registered with a level-triggered poller (the workspace `epoll` shim —
+//! raw `epoll(7)` on Linux, `poll(2)` elsewhere), frames are decoded
+//! incrementally with `dprov_api::frame::FrameDecoder`, and thread count
+//! is independent of connection count, so tens of thousands of mostly
+//! idle connections cost two threads, not sixty thousand.
+//!
+//! **Equivalence, not reimplementation.** Protocol semantics live in
+//! [`dprov_server::proto`] and are shared byte-for-byte with the
+//! thread-per-connection frontend; this crate only contributes transport
+//! plumbing. The two frontends are config-selectable
+//! ([`dprov_server::FrontendMode`], dispatched by [`listen`]) and the
+//! differential test suite drives identical workloads through both,
+//! asserting bit-identical answers, noise streams and budget charges.
+//!
+//! **Backpressure end to end.** The worker pool's bounded queue already
+//! blocks thread-per-connection readers. Here nothing may block, so the
+//! loop converts queue pressure into socket pressure instead:
+//!
+//! * a submission hitting a full queue is **parked** on its connection
+//!   and the connection's read interest is dropped — TCP flow control
+//!   then pushes back on the client; a queue-space listener
+//!   ([`dprov_server::QueryService::add_queue_space_listener`]) wakes the
+//!   loops to retry parked work the moment a worker frees a slot;
+//! * a connection whose output buffer passes the high-water mark
+//!   ([`NetConfig::output_hwm`]) stops being read until the buffer drains
+//!   below half the mark — a slow-loris reader cannot balloon server
+//!   memory;
+//! * idle connections are reaped on a periodic tick after
+//!   [`NetConfig::idle_timeout`] (defaulting to the service's session
+//!   TTL, so transport lifetime and session lifetime expire together).
+//!
+//! **Multiplexing.** Protocol v3 `Mux` frames are handled by the shared
+//! state machine, so one socket carries many independent sessions
+//! (`dprov_api::MuxConnection`) on either frontend.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+
+use dprov_server::{FrontendMode, QueryService};
+
+mod event_loop;
+
+pub use event_loop::{EventLoopFrontend, EventLoopListener};
+
+/// Tuning knobs for the event-loop frontend. `Default` is sized for a
+/// small host (two loop threads); every field is public and documented so
+/// deployments tune in place.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Loop threads serving all connections. Loop 0 additionally owns the
+    /// accept path; connections are handed out round-robin. Thread count
+    /// never grows with connection count.
+    pub loop_threads: usize,
+    /// Per-connection cap on live mux channels (guards the per-channel
+    /// state map against a hostile client opening channels forever).
+    pub max_channels_per_conn: usize,
+    /// Per-connection output-buffer high-water mark in bytes. At or above
+    /// the mark the connection stops being read; reading resumes once the
+    /// buffer drains below half the mark.
+    pub output_hwm: usize,
+    /// Bytes read per `read(2)` call. Level-triggered readiness re-reports
+    /// a socket with more pending bytes, so a small chunk bounds how long
+    /// one chatty connection can hold its loop.
+    pub read_chunk: usize,
+    /// Close connections with no inbound traffic for this long; `None`
+    /// (the default) reuses the service's session TTL so a connection
+    /// whose session would have expired anyway is collected with it.
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Housekeeping cadence: poll-wait timeout, idle-reap scan interval
+    /// and the retry delay after transient accept failures.
+    pub tick: std::time::Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            loop_threads: 2,
+            max_channels_per_conn: 1024,
+            output_hwm: 1 << 20,
+            read_chunk: 64 * 1024,
+            idle_timeout: None,
+            tick: std::time::Duration::from_millis(250),
+        }
+    }
+}
+
+/// A running TCP listener for either frontend mode (see [`listen`]).
+pub enum ServiceListener {
+    /// The thread-per-connection frontend is serving.
+    ThreadPerConnection(dprov_server::FrontendListener),
+    /// The event-loop frontend is serving.
+    EventLoop(EventLoopListener),
+}
+
+impl ServiceListener {
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            ServiceListener::ThreadPerConnection(l) => l.local_addr(),
+            ServiceListener::EventLoop(l) => l.local_addr(),
+        }
+    }
+
+    /// Stops accepting and (for the event loop) tears the loops down.
+    pub fn shutdown(self) {
+        match self {
+            ServiceListener::ThreadPerConnection(l) => l.shutdown(),
+            ServiceListener::EventLoop(l) => l.shutdown(),
+        }
+    }
+
+    /// Takes the fatal accept-loop error, if one stopped the listener.
+    #[must_use]
+    pub fn take_fatal_error(&self) -> Option<io::Error> {
+        match self {
+            ServiceListener::ThreadPerConnection(l) => l.take_fatal_error(),
+            ServiceListener::EventLoop(l) => l.take_fatal_error(),
+        }
+    }
+}
+
+/// Binds a TCP listener and serves the analyst protocol with whichever
+/// frontend the service was configured for
+/// ([`dprov_server::ServiceConfig::frontend_mode`]). Both modes speak the
+/// same protocol and produce bit-identical analyst-visible results.
+pub fn listen(
+    service: &Arc<QueryService>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServiceListener> {
+    match service.frontend_mode() {
+        FrontendMode::ThreadPerConnection => dprov_server::Frontend::new(service)
+            .listen(addr)
+            .map(ServiceListener::ThreadPerConnection),
+        FrontendMode::EventLoop => EventLoopFrontend::new(service, NetConfig::default())
+            .listen(addr)
+            .map(ServiceListener::EventLoop),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use dprov_core::analyst::AnalystRegistry;
+    use dprov_core::config::SystemConfig;
+    use dprov_core::mechanism::MechanismKind;
+    use dprov_core::system::DProvDb;
+    use dprov_engine::catalog::ViewCatalog;
+    use dprov_engine::datagen::adult::adult_database;
+    use dprov_server::{FrontendMode, QueryService, ServiceConfig};
+
+    use super::*;
+
+    fn service(mode: FrontendMode) -> Arc<QueryService> {
+        let db = adult_database(100, 1);
+        let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+        let mut registry = AnalystRegistry::new();
+        registry.register("alice", 2).unwrap();
+        let config = SystemConfig::new(4.0).unwrap().with_seed(3);
+        let system =
+            Arc::new(DProvDb::new(db, catalog, registry, config, MechanismKind::Vanilla).unwrap());
+        Arc::new(QueryService::start(
+            system,
+            ServiceConfig::builder()
+                .workers(1)
+                .frontend_mode(mode)
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn default_config_is_fixed_thread() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.loop_threads, 2);
+        assert!(cfg.output_hwm >= 2 * cfg.read_chunk, "HWM admits one read");
+        assert!(cfg.idle_timeout.is_none(), "defaults to the session TTL");
+    }
+
+    #[test]
+    fn listen_dispatches_on_the_service_frontend_mode() {
+        for (mode, want_event_loop) in [
+            (FrontendMode::ThreadPerConnection, false),
+            (FrontendMode::EventLoop, true),
+        ] {
+            let service = service(mode);
+            let listener = listen(&service, "127.0.0.1:0").unwrap();
+            assert_ne!(listener.local_addr().port(), 0, "bound a real port");
+            match (&listener, want_event_loop) {
+                (ServiceListener::ThreadPerConnection(_), false) => {}
+                (ServiceListener::EventLoop(l), true) => {
+                    assert_eq!(l.loop_threads(), NetConfig::default().loop_threads);
+                }
+                _ => panic!("listen() picked the wrong frontend for {mode:?}"),
+            }
+            assert!(listener.take_fatal_error().is_none());
+            listener.shutdown();
+        }
+    }
+}

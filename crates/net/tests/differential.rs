@@ -1,0 +1,252 @@
+//! Differential oracle: the event-loop frontend vs. the
+//! thread-per-connection frontend.
+//!
+//! Each test runs the *same* deterministic workload (same system seed, same
+//! session registration order, same per-session submission order) through
+//! both frontends over real TCP sockets and asserts the analyst-visible
+//! transcripts — answers, noise values, epsilon charges, budget reports —
+//! are **bit-identical**. Float fields are compared through their IEEE bit
+//! patterns (`f64::to_bits`), so "identical" means identical, not "close".
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dprov_api::{DProvClient, MuxConnection};
+use dprov_core::analyst::AnalystRegistry;
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_net::listen;
+use dprov_server::{FrontendMode, QueryService, ServiceConfig};
+
+const MODES: [FrontendMode; 2] = [FrontendMode::ThreadPerConnection, FrontendMode::EventLoop];
+
+fn service(mode: FrontendMode, queue_capacity: usize) -> Arc<QueryService> {
+    let db = adult_database(600, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    registry.register("alice", 2).unwrap();
+    registry.register("bob", 4).unwrap();
+    let config = SystemConfig::new(8.0).unwrap().with_seed(17);
+    let system = Arc::new(
+        DProvDb::new(
+            db,
+            catalog,
+            registry,
+            config,
+            MechanismKind::AdditiveGaussian,
+        )
+        .unwrap(),
+    );
+    Arc::new(QueryService::start(
+        system,
+        ServiceConfig::builder()
+            .workers(2)
+            .queue_capacity(queue_capacity)
+            .frontend_mode(mode)
+            .build()
+            .unwrap(),
+    ))
+}
+
+fn age_query(lo: i64, hi: i64, variance: f64) -> QueryRequest {
+    QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, hi), variance)
+}
+
+fn hours_query(lo: i64, hi: i64, variance: f64) -> QueryRequest {
+    QueryRequest::with_accuracy(
+        Query::range_count("adult", "hours_per_week", lo, hi),
+        variance,
+    )
+}
+
+/// Renders an outcome with float fields as exact bit patterns.
+fn render(tag: &str, outcome: &QueryOutcome) -> String {
+    match outcome {
+        QueryOutcome::Answered(a) => format!(
+            "{tag}: answered value={:016x} eps={:016x} var={:016x} cache={} epoch={} view={:?}",
+            a.value.to_bits(),
+            a.epsilon_charged.to_bits(),
+            a.noise_variance.to_bits(),
+            a.from_cache,
+            a.epoch,
+            a.view,
+        ),
+        QueryOutcome::Rejected { reason } => format!("{tag}: rejected {reason:?}"),
+    }
+}
+
+fn render_budget(tag: &str, client: &mut DProvClient) -> String {
+    let b = client.budget().unwrap();
+    format!(
+        "{tag}: session={} analyst={} priv={} constraint={:016x} consumed={:016x} \
+         remaining={:016x} submitted={} answered={}",
+        b.session,
+        b.analyst,
+        b.privilege,
+        b.budget_constraint.to_bits(),
+        b.budget_consumed.to_bits(),
+        b.budget_remaining.to_bits(),
+        b.submitted,
+        b.answered,
+    )
+}
+
+/// Two analysts on separate TCP connections, synchronous and pipelined
+/// traffic on disjoint views, closed out with budget reports.
+fn plain_workload(addr: SocketAddr) -> Vec<String> {
+    let mut log = Vec::new();
+    let mut alice = DProvClient::connect_tcp(addr, "alice-conn").unwrap();
+    let a = alice.register("alice").unwrap();
+    log.push(format!(
+        "alice: session={} resumed={}",
+        a.session, a.resumed
+    ));
+    let mut bob = DProvClient::connect_tcp(addr, "bob-conn").unwrap();
+    let b = bob.register("bob").unwrap();
+    log.push(format!("bob: session={} resumed={}", b.session, b.resumed));
+
+    for i in 0..5 {
+        let out = alice
+            .query(&age_query(20 + i, 60, 400.0 + i as f64))
+            .unwrap();
+        log.push(render(&format!("alice q{i}"), &out));
+        let out = bob
+            .query(&hours_query(10, 40 + i, 500.0 + i as f64))
+            .unwrap();
+        log.push(render(&format!("bob q{i}"), &out));
+    }
+
+    // A pipelined burst (several frames in flight on one connection).
+    let ids: Vec<_> = (0..6)
+        .map(|i| alice.submit(&age_query(25, 35 + i, 600.0)).unwrap())
+        .collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        log.push(render(&format!("alice burst{i}"), &alice.poll(id).unwrap()));
+    }
+
+    log.push(render_budget("alice budget", &mut alice));
+    log.push(render_budget("bob budget", &mut bob));
+    alice.close().unwrap();
+    bob.close().unwrap();
+    log
+}
+
+fn transcript(
+    mode: FrontendMode,
+    queue_capacity: usize,
+    workload: fn(SocketAddr) -> Vec<String>,
+) -> Vec<String> {
+    let service = service(mode, queue_capacity);
+    let listener = listen(&service, "127.0.0.1:0").unwrap();
+    let log = workload(listener.local_addr());
+    assert!(
+        listener.take_fatal_error().is_none(),
+        "no fatal listener error during the workload"
+    );
+    listener.shutdown();
+    log
+}
+
+#[test]
+fn frontends_produce_bit_identical_transcripts() {
+    let logs: Vec<Vec<String>> = MODES
+        .iter()
+        .map(|&mode| transcript(mode, 256, plain_workload))
+        .collect();
+    assert!(!logs[0].is_empty());
+    assert_eq!(
+        logs[0], logs[1],
+        "thread-per-connection and event-loop transcripts diverged"
+    );
+}
+
+/// The same differential check with a tiny submission queue: the
+/// event-loop arm is forced through its park/retry backpressure path and
+/// the thread-per-connection arm through its blocking push, and the
+/// analyst-visible results still match bit for bit.
+#[test]
+fn backpressure_path_is_result_transparent() {
+    let logs: Vec<Vec<String>> = MODES
+        .iter()
+        .map(|&mode| transcript(mode, 1, plain_workload))
+        .collect();
+    assert_eq!(
+        logs[0], logs[1],
+        "queue-full handling changed analyst-visible results"
+    );
+}
+
+/// One shared socket carrying two independent sessions over mux channels,
+/// then a reconnect onto a *new* shared socket with a per-session
+/// `resume()` — the satellite-2 client pattern — checked differentially.
+fn mux_workload(addr: SocketAddr) -> Vec<String> {
+    let mut log = Vec::new();
+    let mux = MuxConnection::connect_tcp(addr, "shared-conn").unwrap();
+    let mut alice = DProvClient::connect(mux.channel(1).unwrap(), "alice-ch").unwrap();
+    let mut bob = DProvClient::connect(mux.channel(2).unwrap(), "bob-ch").unwrap();
+    let a = alice.register("alice").unwrap();
+    let b = bob.register("bob").unwrap();
+    log.push(format!("sessions: alice={} bob={}", a.session, b.session));
+
+    for i in 0..3 {
+        let out = alice.query(&age_query(30, 50 + i, 450.0)).unwrap();
+        log.push(render(&format!("alice q{i}"), &out));
+        let out = bob.query(&hours_query(20 + i, 60, 550.0)).unwrap();
+        log.push(render(&format!("bob q{i}"), &out));
+    }
+
+    // Drop the whole shared socket with both sessions still open.
+    drop(alice);
+    drop(bob);
+    drop(mux);
+
+    // Reconnect: one new socket, both sessions resumed on fresh channels.
+    let mux = MuxConnection::connect_tcp(addr, "shared-conn-2").unwrap();
+    let mut alice = DProvClient::connect(mux.channel(7).unwrap(), "alice-ch2").unwrap();
+    let mut bob = DProvClient::connect(mux.channel(9).unwrap(), "bob-ch2").unwrap();
+    let ra = alice.resume("alice", a.session).unwrap();
+    let rb = bob.resume("bob", b.session).unwrap();
+    assert!(ra.resumed && rb.resumed, "both sessions resumed");
+    log.push(format!("resumed: alice={} bob={}", ra.session, rb.session));
+
+    // Noise streams continue where they left off, on both frontends.
+    for i in 0..3 {
+        let out = alice.query(&age_query(30, 53 + i, 450.0)).unwrap();
+        log.push(render(&format!("alice r{i}"), &out));
+        let out = bob.query(&hours_query(23 + i, 60, 550.0)).unwrap();
+        log.push(render(&format!("bob r{i}"), &out));
+    }
+
+    log.push(render_budget("alice budget", &mut alice));
+    log.push(render_budget("bob budget", &mut bob));
+    alice.close().unwrap();
+    bob.close().unwrap();
+    log
+}
+
+#[test]
+fn multiplexed_sessions_with_resume_are_bit_identical() {
+    let logs: Vec<Vec<String>> = MODES
+        .iter()
+        .map(|&mode| transcript(mode, 256, mux_workload))
+        .collect();
+    assert!(!logs[0].is_empty());
+    assert_eq!(
+        logs[0], logs[1],
+        "multiplexed transcripts diverged between frontends"
+    );
+}
+
+/// Repeating the event-loop run twice yields the same transcript — the
+/// loop/worker scheduling does not leak into analyst-visible results.
+#[test]
+fn event_loop_runs_are_reproducible() {
+    let first = transcript(FrontendMode::EventLoop, 256, plain_workload);
+    let second = transcript(FrontendMode::EventLoop, 256, plain_workload);
+    assert_eq!(first, second);
+}

@@ -1,0 +1,438 @@
+//! Hostile-network tests, run against BOTH frontends: dribbled bytes,
+//! slow-loris writers, mid-frame disconnects and oversized frames must
+//! never panic a loop or worker thread, never leak threads or file
+//! descriptors, and surface only typed protocol errors.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dprov_api::frame::{frame, read_frame, MAX_FRAME_LEN};
+use dprov_api::protocol::{decode_response, encode_request, Request, Response, PROTOCOL_VERSION};
+use dprov_api::{codes, DProvClient};
+use dprov_core::analyst::AnalystRegistry;
+use dprov_core::config::SystemConfig;
+use dprov_core::mechanism::MechanismKind;
+use dprov_core::processor::QueryRequest;
+use dprov_core::system::DProvDb;
+use dprov_engine::catalog::ViewCatalog;
+use dprov_engine::datagen::adult::adult_database;
+use dprov_engine::query::Query;
+use dprov_net::{listen, EventLoopFrontend, NetConfig};
+use dprov_server::{FrontendMode, QueryService, ServiceConfig};
+
+const MODES: [FrontendMode; 2] = [FrontendMode::ThreadPerConnection, FrontendMode::EventLoop];
+
+fn service(mode: FrontendMode) -> Arc<QueryService> {
+    let db = adult_database(300, 1);
+    let catalog = ViewCatalog::one_per_attribute(&db, "adult").unwrap();
+    let mut registry = AnalystRegistry::new();
+    registry.register("alice", 2).unwrap();
+    let config = SystemConfig::new(8.0).unwrap().with_seed(5);
+    let system = Arc::new(
+        DProvDb::new(
+            db,
+            catalog,
+            registry,
+            config,
+            MechanismKind::AdditiveGaussian,
+        )
+        .unwrap(),
+    );
+    Arc::new(QueryService::start(
+        system,
+        ServiceConfig::builder()
+            .workers(2)
+            .frontend_mode(mode)
+            .build()
+            .unwrap(),
+    ))
+}
+
+fn age_query(lo: i64, hi: i64) -> QueryRequest {
+    QueryRequest::with_accuracy(Query::range_count("adult", "age", lo, hi), 500.0)
+}
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+/// Waits for a measurement to settle back to (at most) a baseline.
+fn settles_to(baseline: usize, what: &str, measure: impl Fn() -> usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut last = measure();
+    while last > baseline {
+        assert!(
+            Instant::now() < deadline,
+            "{what} did not settle: {last} > baseline {baseline}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        last = measure();
+    }
+}
+
+/// Writes `bytes` one byte per syscall — the worst-case TCP delivery.
+fn dribble(stream: &mut TcpStream, bytes: &[u8]) {
+    for b in bytes {
+        stream.write_all(std::slice::from_ref(b)).unwrap();
+        stream.flush().unwrap();
+    }
+}
+
+fn hello_frame() -> Vec<u8> {
+    frame(&encode_request(
+        0,
+        &Request::Hello {
+            max_version: PROTOCOL_VERSION,
+            client_name: "hostile".to_owned(),
+        },
+    ))
+}
+
+/// Reads one response payload with a deadline so a hung server fails the
+/// test instead of hanging it.
+fn recv_response(stream: &mut TcpStream) -> Response {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let payload = read_frame(stream).unwrap().expect("peer closed early");
+    decode_response(&payload).unwrap().1
+}
+
+#[test]
+fn byte_at_a_time_delivery_is_reassembled() {
+    for mode in MODES {
+        let service = service(mode);
+        let listener = listen(&service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+
+        dribble(&mut stream, &hello_frame());
+        match recv_response(&mut stream) {
+            Response::HelloAck { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("[{mode:?}] expected HelloAck, got {other:?}"),
+        }
+
+        // A session-scoped request without a session: a *typed* error on a
+        // connection that stays alive.
+        dribble(&mut stream, &frame(&encode_request(1, &Request::Heartbeat)));
+        match recv_response(&mut stream) {
+            Response::Error(e) => assert_eq!(e.code, codes::NO_SESSION, "[{mode:?}]"),
+            other => panic!("[{mode:?}] expected a typed error, got {other:?}"),
+        }
+
+        // The connection survived the error: a real request still works.
+        dribble(
+            &mut stream,
+            &frame(&encode_request(
+                2,
+                &Request::RegisterSession {
+                    analyst_name: "alice".to_owned(),
+                    resume: None,
+                },
+            )),
+        );
+        match recv_response(&mut stream) {
+            Response::SessionRegistered { .. } => {}
+            other => panic!("[{mode:?}] expected SessionRegistered, got {other:?}"),
+        }
+        listener.shutdown();
+    }
+}
+
+#[test]
+fn oversized_frame_closes_the_connection_without_harm() {
+    for mode in MODES {
+        let service = service(mode);
+        let listener = listen(&service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+        stream.write_all(&hello_frame()).unwrap();
+        assert!(matches!(
+            recv_response(&mut stream),
+            Response::HelloAck { .. }
+        ));
+
+        // A header declaring a body over the frame cap: the stream offset
+        // can no longer be trusted, so the server drops the connection.
+        let mut header = Vec::new();
+        header.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        header.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        stream.write_all(&header).unwrap();
+
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut rest = Vec::new();
+        match stream.read_to_end(&mut rest) {
+            Ok(_) => {} // clean close
+            Err(e) => assert_ne!(e.kind(), std::io::ErrorKind::WouldBlock, "[{mode:?}] hang"),
+        }
+        assert!(rest.is_empty(), "[{mode:?}] no reply to a corrupt frame");
+
+        // The server is unharmed: a fresh client round-trips a query.
+        let mut client = DProvClient::connect_tcp(listener.local_addr(), "after").unwrap();
+        client.register("alice").unwrap();
+        assert!(client.query(&age_query(20, 60)).unwrap().is_answered());
+        client.close().unwrap();
+        assert!(listener.take_fatal_error().is_none());
+        listener.shutdown();
+    }
+}
+
+#[test]
+fn mid_frame_disconnects_leak_no_threads_or_fds() {
+    for mode in MODES {
+        let service = service(mode);
+        let listener = listen(&service, "127.0.0.1:0").unwrap();
+        // Warm the accept path once so lazily-created fds are in the
+        // baseline.
+        drop(TcpStream::connect(listener.local_addr()).unwrap());
+        std::thread::sleep(Duration::from_millis(100));
+        let base_threads = thread_count();
+        let base_fds = fd_count();
+
+        for i in 0..25 {
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            let hello = hello_frame();
+            if i % 2 == 0 {
+                // FIN halfway through a frame.
+                stream.write_all(&hello[..hello.len() / 2]).unwrap();
+            } else {
+                // Full handshake, then die mid-way through the next frame.
+                stream.write_all(&hello).unwrap();
+                let _ = recv_response(&mut stream);
+                let beat = frame(&encode_request(1, &Request::Heartbeat));
+                stream.write_all(&beat[..5]).unwrap();
+            }
+            drop(stream);
+        }
+
+        settles_to(base_threads, &format!("[{mode:?}] threads"), thread_count);
+        settles_to(base_fds, &format!("[{mode:?}] fds"), fd_count);
+        assert!(listener.take_fatal_error().is_none());
+        listener.shutdown();
+    }
+}
+
+#[test]
+fn slow_loris_writers_do_not_starve_other_clients() {
+    for mode in MODES {
+        let service = service(mode);
+        let listener = listen(&service, "127.0.0.1:0").unwrap();
+
+        // Eight connections that send half a frame and then just... stop.
+        let mut loris = Vec::new();
+        for _ in 0..8 {
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            let hello = hello_frame();
+            stream.write_all(&hello[..hello.len() - 3]).unwrap();
+            loris.push(stream);
+        }
+
+        // A well-behaved client is completely unaffected.
+        let mut client = DProvClient::connect_tcp(listener.local_addr(), "victim").unwrap();
+        client.register("alice").unwrap();
+        for i in 0..5 {
+            assert!(
+                client.query(&age_query(20, 40 + i)).unwrap().is_answered(),
+                "[{mode:?}] query {i} starved by stalled writers"
+            );
+        }
+        client.close().unwrap();
+        drop(loris);
+        listener.shutdown();
+    }
+}
+
+/// Event-loop specific: thread count is flat in connection count (the
+/// C10k invariant), and dropping the connections releases their fds.
+#[test]
+fn event_loop_thread_count_is_flat_in_connections() {
+    let service = service(FrontendMode::EventLoop);
+    let listener = listen(&service, "127.0.0.1:0").unwrap();
+    drop(TcpStream::connect(listener.local_addr()).unwrap());
+    std::thread::sleep(Duration::from_millis(100));
+    let base_threads = thread_count();
+    let base_fds = fd_count();
+
+    let mut conns = Vec::new();
+    for i in 0..40 {
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+        stream.write_all(&hello_frame()).unwrap();
+        assert!(matches!(
+            recv_response(&mut stream),
+            Response::HelloAck { .. }
+        ));
+        conns.push(stream);
+        if i % 10 == 0 {
+            assert_eq!(
+                thread_count(),
+                base_threads,
+                "event loop grew threads with connections"
+            );
+        }
+    }
+    assert_eq!(thread_count(), base_threads);
+    drop(conns);
+    settles_to(base_fds, "event-loop fds", fd_count);
+    listener.shutdown();
+}
+
+/// Event-loop specific: a client that submits a pile of queries and reads
+/// nothing trips the output high-water mark (reads stall, memory stays
+/// bounded); once it finally drains the socket it gets every reply intact.
+#[test]
+fn stalled_reader_hits_the_hwm_and_loses_nothing() {
+    let service = service(FrontendMode::EventLoop);
+    let frontend = EventLoopFrontend::new(
+        &service,
+        NetConfig {
+            output_hwm: 2048,
+            ..NetConfig::default()
+        },
+    );
+    let listener = frontend.listen("127.0.0.1:0").unwrap();
+
+    let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+    stream.write_all(&hello_frame()).unwrap();
+    assert!(matches!(
+        recv_response(&mut stream),
+        Response::HelloAck { .. }
+    ));
+    stream
+        .write_all(&frame(&encode_request(
+            1,
+            &Request::RegisterSession {
+                analyst_name: "alice".to_owned(),
+                resume: None,
+            },
+        )))
+        .unwrap();
+    assert!(matches!(
+        recv_response(&mut stream),
+        Response::SessionRegistered { .. }
+    ));
+
+    // A few answered queries so the metrics snapshot has some meat, then
+    // a flood of MetricsSnapshot requests (replies are KiB-sized) with
+    // zero reads: replies pile up until the socket fills and then the
+    // 2 KiB high-water mark stalls further reading of this connection.
+    for i in 0..4u64 {
+        let req = Request::SubmitQuery(age_query(18, 30 + i as i64));
+        stream
+            .write_all(&frame(&encode_request(2 + i, &req)))
+            .unwrap();
+        assert!(matches!(
+            recv_response(&mut stream),
+            Response::QueryAnswer(_)
+        ));
+    }
+    let total = 1500u64;
+    let first_id = 100u64;
+    let writer = {
+        let mut half = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for i in 0..total {
+                half.write_all(&frame(&encode_request(
+                    first_id + i,
+                    &Request::MetricsSnapshot,
+                )))
+                .unwrap();
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(500));
+    let hwm = service
+        .metrics_snapshot()
+        .gauge("net.output_buffer_hwm_bytes")
+        .unwrap_or(0.0);
+    assert!(hwm >= 2048.0, "high-water mark never tripped (hwm={hwm})");
+
+    // Now drain: every reply arrives, each with its matching request id.
+    let mut seen = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    while seen.len() < total as usize {
+        let payload = read_frame(&mut stream).unwrap().expect("server hung up");
+        let (id, response) = decode_response(&payload).unwrap();
+        match response {
+            Response::MetricsReport(_) => seen.push(id),
+            other => panic!("unexpected reply while draining: {other:?}"),
+        }
+    }
+    writer.join().unwrap();
+    seen.sort_unstable();
+    let expected: Vec<u64> = (first_id..first_id + total).collect();
+    assert_eq!(
+        seen, expected,
+        "replies lost or duplicated across the stall"
+    );
+    listener.shutdown();
+}
+
+/// Event-loop specific: connections idle past the (here: tiny) idle
+/// timeout are reaped and counted.
+#[test]
+fn idle_connections_are_reaped() {
+    let service = service(FrontendMode::EventLoop);
+    let frontend = EventLoopFrontend::new(
+        &service,
+        NetConfig {
+            idle_timeout: Some(Duration::from_millis(200)),
+            tick: Duration::from_millis(50),
+            ..NetConfig::default()
+        },
+    );
+    let listener = frontend.listen("127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+    stream.write_all(&hello_frame()).unwrap();
+    assert!(matches!(
+        recv_response(&mut stream),
+        Response::HelloAck { .. }
+    ));
+
+    // Go quiet; the server hangs up on us.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    let reaped = service
+        .metrics_snapshot()
+        .counter("net.idle_reaped")
+        .unwrap_or(0);
+    assert!(reaped >= 1, "reap counter not incremented");
+    listener.shutdown();
+}
+
+/// Both frontends: after a server-side close the client library surfaces a
+/// typed `ApiError`, never a panic.
+#[test]
+fn client_errors_are_typed_after_server_close() {
+    for mode in MODES {
+        let service = service(mode);
+        let listener = listen(&service, "127.0.0.1:0").unwrap();
+        let mut client = DProvClient::connect_tcp(listener.local_addr(), "typed").unwrap();
+        client.register("alice").unwrap();
+        // Tear the service down under the live connection.
+        drop(service);
+        listener.shutdown();
+        // The transport is gone; every call fails with a typed error.
+        let err = client.query(&age_query(20, 30)).unwrap_err();
+        assert!(
+            matches!(
+                err.code,
+                codes::CONNECTION_CLOSED | codes::TRANSPORT_IO | codes::SHUTTING_DOWN
+            ),
+            "[{mode:?}] unexpected error code {} ({})",
+            err.code,
+            err.message
+        );
+    }
+}

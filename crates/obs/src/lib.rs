@@ -80,11 +80,20 @@ pub enum CounterId {
     LeaderElections,
     /// Executor nodes evicted by the orchestrator for missed heartbeats.
     NodesEvicted,
+    /// Accept-loop failures classified as transient (EMFILE-style resource
+    /// exhaustion, aborted handshakes): the loop backs off and continues.
+    AcceptTransientErrors,
+    /// Accept-loop failures classified as fatal (bad listener fd, invalid
+    /// state): the loop surfaces the error and stops accepting.
+    AcceptFatalErrors,
+    /// Connections closed by the event-loop frontend for idling past the
+    /// reap timeout (sessions survive; only the socket is dropped).
+    IdleConnectionsReaped,
 }
 
 impl CounterId {
     /// Every counter, in catalog order.
-    pub const ALL: [CounterId; 14] = [
+    pub const ALL: [CounterId; 17] = [
         CounterId::FrontendConnections,
         CounterId::FrontendRequests,
         CounterId::QueriesAnswered,
@@ -99,6 +108,9 @@ impl CounterId {
         CounterId::BatchesExecuted,
         CounterId::LeaderElections,
         CounterId::NodesEvicted,
+        CounterId::AcceptTransientErrors,
+        CounterId::AcceptFatalErrors,
+        CounterId::IdleConnectionsReaped,
     ];
 
     /// Stable snapshot name of the counter.
@@ -119,6 +131,9 @@ impl CounterId {
             CounterId::BatchesExecuted => "batch.executed",
             CounterId::LeaderElections => "cluster.leader_elections",
             CounterId::NodesEvicted => "cluster.evictions",
+            CounterId::AcceptTransientErrors => "frontend.accept_transient_errors",
+            CounterId::AcceptFatalErrors => "frontend.accept_fatal_errors",
+            CounterId::IdleConnectionsReaped => "net.idle_reaped",
         }
     }
 
@@ -137,11 +152,21 @@ pub enum GaugeId {
     /// Replication lag of the slowest live follower: leader last log
     /// index minus that follower's match index, at the last append.
     ReplicationLag,
+    /// Connections currently registered with the event-loop frontend.
+    RegisteredConnections,
+    /// Largest per-connection output buffer the event-loop frontend has
+    /// ever held (bytes) — how close writers get to the high-water mark.
+    OutputBufferHwm,
 }
 
 impl GaugeId {
     /// Every gauge, in catalog order.
-    pub const ALL: [GaugeId; 2] = [GaugeId::QueueDepthHwm, GaugeId::ReplicationLag];
+    pub const ALL: [GaugeId; 4] = [
+        GaugeId::QueueDepthHwm,
+        GaugeId::ReplicationLag,
+        GaugeId::RegisteredConnections,
+        GaugeId::OutputBufferHwm,
+    ];
 
     /// Stable snapshot name of the gauge.
     #[must_use]
@@ -149,6 +174,8 @@ impl GaugeId {
         match self {
             GaugeId::QueueDepthHwm => "queue.depth_hwm",
             GaugeId::ReplicationLag => "cluster.replication_lag",
+            GaugeId::RegisteredConnections => "net.registered_connections",
+            GaugeId::OutputBufferHwm => "net.output_buffer_hwm_bytes",
         }
     }
 
@@ -187,11 +214,14 @@ pub enum HistId {
     EpochStaleness,
     /// Replication: budget charge proposed → majority-acknowledged.
     QuorumAck,
+    /// Ready events delivered per event-loop wakeup (count, not ns) — how
+    /// much work each `epoll_wait` return amortises.
+    ReadyEventsPerWake,
 }
 
 impl HistId {
     /// Every histogram, in catalog order.
-    pub const ALL: [HistId; 11] = [
+    pub const ALL: [HistId; 12] = [
         HistId::FrontendDecode,
         HistId::FrontendReply,
         HistId::QueueWait,
@@ -203,6 +233,7 @@ impl HistId {
         HistId::BatchSize,
         HistId::EpochStaleness,
         HistId::QuorumAck,
+        HistId::ReadyEventsPerWake,
     ];
 
     /// Stable snapshot name of the histogram.
@@ -220,6 +251,7 @@ impl HistId {
             HistId::BatchSize => "batch.size",
             HistId::EpochStaleness => "epoch.staleness",
             HistId::QuorumAck => "cluster.quorum_ack_ns",
+            HistId::ReadyEventsPerWake => "net.ready_events_per_wake",
         }
     }
 

@@ -29,21 +29,23 @@
 //! get retryable `SHUTTING_DOWN` errors instead of hangs, and the
 //! service's worker threads are never kept alive by idle connections.
 
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Weak};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use dprov_api::protocol::{
-    decode_request, encode_response, BudgetReport, Request, Response, MIN_SUPPORTED_VERSION,
-    PROTOCOL_VERSION,
-};
+use dprov_api::protocol::Response;
 use dprov_api::{codes, ApiError, Connection};
-use dprov_core::analyst::AnalystId;
-use dprov_obs::{CounterId, HistId, MetricsRegistry, Stage};
+use dprov_obs::{CounterId, MetricsRegistry};
 
+use crate::proto::{
+    encode_reply, query_response_to_protocol, shutting_down, ConnProto, PayloadOutcome,
+    DEFAULT_MAX_CHANNELS,
+};
 use crate::service::{QueryResponse, QueryService, ServerError};
-use crate::session::{SessionError, SessionId};
+use crate::session::SessionError;
 
 impl From<SessionError> for ApiError {
     fn from(e: SessionError) -> Self {
@@ -70,24 +72,6 @@ impl From<ServerError> for ApiError {
             }
         }
     }
-}
-
-/// Per-connection protocol state.
-#[derive(Default)]
-struct ConnState {
-    hello_done: bool,
-    session: Option<(SessionId, AnalystId)>,
-    /// True once the connection authenticated as a data updater
-    /// (a role disjoint from analyst sessions).
-    is_updater: bool,
-}
-
-/// What the reader does after handling one request.
-enum Flow {
-    /// Keep reading.
-    Continue,
-    /// Respond (already sent) and close the connection.
-    Close,
 }
 
 /// Trace lanes: workers occupy lanes `0..N`; frontend connections start
@@ -147,26 +131,44 @@ impl Frontend {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let fatal: Arc<Mutex<Option<io::Error>>> = Arc::new(Mutex::new(None));
         let flag = Arc::clone(&shutdown);
+        let fatal_slot = Arc::clone(&fatal);
         let frontend = Arc::clone(self);
         let accept_thread = std::thread::Builder::new()
             .name("dprov-frontend-accept".to_owned())
             .spawn(move || {
+                let mut backoff = ACCEPT_BACKOFF_FLOOR;
                 for stream in listener.incoming() {
                     if flag.load(Ordering::SeqCst) {
                         break;
                     }
                     match stream {
                         Ok(stream) => {
+                            backoff = ACCEPT_BACKOFF_FLOOR;
                             if let Ok(conn) = Connection::from_tcp(stream) {
                                 frontend.serve(conn);
                             }
                         }
-                        // Persistent accept failures (e.g. EMFILE under
-                        // descriptor exhaustion) would otherwise busy-spin
-                        // this thread at 100% CPU; back off briefly.
-                        Err(_) => {
-                            std::thread::sleep(std::time::Duration::from_millis(50));
+                        // Transient failures (descriptor exhaustion, an
+                        // aborted handshake) clear on their own; backing
+                        // off exponentially keeps the thread from
+                        // busy-spinning at 100% CPU while they last, and
+                        // the counter makes a persistent EMFILE plateau
+                        // visible on a dashboard.
+                        Err(e) if accept_error_is_transient(&e) => {
+                            frontend.metrics.incr(CounterId::AcceptTransientErrors);
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
+                        }
+                        // Anything else means the listener itself is gone
+                        // (bad descriptor, socket torn down). Retrying
+                        // cannot help; park the error where operators can
+                        // read it and stop accepting.
+                        Err(e) => {
+                            frontend.metrics.incr(CounterId::AcceptFatalErrors);
+                            *fatal_slot.lock().expect("fatal slot poisoned") = Some(e);
+                            break;
                         }
                     }
                 }
@@ -175,6 +177,7 @@ impl Frontend {
             local_addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            fatal,
         })
     }
 
@@ -200,31 +203,18 @@ impl Frontend {
 
         // Forwarder: drains query receivers in submission order. Session
         // lanes execute a session's queries FIFO, so blocking on the head
-        // receiver never delays a later outcome.
-        let (pending_tx, pending_rx) = mpsc::channel::<(u64, mpsc::Receiver<QueryResponse>)>();
+        // receiver never delays a later outcome. Each entry carries its
+        // mux scope so a channel's answer is wrapped back into it.
+        let (pending_tx, pending_rx) =
+            mpsc::channel::<(u64, Option<u64>, mpsc::Receiver<QueryResponse>)>();
         let forward_out = out_tx.clone();
         let forward_metrics = self.metrics.clone();
         let forwarder = std::thread::Builder::new()
             .name("dprov-frontend-forward".to_owned())
             .spawn(move || {
-                while let Ok((request_id, rx)) = pending_rx.recv() {
-                    let response = match rx.recv() {
-                        Ok(Ok(outcome)) => Response::QueryAnswer(outcome),
-                        Ok(Err(server_error)) => Response::Error(server_error.into()),
-                        // The worker dropped the responder without
-                        // answering: the pool is going away.
-                        Err(_) => Response::Error(ApiError::new(
-                            codes::SHUTTING_DOWN,
-                            "service dropped the job during shutdown",
-                        )),
-                    };
-                    let reply_start = forward_metrics.start();
-                    let frame = encode_response(request_id, &response);
-                    if let Some(t0) = reply_start {
-                        let dur = t0.elapsed();
-                        forward_metrics.observe_duration(HistId::FrontendReply, dur);
-                        forward_metrics.trace(request_id, Stage::Reply, lane, t0, dur);
-                    }
+                while let Ok((request_id, scope, rx)) = pending_rx.recv() {
+                    let response = query_response_to_protocol(rx.recv().ok());
+                    let frame = encode_reply(&forward_metrics, lane, request_id, scope, &response);
                     if forward_out.send(frame).is_err() {
                         break;
                     }
@@ -232,33 +222,58 @@ impl Frontend {
             })
             .expect("failed to spawn frontend forwarder thread");
 
-        let mut state = ConnState::default();
+        let mut proto = ConnProto::new(DEFAULT_MAX_CHANNELS);
         // The reader stops on clean close or transport failure: either way
         // the stream is done. Sessions are NOT closed here — a
         // reconnecting client resumes by id; abandonment is the TTL's job.
         while let Ok(Some(payload)) = source.recv() {
-            let decode_start = self.metrics.start();
-            match decode_request(&payload) {
-                Ok((request_id, request)) => {
-                    if let Some(t0) = decode_start {
-                        let dur = t0.elapsed();
-                        self.metrics.observe_duration(HistId::FrontendDecode, dur);
-                        self.metrics.trace(request_id, Stage::Decode, lane, t0, dur);
-                    }
-                    self.metrics.incr(CounterId::FrontendRequests);
-                    match self.handle(&mut state, request_id, request, lane, &pending_tx, &out_tx) {
-                        Flow::Continue => {}
-                        Flow::Close => break,
-                    }
+            match proto.handle_payload(
+                &self.service,
+                &self.server_name,
+                &self.metrics,
+                lane,
+                &payload,
+            ) {
+                PayloadOutcome::Reply(frame) => {
+                    let _ = out_tx.send(frame);
                 }
-                Err(e) => {
-                    // The frame boundary is intact (framing is below us)
-                    // but the body is undecodable — the peer speaks a
-                    // different dialect. Report once and drop the
-                    // connection: without a request id, outstanding
-                    // requests cannot be answered reliably anyway.
-                    let _ = out_tx.send(encode_response(0, &Response::Error(e)));
+                PayloadOutcome::ReplyClose(frame) => {
+                    let _ = out_tx.send(frame);
                     break;
+                }
+                PayloadOutcome::Submit {
+                    session,
+                    request,
+                    request_id,
+                    scope,
+                } => {
+                    // The protocol's pipelining id doubles as the trace
+                    // id, so one request's decode, queue-wait, execute and
+                    // reply stages share a key in the exported trace.
+                    let submitted = match self.service.upgrade() {
+                        Some(service) => service
+                            .submit_traced(session, request, request_id)
+                            .map_err(ApiError::from),
+                        None => Err(shutting_down()),
+                    };
+                    match submitted {
+                        Ok(rx) => {
+                            // The forwarder answers this id when the
+                            // worker pool does; the reader moves straight
+                            // on to the next pipelined request.
+                            let _ = pending_tx.send((request_id, scope, rx));
+                        }
+                        Err(e) => {
+                            let frame = encode_reply(
+                                &self.metrics,
+                                lane,
+                                request_id,
+                                scope,
+                                &Response::Error(e),
+                            );
+                            let _ = out_tx.send(frame);
+                        }
+                    }
                 }
             }
         }
@@ -270,281 +285,29 @@ impl Frontend {
         let _ = forwarder.join();
         let _ = writer.join();
     }
-
-    /// Handles one decoded request. Control responses are sent inline via
-    /// `out_tx`; query submissions are parked with the forwarder.
-    fn handle(
-        &self,
-        state: &mut ConnState,
-        request_id: u64,
-        request: Request,
-        lane: u64,
-        pending_tx: &mpsc::Sender<(u64, mpsc::Receiver<QueryResponse>)>,
-        out_tx: &mpsc::Sender<Vec<u8>>,
-    ) -> Flow {
-        let respond = |response: Response| {
-            let reply_start = self.metrics.start();
-            let frame = encode_response(request_id, &response);
-            if let Some(t0) = reply_start {
-                let dur = t0.elapsed();
-                self.metrics.observe_duration(HistId::FrontendReply, dur);
-                self.metrics.trace(request_id, Stage::Reply, lane, t0, dur);
-            }
-            let _ = out_tx.send(frame);
-        };
-        match request {
-            Request::Hello { max_version, .. } => {
-                if state.hello_done {
-                    respond(Response::Error(ApiError::new(
-                        codes::UNEXPECTED_MESSAGE,
-                        "hello already exchanged on this connection",
-                    )));
-                    return Flow::Continue;
-                }
-                // min(client, server), refused only below the floor this
-                // build still understands.
-                let negotiated = max_version.min(PROTOCOL_VERSION);
-                if negotiated < MIN_SUPPORTED_VERSION {
-                    respond(Response::Error(ApiError::new(
-                        codes::UNSUPPORTED_VERSION,
-                        format!(
-                            "client speaks up to version {max_version}; this server supports                              {MIN_SUPPORTED_VERSION}..={PROTOCOL_VERSION}"
-                        ),
-                    )));
-                    return Flow::Close;
-                }
-                state.hello_done = true;
-                respond(Response::HelloAck {
-                    version: negotiated,
-                    server_name: self.server_name.clone(),
-                });
-                Flow::Continue
-            }
-            _ if !state.hello_done => {
-                respond(Response::Error(ApiError::new(
-                    codes::UNEXPECTED_MESSAGE,
-                    "the first message on a connection must be Hello",
-                )));
-                Flow::Close
-            }
-            Request::RegisterSession {
-                analyst_name,
-                resume,
-            } => {
-                if state.session.is_some() {
-                    respond(Response::Error(ApiError::new(
-                        codes::UNEXPECTED_MESSAGE,
-                        "connection already carries a session (one session per connection)",
-                    )));
-                    return Flow::Continue;
-                }
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Close;
-                };
-                let Some(analyst) = service
-                    .system()
-                    .registry()
-                    .find_by_name(&analyst_name)
-                    .map(|a| (a.id, a.privilege.level()))
-                else {
-                    respond(Response::Error(ApiError::new(
-                        codes::UNKNOWN_ANALYST,
-                        format!("no analyst named {analyst_name:?} in the roster"),
-                    )));
-                    return Flow::Continue;
-                };
-                let (analyst_id, privilege) = analyst;
-                let registered = match resume {
-                    Some(session) => service
-                        .resume_session(SessionId(session), analyst_id)
-                        .map(|()| (SessionId(session), true)),
-                    None => service.open_session(analyst_id).map(|id| (id, false)),
-                };
-                match registered {
-                    Ok((session_id, resumed)) => {
-                        state.session = Some((session_id, analyst_id));
-                        respond(Response::SessionRegistered {
-                            session: session_id.0,
-                            analyst: analyst_id.0 as u64,
-                            privilege,
-                            resumed,
-                        });
-                    }
-                    Err(e) => respond(Response::Error(e.into())),
-                }
-                Flow::Continue
-            }
-            Request::SubmitQuery(query_request) => {
-                let Some((session_id, _)) = state.session else {
-                    respond(Response::Error(no_session()));
-                    return Flow::Continue;
-                };
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Continue;
-                };
-                // The protocol's pipelining id doubles as the trace id, so
-                // one request's decode, queue-wait, execute and reply
-                // stages share a key in the exported trace.
-                match service.submit_traced(session_id, query_request, request_id) {
-                    Ok(rx) => {
-                        // The forwarder answers this id when the worker
-                        // pool does; the reader moves straight on to the
-                        // next pipelined request.
-                        let _ = pending_tx.send((request_id, rx));
-                    }
-                    Err(e) => respond(Response::Error(e.into())),
-                }
-                Flow::Continue
-            }
-            Request::Heartbeat => {
-                let Some((session_id, _)) = state.session else {
-                    respond(Response::Error(no_session()));
-                    return Flow::Continue;
-                };
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Continue;
-                };
-                match service.heartbeat(session_id) {
-                    Ok(()) => respond(Response::HeartbeatAck),
-                    Err(e) => respond(Response::Error(e.into())),
-                }
-                Flow::Continue
-            }
-            Request::BudgetStatus => {
-                let Some((session_id, _)) = state.session else {
-                    respond(Response::Error(no_session()));
-                    return Flow::Continue;
-                };
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Continue;
-                };
-                match service.session_info(session_id) {
-                    Ok(info) => respond(Response::BudgetReport(BudgetReport {
-                        session: info.id.0,
-                        analyst: info.analyst.0 as u64,
-                        privilege: info.privilege,
-                        budget_constraint: info.budget_constraint,
-                        budget_consumed: info.budget_consumed,
-                        budget_remaining: info.budget_remaining,
-                        submitted: info.submitted as u64,
-                        answered: info.answered as u64,
-                        rejected: info.rejected as u64,
-                    })),
-                    Err(e) => respond(Response::Error(e.into())),
-                }
-                Flow::Continue
-            }
-            Request::RegisterUpdater { updater_name } => {
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Close;
-                };
-                if !service.is_updater(&updater_name) {
-                    respond(Response::Error(ApiError::new(
-                        codes::NOT_UPDATER,
-                        format!("{updater_name:?} is not in the configured updater roster"),
-                    )));
-                    return Flow::Continue;
-                }
-                state.is_updater = true;
-                respond(Response::UpdaterRegistered);
-                Flow::Continue
-            }
-            Request::ApplyUpdate(batch) => {
-                if !state.is_updater {
-                    respond(Response::Error(not_updater()));
-                    return Flow::Continue;
-                }
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Continue;
-                };
-                match service.apply_update(&batch) {
-                    Ok(batch_seq) => respond(Response::UpdateAccepted {
-                        batch_seq,
-                        pending: service.system().pending_updates() as u64,
-                    }),
-                    Err(e) => respond(Response::Error(e.into())),
-                }
-                Flow::Continue
-            }
-            Request::SealEpoch => {
-                if !state.is_updater {
-                    respond(Response::Error(not_updater()));
-                    return Flow::Continue;
-                }
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Continue;
-                };
-                match service.seal_epoch() {
-                    Ok(report) => respond(Response::EpochSealed {
-                        epoch: report.epoch,
-                        batches: report.batches as u64,
-                        rows: report.rows as u64,
-                        views_patched: report.views_patched.len() as u64,
-                        synopses_invalidated: report.synopses_invalidated as u64,
-                    }),
-                    Err(e) => respond(Response::Error(e.into())),
-                }
-                Flow::Continue
-            }
-            Request::MetricsSnapshot => {
-                // Deliberately session-free (like `RegisterUpdater`): an
-                // operator dashboard polls metrics without holding an
-                // analyst budget session. The snapshot is aggregate
-                // telemetry — no per-query answers — so it leaks nothing a
-                // session would gate.
-                let Some(service) = self.service.upgrade() else {
-                    respond(Response::Error(shutting_down()));
-                    return Flow::Continue;
-                };
-                respond(Response::MetricsReport(service.metrics_snapshot()));
-                Flow::Continue
-            }
-            Request::CloseSession => {
-                let Some((session_id, _)) = state.session.take() else {
-                    respond(Response::Error(no_session()));
-                    return Flow::Close;
-                };
-                if let Some(service) = self.service.upgrade() {
-                    let _ = service.close_session(session_id);
-                }
-                respond(Response::SessionClosed);
-                Flow::Close
-            }
-            // `Request` is #[non_exhaustive]: a request type this build
-            // does not know gets a typed refusal, not a dropped frame.
-            other => {
-                respond(Response::Error(ApiError::new(
-                    codes::UNEXPECTED_MESSAGE,
-                    format!("request type not supported by this server: {other:?}"),
-                )));
-                Flow::Continue
-            }
-        }
-    }
 }
 
-fn shutting_down() -> ApiError {
-    ApiError::new(codes::SHUTTING_DOWN, "service is shutting down")
-}
+/// Accept-loop backoff bounds for transient failures.
+const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_CEIL: Duration = Duration::from_millis(100);
 
-fn no_session() -> ApiError {
-    ApiError::new(
-        codes::NO_SESSION,
-        "register a session before using this request",
-    )
-}
-
-fn not_updater() -> ApiError {
-    ApiError::new(
-        codes::NOT_UPDATER,
-        "register as an updater before submitting updates or sealing epochs",
+/// Classifies an `accept(2)` failure: transient errors (descriptor
+/// exhaustion, an aborted in-flight handshake, interrupted syscalls,
+/// transient kernel memory pressure) clear on their own and merit a
+/// backed-off retry; anything else means the listening socket itself is
+/// broken and retrying can only spin. Shared by both frontends so they
+/// cannot drift in what they survive.
+#[must_use]
+pub fn accept_error_is_transient(e: &io::Error) -> bool {
+    // Raw codes (Linux values) because `io::ErrorKind` has no stable
+    // mapping for several of these: EINTR(4), EAGAIN(11), ENOMEM(12),
+    // ENFILE(23), EMFILE(24), EPROTO(71), ECONNABORTED(103), ENOBUFS(105).
+    matches!(
+        e.raw_os_error(),
+        Some(4 | 11 | 12 | 23 | 24 | 71 | 103 | 105)
+    ) || matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted | io::ErrorKind::ConnectionAborted
     )
 }
 
@@ -553,6 +316,7 @@ pub struct FrontendListener {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    fatal: Arc<Mutex<Option<io::Error>>>,
 }
 
 impl FrontendListener {
@@ -560,6 +324,15 @@ impl FrontendListener {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Takes the fatal accept-loop error, if one stopped the listener.
+    /// Transient failures (EMFILE and friends) are retried with backoff
+    /// and surface only as the `frontend.accept_transient_errors`
+    /// counter; a fatal error ends the accept loop and is parked here.
+    #[must_use]
+    pub fn take_fatal_error(&self) -> Option<io::Error> {
+        self.fatal.lock().expect("fatal slot poisoned").take()
     }
 
     /// Stops accepting new connections and joins the accept thread.
@@ -591,7 +364,7 @@ impl Drop for FrontendListener {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dprov_api::protocol::encode_request;
+    use dprov_api::protocol::{encode_request, Request, PROTOCOL_VERSION};
     use dprov_api::DProvClient;
     use dprov_core::analyst::AnalystRegistry;
     use dprov_core::config::SystemConfig;

@@ -69,13 +69,16 @@
 #![warn(clippy::all)]
 
 pub mod frontend;
+pub mod proto;
 pub mod queue;
 pub mod service;
 pub mod session;
 
 pub use frontend::{Frontend, FrontendListener};
+pub use queue::{SpaceListener, TryPushError};
 pub use service::{
-    ClusterRole, DurabilityConfig, DurabilityConfigBuilder, PendingQuery, QueryResponse,
-    QueryService, RecoveryReport, ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats,
+    ClusterRole, DurabilityConfig, DurabilityConfigBuilder, FrontendMode, PendingQuery,
+    QueryCallback, QueryResponse, QueryService, RecoveryReport, ServerError, ServiceConfig,
+    ServiceConfigBuilder, ServiceStats, TrySubmitError,
 };
 pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

@@ -9,7 +9,7 @@
 //! drain the remaining items before observing the close.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A consumer's fair share of `available` queued items when the backlog
@@ -24,6 +24,19 @@ fn fair_share(available: usize, shares: usize) -> usize {
 #[derive(Debug)]
 pub struct QueueClosed<T>(pub T);
 
+/// Error returned by [`BoundedQueue::try_push`]; carries the rejected item
+/// back so a non-blocking producer can park it instead of losing it.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; retry when a space listener fires.
+    Full(T),
+    /// The queue has been closed; the item will never be accepted.
+    Closed(T),
+}
+
+/// Callback registered with [`BoundedQueue::add_space_listener`].
+pub type SpaceListener = Arc<dyn Fn() + Send + Sync>;
+
 #[derive(Debug)]
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -31,12 +44,24 @@ struct QueueState<T> {
 }
 
 /// A blocking, bounded MPMC queue.
-#[derive(Debug)]
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Called (outside the queue lock) whenever a pop transitions the
+    /// queue away from full — the non-blocking producers' wakeup signal,
+    /// complementing the `not_full` condvar blocking producers wait on.
+    space_listeners: Mutex<Vec<SpaceListener>>,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T> BoundedQueue<T> {
@@ -51,6 +76,24 @@ impl<T> BoundedQueue<T> {
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            space_listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a callback fired after a pop moves the queue away from
+    /// capacity. Fired outside the queue lock; the callback may call
+    /// [`Self::try_push`] but must not block.
+    pub fn add_space_listener(&self, listener: SpaceListener) {
+        self.space_listeners
+            .lock()
+            .expect("queue poisoned")
+            .push(listener);
+    }
+
+    fn fire_space_listeners(&self) {
+        let listeners = self.space_listeners.lock().expect("queue poisoned").clone();
+        for listener in listeners {
+            listener();
         }
     }
 
@@ -74,13 +117,35 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueues an item without blocking. A full queue hands the item back
+    /// as [`TryPushError::Full`] — the caller parks it and retries when a
+    /// space listener fires, instead of tying up a thread.
+    pub fn try_push(&self, item: T) -> Result<usize, TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
     /// Dequeues the oldest item, blocking while the queue is empty. Returns
     /// `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
+            let was_full = state.items.len() == self.capacity;
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
+                drop(state);
+                if was_full {
+                    self.fire_space_listeners();
+                }
                 return Some(item);
             }
             if state.closed {
@@ -108,9 +173,11 @@ impl<T> BoundedQueue<T> {
     pub fn pop_batch(&self, max: usize, linger: Duration, shares: usize) -> Vec<T> {
         let max = max.max(1);
         let mut out = Vec::new();
+        let mut freed_from_full = false;
         let mut state = self.state.lock().expect("queue poisoned");
         // Block for the first item (or the close).
         loop {
+            freed_from_full |= state.items.len() == self.capacity;
             if let Some(item) = state.items.pop_front() {
                 out.push(item);
                 break;
@@ -153,6 +220,7 @@ impl<T> BoundedQueue<T> {
                     .expect("queue poisoned");
                 state = next;
                 let before = out.len();
+                freed_from_full |= state.items.len() == self.capacity && target > out.len();
                 while out.len() < target {
                     match state.items.pop_front() {
                         Some(item) => out.push(item),
@@ -167,6 +235,10 @@ impl<T> BoundedQueue<T> {
                 }
             }
         }
+        drop(state);
+        if freed_from_full {
+            self.fire_space_listeners();
+        }
         out
     }
 
@@ -175,6 +247,7 @@ impl<T> BoundedQueue<T> {
     /// batch up). The same fair-share cap as [`Self::pop_batch`] applies.
     pub fn try_pop_batch(&self, max: usize, shares: usize) -> Vec<T> {
         let mut state = self.state.lock().expect("queue poisoned");
+        let was_full = state.items.len() == self.capacity;
         let target = if shares > 1 {
             max.min(fair_share(state.items.len(), shares))
         } else {
@@ -190,6 +263,11 @@ impl<T> BoundedQueue<T> {
         if !out.is_empty() {
             self.not_full.notify_all();
         }
+        let freed_from_full = was_full && !out.is_empty();
+        drop(state);
+        if freed_from_full {
+            self.fire_space_listeners();
+        }
         out
     }
 
@@ -201,6 +279,8 @@ impl<T> BoundedQueue<T> {
         drop(state);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        // Parked non-blocking producers retry and observe the close.
+        self.fire_space_listeners();
     }
 
     /// Number of queued (not yet popped) items.
@@ -309,6 +389,58 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert!(producer.join().unwrap());
         assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn try_push_hands_the_item_back_when_full_or_closed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert!(matches!(q.try_push(3), Err(TryPushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+        q.close();
+        assert!(matches!(q.try_push(4), Err(TryPushError::Closed(4))));
+        // Close drains before ending.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn space_listeners_fire_when_a_pop_frees_a_full_queue() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = BoundedQueue::new(2);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let observer = Arc::clone(&fired);
+        q.add_space_listener(Arc::new(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        }));
+        q.push(1).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            0,
+            "no signal while the queue never filled"
+        );
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert!(matches!(q.try_push(4), Err(TryPushError::Full(4))));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "full → non-full fires");
+        assert_eq!(q.pop_batch(2, Duration::ZERO, 1), vec![3]);
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "popping a non-full queue stays quiet"
+        );
+        q.push(5).unwrap();
+        q.push(6).unwrap();
+        assert_eq!(q.try_pop_batch(1, 1), vec![5]);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        // Close wakes parked producers so they observe the shutdown.
+        q.close();
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use dprov_storage::{
     analysts_digest, config_fingerprint, ProvenanceStore, SessionCheckpoint, StoreOptions,
 };
 
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, SpaceListener, TryPushError};
 use crate::session::{Session, SessionError, SessionId, SessionInfo, SessionRegistry};
 
 /// Tuning knobs for the service.
@@ -85,6 +85,13 @@ pub struct ServiceConfig {
     /// but the role is declared here so operators configure one knob and
     /// introspection (logs, dashboards) can tell the processes apart.
     pub role: ClusterRole,
+    /// Which connection-handling architecture the TCP frontend uses
+    /// (defaults to [`FrontendMode::ThreadPerConnection`]). Analyst-visible
+    /// behaviour — answers, noise streams, budget charges — is
+    /// bit-identical under both modes; the knob trades per-connection
+    /// threads for a fixed event-loop pool that scales to tens of
+    /// thousands of idle connections.
+    pub frontend_mode: FrontendMode,
 }
 
 /// The role a service process plays in a distributed deployment.
@@ -102,6 +109,24 @@ pub enum ClusterRole {
     ExecutorNode,
 }
 
+/// Which connection-handling architecture the TCP frontend uses (see
+/// [`ServiceConfig::frontend_mode`]). The two modes serve the same
+/// versioned protocol and produce bit-identical analyst-visible results;
+/// they differ only in how many OS threads a connection costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendMode {
+    /// One reader thread (plus a writer) per accepted connection — the
+    /// original [`crate::frontend::Frontend`]. Simple, and fine up to a
+    /// few hundred concurrent analysts.
+    #[default]
+    ThreadPerConnection,
+    /// A fixed pool of readiness-driven event-loop threads multiplexing
+    /// every connection (the `dprov-net` crate). Thread count is
+    /// independent of connection count, so tens of thousands of mostly
+    /// idle connections cost no extra threads.
+    EventLoop,
+}
+
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
@@ -113,6 +138,7 @@ impl Default for ServiceConfig {
             updaters: Vec::new(),
             scan_threads: 1,
             role: ClusterRole::Standalone,
+            frontend_mode: FrontendMode::ThreadPerConnection,
         }
     }
 }
@@ -195,6 +221,13 @@ impl ServiceConfigBuilder {
     #[must_use]
     pub fn role(mut self, role: ClusterRole) -> Self {
         self.config.role = role;
+        self
+    }
+
+    /// Selects the TCP frontend's connection-handling architecture.
+    #[must_use]
+    pub fn frontend_mode(mut self, mode: FrontendMode) -> Self {
+        self.config.frontend_mode = mode;
         self
     }
 
@@ -295,6 +328,37 @@ impl From<StorageError> for ServerError {
 
 /// The response to one submission.
 pub type QueryResponse = Result<QueryOutcome, ServerError>;
+
+/// Why [`QueryService::try_submit_callback`] could not accept a
+/// submission.
+pub enum TrySubmitError {
+    /// The runnable queue is full. The request and its callback are
+    /// handed back intact so the caller can park them and retry once a
+    /// queue-space listener fires — this is the backpressure signal the
+    /// event-loop frontend turns into "stop reading this connection".
+    Full {
+        /// The submitted request, returned unexecuted.
+        request: QueryRequest,
+        /// The completion callback, never invoked.
+        on_done: QueryCallback,
+    },
+    /// The submission was rejected outright (unknown/expired session or a
+    /// shutting-down service). The callback is dropped without running;
+    /// the caller reports the error itself.
+    Rejected(ServerError),
+}
+
+impl std::fmt::Debug for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::Full { request, .. } => f
+                .debug_struct("Full")
+                .field("request", request)
+                .finish_non_exhaustive(),
+            TrySubmitError::Rejected(e) => f.debug_tuple("Rejected").field(e).finish(),
+        }
+    }
+}
 
 /// Durability settings for [`QueryService::start_durable`].
 #[derive(Debug, Clone)]
@@ -478,11 +542,40 @@ fn system_fingerprint(system: &DProvDb) -> u64 {
     )
 }
 
+/// A completion handler invoked with the response of a non-blocking
+/// submission (see [`QueryService::try_submit_callback`]). Runs on the
+/// worker thread that executed the job, so it must be quick and
+/// non-blocking — the event-loop frontend uses it to hand the encoded
+/// reply back to the owning loop thread.
+pub type QueryCallback = Box<dyn FnOnce(QueryResponse) + Send>;
+
+/// How a finished job's response travels back to its submitter.
+enum Responder {
+    /// The blocking/pipelined path: the submitter parks on (or polls) the
+    /// receiving end of an `mpsc` channel.
+    Channel(mpsc::Sender<QueryResponse>),
+    /// The event-driven path: a one-shot callback invoked on the worker.
+    Callback(QueryCallback),
+}
+
+impl Responder {
+    /// Delivers the response, consuming the responder. A dropped channel
+    /// receiver is fine — the submitter walked away.
+    fn deliver(self, response: QueryResponse) {
+        match self {
+            Responder::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Responder::Callback(on_done) => on_done(response),
+        }
+    }
+}
+
 /// One unit of work for the pool.
 struct Job {
     session: Arc<Session>,
     request: QueryRequest,
-    responder: mpsc::Sender<QueryResponse>,
+    responder: Responder,
     /// Request id keying this job's trace-journal events (the protocol's
     /// pipelining id when the job came through the frontend, a
     /// service-assigned sequence number for in-process submissions).
@@ -565,6 +658,12 @@ pub struct QueryService {
     /// Trace-id sequence for in-process submissions (protocol submissions
     /// carry their own pipelining id).
     trace_seq: AtomicU64,
+    /// The configured frontend architecture ([`ServiceConfig::frontend_mode`]);
+    /// `listen` dispatches on it.
+    frontend_mode: FrontendMode,
+    /// The configured session TTL, exposed so the event-loop frontend can
+    /// derive its idle-connection reaping horizon from the same knob.
+    session_ttl: Duration,
 }
 
 impl QueryService {
@@ -766,6 +865,8 @@ impl QueryService {
             queue_depth_hwm: AtomicUsize::new(0),
             batch_sizes,
             trace_seq: AtomicU64::new(1),
+            frontend_mode: config.frontend_mode,
+            session_ttl: config.session_ttl,
         }
     }
 
@@ -871,7 +972,7 @@ impl QueryService {
             Err(e) => Err(ServerError::Core(e)),
         };
         // The submitter may have dropped its receiver; that is fine.
-        let _ = job.responder.send(response);
+        job.responder.deliver(response);
 
         // Periodic compaction: fold the ledger into a snapshot once
         // it has grown past the watermark (raised after failures so
@@ -1146,7 +1247,7 @@ impl QueryService {
         let job = Job {
             session: Arc::clone(&session),
             request,
-            responder: tx,
+            responder: Responder::Channel(tx),
             trace_id,
             enqueued_at: self.metrics.start(),
         };
@@ -1187,7 +1288,7 @@ impl QueryService {
                             .map_or_else(VecDeque::new, |l| l.pending)
                     };
                     for job in stranded {
-                        let _ = job.responder.send(Err(ServerError::ShuttingDown));
+                        job.responder.deliver(Err(ServerError::ShuttingDown));
                     }
                     return Err(ServerError::ShuttingDown);
                 }
@@ -1196,6 +1297,122 @@ impl QueryService {
         session.mark_submitted();
         self.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(rx)
+    }
+
+    /// Non-blocking submission with a completion callback — the
+    /// event-loop frontend's path into the worker pool. Unlike
+    /// [`QueryService::submit_wait`], this never parks the calling thread:
+    /// a full runnable queue hands the request and callback back as
+    /// [`TrySubmitError::Full`] instead of blocking, so a loop thread can
+    /// deregister read interest on the submitting connection and retry
+    /// when a queue-space listener (see
+    /// [`QueryService::add_queue_space_listener`]) fires.
+    ///
+    /// Session-lane semantics are identical to the blocking path: if the
+    /// session already has a runnable job the new one waits in its lane
+    /// (always accepted — lanes are unbounded, per-session FIFO), and the
+    /// job only contends for queue space when it is the session's runnable
+    /// head. The callback runs on the executing worker thread; keep it
+    /// quick and non-blocking.
+    // The Err variant deliberately hands the unexecuted request (and its
+    // callback) back to the caller so a non-blocking frontend can park and
+    // retry it — the size is the payload, not accidental bloat.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit_callback(
+        &self,
+        id: SessionId,
+        request: QueryRequest,
+        trace_id: u64,
+        on_done: QueryCallback,
+    ) -> Result<(), TrySubmitError> {
+        let session = match self.sessions.get(id) {
+            Ok(s) => s,
+            Err(e) => return Err(TrySubmitError::Rejected(ServerError::Session(e))),
+        };
+        let job = Job {
+            session: Arc::clone(&session),
+            request,
+            responder: Responder::Callback(on_done),
+            trace_id,
+            enqueued_at: self.metrics.start(),
+        };
+        // Hold the lane lock across the (non-blocking) queue reservation
+        // so a `Full` verdict can undo the lane claim atomically — no
+        // other submitter can slip a job into the lane's pending queue
+        // believing a runnable job exists. `try_push` never blocks, and
+        // nothing takes the lane lock while holding the queue lock, so
+        // the lanes→queue nesting cannot deadlock.
+        let mut lanes = self.lanes.lock().expect("lane map poisoned");
+        let lane = lanes.entry(id.0).or_default();
+        if lane.busy {
+            lane.pending.push_back(job);
+            drop(lanes);
+        } else {
+            match self.queue.try_push(job) {
+                Ok(depth) => {
+                    lane.busy = true;
+                    drop(lanes);
+                    self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+                    self.metrics.gauge_max(GaugeId::QueueDepthHwm, depth as f64);
+                }
+                Err(TryPushError::Full(job)) => {
+                    // Retire the lane entry if this submission created it;
+                    // an accepted job must be able to find its lane, and a
+                    // rejected one must not leak an idle entry.
+                    if lane.pending.is_empty() {
+                        lanes.remove(&id.0);
+                    }
+                    drop(lanes);
+                    let Job {
+                        request, responder, ..
+                    } = job;
+                    let Responder::Callback(on_done) = responder else {
+                        unreachable!("try_submit_callback builds callback responders")
+                    };
+                    return Err(TrySubmitError::Full { request, on_done });
+                }
+                Err(TryPushError::Closed(job)) => {
+                    // Mirror the blocking path's shutdown handling: fail
+                    // any lane-pending jobs that would never be chained
+                    // into, then report the rejection (this job's callback
+                    // is dropped unrun — the caller owns the error).
+                    drop(job);
+                    let stranded = lanes
+                        .remove(&id.0)
+                        .map_or_else(VecDeque::new, |l| l.pending);
+                    drop(lanes);
+                    for job in stranded {
+                        job.responder.deliver(Err(ServerError::ShuttingDown));
+                    }
+                    return Err(TrySubmitError::Rejected(ServerError::ShuttingDown));
+                }
+            }
+        }
+        session.mark_submitted();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Registers a callback fired whenever the runnable queue transitions
+    /// from full to non-full (see [`crate::queue::BoundedQueue`]); the
+    /// event-loop frontend uses it to re-arm read interest on connections
+    /// stalled by backpressure. Listeners run outside the queue lock but
+    /// on whichever thread freed the space, so they must be quick and
+    /// non-blocking (typically: write one byte to a loop waker).
+    pub fn add_queue_space_listener(&self, listener: SpaceListener) {
+        self.queue.add_space_listener(listener);
+    }
+
+    /// The configured frontend architecture.
+    #[must_use]
+    pub fn frontend_mode(&self) -> FrontendMode {
+        self.frontend_mode
+    }
+
+    /// The configured session time-to-live ([`ServiceConfig::session_ttl`]).
+    #[must_use]
+    pub fn session_ttl(&self) -> Duration {
+        self.session_ttl
     }
 
     /// Submits a query and blocks until its outcome is available.

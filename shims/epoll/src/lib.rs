@@ -1,0 +1,549 @@
+//! Minimal readiness-polling shim with no external dependencies.
+//!
+//! On Linux this wraps the `epoll(7)` family directly via `extern "C"`
+//! declarations (std already links libc, so no new crates are needed); on
+//! other Unixes it falls back to `poll(2)` over a registered-fd table. The
+//! API is deliberately tiny — register/modify/deregister file descriptors
+//! with a `u64` token and a read/write [`Interest`], then [`Poller::wait`]
+//! for [`Event`]s — which is all the `dprov-net` event loop requires.
+//!
+//! All registrations are level-triggered: an fd keeps reporting readiness
+//! until the condition is drained. That makes backpressure simple (stop
+//! reading by dropping read interest; resume by re-adding it) at the cost
+//! of one syscall per interest change.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Which readiness conditions a registration listens for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+}
+
+impl Interest {
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+    };
+
+    pub fn readable(self) -> bool {
+        self.read
+    }
+
+    pub fn writable(self) -> bool {
+        self.write
+    }
+
+    pub fn with_read(self, read: bool) -> Interest {
+        Interest { read, ..self }
+    }
+
+    pub fn with_write(self, write: bool) -> Interest {
+        Interest { write, ..self }
+    }
+}
+
+/// One readiness notification delivered by [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token supplied at registration time.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can accept writes without blocking.
+    pub writable: bool,
+    /// The peer hung up or the fd is in an error state; the owner should
+    /// drain any remaining bytes and tear the fd down.
+    pub closed: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // The kernel ABI packs this struct on x86-64 (12 bytes, not 16).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Level-triggered epoll instance.
+    pub struct Poller {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // Safety: epoll_create1 takes no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            let ptr = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev
+            };
+            // Safety: `ptr` is either null (DEL) or a live stack slot.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis().max(if d.is_zero() { 0 } else { 1 }))
+                    .unwrap_or(i32::MAX),
+            };
+            let n = loop {
+                // Safety: buf is a live allocation of at least `len` events.
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for i in 0..n {
+                let raw = self.buf[i];
+                let bits = raw.events;
+                events.push(Event {
+                    token: raw.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            if n == self.buf.len() {
+                // Saturated the buffer; grow so a flood of ready fds cannot
+                // starve the tail of the registration set.
+                self.buf
+                    .resize(self.buf.len() * 2, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // Safety: epfd is owned by this Poller and closed exactly once.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable() {
+            bits |= EPOLLIN;
+        }
+        if interest.writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Portable fallback driven by poll(2) over a registered-fd table.
+    pub struct Poller {
+        registered: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Vec::new(),
+            })
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.registered.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.registered.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for slot in &mut self.registered {
+                if slot.0 == fd {
+                    slot.1 = token;
+                    slot.2 = interest;
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.registered.len();
+            self.registered.retain(|(f, _, _)| *f != fd);
+            if self.registered.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut fds: Vec<PollFd> = self
+                .registered
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: (if interest.readable() { POLLIN } else { 0 })
+                        | (if interest.writable() { POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis().max(if d.is_zero() { 0 } else { 1 }))
+                    .unwrap_or(i32::MAX),
+            };
+            let rc = loop {
+                // Safety: fds is a live allocation of nfds entries.
+                let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                if rc >= 0 {
+                    break rc;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if rc > 0 {
+                for (slot, pfd) in self.registered.iter().zip(fds.iter()) {
+                    if pfd.revents != 0 {
+                        events.push(Event {
+                            token: slot.1,
+                            readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                            writable: pfd.revents & POLLOUT != 0,
+                            closed: pfd.revents & (POLLERR | POLLHUP) != 0,
+                        });
+                    }
+                }
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the epoll shim supports Unix targets only");
+
+/// Readiness poller: epoll on Linux, poll(2) on other Unixes.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Start watching `fd` with the given token and interest set.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        #[allow(unused_mut)]
+        let inner = &mut self.inner;
+        inner.register(fd, token, interest)
+    }
+
+    /// Replace the token/interest of an already-registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, token, interest)
+    }
+
+    /// Stop watching `fd`. The fd must currently be registered.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Block until at least one registered fd is ready, the timeout lapses
+    /// (`Ok(0)`), or a signal is delivered (retried internally). Events are
+    /// appended to `events` after clearing it.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`] built on a non-blocking socketpair:
+/// the read end is registered with the poller under a caller-chosen token,
+/// and `wake()` makes that token readable from any thread.
+pub struct Waker {
+    read: std::os::unix::net::UnixStream,
+    write: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    /// Create the pair and register the read end under `token`.
+    pub fn new(poller: &mut Poller, token: u64) -> io::Result<Waker> {
+        use std::os::fd::AsRawFd;
+        let (read, write) = std::os::unix::net::UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        poller.register(read.as_raw_fd(), token, Interest::READ)?;
+        Ok(Waker { read, write })
+    }
+
+    /// Make the waker token readable. Saturating: if the pipe already holds
+    /// a pending wakeup the write may hit `WouldBlock`, which is fine — the
+    /// poller will wake once and drain everything.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.write).write(&[1u8]);
+    }
+
+    /// Consume pending wakeups so the token stops reporting readable.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.read).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    const TICK: Option<Duration> = Some(Duration::from_millis(200));
+
+    #[test]
+    fn readable_after_write_with_token() {
+        let mut poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(a.as_raw_fd(), 42, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no event before any bytes arrive");
+
+        (&b).write_all(b"x").unwrap();
+        let n = poller.wait(&mut events, TICK).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let mut poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(a.as_raw_fd(), 7, Interest::WRITE).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, TICK).unwrap();
+        assert_eq!(n, 1, "fresh socket should be writable");
+        assert!(events[0].writable);
+
+        // Drop all interest: no further events even though still writable.
+        poller.modify(a.as_raw_fd(), 7, Interest::NONE).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn hangup_reports_closed() {
+        let mut poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(a.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, TICK).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].closed);
+    }
+
+    #[test]
+    fn deregister_silences_fd() {
+        let mut poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(a.as_raw_fd(), 1, Interest::READ).unwrap();
+        (&b).write_all(b"x").unwrap();
+        poller.deregister(a.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // Unread byte is still there; only the registration is gone.
+        let mut buf = [0u8; 1];
+        (&a).read_exact(&mut buf).unwrap();
+        assert_eq!(buf[0], b'x');
+    }
+
+    #[test]
+    fn waker_wakes_from_other_thread() {
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&mut poller, 0).unwrap());
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 0);
+        waker.drain();
+        handle.join().unwrap();
+        // Drained: the token is quiet again.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn many_ready_fds_all_reported() {
+        let mut poller = Poller::new().unwrap();
+        let mut pairs = Vec::new();
+        for i in 0..64u64 {
+            let (a, b) = UnixStream::pair().unwrap();
+            a.set_nonblocking(true).unwrap();
+            poller
+                .register(a.as_raw_fd(), 1000 + i, Interest::READ)
+                .unwrap();
+            (&b).write_all(b"y").unwrap();
+            pairs.push((a, b));
+        }
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, TICK).unwrap();
+        assert_eq!(n, 64);
+        let mut tokens: Vec<u64> = events.iter().map(|e| e.token).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (1000..1064).collect::<Vec<u64>>());
+    }
+}

@@ -33,6 +33,12 @@
 //! * [`obs`] — observability: lock-free counters/gauges/histograms, the
 //!   per-request trace journal with chrome-trace export, and the typed
 //!   `MetricsSnapshot` served over the wire protocol.
+//! * [`net`] — the C10k event-loop frontend: a fixed pool of readiness-
+//!   driven loop threads (over the hand-rolled epoll shim) serving
+//!   thousands of multiplexed, non-blocking connections with incremental
+//!   frame decode, queue-coupled backpressure and idle-connection
+//!   reaping — selectable against the thread-per-connection `Frontend`
+//!   and proven bit-identical to it.
 //! * [`cluster`] — the distributed deployment: a majority-quorum
 //!   replicated budget ledger (simplified Raft over the storage WAL
 //!   records), the executor-node orchestrator with heartbeat/deadline
@@ -41,7 +47,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through,
 //! `examples/concurrent_service.rs` for the multi-analyst service,
-//! `examples/remote_client.rs` for the client/server split over TCP and
+//! `examples/remote_client.rs` for the client/server split over TCP,
+//! `examples/multiplexed_clients.rs` for many sessions on one socket and
 //! `examples/recover_service.rs` for durable restarts.
 
 pub use dprov_api as api;
@@ -51,6 +58,7 @@ pub use dprov_delta as delta;
 pub use dprov_dp as dp;
 pub use dprov_engine as engine;
 pub use dprov_exec as exec;
+pub use dprov_net as net;
 pub use dprov_obs as obs;
 pub use dprov_server as server;
 pub use dprov_storage as storage;
@@ -58,7 +66,9 @@ pub use dprov_workloads as workloads;
 
 /// Convenience prelude exporting the most commonly used types.
 pub mod prelude {
-    pub use dprov_api::{ApiError, BudgetReport, Connection, DProvClient, ErrorKind};
+    pub use dprov_api::{
+        ApiError, BudgetReport, Connection, DProvClient, ErrorKind, MuxConnection,
+    };
     pub use dprov_core::analyst::{AnalystId, AnalystRegistry, Privilege};
     pub use dprov_core::config::SystemConfig;
     pub use dprov_core::mechanism::MechanismKind;
@@ -69,7 +79,8 @@ pub mod prelude {
     pub use dprov_engine::database::Database;
     pub use dprov_engine::query::{AggregateKind, Query};
     pub use dprov_exec::{ColumnarExecutor, ExecConfig};
+    pub use dprov_net::{NetConfig, ServiceListener};
     pub use dprov_obs::{MetricsRegistry, MetricsSnapshot};
-    pub use dprov_server::{Frontend, QueryService, ServiceConfig, SessionId};
+    pub use dprov_server::{Frontend, FrontendMode, QueryService, ServiceConfig, SessionId};
     pub use dprov_workloads::runner::ExperimentRunner;
 }
