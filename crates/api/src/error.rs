@@ -91,6 +91,18 @@ pub mod codes {
     pub const UPDATE_MISSING_ROW: u16 = 428;
     /// An update batch carried no inserts and no deletes.
     pub const UPDATE_EMPTY: u16 = 429;
+    /// A star-schema declaration was structurally invalid (e.g. a foreign
+    /// key naming a missing table or attribute).
+    pub const INVALID_STAR_SCHEMA: u16 = 430;
+    /// A dimension table carried the same key value in two rows.
+    pub const DUPLICATE_DIMENSION_KEY: u16 = 431;
+    /// A fact row referenced a dimension key with no matching row.
+    pub const FOREIGN_KEY_VIOLATION: u16 = 432;
+    /// A declared workload had no templates to plan for.
+    pub const WORKLOAD_EMPTY: u16 = 433;
+    /// A workload template cannot be answered over any histogram view, so
+    /// no catalog choice can serve it.
+    pub const NOT_PLANNABLE: u16 = 434;
 
     /// The service is shutting down and accepts no new work.
     pub const SHUTTING_DOWN: u16 = 500;
@@ -287,6 +299,26 @@ impl From<EngineError> for ApiError {
             EngineError::UnknownView(_) => codes::UNKNOWN_VIEW,
             EngineError::SqlParse(_) => codes::SQL_PARSE,
             EngineError::InvalidQuery(_) => codes::INVALID_QUERY,
+            EngineError::InvalidStarSchema(_) => codes::INVALID_STAR_SCHEMA,
+            EngineError::DuplicateDimensionKey { .. } => codes::DUPLICATE_DIMENSION_KEY,
+            EngineError::ForeignKeyViolation { .. } => codes::FOREIGN_KEY_VIOLATION,
+            _ => codes::INVALID_ARGUMENT,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+impl From<dprov_plan::PlanError> for ApiError {
+    fn from(e: dprov_plan::PlanError) -> Self {
+        let code = match &e {
+            dprov_plan::PlanError::Engine(engine) => {
+                return ApiError {
+                    message: e.to_string(),
+                    ..ApiError::from(engine.clone())
+                }
+            }
+            dprov_plan::PlanError::EmptyWorkload => codes::WORKLOAD_EMPTY,
+            dprov_plan::PlanError::NotPlannable { .. } => codes::NOT_PLANNABLE,
             _ => codes::INVALID_ARGUMENT,
         };
         ApiError::new(code, e.to_string())

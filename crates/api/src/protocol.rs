@@ -18,7 +18,8 @@
 //! accidentally decoded from the wrong side fails loudly instead of
 //! aliasing into a different message type.
 
-use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_core::processor::{GroupedOutcome, GroupedRequest, QueryOutcome, QueryRequest};
+use dprov_core::workload::DeclaredWorkload;
 use dprov_storage::codec::{Decoder, Encoder};
 
 use crate::error::{codes, ApiError, ErrorKind};
@@ -36,7 +37,14 @@ use crate::wire;
 /// id plus a fully-encoded inner message — many analyst sessions can share
 /// one socket, each channel running the ordinary per-connection state
 /// machine. No existing body changed, so the floor stays at 2.
-pub const PROTOCOL_VERSION: u8 = 3;
+///
+/// Version 4 (grouped queries and planning): [`Request::GroupByQuery`] /
+/// [`Request::DeclareWorkload`] and [`Response::GroupedAnswer`] /
+/// [`Response::WorkloadPlan`] were appended under new tags — a GROUP BY
+/// submission releases one DP answer per group in a single admission, and
+/// a declared workload returns the advisory view/synopsis plan. No
+/// existing body changed, so the floor stays at 2.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// The oldest protocol version this build still understands. `Hello`
 /// negotiation settles on `min(client max, server max)` and fails only
@@ -120,6 +128,15 @@ pub enum Request {
         /// A complete inner request payload (header + body, unframed).
         payload: Vec<u8>,
     },
+    /// Submits one GROUP BY query on the connection's session. The whole
+    /// grouped release — every group's cell — is admitted as one unit and
+    /// answered with one [`Response::GroupedAnswer`].
+    GroupByQuery(GroupedRequest),
+    /// Declares the session's expected workload (query templates plus
+    /// relative frequencies). The service answers with the advisory
+    /// view/synopsis plan ([`Response::WorkloadPlan`]); declaring spends no
+    /// budget and does not constrain later submissions.
+    DeclareWorkload(DeclaredWorkload),
 }
 
 /// The analyst-facing view of a session's budget state, returned by
@@ -217,6 +234,21 @@ pub enum Response {
         /// A complete inner response payload (header + body, unframed).
         payload: Vec<u8>,
     },
+    /// Answer to [`Request::GroupByQuery`] — one outcome per group cell in
+    /// the canonical group-enumeration order, alongside each cell's group
+    /// key (per-cell rejection is a valid outcome, not an error).
+    GroupedAnswer(GroupedOutcome),
+    /// Answer to [`Request::DeclareWorkload`] — the advisory plan.
+    WorkloadPlan {
+        /// Views the plan would materialise.
+        views: u64,
+        /// Estimated per-analyst budget the planned catalog costs.
+        est_epsilon: f64,
+        /// Estimated up-front materialisation work in cell-visits.
+        est_materialise_cells: f64,
+        /// The human-readable plan report (views, routing, reasons).
+        report: String,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -230,6 +262,8 @@ const TAG_APPLY_UPDATE: u8 = 8;
 const TAG_SEAL_EPOCH: u8 = 9;
 const TAG_METRICS: u8 = 10;
 const TAG_MUX: u8 = 11;
+const TAG_GROUP_BY: u8 = 12;
+const TAG_DECLARE_WORKLOAD: u8 = 13;
 
 const TAG_HELLO_ACK: u8 = 129;
 const TAG_REGISTERED: u8 = 130;
@@ -242,6 +276,8 @@ const TAG_UPDATE_ACCEPTED: u8 = 136;
 const TAG_EPOCH_SEALED: u8 = 137;
 const TAG_METRICS_REPORT: u8 = 138;
 const TAG_MUX_REPLY: u8 = 139;
+const TAG_GROUPED_ANSWER: u8 = 140;
+const TAG_WORKLOAD_PLAN: u8 = 141;
 const TAG_ERROR: u8 = 255;
 
 fn header(enc: &mut Encoder, tag: u8, request_id: u64) {
@@ -299,6 +335,14 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
             header(&mut enc, TAG_MUX, request_id);
             enc.put_u64(*channel);
             enc.put_bytes(payload);
+        }
+        Request::GroupByQuery(grouped) => {
+            header(&mut enc, TAG_GROUP_BY, request_id);
+            wire::put_grouped_request(&mut enc, grouped);
+        }
+        Request::DeclareWorkload(workload) => {
+            header(&mut enc, TAG_DECLARE_WORKLOAD, request_id);
+            wire::put_workload(&mut enc, workload);
         }
     }
     enc.into_bytes()
@@ -383,6 +427,22 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             enc.put_u64(*channel);
             enc.put_bytes(payload);
         }
+        Response::GroupedAnswer(outcome) => {
+            header(&mut enc, TAG_GROUPED_ANSWER, request_id);
+            wire::put_grouped_outcome(&mut enc, outcome);
+        }
+        Response::WorkloadPlan {
+            views,
+            est_epsilon,
+            est_materialise_cells,
+            report,
+        } => {
+            header(&mut enc, TAG_WORKLOAD_PLAN, request_id);
+            enc.put_u64(*views);
+            enc.put_f64(*est_epsilon);
+            enc.put_f64(*est_materialise_cells);
+            enc.put_str(report);
+        }
     }
     enc.into_bytes()
 }
@@ -443,6 +503,12 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ApiError> {
             channel: dec.take_u64().map_err(wire::malformed)?,
             payload: dec.take_bytes().map_err(wire::malformed)?,
         },
+        TAG_GROUP_BY => {
+            Request::GroupByQuery(wire::take_grouped_request(&mut dec).map_err(wire::malformed)?)
+        }
+        TAG_DECLARE_WORKLOAD => {
+            Request::DeclareWorkload(wire::take_workload(&mut dec).map_err(wire::malformed)?)
+        }
         t => {
             return Err(wire::malformed(format!("unknown request tag {t}")));
         }
@@ -514,6 +580,15 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ApiError> {
         TAG_MUX_REPLY => Response::MuxReply {
             channel: dec.take_u64().map_err(wire::malformed)?,
             payload: dec.take_bytes().map_err(wire::malformed)?,
+        },
+        TAG_GROUPED_ANSWER => {
+            Response::GroupedAnswer(wire::take_grouped_outcome(&mut dec).map_err(wire::malformed)?)
+        }
+        TAG_WORKLOAD_PLAN => Response::WorkloadPlan {
+            views: dec.take_u64().map_err(wire::malformed)?,
+            est_epsilon: dec.take_f64().map_err(wire::malformed)?,
+            est_materialise_cells: dec.take_f64().map_err(wire::malformed)?,
+            report: dec.take_str().map_err(wire::malformed)?,
         },
         t => {
             return Err(wire::malformed(format!("unknown response tag {t}")));

@@ -14,8 +14,12 @@
 //! stack exhaustion.
 
 use dprov_core::error::RejectReason;
-use dprov_core::processor::{AnsweredQuery, QueryOutcome, QueryRequest, SubmissionMode};
+use dprov_core::processor::{
+    AnsweredQuery, GroupedOutcome, GroupedRequest, QueryOutcome, QueryRequest, SubmissionMode,
+};
+use dprov_core::workload::{DeclaredWorkload, QueryTemplate};
 use dprov_engine::expr::Predicate;
+use dprov_engine::group::GroupByQuery;
 use dprov_engine::query::{AggregateKind, Query};
 use dprov_engine::value::Value;
 use dprov_storage::codec::{DecodeResult, Decoder, Encoder};
@@ -182,32 +186,141 @@ pub(crate) fn take_query(dec: &mut Decoder<'_>) -> DecodeResult<Query> {
     })
 }
 
-pub(crate) fn put_request_body(enc: &mut Encoder, request: &QueryRequest) {
-    put_query(enc, &request.query);
-    match request.mode {
+fn put_mode(enc: &mut Encoder, mode: &SubmissionMode) {
+    match mode {
         SubmissionMode::Accuracy { variance } => {
             enc.put_u8(0);
-            enc.put_f64(variance);
+            enc.put_f64(*variance);
         }
         SubmissionMode::Privacy { epsilon } => {
             enc.put_u8(1);
-            enc.put_f64(epsilon);
+            enc.put_f64(*epsilon);
         }
     }
 }
 
-pub(crate) fn take_request_body(dec: &mut Decoder<'_>) -> DecodeResult<QueryRequest> {
-    let query = take_query(dec)?;
-    let mode = match dec.take_u8()? {
-        0 => SubmissionMode::Accuracy {
+fn take_mode(dec: &mut Decoder<'_>) -> DecodeResult<SubmissionMode> {
+    match dec.take_u8()? {
+        0 => Ok(SubmissionMode::Accuracy {
             variance: dec.take_f64()?,
-        },
-        1 => SubmissionMode::Privacy {
+        }),
+        1 => Ok(SubmissionMode::Privacy {
             epsilon: dec.take_f64()?,
-        },
-        t => return Err(format!("unknown submission-mode tag {t}")),
+        }),
+        t => Err(format!("unknown submission-mode tag {t}")),
+    }
+}
+
+pub(crate) fn put_grouped_request(enc: &mut Encoder, request: &GroupedRequest) {
+    let q = &request.query;
+    enc.put_str(&q.table);
+    enc.put_u32(q.group_cols.len() as u32);
+    for g in &q.group_cols {
+        enc.put_str(g);
+    }
+    match &q.aggregate {
+        AggregateKind::Count => enc.put_u8(0),
+        AggregateKind::Sum(a) => {
+            enc.put_u8(1);
+            enc.put_str(a);
+        }
+        AggregateKind::Avg(a) => {
+            enc.put_u8(2);
+            enc.put_str(a);
+        }
+    }
+    put_predicate(enc, &q.predicate);
+    put_mode(enc, &request.mode);
+}
+
+pub(crate) fn take_grouped_request(dec: &mut Decoder<'_>) -> DecodeResult<GroupedRequest> {
+    let table = dec.take_str()?;
+    let len = bounded_len(dec, 4, "group-by columns")?;
+    let group_cols = (0..len)
+        .map(|_| dec.take_str())
+        .collect::<DecodeResult<Vec<String>>>()?;
+    let aggregate = match dec.take_u8()? {
+        0 => AggregateKind::Count,
+        1 => AggregateKind::Sum(dec.take_str()?),
+        2 => AggregateKind::Avg(dec.take_str()?),
+        t => return Err(format!("unknown aggregate tag {t}")),
     };
-    Ok(QueryRequest { query, mode })
+    let predicate = take_predicate(dec, 0)?;
+    let mode = take_mode(dec)?;
+    Ok(GroupedRequest {
+        query: GroupByQuery {
+            table,
+            group_cols,
+            aggregate,
+            predicate,
+        },
+        mode,
+    })
+}
+
+pub(crate) fn put_grouped_outcome(enc: &mut Encoder, outcome: &GroupedOutcome) {
+    enc.put_u32(outcome.keys.len() as u32);
+    for key in &outcome.keys {
+        enc.put_u32(key.len() as u32);
+        for value in key {
+            put_value(enc, value);
+        }
+    }
+    enc.put_u32(outcome.outcomes.len() as u32);
+    for o in &outcome.outcomes {
+        put_outcome(enc, o);
+    }
+}
+
+pub(crate) fn take_grouped_outcome(dec: &mut Decoder<'_>) -> DecodeResult<GroupedOutcome> {
+    let n = bounded_len(dec, 4, "group keys")?;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = bounded_len(dec, 2, "group key values")?;
+        let mut key = Vec::with_capacity(len);
+        for _ in 0..len {
+            key.push(take_value(dec)?);
+        }
+        keys.push(key);
+    }
+    let n = bounded_len(dec, 1, "group outcomes")?;
+    let outcomes = (0..n)
+        .map(|_| take_outcome(dec))
+        .collect::<DecodeResult<Vec<QueryOutcome>>>()?;
+    Ok(GroupedOutcome { keys, outcomes })
+}
+
+pub(crate) fn put_workload(enc: &mut Encoder, workload: &DeclaredWorkload) {
+    enc.put_u32(workload.templates.len() as u32);
+    for template in &workload.templates {
+        put_query(enc, &template.query);
+        enc.put_f64(template.weight);
+    }
+}
+
+pub(crate) fn take_workload(dec: &mut Decoder<'_>) -> DecodeResult<DeclaredWorkload> {
+    let n = bounded_len(dec, 6, "workload templates")?;
+    let templates = (0..n)
+        .map(|_| {
+            Ok(QueryTemplate {
+                query: take_query(dec)?,
+                weight: dec.take_f64()?,
+            })
+        })
+        .collect::<DecodeResult<Vec<QueryTemplate>>>()?;
+    Ok(DeclaredWorkload { templates })
+}
+
+pub(crate) fn put_request_body(enc: &mut Encoder, request: &QueryRequest) {
+    put_query(enc, &request.query);
+    put_mode(enc, &request.mode);
+}
+
+pub(crate) fn take_request_body(dec: &mut Decoder<'_>) -> DecodeResult<QueryRequest> {
+    Ok(QueryRequest {
+        query: take_query(dec)?,
+        mode: take_mode(dec)?,
+    })
 }
 
 pub(crate) fn put_reject_reason(enc: &mut Encoder, reason: &RejectReason) {

@@ -146,6 +146,96 @@ fn deep_predicate_nesting_is_bounded_not_a_stack_overflow() {
     assert!(err.message.contains("nesting"), "got: {}", err.message);
 }
 
+fn sample_grouped_payload() -> Vec<u8> {
+    use dprov_core::processor::GroupedRequest;
+    use dprov_engine::group::GroupByQuery;
+    let query =
+        GroupByQuery::count("adult", &["sex", "race"]).filter(Predicate::range("age", 20, 39));
+    encode_request(
+        13,
+        &Request::GroupByQuery(GroupedRequest::with_accuracy(query, 450.0)),
+    )
+}
+
+fn sample_workload_payload() -> Vec<u8> {
+    use dprov_core::workload::DeclaredWorkload;
+    let workload = DeclaredWorkload::new()
+        .template(Query::count("adult").group_by(&["sex"]), 4.0)
+        .template(Query::range_count("adult", "age", 20, 39), 1.0);
+    encode_request(14, &Request::DeclareWorkload(workload))
+}
+
+#[test]
+fn every_truncation_of_a_grouped_request_is_a_typed_error() {
+    let payload = sample_grouped_payload();
+    for cut in 0..payload.len() {
+        let err =
+            decode_request(&payload[..cut]).expect_err("a truncated grouped query must not decode");
+        assert!(
+            err.code == codes::MALFORMED_FRAME || err.code == codes::UNSUPPORTED_VERSION,
+            "cut at {cut}: unexpected code {}",
+            err.code
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_workload_declaration_is_a_typed_error() {
+    let payload = sample_workload_payload();
+    for cut in 0..payload.len() {
+        let err = decode_request(&payload[..cut])
+            .expect_err("a truncated workload declaration must not decode");
+        assert!(
+            err.code == codes::MALFORMED_FRAME || err.code == codes::UNSUPPORTED_VERSION,
+            "cut at {cut}: unexpected code {}",
+            err.code
+        );
+    }
+}
+
+#[test]
+fn framed_grouped_stream_survives_no_single_bit_flip() {
+    let framed = frame::frame(&sample_grouped_payload());
+    for byte in 0..framed.len() {
+        for bit in 0..8 {
+            let mut damaged = framed.clone();
+            damaged[byte] ^= 1 << bit;
+            let mut stream = Cursor::new(damaged);
+            match frame::read_frame(&mut stream) {
+                Err(_) => {}
+                Ok(Some(payload)) => {
+                    assert_ne!(
+                        payload,
+                        frame::frame(&sample_grouped_payload())[8..].to_vec(),
+                        "flip at byte {byte} bit {bit} went unnoticed"
+                    );
+                }
+                Ok(None) => panic!("flip at byte {byte} bit {bit} looked like clean EOF"),
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_group_key_counts_are_bounded_not_an_allocation() {
+    // A grouped answer claiming 2^32-1 group keys with an empty body must
+    // be refused by the payload-bounded length check, not attempted.
+    use dprov_core::processor::GroupedOutcome;
+    let mut payload = encode_response(
+        3,
+        &Response::GroupedAnswer(GroupedOutcome {
+            keys: Vec::new(),
+            outcomes: Vec::new(),
+        }),
+    );
+    // Header is version(1) + tag(1) + request_id(8); the keys count u32 is next.
+    payload.truncate(10);
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = decode_response(&payload).unwrap_err();
+    assert_eq!(err.code, codes::MALFORMED_FRAME);
+    assert!(err.message.contains("count"), "got: {}", err.message);
+}
+
 #[test]
 fn every_truncation_of_a_mux_frame_is_a_typed_error() {
     let payload = encode_request(

@@ -17,8 +17,12 @@ use dprov_api::protocol::{
 use dprov_api::{frame, ApiError, ErrorKind};
 use dprov_core::analyst::AnalystId;
 use dprov_core::error::RejectReason;
-use dprov_core::processor::{AnsweredQuery, QueryOutcome, QueryRequest, SubmissionMode};
+use dprov_core::processor::{
+    AnsweredQuery, GroupedOutcome, GroupedRequest, QueryOutcome, QueryRequest, SubmissionMode,
+};
+use dprov_core::workload::{DeclaredWorkload, QueryTemplate};
 use dprov_engine::expr::Predicate;
+use dprov_engine::group::GroupByQuery;
 use dprov_engine::query::{AggregateKind, Query};
 use dprov_engine::value::Value;
 
@@ -101,6 +105,61 @@ fn arb_query_request(rng: &mut StdRng) -> QueryRequest {
     }
 }
 
+fn arb_mode(rng: &mut StdRng) -> SubmissionMode {
+    if rng.gen::<bool>() {
+        SubmissionMode::Accuracy {
+            variance: rng.gen_range(0.001f64..1e9),
+        }
+    } else {
+        SubmissionMode::Privacy {
+            epsilon: rng.gen_range(1e-6f64..64.0),
+        }
+    }
+}
+
+fn arb_grouped_request(rng: &mut StdRng) -> GroupedRequest {
+    GroupedRequest {
+        query: GroupByQuery {
+            table: arb_string(rng),
+            group_cols: (0..rng.gen_range(0usize..3))
+                .map(|_| arb_string(rng))
+                .collect(),
+            aggregate: match rng.gen_range(0u32..3) {
+                0 => AggregateKind::Count,
+                1 => AggregateKind::Sum(arb_string(rng)),
+                _ => AggregateKind::Avg(arb_string(rng)),
+            },
+            predicate: arb_predicate(rng, 0),
+        },
+        mode: arb_mode(rng),
+    }
+}
+
+fn arb_grouped_outcome(rng: &mut StdRng) -> GroupedOutcome {
+    let cells = rng.gen_range(0usize..5);
+    GroupedOutcome {
+        keys: (0..cells)
+            .map(|_| {
+                (0..rng.gen_range(0usize..3))
+                    .map(|_| arb_value(rng))
+                    .collect()
+            })
+            .collect(),
+        outcomes: (0..cells).map(|_| arb_outcome(rng)).collect(),
+    }
+}
+
+fn arb_workload(rng: &mut StdRng) -> DeclaredWorkload {
+    DeclaredWorkload {
+        templates: (0..rng.gen_range(0usize..4))
+            .map(|_| QueryTemplate {
+                query: arb_query(rng),
+                weight: rng.gen_range(0.0f64..1e3),
+            })
+            .collect(),
+    }
+}
+
 fn arb_outcome(rng: &mut StdRng) -> QueryOutcome {
     if rng.gen::<bool>() {
         QueryOutcome::Answered(AnsweredQuery {
@@ -179,7 +238,9 @@ fn arb_metrics_snapshot(rng: &mut StdRng) -> dprov_obs::MetricsSnapshot {
 
 /// Every request variant, chosen by `tag` so proptest cases sweep them all.
 fn arb_request(rng: &mut StdRng, tag: u32) -> Request {
-    match tag % 11 {
+    match tag % 13 {
+        11 => Request::GroupByQuery(arb_grouped_request(rng)),
+        12 => Request::DeclareWorkload(arb_workload(rng)),
         10 => Request::Mux {
             channel: rng.gen::<u64>(),
             // The outer codec treats the inner payload as opaque bytes;
@@ -246,7 +307,14 @@ fn arb_update_batch(rng: &mut StdRng) -> dprov_delta::UpdateBatch {
 
 /// Every response variant, chosen by `tag`.
 fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
-    match tag % 12 {
+    match tag % 14 {
+        12 => Response::GroupedAnswer(arb_grouped_outcome(rng)),
+        13 => Response::WorkloadPlan {
+            views: rng.gen::<u64>(),
+            est_epsilon: rng.gen_range(0.0f64..64.0),
+            est_materialise_cells: rng.gen_range(0.0f64..1e12),
+            report: arb_string(rng),
+        },
         10 => Response::MuxReply {
             channel: rng.gen::<u64>(),
             payload: if rng.gen::<bool>() {
@@ -300,13 +368,30 @@ fn arb_response(rng: &mut StdRng, tag: u32) -> Response {
     }
 }
 
+/// The grouped/planning extension appended tags only: the floor stays at
+/// version 2, and a payload stamped with any still-supported version
+/// decodes unchanged.
+#[test]
+fn protocol_floor_is_unchanged_by_the_grouped_extension() {
+    use dprov_api::protocol::{MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+    assert_eq!(MIN_SUPPORTED_VERSION, 2);
+    assert_eq!(PROTOCOL_VERSION, 4);
+    let payload = encode_request(9, &Request::Heartbeat);
+    for version in MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION {
+        let mut stamped = payload.clone();
+        stamped[0] = version;
+        let (rid, decoded) = decode_request(&stamped).expect("supported version must decode");
+        assert_eq!((rid, decoded), (9, Request::Heartbeat), "version {version}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Requests round-trip bit-for-bit through payload encoding, and
     /// through the CRC frame wrapping a byte-stream transport applies.
     #[test]
-    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..11, request_id in 0u64..u64::MAX) {
+    fn request_round_trips(seed in 0u64..u64::MAX, tag in 0u32..13, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let request = arb_request(&mut rng, tag);
         let payload = encode_request(request_id, &request);
@@ -321,7 +406,7 @@ proptest! {
 
     /// Responses round-trip bit-for-bit the same way.
     #[test]
-    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..12, request_id in 0u64..u64::MAX) {
+    fn response_round_trips(seed in 0u64..u64::MAX, tag in 0u32..14, request_id in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let response = arb_response(&mut rng, tag);
         let payload = encode_response(request_id, &response);

@@ -6,7 +6,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use dprov_engine::group::GroupByQuery;
 use dprov_engine::query::Query;
+use dprov_engine::value::Value;
 
 use crate::analyst::AnalystId;
 use crate::error::{RejectReason, Result};
@@ -78,6 +80,77 @@ pub struct AnsweredQuery {
     /// configured staleness bound; under re-noise it always equals the
     /// epoch current at release time.
     pub epoch: u64,
+}
+
+/// A grouped query submission: one aggregate per combination of the
+/// grouping attributes' domains ("GROUP BY*" — empty groups included, so
+/// the output shape is data-independent).
+///
+/// Semantically a `GroupedRequest` *is* the sequence of per-group scalar
+/// [`QueryRequest`]s produced by [`GroupByQuery::scalar_queries`] in
+/// canonical enumeration order, sharing one [`SubmissionMode`] (the
+/// accuracy/privacy target applies to each cell individually). The grouped
+/// answering path is bit-identical to submitting those one by one — same
+/// answers, same noise draws, same ledger charges — it just resolves the
+/// view and walks its histogram once instead of per group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedRequest {
+    /// The grouped query.
+    pub query: GroupByQuery,
+    /// How the per-cell budget is specified.
+    pub mode: SubmissionMode,
+}
+
+impl GroupedRequest {
+    /// An accuracy-oriented grouped request (`variance` bounds each cell's
+    /// expected squared error).
+    #[must_use]
+    pub fn with_accuracy(query: GroupByQuery, variance: f64) -> Self {
+        GroupedRequest {
+            query,
+            mode: SubmissionMode::Accuracy { variance },
+        }
+    }
+
+    /// A privacy-oriented grouped request (`epsilon` is spent per released
+    /// cell, under the normal provenance pricing).
+    #[must_use]
+    pub fn with_privacy(query: GroupByQuery, epsilon: f64) -> Self {
+        GroupedRequest {
+            query,
+            mode: SubmissionMode::Privacy { epsilon },
+        }
+    }
+}
+
+/// The outcome of a grouped submission: one [`QueryOutcome`] per group
+/// cell, in canonical enumeration order. Cells are admitted independently,
+/// so a grouped answer can be partially rejected (e.g. the budget runs out
+/// halfway through the enumeration) — exactly as the per-group oracle
+/// would be.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedOutcome {
+    /// The group keys, in canonical enumeration order.
+    pub keys: Vec<Vec<Value>>,
+    /// Per-cell outcomes, parallel to `keys`.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+impl GroupedOutcome {
+    /// Number of answered cells.
+    #[must_use]
+    pub fn answered_cells(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_answered()).count()
+    }
+
+    /// Total epsilon charged across the released cells.
+    #[must_use]
+    pub fn epsilon_charged(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.answered().map(|a| a.epsilon_charged))
+            .sum()
+    }
 }
 
 /// The outcome of a submission.

@@ -52,9 +52,11 @@ use dprov_dp::DpError;
 use dprov_engine::catalog::ViewCatalog;
 use dprov_engine::database::Database;
 use dprov_engine::exec::execute;
-use dprov_engine::query::Query;
+use dprov_engine::group::GroupByQuery;
+use dprov_engine::query::{AggregateKind, Query};
 use dprov_engine::transform::LinearQuery;
-use dprov_engine::view::ViewDef;
+use dprov_engine::value::Value;
+use dprov_engine::view::{flat_index, MultiIndexIter, ViewDef};
 use dprov_engine::EngineError;
 use dprov_exec::{ColumnarExecutor, ExecConfig, ExecStats};
 use dprov_obs::{CounterId, HistId, MetricsRegistry};
@@ -66,7 +68,10 @@ use crate::config::SystemConfig;
 use crate::error::{CoreError, RejectReason, Result};
 use crate::fairness::{self, AnalystOutcome};
 use crate::mechanism::MechanismKind;
-use crate::processor::{AnsweredQuery, QueryOutcome, QueryProcessor, QueryRequest, SubmissionMode};
+use crate::processor::{
+    AnsweredQuery, GroupedOutcome, GroupedRequest, QueryOutcome, QueryProcessor, QueryRequest,
+    SubmissionMode,
+};
 use crate::provenance::{analyst_constraints, view_constraints, ProvenanceTable};
 use crate::recorder::{AccessRecord, CommitRecord, CoreState, ProvenanceEntryState, Recorder};
 use crate::synopsis_manager::{BudgetedSynopsis, SynopsisManager};
@@ -396,6 +401,15 @@ impl DProvDb {
         &self.registry
     }
 
+    /// Runs `f` against the current relational instance (the read side of
+    /// the epoch-versioned database). The closure shape keeps the lock
+    /// scoped to the call — planning layers use this for schema and
+    /// domain-size lookups without cloning tables or holding the guard.
+    pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        let db = self.db.read().expect("db lock poisoned");
+        f(&db)
+    }
+
     /// A consistent snapshot of the privacy provenance table. Cloning keeps
     /// the accessor re-entrant (callers may combine it freely with other
     /// accessors that lock internally); the matrix is small — one `f64` per
@@ -580,10 +594,27 @@ impl DProvDb {
             MechanismKind::AdditiveGaussian => self.submit_additive(analyst, request, rng),
         };
         let elapsed = start.elapsed();
+        self.observe_outcome(analyst, &outcome, elapsed);
+        if self.metrics.is_enabled() {
+            self.metrics.observe_duration(HistId::Execute, elapsed);
+        }
+        outcome
+    }
+
+    /// Folds one per-query outcome into the runtime stats and the
+    /// observability counters. Shared between the scalar submission path
+    /// and the grouped path, which calls it once per group cell so grouped
+    /// stats equal the per-group oracle's.
+    fn observe_outcome(
+        &self,
+        analyst: AnalystId,
+        outcome: &Result<QueryOutcome>,
+        elapsed: Duration,
+    ) {
         {
             let mut stats = self.stats.lock().expect("stats lock poisoned");
             stats.query_time += elapsed;
-            if let Ok(outcome) = &outcome {
+            if let Ok(outcome) = outcome {
                 match outcome {
                     QueryOutcome::Answered(a) => {
                         stats.answered += 1;
@@ -599,8 +630,7 @@ impl DProvDb {
         // Observability: classify the outcome the hot path already
         // computed. Reads + relaxed atomics only; no lock, no RNG.
         if self.metrics.is_enabled() {
-            self.metrics.observe_duration(HistId::Execute, elapsed);
-            if let Ok(outcome) = &outcome {
+            if let Ok(outcome) = outcome {
                 match outcome {
                     QueryOutcome::Answered(a) => {
                         self.metrics.incr(CounterId::QueriesAnswered);
@@ -625,7 +655,6 @@ impl DProvDb {
                 }
             }
         }
-        outcome
     }
 
     /// Resolves a request: selects the view, transforms the query, and
@@ -810,7 +839,20 @@ impl DProvDb {
             Ok(r) => r,
             Err(reason) => return Ok(QueryOutcome::Rejected { reason }),
         };
+        self.admit_vanilla(analyst, resolved, rng)
+    }
 
+    /// The post-resolve tail of Algorithm 2: cache probe, translation,
+    /// check-and-reserve, release. Everything that spends budget or draws
+    /// noise lives here; the grouped path calls it once per group cell
+    /// with resolutions from [`Self::resolve_grouped`], so a grouped
+    /// answer is bit-identical to per-group scalar submissions.
+    fn admit_vanilla(
+        &self,
+        analyst: AnalystId,
+        resolved: ResolvedRequest,
+        rng: &mut DpRng,
+    ) -> Result<QueryOutcome> {
         // Serialise competing submissions for this provenance entry: the
         // second of two identical queries waits here and is then answered
         // from the first one's cached synopsis for free.
@@ -921,7 +963,17 @@ impl DProvDb {
             Ok(r) => r,
             Err(reason) => return Ok(QueryOutcome::Rejected { reason }),
         };
+        self.admit_additive(analyst, resolved, rng)
+    }
 
+    /// The post-resolve tail of Algorithm 4 (see [`Self::admit_vanilla`]
+    /// for why the split exists).
+    fn admit_additive(
+        &self,
+        analyst: AnalystId,
+        resolved: ResolvedRequest,
+        rng: &mut DpRng,
+    ) -> Result<QueryOutcome> {
         let _entry = self.admission.lock_entry(analyst.0, &resolved.view.name);
 
         if let Some(answer) = self.try_cache(analyst, &resolved) {
@@ -1061,6 +1113,246 @@ impl DProvDb {
             from_cache: false,
             epoch: local.epoch,
         }))
+    }
+
+    // ----- grouped (GROUP BY) answering -----
+
+    /// Answers a grouped query with the system-wide RNG (the grouped
+    /// analogue of [`Self::submit_shared`]). Concurrent callers should
+    /// prefer [`Self::answer_group_by_with_rng`] with per-session streams.
+    pub fn answer_group_by(
+        &self,
+        analyst: AnalystId,
+        request: &GroupedRequest,
+    ) -> Result<GroupedOutcome> {
+        let mut rng = self.rng.lock().expect("rng lock poisoned");
+        self.answer_group_by_with_rng(analyst, request, &mut rng)
+    }
+
+    /// Answers a grouped query: one outcome per group cell in canonical
+    /// enumeration order, each priced and admitted through the normal
+    /// provenance path.
+    ///
+    /// **Oracle equivalence.** Answers, noise draws, budget charges and
+    /// runtime counters are bit-identical to submitting the per-group
+    /// scalar queries ([`GroupByQuery::scalar_queries`]) one by one via
+    /// [`Self::submit_with_rng`] with the same RNG: resolution walks the
+    /// selected view's histogram once and replays the exact per-group
+    /// coefficient lists `transform` would build, and each cell then runs
+    /// the same `admit_*` tail the scalar path runs. The whole grouped
+    /// answer executes under **one** epoch-gate acquisition, so it never
+    /// straddles an update epoch.
+    ///
+    /// Structurally invalid grouped queries (unknown table, unknown or
+    /// duplicate grouping attribute — cases where the oracle could not
+    /// even enumerate its queries) return `Err`; everything else surfaces
+    /// as per-cell [`QueryOutcome::Rejected`].
+    pub fn answer_group_by_with_rng(
+        &self,
+        analyst: AnalystId,
+        request: &GroupedRequest,
+        rng: &mut DpRng,
+    ) -> Result<GroupedOutcome> {
+        self.registry.get(analyst)?;
+        let _epoch_gate = self.epoch_gate.read().expect("epoch gate poisoned");
+        let group_start = Instant::now();
+        let (keys, cells) = self.resolve_grouped(request)?;
+        let mut outcomes = Vec::with_capacity(cells.len());
+        let mut released = 0u64;
+        for cell in cells {
+            let start = Instant::now();
+            let outcome = match cell {
+                Err(reason) => Ok(QueryOutcome::Rejected { reason }),
+                Ok(resolved) => match self.mechanism {
+                    MechanismKind::Vanilla => self.admit_vanilla(analyst, resolved, rng),
+                    MechanismKind::AdditiveGaussian => self.admit_additive(analyst, resolved, rng),
+                },
+            };
+            self.observe_outcome(analyst, &outcome, start.elapsed());
+            let outcome = outcome?;
+            if outcome.is_answered() {
+                released += 1;
+            }
+            outcomes.push(outcome);
+        }
+        if self.metrics.is_enabled() {
+            self.metrics.incr(CounterId::GroupQueries);
+            self.metrics.add(CounterId::GroupCellsReleased, released);
+            self.metrics
+                .observe(HistId::GroupSize, outcomes.len() as u64);
+            self.metrics
+                .observe_duration(HistId::GroupExecute, group_start.elapsed());
+        }
+        Ok(GroupedOutcome { keys, outcomes })
+    }
+
+    /// Resolves a grouped request into one per-cell resolution in
+    /// canonical enumeration order, walking the selected view's cells
+    /// **once** instead of once per group.
+    ///
+    /// Per-group results are bit-identical to calling [`Self::resolve`] on
+    /// the per-group oracle queries: view selection is value-independent
+    /// (answerability depends on attribute coverage and aggregate shape,
+    /// never on the group key, so every group picks the same view), each
+    /// view cell satisfies exactly one group's equality selection, and
+    /// cells are visited in ascending flat order — the same order
+    /// `transform` enumerates them per group.
+    #[allow(clippy::type_complexity)]
+    fn resolve_grouped(
+        &self,
+        request: &GroupedRequest,
+    ) -> Result<(
+        Vec<Vec<Value>>,
+        Vec<std::result::Result<ResolvedRequest, RejectReason>>,
+    )> {
+        let db = self.db.read().expect("db lock poisoned");
+        let query = &request.query;
+        let table = db.table(&query.table).map_err(CoreError::Engine)?;
+        let schema = table.schema();
+        let group_positions = query.group_positions(schema).map_err(CoreError::Engine)?;
+        let group_sizes: Vec<usize> = group_positions
+            .iter()
+            .map(|&p| schema.attributes()[p].domain_size())
+            .collect();
+        let keys = query.group_keys(schema).map_err(CoreError::Engine)?;
+        let num_groups: usize = group_sizes.iter().product();
+
+        // Select the view once, against the representative (all-zero) group
+        // cell's scalar query; answerability never depends on the key.
+        let representative = query
+            .group_query(schema, &vec![0; group_positions.len()])
+            .map_err(CoreError::Engine)?;
+        let view = match self.catalog.select_view(&representative, &db) {
+            Ok((view, _)) => view,
+            // Not answerable over any view: every group is rejected,
+            // exactly as the oracle would reject each scalar query.
+            Err(_) => {
+                let cells = (0..num_groups)
+                    .map(|_| Err(RejectReason::NotAnswerable))
+                    .collect();
+                return Ok((keys, cells));
+            }
+        };
+
+        // One pass over the view's cells, replaying `transform`'s
+        // coefficient construction with the cells routed to their group.
+        let attrs: Vec<&dprov_engine::schema::Attribute> = view
+            .attributes
+            .iter()
+            .map(|a| schema.attribute(a))
+            .collect::<dprov_engine::Result<_>>()
+            .map_err(CoreError::Engine)?;
+        let dims = view.dimensions(schema).map_err(CoreError::Engine)?;
+        let view_cells: usize = dims.iter().product();
+        let view_group_positions: Vec<usize> = query
+            .group_cols
+            .iter()
+            .map(|g| {
+                view.attributes
+                    .iter()
+                    .position(|a| a == g)
+                    .expect("selected view covers the grouping attributes")
+            })
+            .collect();
+        let sum_position = match &query.aggregate {
+            AggregateKind::Count => None,
+            AggregateKind::Sum(a) => Some(
+                view.attributes
+                    .iter()
+                    .position(|v| v == a)
+                    .expect("selected view covers the aggregate target"),
+            ),
+            AggregateKind::Avg(_) => unreachable!("Avg never transforms to a linear query"),
+        };
+
+        let mut coefficients: Vec<Vec<(usize, f64)>> =
+            (0..num_groups).map(|_| Vec::new()).collect();
+        for cell in MultiIndexIter::new(&dims) {
+            if !query.predicate.matches_cell(&attrs, &cell) {
+                continue;
+            }
+            let coeff = match sum_position {
+                None => 1.0,
+                Some(pos) => attrs[pos]
+                    .numeric_at(cell[pos])
+                    .expect("view selection only admits numeric SUM targets"),
+            };
+            if coeff != 0.0 {
+                let group_cell: Vec<usize> =
+                    view_group_positions.iter().map(|&p| cell[p]).collect();
+                let group = flat_index(&group_sizes, &group_cell);
+                coefficients[group].push((flat_index(&dims, &cell), coeff));
+            }
+        }
+        drop(db);
+
+        // Per-group tail of `resolve`, with the shared pieces hoisted: the
+        // privacy-mode sigma and the accuracy-mode validity depend only on
+        // the request and the view, so hoisting is bit-identical.
+        let mut cells = Vec::with_capacity(num_groups);
+        for coeffs in coefficients {
+            let linear = LinearQuery {
+                view: view.name.clone(),
+                coefficients: coeffs,
+                view_cells,
+            };
+            let coeff_sq = linear.answer_variance(1.0);
+            if coeff_sq <= 0.0 {
+                // A group touching no cell has a trivially exact answer of
+                // 0, answerable from any synopsis with no extra cost.
+                cells.push(Ok(ResolvedRequest {
+                    view: view.clone(),
+                    linear,
+                    per_bin_target: f64::INFINITY,
+                    requested_epsilon: None,
+                }));
+                continue;
+            }
+            cells.push(match request.mode {
+                SubmissionMode::Accuracy { variance } => {
+                    if variance.is_finite() && variance > 0.0 {
+                        Ok(ResolvedRequest {
+                            view: view.clone(),
+                            linear,
+                            per_bin_target: variance / coeff_sq,
+                            requested_epsilon: None,
+                        })
+                    } else {
+                        Err(RejectReason::AccuracyUnreachable)
+                    }
+                }
+                SubmissionMode::Privacy { epsilon } => {
+                    match analytic_gaussian_sigma(
+                        epsilon,
+                        self.config.delta.value(),
+                        view.sensitivity().value(),
+                    ) {
+                        Ok(sigma) => Ok(ResolvedRequest {
+                            view: view.clone(),
+                            linear,
+                            per_bin_target: sigma * sigma,
+                            requested_epsilon: Some(epsilon),
+                        }),
+                        Err(_) => Err(RejectReason::AccuracyUnreachable),
+                    }
+                }
+            });
+        }
+        Ok((keys, cells))
+    }
+
+    /// Exact (non-private) per-group answers in canonical enumeration
+    /// order — evaluation-harness only, like [`Self::true_answer`]. Runs
+    /// on the columnar executor's grouped path (one shared pass for the
+    /// whole group set).
+    pub fn true_group_by(&self, query: &GroupByQuery) -> Result<Vec<f64>> {
+        let _epoch_gate = self.epoch_gate.read().expect("epoch gate poisoned");
+        let (answers, scan_ns) = self
+            .exec
+            .execute_group_by_timed(query)
+            .map_err(CoreError::Engine)?;
+        self.metrics.observe(HistId::ScanTime, scan_ns);
+        Ok(answers)
     }
 
     // ----- dynamic data: epoch-versioned updates (see `dprov-delta`) -----

@@ -27,10 +27,12 @@ pub mod database;
 pub mod datagen;
 pub mod exec;
 pub mod expr;
+pub mod group;
 pub mod histogram;
 pub mod query;
 pub mod schema;
 pub mod sql;
+pub mod star;
 pub mod synopsis;
 pub mod table;
 pub mod transform;
@@ -71,6 +73,26 @@ pub enum EngineError {
     SqlParse(String),
     /// The query is malformed (e.g. SUM over a categorical attribute).
     InvalidQuery(String),
+    /// A star-schema declaration is malformed (e.g. widened attribute
+    /// names collide).
+    InvalidStarSchema(String),
+    /// Two dimension rows carry the same key value, so the join is not
+    /// well defined.
+    DuplicateDimensionKey {
+        /// The dimension table with the duplicated key.
+        dimension: String,
+        /// A rendering of the duplicated key value.
+        value: String,
+    },
+    /// A fact row's foreign-key value has no matching dimension row.
+    ForeignKeyViolation {
+        /// The fact table holding the dangling key.
+        table: String,
+        /// The foreign-key attribute.
+        attribute: String,
+        /// A rendering of the dangling key value.
+        value: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -94,6 +116,20 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownView(v) => write!(f, "unknown view: {v}"),
             EngineError::SqlParse(msg) => write!(f, "SQL parse error: {msg}"),
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            EngineError::InvalidStarSchema(msg) => write!(f, "invalid star schema: {msg}"),
+            EngineError::DuplicateDimensionKey { dimension, value } => {
+                write!(f, "duplicate key {value} in dimension table {dimension}")
+            }
+            EngineError::ForeignKeyViolation {
+                table,
+                attribute,
+                value,
+            } => {
+                write!(
+                    f,
+                    "foreign key {table}.{attribute} = {value} has no matching dimension row"
+                )
+            }
         }
     }
 }

@@ -41,8 +41,10 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use dprov_engine::database::Database;
+use dprov_engine::expr::Predicate;
+use dprov_engine::group::GroupByQuery;
 use dprov_engine::histogram::Histogram;
-use dprov_engine::query::Query;
+use dprov_engine::query::{AggregateKind, Query};
 use dprov_engine::schema::Schema;
 use dprov_engine::view::{flat_index, ViewDef, ViewKind};
 use dprov_engine::{EngineError, Result};
@@ -548,6 +550,139 @@ impl ColumnarExecutor {
         ))
     }
 
+    /// Answers a GROUP BY* query exactly: one aggregate per cell of the
+    /// grouping attributes' domain cross-product, in canonical enumeration
+    /// order (empty groups included). Bit-identical to executing the
+    /// per-group scalar decomposition [`GroupByQuery::scalar_queries`] one
+    /// query at a time — the grouped path only shares work: the general
+    /// route runs the decomposition as **one** batch (a single table pass
+    /// for all groups), and an unfiltered single-attribute grouping
+    /// compatible with the aggregate reads every group's answer off the
+    /// table's precombined domain map in one `O(domain)` gather.
+    pub fn execute_group_by(&self, query: &GroupByQuery) -> Result<Vec<f64>> {
+        Ok(self.execute_group_by_timed(query)?.0)
+    }
+
+    /// Timed form of [`Self::execute_group_by`]; the nanosecond component
+    /// follows [`Self::execute_batch_timed`] semantics.
+    pub fn execute_group_by_timed(&self, query: &GroupByQuery) -> Result<(Vec<f64>, u64)> {
+        let scalars = query.scalar_queries(self.schema(&query.table)?)?;
+        if let Some(timed) = self.try_grouped_gather(query, &scalars)? {
+            return Ok(timed);
+        }
+        self.execute_batch_timed(&scalars)
+    }
+
+    /// The grouped-gather fast path: an unfiltered grouping by exactly one
+    /// attribute whose aggregate the domain map can answer (COUNT, or
+    /// SUM/AVG over the grouping attribute itself) reads all `G` answers
+    /// off the table's precombined domain map in a single `O(domain)`
+    /// pass, instead of `G` per-group map folds. Each per-domain-value
+    /// step performs exactly the additions the decomposed query's
+    /// single-bit gather would, so the answers are bit-identical. Returns
+    /// `Ok(None)` — the caller falls back to the batched decomposition —
+    /// when the shape doesn't qualify, the table lacks a combined map, or
+    /// the query sits outside the reassociation envelope.
+    fn try_grouped_gather(
+        &self,
+        query: &GroupByQuery,
+        scalars: &[Query],
+    ) -> Result<Option<(Vec<f64>, u64)>> {
+        if query.group_cols.len() != 1 || query.predicate != Predicate::True {
+            return Ok(None);
+        }
+        let average = match &query.aggregate {
+            AggregateKind::Count => false,
+            AggregateKind::Sum(target) | AggregateKind::Avg(target) => {
+                if *target != query.group_cols[0] {
+                    return Ok(None);
+                }
+                matches!(query.aggregate, AggregateKind::Avg(_))
+            }
+        };
+        // Compiling the first cell's scalar runs the same validation every
+        // decomposed cell would hit (the cells differ only in the selected
+        // domain value), so error behaviour matches the fallback path.
+        let first = self.compile(&scalars[0])?;
+        let schema = self.schema(&query.table)?;
+        let col = schema.position(&query.group_cols[0])?;
+        let weighted = !matches!(query.aggregate, AggregateKind::Count);
+        let weights: Vec<f64> = if weighted {
+            let attr = &schema.attributes()[col];
+            (0..attr.domain_size())
+                .map(|i| attr.numeric_at(i).unwrap_or(0.0))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let t0 = Instant::now();
+        let gathered = self.with_table(&query.table, |table| {
+            if !first.reassociation_exact(table.num_rows()) {
+                return None;
+            }
+            let map = table.combined_map(col)?;
+            let mut answers = Vec::with_capacity(map.len());
+            for (v, &m) in map.iter().enumerate() {
+                // Mirror `fold_domain_map` with a one-bit accept set plus
+                // the scalar `finish`: start from zero, fold the single
+                // accepted term, then finish the aggregate.
+                let mut count = 0.0f64;
+                let mut sum = 0.0f64;
+                if m != 0.0 {
+                    count += m;
+                    if weighted {
+                        sum += weights[v] * m;
+                    }
+                }
+                answers.push(match (&query.aggregate, average) {
+                    (AggregateKind::Count, _) => count,
+                    (_, false) => sum,
+                    (_, true) => {
+                        if count == 0.0 {
+                            0.0
+                        } else {
+                            sum / count
+                        }
+                    }
+                });
+            }
+            Some((answers, table.shards().len() as u64))
+        })?;
+        let Some((answers, shard_count)) = gathered else {
+            return Ok(None);
+        };
+        let busy_ns = t0.elapsed().as_nanos() as u64;
+
+        // Book the same stats the batched decomposition would: one shared
+        // pass answering every cell of one batch.
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .queries
+            .fetch_add(scalars.len() as u64, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shards_visited
+            .fetch_add(shard_count, Ordering::Relaxed);
+
+        #[cfg(feature = "fallback-equivalence")]
+        {
+            let db = self.fallback_db.read().expect("fallback db poisoned");
+            let reference = dprov_engine::exec::execute(&db, &query.as_grouped_query())
+                .expect("fallback evaluation of a gathered group-by cannot fail");
+            assert_eq!(reference.rows.len(), answers.len());
+            for (row, &got) in reference.rows.iter().zip(&answers) {
+                assert!(
+                    got.to_bits() == row.1.to_bits(),
+                    "grouped gather {got} diverges from row-at-a-time {} for {}",
+                    row.1,
+                    query.describe()
+                );
+            }
+        }
+        Ok(Some((answers, busy_ns)))
+    }
+
     /// Offers one same-table group to the installed [`RemoteScan`]
     /// provider. Returns `Ok(None)` when no provider is installed, when
     /// any member is outside the reassociation envelope (remote
@@ -830,6 +965,92 @@ mod tests {
             let columnar = exec.execute(q).unwrap();
             let reference = execute(&db, q).unwrap().scalar().unwrap();
             assert_eq!(columnar.to_bits(), reference.to_bits(), "{}", q.describe());
+        }
+    }
+
+    #[test]
+    fn group_by_matches_per_group_oracle_bit_for_bit() {
+        let (_db, exec) = executor(256);
+        let grouped = [
+            // Fast-path shapes: unfiltered single-attribute grouping.
+            dprov_engine::group::GroupByQuery::count("adult", &["sex"]),
+            dprov_engine::group::GroupByQuery::sum("adult", "hours_per_week", &["hours_per_week"]),
+            // General shapes: multi-attribute, filtered, SUM over another
+            // attribute.
+            dprov_engine::group::GroupByQuery::count("adult", &["sex", "race"]),
+            dprov_engine::group::GroupByQuery::count("adult", &["sex"])
+                .filter(Predicate::range("age", 25, 44)),
+            dprov_engine::group::GroupByQuery::sum("adult", "hours_per_week", &["sex"]),
+        ];
+        for q in &grouped {
+            let answers = exec.execute_group_by(q).unwrap();
+            let scalars = q.scalar_queries(exec.schema("adult").unwrap()).unwrap();
+            assert_eq!(answers.len(), scalars.len(), "{}", q.describe());
+            for (cell, scalar) in scalars.iter().enumerate() {
+                let oracle = exec.execute(scalar).unwrap();
+                assert_eq!(
+                    answers[cell].to_bits(),
+                    oracle.to_bits(),
+                    "cell {cell} of {}",
+                    q.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_costs_one_scan_and_books_per_cell_queries() {
+        let (_db, exec) = executor(256);
+        let q = dprov_engine::group::GroupByQuery::count("adult", &["sex", "race"]);
+        let cells = q.num_groups(exec.schema("adult").unwrap()).unwrap();
+        let before = exec.stats();
+        exec.execute_group_by(&q).unwrap();
+        let after = exec.stats();
+        assert_eq!(after.scans - before.scans, 1);
+        assert_eq!(after.batches - before.batches, 1);
+        assert_eq!(after.queries - before.queries, cells as u64);
+
+        // The single-attribute gather books the same shape.
+        let fast = dprov_engine::group::GroupByQuery::count("adult", &["sex"]);
+        let before = exec.stats();
+        exec.execute_group_by(&fast).unwrap();
+        let after = exec.stats();
+        assert_eq!(after.scans - before.scans, 1);
+        assert_eq!(after.batches - before.batches, 1);
+        assert_eq!(after.queries - before.queries, 2);
+    }
+
+    #[test]
+    fn group_by_after_epoch_append_matches_oracle() {
+        let (_db, exec) = executor(128);
+        // One insert and one delete on the "sex" column keep weights signed.
+        let schema = exec.schema("adult").unwrap().clone();
+        let arity = schema.arity();
+        let rows = exec
+            .with_table("adult", |t| {
+                (0..arity)
+                    .map(|pos| {
+                        let mut out = Vec::new();
+                        t.shards()[0].column(pos).decode_into(&mut out);
+                        vec![out[0]; 2]
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+        exec.append_epoch(
+            1,
+            &[EpochSegment {
+                table: "adult".to_owned(),
+                columns: rows,
+                weights: vec![1.0, -1.0],
+            }],
+        )
+        .unwrap();
+        let q = dprov_engine::group::GroupByQuery::count("adult", &["sex"]);
+        let answers = exec.execute_group_by(&q).unwrap();
+        for (cell, scalar) in q.scalar_queries(&schema).unwrap().iter().enumerate() {
+            let oracle = exec.execute(scalar).unwrap();
+            assert_eq!(answers[cell].to_bits(), oracle.to_bits());
         }
     }
 

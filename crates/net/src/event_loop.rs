@@ -21,11 +21,16 @@ use std::time::{Duration, Instant};
 use dprov_api::frame::{frame, FrameDecoder};
 use dprov_api::protocol::Response;
 use dprov_api::{codes, ApiError};
-use dprov_core::processor::QueryRequest;
+use dprov_core::processor::{GroupedRequest, QueryRequest};
 use dprov_obs::{CounterId, GaugeId, HistId, MetricsRegistry};
 use dprov_server::frontend::accept_error_is_transient;
-use dprov_server::proto::{encode_reply, query_response_to_protocol, ConnProto, PayloadOutcome};
-use dprov_server::{QueryCallback, QueryService, SessionId, TrySubmitError};
+use dprov_server::proto::{
+    encode_reply, grouped_response_to_protocol, query_response_to_protocol, ConnProto,
+    PayloadOutcome,
+};
+use dprov_server::{
+    GroupedCallback, QueryCallback, QueryService, SessionId, TrySubmitError, TrySubmitGroupedError,
+};
 use epoll::{Event, Interest, Poller, Waker};
 
 use crate::NetConfig;
@@ -227,10 +232,22 @@ struct Inbox {
 /// A submission the queue refused; held until a queue-space wakeup.
 struct Parked {
     session: SessionId,
-    request: QueryRequest,
+    work: ParkedWork,
     request_id: u64,
     scope: Option<u64>,
-    on_done: QueryCallback,
+}
+
+/// The request + callback pair a full queue handed back — scalar and
+/// grouped submissions park identically.
+enum ParkedWork {
+    Scalar {
+        request: QueryRequest,
+        on_done: QueryCallback,
+    },
+    Grouped {
+        request: GroupedRequest,
+        on_done: GroupedCallback,
+    },
 }
 
 /// One connection's entire state, owned by exactly one loop thread.
@@ -564,6 +581,14 @@ impl LoopCore {
                             request_id,
                             scope,
                         } => self.dispatch(conn, token, session, request, request_id, scope),
+                        PayloadOutcome::SubmitGrouped {
+                            session,
+                            request,
+                            request_id,
+                            scope,
+                        } => {
+                            self.dispatch_grouped(conn, token, session, request, request_id, scope);
+                        }
                     }
                 }
                 Ok(None) => break,
@@ -669,13 +694,62 @@ impl LoopCore {
             Err(TrySubmitError::Full { request, on_done }) => {
                 conn.parked = Some(Parked {
                     session,
-                    request,
+                    work: ParkedWork::Scalar { request, on_done },
                     request_id,
                     scope,
-                    on_done,
                 });
             }
             Err(TrySubmitError::Rejected(e)) => {
+                let reply = encode_reply(
+                    &self.frontend.metrics,
+                    conn.lane,
+                    request_id,
+                    scope,
+                    &Response::Error(e.into()),
+                );
+                self.push_out(conn, reply);
+            }
+        }
+    }
+
+    /// [`Self::dispatch`] for grouped (GROUP BY) submissions: the same
+    /// non-blocking hand-off and park-on-full backpressure, delivering a
+    /// `Response::GroupedAnswer` through the loop mailbox.
+    fn dispatch_grouped(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        session: SessionId,
+        request: GroupedRequest,
+        request_id: u64,
+        scope: Option<u64>,
+    ) {
+        let Some(service) = self.frontend.service.upgrade() else {
+            let reply = encode_reply(
+                &self.frontend.metrics,
+                conn.lane,
+                request_id,
+                scope,
+                &Response::Error(ApiError::new(
+                    codes::SHUTTING_DOWN,
+                    "service is shutting down",
+                )),
+            );
+            self.push_out(conn, reply);
+            return;
+        };
+        let on_done = self.make_grouped_callback(token, conn.lane, request_id, scope);
+        match service.try_submit_grouped_callback(session, request, request_id, on_done) {
+            Ok(()) => conn.inflight += 1,
+            Err(TrySubmitGroupedError::Full { request, on_done }) => {
+                conn.parked = Some(Parked {
+                    session,
+                    work: ParkedWork::Grouped { request, on_done },
+                    request_id,
+                    scope,
+                });
+            }
+            Err(TrySubmitGroupedError::Rejected(e)) => {
                 let reply = encode_reply(
                     &self.frontend.metrics,
                     conn.lane,
@@ -708,6 +782,34 @@ impl LoopCore {
                 request_id,
                 scope,
                 &query_response_to_protocol(Some(response)),
+            );
+            inbox
+                .lock()
+                .expect("loop inbox poisoned")
+                .completions
+                .push((token, reply));
+            waker.wake();
+        })
+    }
+
+    /// The grouped twin of [`Self::make_callback`].
+    fn make_grouped_callback(
+        &self,
+        token: u64,
+        lane: u64,
+        request_id: u64,
+        scope: Option<u64>,
+    ) -> GroupedCallback {
+        let inbox = Arc::clone(&self.inbox);
+        let waker = Arc::clone(&self.waker);
+        let metrics = self.frontend.metrics.clone();
+        Box::new(move |response| {
+            let reply = encode_reply(
+                &metrics,
+                lane,
+                request_id,
+                scope,
+                &grouped_response_to_protocol(Some(response)),
             );
             inbox
                 .lock()
@@ -754,10 +856,9 @@ impl LoopCore {
         if let Some(parked) = conn.parked.take() {
             let Parked {
                 session,
-                request,
+                work,
                 request_id,
                 scope,
-                on_done,
             } = parked;
             let Some(service) = self.frontend.service.upgrade() else {
                 let reply = encode_reply(
@@ -773,30 +874,56 @@ impl LoopCore {
                 self.push_out(conn, reply);
                 return true;
             };
-            match service.try_submit_callback(session, request, request_id, on_done) {
-                Ok(()) => conn.inflight += 1,
-                Err(TrySubmitError::Full { request, on_done }) => {
-                    // Someone else took the slot; stay parked for the
-                    // next wakeup.
-                    conn.parked = Some(Parked {
-                        session,
-                        request,
-                        request_id,
-                        scope,
-                        on_done,
-                    });
-                    return true;
+            let rejected = match work {
+                ParkedWork::Scalar { request, on_done } => {
+                    match service.try_submit_callback(session, request, request_id, on_done) {
+                        Ok(()) => {
+                            conn.inflight += 1;
+                            None
+                        }
+                        Err(TrySubmitError::Full { request, on_done }) => {
+                            // Someone else took the slot; stay parked for
+                            // the next wakeup.
+                            conn.parked = Some(Parked {
+                                session,
+                                work: ParkedWork::Scalar { request, on_done },
+                                request_id,
+                                scope,
+                            });
+                            return true;
+                        }
+                        Err(TrySubmitError::Rejected(e)) => Some(e),
+                    }
                 }
-                Err(TrySubmitError::Rejected(e)) => {
-                    let reply = encode_reply(
-                        &self.frontend.metrics,
-                        conn.lane,
-                        request_id,
-                        scope,
-                        &Response::Error(e.into()),
-                    );
-                    self.push_out(conn, reply);
+                ParkedWork::Grouped { request, on_done } => {
+                    match service.try_submit_grouped_callback(session, request, request_id, on_done)
+                    {
+                        Ok(()) => {
+                            conn.inflight += 1;
+                            None
+                        }
+                        Err(TrySubmitGroupedError::Full { request, on_done }) => {
+                            conn.parked = Some(Parked {
+                                session,
+                                work: ParkedWork::Grouped { request, on_done },
+                                request_id,
+                                scope,
+                            });
+                            return true;
+                        }
+                        Err(TrySubmitGroupedError::Rejected(e)) => Some(e),
+                    }
                 }
+            };
+            if let Some(e) = rejected {
+                let reply = encode_reply(
+                    &self.frontend.metrics,
+                    conn.lane,
+                    request_id,
+                    scope,
+                    &Response::Error(e.into()),
+                );
+                self.push_out(conn, reply);
             }
         }
         true

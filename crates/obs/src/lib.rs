@@ -89,11 +89,18 @@ pub enum CounterId {
     /// Connections closed by the event-loop frontend for idling past the
     /// reap timeout (sessions survive; only the socket is dropped).
     IdleConnectionsReaped,
+    /// Grouped (GROUP BY) queries answered end to end.
+    GroupQueries,
+    /// Group cells released across grouped queries (each a priced,
+    /// individually-admitted answer).
+    GroupCellsReleased,
+    /// Workload plans computed by the planner.
+    PlansComputed,
 }
 
 impl CounterId {
     /// Every counter, in catalog order.
-    pub const ALL: [CounterId; 17] = [
+    pub const ALL: [CounterId; 20] = [
         CounterId::FrontendConnections,
         CounterId::FrontendRequests,
         CounterId::QueriesAnswered,
@@ -111,6 +118,9 @@ impl CounterId {
         CounterId::AcceptTransientErrors,
         CounterId::AcceptFatalErrors,
         CounterId::IdleConnectionsReaped,
+        CounterId::GroupQueries,
+        CounterId::GroupCellsReleased,
+        CounterId::PlansComputed,
     ];
 
     /// Stable snapshot name of the counter.
@@ -134,6 +144,9 @@ impl CounterId {
             CounterId::AcceptTransientErrors => "frontend.accept_transient_errors",
             CounterId::AcceptFatalErrors => "frontend.accept_fatal_errors",
             CounterId::IdleConnectionsReaped => "net.idle_reaped",
+            CounterId::GroupQueries => "group.queries",
+            CounterId::GroupCellsReleased => "group.cells_released",
+            CounterId::PlansComputed => "plan.computed",
         }
     }
 
@@ -217,11 +230,16 @@ pub enum HistId {
     /// Ready events delivered per event-loop wakeup (count, not ns) — how
     /// much work each `epoll_wait` return amortises.
     ReadyEventsPerWake,
+    /// End-to-end grouped-query execution (resolve + every cell's
+    /// admission and release).
+    GroupExecute,
+    /// Group cells per grouped query (count, not ns).
+    GroupSize,
 }
 
 impl HistId {
     /// Every histogram, in catalog order.
-    pub const ALL: [HistId; 12] = [
+    pub const ALL: [HistId; 14] = [
         HistId::FrontendDecode,
         HistId::FrontendReply,
         HistId::QueueWait,
@@ -234,6 +252,8 @@ impl HistId {
         HistId::EpochStaleness,
         HistId::QuorumAck,
         HistId::ReadyEventsPerWake,
+        HistId::GroupExecute,
+        HistId::GroupSize,
     ];
 
     /// Stable snapshot name of the histogram.
@@ -252,6 +272,8 @@ impl HistId {
             HistId::EpochStaleness => "epoch.staleness",
             HistId::QuorumAck => "cluster.quorum_ack_ns",
             HistId::ReadyEventsPerWake => "net.ready_events_per_wake",
+            HistId::GroupExecute => "group.execute_ns",
+            HistId::GroupSize => "group.size",
         }
     }
 

@@ -1,0 +1,249 @@
+//! The planner's cost model.
+//!
+//! Three ingredients, matching the axes the system actually pays along:
+//!
+//! * **scan cost** — materialising a view's exact histogram walks the base
+//!   table once (shared-pass amortisation observed from
+//!   [`ExecStats`]) and writes one cell per domain point, so a view costs
+//!   `rows × scans_per_view + domain` cell-visits up front;
+//! * **budget price** — answering a template through a view charges the
+//!   epsilon that the accuracy→privacy translation (Definition 9) assigns
+//!   to the template's per-cell accuracy target at the view's granularity;
+//!   this is the *same* translation the admission path runs, so the
+//!   estimate and the runtime agree on what a synopsis will cost;
+//! * **granularity** — a template answered through a coarser view touches
+//!   more bins per cell (`bins_per_cell`), dividing the per-bin variance
+//!   target and inflating the required epsilon; this is the quantity the
+//!   planner trades against sharing one synopsis across templates.
+
+use dprov_dp::budget::{Delta, Epsilon};
+use dprov_dp::sensitivity::Sensitivity;
+use dprov_dp::translation::{
+    per_bin_variance, translate_variance_to_epsilon, DEFAULT_EPSILON_PRECISION,
+};
+use dprov_engine::expr::Predicate;
+use dprov_engine::query::Query;
+use dprov_engine::schema::Schema;
+use dprov_exec::ExecStats;
+
+use crate::{PlanError, Result};
+
+/// The planner's cost model. All estimates are deterministic functions of
+/// the inputs — two planning runs over the same workload produce the same
+/// plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// The per-synopsis δ (the admission path's δ).
+    pub delta: f64,
+    /// Upper bound of the epsilon search (the table constraint ψ_P).
+    pub max_epsilon: f64,
+    /// Precision of the accuracy→privacy binary search.
+    pub precision: f64,
+    /// Table passes per materialised view. `1.0` with no history; when
+    /// observed [`ExecStats`] are supplied this becomes the measured
+    /// shared-pass amortisation `histogram_scans / histograms` (a catalog
+    /// of `k` same-table views costs `1/k` passes each).
+    pub scans_per_view: f64,
+}
+
+impl CostModel {
+    /// A cost model pricing against the given budget ceiling.
+    #[must_use]
+    pub fn new(delta: f64, max_epsilon: f64) -> Self {
+        CostModel {
+            delta,
+            max_epsilon,
+            precision: DEFAULT_EPSILON_PRECISION,
+            scans_per_view: 1.0,
+        }
+    }
+
+    /// Calibrates the scan-amortisation factor from observed executor
+    /// counters (no-op until at least one histogram has been
+    /// materialised).
+    #[must_use]
+    pub fn with_exec_stats(mut self, stats: &ExecStats) -> Self {
+        if stats.histograms > 0 {
+            self.scans_per_view = stats.histogram_scans as f64 / stats.histograms as f64;
+        }
+        self
+    }
+
+    /// Up-front cell-visits to materialise a view: one (amortised) pass
+    /// over the base table plus one write per domain cell.
+    #[must_use]
+    pub fn materialise_cells(&self, rows: usize, domain: usize) -> f64 {
+        rows as f64 * self.scans_per_view + domain as f64
+    }
+
+    /// How many view bins one released cell of `template` sums when
+    /// answered through a view over `view_attrs`: the product, over the
+    /// view's attributes, of the constrained factor — 1 for a grouping or
+    /// equality-constrained attribute, the selected index span for a range
+    /// constraint, the full domain otherwise. Conservative for predicate
+    /// shapes the estimator does not fold (OR / NOT subtrees count as
+    /// unconstrained).
+    pub fn bins_per_cell(
+        &self,
+        template: &Query,
+        view_attrs: &[String],
+        schema: &Schema,
+    ) -> Result<usize> {
+        let mut bins = 1usize;
+        for attr_name in view_attrs {
+            let attr = schema.attribute(attr_name)?;
+            let factor = if template.group_by.iter().any(|g| g == attr_name) {
+                1
+            } else {
+                constraint_factor(&template.predicate, attr_name, schema)?
+                    .unwrap_or_else(|| attr.domain_size())
+            };
+            bins = bins.saturating_mul(factor);
+        }
+        Ok(bins)
+    }
+
+    /// The epsilon the admission path's translation would request for one
+    /// cell of `template` at accuracy target `target_variance`, answered
+    /// through a view of the given `bins_per_cell` granularity. Returns
+    /// `0.0` for an empty cell (no bins touched — the system releases it
+    /// for free) and [`PlanError::NotPlannable`] when even the full budget
+    /// ceiling cannot reach the target.
+    pub fn epsilon_price(
+        &self,
+        template: &Query,
+        bins_per_cell: usize,
+        target_variance: f64,
+    ) -> Result<f64> {
+        if bins_per_cell == 0 {
+            return Ok(0.0);
+        }
+        let per_bin = per_bin_variance(target_variance, bins_per_cell);
+        let delta = Delta::new(self.delta).map_err(|e| PlanError::NotPlannable {
+            template: template.describe(),
+            reason: format!("invalid delta: {e}"),
+        })?;
+        let max_epsilon = Epsilon::new(self.max_epsilon).map_err(|e| PlanError::NotPlannable {
+            template: template.describe(),
+            reason: format!("invalid budget ceiling: {e}"),
+        })?;
+        let translation = translate_variance_to_epsilon(
+            per_bin,
+            delta,
+            Sensitivity::histogram_bounded(),
+            max_epsilon,
+            self.precision,
+        )
+        .map_err(|e| PlanError::NotPlannable {
+            template: template.describe(),
+            reason: format!("accuracy target unreachable at this granularity: {e}"),
+        })?;
+        Ok(translation.epsilon.value())
+    }
+}
+
+/// The number of domain indices of `attr_name` a predicate accepts, when
+/// the estimator can fold it: `Some(k)` for equality / IN / range
+/// constraints reachable through AND-chains, `None` (unconstrained) for
+/// everything else. Multiple constraints on one attribute take the
+/// tightest.
+fn constraint_factor(
+    predicate: &Predicate,
+    attr_name: &str,
+    schema: &Schema,
+) -> Result<Option<usize>> {
+    Ok(match predicate {
+        Predicate::Equals { attribute, .. } if attribute == attr_name => Some(1),
+        Predicate::InSet { attribute, values } if attribute == attr_name => Some(values.len()),
+        Predicate::Range {
+            attribute,
+            low,
+            high,
+        } if attribute == attr_name => {
+            let attr = schema.attribute(attr_name)?;
+            Some(match attr.index_range(*low, *high) {
+                Some((lo, hi)) => hi - lo + 1,
+                None => 0,
+            })
+        }
+        Predicate::And(parts) => {
+            let mut tightest: Option<usize> = None;
+            for part in parts {
+                if let Some(k) = constraint_factor(part, attr_name, schema)? {
+                    tightest = Some(tightest.map_or(k, |t| t.min(k)));
+                }
+            }
+            tightest
+        }
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprov_engine::schema::{Attribute, AttributeType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("region", AttributeType::categorical(&["NA", "EU", "APAC"])),
+            Attribute::new("day", AttributeType::integer(0, 29)),
+        ])
+    }
+
+    #[test]
+    fn bins_reflect_grouping_equality_and_range() {
+        let s = schema();
+        let m = CostModel::new(1e-9, 4.0);
+        let grouped = Query::count("t").group_by(&["region"]);
+        // Grouping pins region; day is unconstrained.
+        assert_eq!(
+            m.bins_per_cell(&grouped, &["region".into(), "day".into()], &s)
+                .unwrap(),
+            30
+        );
+        assert_eq!(
+            m.bins_per_cell(&grouped, &["region".into()], &s).unwrap(),
+            1
+        );
+        let ranged = grouped.clone().filter(Predicate::range("day", 0, 6));
+        assert_eq!(
+            m.bins_per_cell(&ranged, &["region".into(), "day".into()], &s)
+                .unwrap(),
+            7
+        );
+        let empty = Query::count("t").filter(Predicate::range("day", 40, 50));
+        assert_eq!(m.bins_per_cell(&empty, &["day".into()], &s).unwrap(), 0);
+    }
+
+    #[test]
+    fn coarser_views_price_higher() {
+        let m = CostModel::new(1e-9, 8.0);
+        let q = Query::count("t").group_by(&["region"]);
+        let fine = m.epsilon_price(&q, 1, 10_000.0).unwrap();
+        let coarse = m.epsilon_price(&q, 30, 10_000.0).unwrap();
+        assert!(coarse > fine, "coarse {coarse} <= fine {fine}");
+        // Empty cells are free; unreachable targets are surfaced.
+        assert_eq!(m.epsilon_price(&q, 0, 10_000.0).unwrap(), 0.0);
+        let tight = CostModel::new(1e-9, 1e-4);
+        assert!(matches!(
+            tight.epsilon_price(&q, 1, 1e-9),
+            Err(PlanError::NotPlannable { .. })
+        ));
+    }
+
+    #[test]
+    fn exec_stats_calibrate_amortisation() {
+        let stats = ExecStats {
+            histogram_scans: 2,
+            histograms: 8,
+            ..ExecStats::default()
+        };
+        let m = CostModel::new(1e-9, 4.0).with_exec_stats(&stats);
+        assert!((m.scans_per_view - 0.25).abs() < 1e-12);
+        // 1000-row table, 30-cell view at 0.25 passes/view.
+        assert!((m.materialise_cells(1_000, 30) - 280.0).abs() < 1e-9);
+        let fresh = CostModel::new(1e-9, 4.0).with_exec_stats(&ExecStats::default());
+        assert_eq!(fresh.scans_per_view, 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! # `dprov-plan` — the workload-aware view/synopsis planner
+//!
+//! DProvDB spends privacy budget per (analyst, view) synopsis, so *which*
+//! views exist — and at which domain granularity — decides how much budget
+//! a workload burns and how much scanning setup costs. The original paper
+//! fixes the catalog by hand (one histogram per attribute, §6.1.2); this
+//! crate chooses it from a **declared workload**
+//! ([`dprov_core::workload::DeclaredWorkload`] — query templates plus
+//! relative frequencies, typically produced by the `dprov-workloads`
+//! generators):
+//!
+//! * [`cost`] — the cost model: scan cost calibrated from the executor's
+//!   [`dprov_exec::ExecStats`] (shared-pass amortisation), budget price via
+//!   the same accuracy→privacy translation the admission path uses
+//!   (Definition 9), and synopsis granularity (a coarser view answers a
+//!   template through more bins per cell, so it needs a larger epsilon to
+//!   hit the same per-cell accuracy);
+//! * [`planner`] — a deterministic greedy cover over candidate views
+//!   (template attribute sets and their affordable unions) that picks which
+//!   views to materialise, routes every template to the smallest covering
+//!   view (mirroring the runtime
+//!   [`dprov_engine::catalog::ViewCatalog::select_view`] rule), and emits an
+//!   explainable [`planner::Plan`] report alongside the
+//!   [`dprov_engine::catalog::ViewCatalog`] to build the system with.
+//!
+//! Planning is *advisory and pre-budget*: a plan is computed before
+//! [`dprov_core::system::DProvDb`] is constructed (the provenance table is
+//! fixed at setup), never spends budget itself, and never constrains which
+//! queries analysts may later submit.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod planner;
+
+/// Errors produced by the planner.
+///
+/// Marked `#[non_exhaustive]`: the planner grows over time and new failure
+/// modes must not break downstream matches or the stable `dprov-api` error
+/// codes.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The declared workload has no templates to plan for.
+    EmptyWorkload,
+    /// A template cannot be answered over any histogram view (e.g. an AVG
+    /// aggregate, or SUM over a categorical attribute), so no catalog
+    /// choice can serve it.
+    NotPlannable {
+        /// A rendering of the offending template.
+        template: String,
+        /// Why no view can answer it.
+        reason: String,
+    },
+    /// A template referenced a table or attribute that does not exist.
+    Engine(dprov_engine::EngineError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyWorkload => write!(f, "declared workload has no templates"),
+            PlanError::NotPlannable { template, reason } => {
+                write!(f, "template not plannable: {template} ({reason})")
+            }
+            PlanError::Engine(e) => write!(f, "engine error during planning: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dprov_engine::EngineError> for PlanError {
+    fn from(e: dprov_engine::EngineError) -> Self {
+        PlanError::Engine(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -77,8 +77,9 @@ pub mod session;
 pub use frontend::{Frontend, FrontendListener};
 pub use queue::{SpaceListener, TryPushError};
 pub use service::{
-    ClusterRole, DurabilityConfig, DurabilityConfigBuilder, FrontendMode, PendingQuery,
-    QueryCallback, QueryResponse, QueryService, RecoveryReport, ServerError, ServiceConfig,
-    ServiceConfigBuilder, ServiceStats, TrySubmitError,
+    ClusterRole, DurabilityConfig, DurabilityConfigBuilder, FrontendMode, GroupedCallback,
+    GroupedResponse, PendingQuery, QueryCallback, QueryResponse, QueryService, RecoveryReport,
+    ServerError, ServiceConfig, ServiceConfigBuilder, ServiceStats, TrySubmitError,
+    TrySubmitGroupedError,
 };
 pub use session::{SessionError, SessionId, SessionInfo, SessionRegistry};

@@ -39,10 +39,10 @@ use dprov_api::protocol::{
 };
 use dprov_api::{codes, ApiError};
 use dprov_core::analyst::AnalystId;
-use dprov_core::processor::QueryRequest;
+use dprov_core::processor::{GroupedRequest, QueryRequest};
 use dprov_obs::{CounterId, HistId, MetricsRegistry, Stage};
 
-use crate::service::{QueryResponse, QueryService};
+use crate::service::{GroupedResponse, QueryResponse, QueryService};
 use crate::session::SessionId;
 
 /// Channel cap used by frontends that do not expose their own knob.
@@ -71,6 +71,12 @@ enum ProtoFlow {
         session: SessionId,
         request: QueryRequest,
     },
+    /// A well-formed grouped (GROUP BY) submission, dispatched like
+    /// `Submit` but answered with [`Response::GroupedAnswer`].
+    SubmitGrouped {
+        session: SessionId,
+        request: GroupedRequest,
+    },
 }
 
 /// What the frontend must do with one received payload.
@@ -90,6 +96,21 @@ pub enum PayloadOutcome {
         request_id: u64,
         /// `Some(channel)` when the submission arrived inside a mux
         /// channel; its reply must be wrapped back into that channel.
+        scope: Option<u64>,
+    },
+    /// Hand this grouped (GROUP BY) query to the worker pool; its
+    /// eventual [`GroupedResponse`] goes through
+    /// [`grouped_response_to_protocol`] and [`encode_reply`] under the
+    /// same `(request_id, scope)`.
+    SubmitGrouped {
+        /// The session the query runs on.
+        session: SessionId,
+        /// The validated grouped submission.
+        request: GroupedRequest,
+        /// The pipelining id the reply must echo (doubles as trace id).
+        request_id: u64,
+        /// `Some(channel)` when the submission arrived inside a mux
+        /// channel.
         scope: Option<u64>,
     },
 }
@@ -158,6 +179,12 @@ impl ConnProto {
                 PayloadOutcome::ReplyClose(encode_reply(metrics, lane, request_id, None, &r))
             }
             ProtoFlow::Submit { session, request } => PayloadOutcome::Submit {
+                session,
+                request,
+                request_id,
+                scope: None,
+            },
+            ProtoFlow::SubmitGrouped { session, request } => PayloadOutcome::SubmitGrouped {
                 session,
                 request,
                 request_id,
@@ -238,6 +265,12 @@ impl ConnProto {
                 request_id: inner_id,
                 scope: Some(channel),
             },
+            ProtoFlow::SubmitGrouped { session, request } => PayloadOutcome::SubmitGrouped {
+                session,
+                request,
+                request_id: inner_id,
+                scope: Some(channel),
+            },
         }
     }
 }
@@ -287,6 +320,20 @@ pub fn query_response_to_protocol(response: Option<QueryResponse>) -> Response {
         Some(Err(server_error)) => Response::Error(server_error.into()),
         // The worker dropped the responder without answering: the pool is
         // going away.
+        None => Response::Error(ApiError::new(
+            codes::SHUTTING_DOWN,
+            "service dropped the job during shutdown",
+        )),
+    }
+}
+
+/// The grouped twin of [`query_response_to_protocol`]: maps a worker-pool
+/// grouped response (or a dropped responder) onto the wire protocol.
+#[must_use]
+pub fn grouped_response_to_protocol(response: Option<GroupedResponse>) -> Response {
+    match response {
+        Some(Ok(outcome)) => Response::GroupedAnswer(outcome),
+        Some(Err(server_error)) => Response::Error(server_error.into()),
         None => Response::Error(ApiError::new(
             codes::SHUTTING_DOWN,
             "service dropped the job during shutdown",
@@ -388,6 +435,40 @@ fn handle_request(
             ProtoFlow::Submit {
                 session: session_id,
                 request: query_request,
+            }
+        }
+        Request::GroupByQuery(grouped_request) => {
+            let Some((session_id, _)) = state.session else {
+                return ProtoFlow::Reply(Response::Error(no_session()));
+            };
+            if service.upgrade().is_none() {
+                return ProtoFlow::Reply(Response::Error(shutting_down()));
+            }
+            ProtoFlow::SubmitGrouped {
+                session: session_id,
+                request: grouped_request,
+            }
+        }
+        Request::DeclareWorkload(workload) => {
+            // Planning is a control-plane request: no noise is drawn and
+            // no budget is spent, so it is answered inline (overtaking
+            // queued query work) — but it does reveal schema, domain
+            // sizes and cost observations, so it is gated on a
+            // registered session like `BudgetStatus`.
+            if state.session.is_none() {
+                return ProtoFlow::Reply(Response::Error(no_session()));
+            }
+            let Some(service) = service.upgrade() else {
+                return ProtoFlow::Reply(Response::Error(shutting_down()));
+            };
+            match service.plan_workload(&workload) {
+                Ok(plan) => ProtoFlow::Reply(Response::WorkloadPlan {
+                    views: plan.views.len() as u64,
+                    est_epsilon: plan.est_epsilon,
+                    est_materialise_cells: plan.est_materialise_cells,
+                    report: plan.report(),
+                }),
+                Err(e) => ProtoFlow::Reply(Response::Error(e.into())),
             }
         }
         Request::Heartbeat => {

@@ -29,12 +29,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dprov_core::processor::{QueryOutcome, QueryRequest};
+use dprov_core::processor::{GroupedOutcome, GroupedRequest, QueryOutcome, QueryRequest};
 use dprov_core::recorder::Recorder;
 use dprov_core::system::{DProvDb, SystemStats};
+use dprov_core::workload::DeclaredWorkload;
 use dprov_core::{CoreError, StorageError};
 use dprov_dp::accountant::CompositionMethod;
 use dprov_obs::{CounterId, GaugeId, HistId, Histogram, HistogramSnapshot, MetricsRegistry, Stage};
+use dprov_plan::cost::CostModel;
+use dprov_plan::planner::{Plan, Planner};
+use dprov_plan::PlanError;
 use dprov_storage::{
     analysts_digest, config_fingerprint, ProvenanceStore, SessionCheckpoint, StoreOptions,
 };
@@ -360,6 +364,35 @@ impl std::fmt::Debug for TrySubmitError {
     }
 }
 
+/// Why [`QueryService::try_submit_grouped_callback`] could not accept a
+/// grouped submission — the grouped twin of [`TrySubmitError`], with the
+/// same park-and-retry contract.
+pub enum TrySubmitGroupedError {
+    /// The runnable queue is full; the request and its callback are
+    /// handed back intact for the caller to park and retry.
+    Full {
+        /// The submitted grouped request, returned unexecuted.
+        request: GroupedRequest,
+        /// The completion callback, never invoked.
+        on_done: GroupedCallback,
+    },
+    /// The submission was rejected outright; the callback is dropped
+    /// without running.
+    Rejected(ServerError),
+}
+
+impl std::fmt::Debug for TrySubmitGroupedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitGroupedError::Full { request, .. } => f
+                .debug_struct("Full")
+                .field("request", request)
+                .finish_non_exhaustive(),
+            TrySubmitGroupedError::Rejected(e) => f.debug_tuple("Rejected").field(e).finish(),
+        }
+    }
+}
+
 /// Durability settings for [`QueryService::start_durable`].
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
@@ -549,6 +582,15 @@ fn system_fingerprint(system: &DProvDb) -> u64 {
 /// reply back to the owning loop thread.
 pub type QueryCallback = Box<dyn FnOnce(QueryResponse) + Send>;
 
+/// The response to one grouped (GROUP BY) submission: one
+/// [`QueryOutcome`] per group cell in canonical group-enumeration order.
+pub type GroupedResponse = Result<GroupedOutcome, ServerError>;
+
+/// A completion handler for a non-blocking grouped submission (see
+/// [`QueryService::try_submit_grouped_callback`]); same contract as
+/// [`QueryCallback`].
+pub type GroupedCallback = Box<dyn FnOnce(GroupedResponse) + Send>;
+
 /// How a finished job's response travels back to its submitter.
 enum Responder {
     /// The blocking/pipelined path: the submitter parks on (or polls) the
@@ -571,11 +613,76 @@ impl Responder {
     }
 }
 
+/// How a finished grouped job's response travels back to its submitter
+/// (the grouped twin of [`Responder`]).
+enum GroupedResponder {
+    Channel(mpsc::Sender<GroupedResponse>),
+    Callback(GroupedCallback),
+}
+
+impl GroupedResponder {
+    fn deliver(self, response: GroupedResponse) {
+        match self {
+            GroupedResponder::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            GroupedResponder::Callback(on_done) => on_done(response),
+        }
+    }
+}
+
+/// What a job executes, paired with the matching response path. Scalar
+/// and grouped submissions share the queue, the session lanes and the
+/// per-view micro-batching; only the core call and the response type
+/// differ.
+enum JobWork {
+    Scalar {
+        request: QueryRequest,
+        responder: Responder,
+    },
+    Grouped {
+        request: GroupedRequest,
+        responder: GroupedResponder,
+    },
+}
+
+impl JobWork {
+    /// The grouping key for per-view micro-batching: table + sorted
+    /// referenced attributes. Queries over the same table and attribute
+    /// set resolve to the same catalog view, so the key clusters
+    /// same-view work without paying a full view-selection pass (which
+    /// iterates every view's domain) before admission. Grouped work uses
+    /// the same key shape, so a GROUP BY batches with the scalar queries
+    /// of the view it resolves to.
+    fn view_key(&self) -> String {
+        let (table, mut attrs) = match self {
+            JobWork::Scalar { request, .. } => (
+                request.query.table.as_str(),
+                request.query.referenced_attributes(),
+            ),
+            JobWork::Grouped { request, .. } => (
+                request.query.table.as_str(),
+                request.query.referenced_attributes(),
+            ),
+        };
+        attrs.sort();
+        format!("{table}\u{1f}{}", attrs.join(","))
+    }
+
+    /// Fails the job without executing it (shutdown paths), delivering
+    /// the error through whichever response path the job carries.
+    fn fail(self, error: ServerError) {
+        match self {
+            JobWork::Scalar { responder, .. } => responder.deliver(Err(error)),
+            JobWork::Grouped { responder, .. } => responder.deliver(Err(error)),
+        }
+    }
+}
+
 /// One unit of work for the pool.
 struct Job {
     session: Arc<Session>,
-    request: QueryRequest,
-    responder: Responder,
+    work: JobWork,
     /// Request id keying this job's trace-journal events (the protocol's
     /// pipelining id when the job came through the frontend, a
     /// service-assigned sequence number for in-process submissions).
@@ -583,6 +690,17 @@ struct Job {
     /// When the job entered the queue (or a session lane); `None` with a
     /// disabled registry so the hot path never pays a clock read.
     enqueued_at: Option<Instant>,
+}
+
+/// Why the shared non-blocking enqueue tail could not accept a job; the
+/// public `TrySubmit*Error` types are carved back out of the returned
+/// [`Job`] by the typed wrappers.
+enum TryEnqueueError {
+    /// The runnable queue is full; the job comes back intact (boxed to
+    /// keep the error variant small).
+    Full(Box<Job>),
+    /// Rejected outright (shutdown).
+    Rejected(ServerError),
 }
 
 /// Per-session dispatch state: `busy` is true iff exactly one of the
@@ -882,16 +1000,6 @@ impl QueryService {
         store.compact(fingerprint, &core)
     }
 
-    /// The grouping key for per-view micro-batching. Queries over the same
-    /// table and attribute set resolve to the same catalog view, so the
-    /// key clusters same-view work without paying a full view-selection
-    /// pass (which iterates every view's domain) before admission.
-    fn view_key(request: &QueryRequest) -> String {
-        let mut attrs = request.query.referenced_attributes();
-        attrs.sort();
-        format!("{}\u{1f}{}", request.query.table, attrs.join(","))
-    }
-
     /// Stable-regroups a micro-batch by view key: same-view jobs stay in
     /// arrival order (so each view's budget/synopsis state evolves exactly
     /// as under one-at-a-time draining) and run back-to-back on hot
@@ -902,13 +1010,34 @@ impl QueryService {
         }
         let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
         for job in jobs {
-            let key = Self::view_key(&job.request);
+            let key = job.work.view_key();
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, group)) => group.push(job),
                 None => groups.push((key, vec![job])),
             }
         }
         groups.into_iter().flat_map(|(_, group)| group).collect()
+    }
+
+    /// Durable mode: persists the session's noise-stream position BEFORE
+    /// an answer is acknowledged. An acknowledged answer therefore implies
+    /// its draws are checkpointed — a recovered session can never
+    /// re-release randomness an analyst has observed. If the append fails
+    /// the answer is withheld (the noise was never observed, so rewinding
+    /// is safe).
+    fn checkpoint_session(
+        durable: Option<&DurableCtx>,
+        session: &Session,
+    ) -> Result<(), ServerError> {
+        durable.map_or(Ok(()), |ctx| {
+            ctx.store
+                .record_session(&SessionCheckpoint {
+                    session: session.id().0,
+                    analyst: session.analyst(),
+                    rng: session.rng_checkpoint(),
+                })
+                .map_err(ServerError::Storage)
+        })
     }
 
     /// Executes one job end to end (submit → durable session checkpoint →
@@ -924,55 +1053,82 @@ impl QueryService {
         metrics: &MetricsRegistry,
         job: Job,
     ) -> Option<Job> {
+        let Job {
+            session,
+            work,
+            trace_id,
+            enqueued_at,
+        } = job;
         // Executing a query also counts as session activity.
-        job.session.heartbeat();
+        session.heartbeat();
         let exec_start = metrics.start();
-        if let (Some(now), Some(enqueued_at)) = (exec_start, job.enqueued_at) {
+        if let (Some(now), Some(enqueued_at)) = (exec_start, enqueued_at) {
             // Queue wait covers time in the global queue *and* in a
             // session lane — submission to execution start either way.
             let waited = now.saturating_duration_since(enqueued_at);
             metrics.observe_duration(HistId::QueueWait, waited);
-            metrics.trace(job.trace_id, Stage::QueueWait, worker, enqueued_at, waited);
+            metrics.trace(trace_id, Stage::QueueWait, worker, enqueued_at, waited);
         }
-        let result = {
-            let mut rng = job.session.rng.lock().expect("session rng poisoned");
-            system.submit_with_rng(job.session.analyst(), &job.request, &mut rng)
-        };
-        if let Some(t0) = exec_start {
-            // The Execute latency histogram is recorded inside the core
-            // (it also covers cache hits served without a service); here
-            // only the trace stage is added.
-            metrics.trace(job.trace_id, Stage::Execute, worker, t0, t0.elapsed());
-        }
-        completed.fetch_add(1, Ordering::Relaxed);
-        let response: QueryResponse = match result {
-            Ok(outcome) => {
-                // Durable mode: persist the session's noise-stream
-                // position BEFORE acknowledging the answer. An
-                // acknowledged answer therefore implies its draws
-                // are checkpointed — a recovered session can never
-                // re-release randomness an analyst has observed. If
-                // the append fails the answer is withheld (the
-                // noise was never observed, so rewinding is safe).
-                let persisted = durable.map_or(Ok(()), |ctx| {
-                    ctx.store.record_session(&SessionCheckpoint {
-                        session: job.session.id().0,
-                        analyst: job.session.analyst(),
-                        rng: job.session.rng_checkpoint(),
-                    })
-                });
-                match persisted {
-                    Ok(()) => {
-                        job.session.record_outcome(outcome.is_answered());
-                        Ok(outcome)
-                    }
-                    Err(e) => Err(ServerError::Storage(e)),
+        match work {
+            JobWork::Scalar { request, responder } => {
+                let result = {
+                    let mut rng = session.rng.lock().expect("session rng poisoned");
+                    system.submit_with_rng(session.analyst(), &request, &mut rng)
+                };
+                if let Some(t0) = exec_start {
+                    // The Execute latency histogram is recorded inside the
+                    // core (it also covers cache hits served without a
+                    // service); here only the trace stage is added.
+                    metrics.trace(trace_id, Stage::Execute, worker, t0, t0.elapsed());
                 }
+                completed.fetch_add(1, Ordering::Relaxed);
+                let response: QueryResponse = match result {
+                    Ok(outcome) => match Self::checkpoint_session(durable, &session) {
+                        Ok(()) => {
+                            session.record_outcome(outcome.is_answered());
+                            Ok(outcome)
+                        }
+                        Err(e) => Err(e),
+                    },
+                    Err(e) => Err(ServerError::Core(e)),
+                };
+                // The submitter may have dropped its receiver; that is
+                // fine.
+                responder.deliver(response);
             }
-            Err(e) => Err(ServerError::Core(e)),
-        };
-        // The submitter may have dropped its receiver; that is fine.
-        job.responder.deliver(response);
+            JobWork::Grouped { request, responder } => {
+                // The grouped path draws per-cell noise from the same
+                // session stream the scalar path uses, under the same
+                // lock — cell order is the core's canonical group
+                // enumeration, so answers stay deterministic.
+                let result = {
+                    let mut rng = session.rng.lock().expect("session rng poisoned");
+                    system.answer_group_by_with_rng(session.analyst(), &request, &mut rng)
+                };
+                if let Some(t0) = exec_start {
+                    metrics.trace(trace_id, Stage::Execute, worker, t0, t0.elapsed());
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                let response: GroupedResponse = match result {
+                    Ok(outcome) => match Self::checkpoint_session(durable, &session) {
+                        Ok(()) => {
+                            // One grouped submission counts once in the
+                            // session tallies: answered iff every cell
+                            // released (a partial rejection reads as
+                            // rejected — the analyst did not get the
+                            // histogram they asked for).
+                            session.record_outcome(
+                                outcome.outcomes.iter().all(QueryOutcome::is_answered),
+                            );
+                            Ok(outcome)
+                        }
+                        Err(e) => Err(e),
+                    },
+                    Err(e) => Err(ServerError::Core(e)),
+                };
+                responder.deliver(response);
+            }
+        }
 
         // Periodic compaction: fold the ledger into a snapshot once
         // it has grown past the watermark (raised after failures so
@@ -989,7 +1145,7 @@ impl QueryService {
 
         let mut lanes = lanes.lock().expect("lane map poisoned");
         let lane = lanes
-            .get_mut(&job.session.id().0)
+            .get_mut(&session.id().0)
             .expect("executing session has a lane");
         match lane.pending.pop_front() {
             Some(next) => Some(next),
@@ -997,7 +1153,7 @@ impl QueryService {
                 // Idle lanes are removed outright — `submit` recreates
                 // them on demand — so lanes never outlive their work (no
                 // leak when sessions expire mid-flight).
-                lanes.remove(&job.session.id().0);
+                lanes.remove(&session.id().0);
                 None
             }
         }
@@ -1246,11 +1402,59 @@ impl QueryService {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             session: Arc::clone(&session),
-            request,
-            responder: Responder::Channel(tx),
+            work: JobWork::Scalar {
+                request,
+                responder: Responder::Channel(tx),
+            },
             trace_id,
             enqueued_at: self.metrics.start(),
         };
+        self.enqueue(&session, job)?;
+        Ok(rx)
+    }
+
+    /// Submits a grouped (GROUP BY) query on a session — the grouped twin
+    /// of [`Self::submit_traced`], with identical session-lane, queue and
+    /// micro-batch semantics. The whole grouped answer is one job: its
+    /// per-cell admissions run back-to-back on the executing worker, and
+    /// per-session FIFO ordering against the session's scalar submissions
+    /// is preserved.
+    pub(crate) fn submit_grouped_traced(
+        &self,
+        id: SessionId,
+        request: GroupedRequest,
+        trace_id: u64,
+    ) -> Result<mpsc::Receiver<GroupedResponse>, ServerError> {
+        let session = self.sessions.get(id)?;
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            session: Arc::clone(&session),
+            work: JobWork::Grouped {
+                request,
+                responder: GroupedResponder::Channel(tx),
+            },
+            trace_id,
+            enqueued_at: self.metrics.start(),
+        };
+        self.enqueue(&session, job)?;
+        Ok(rx)
+    }
+
+    /// Submits a grouped query and blocks until its outcome (one
+    /// [`QueryOutcome`] per group cell, canonical order) is available —
+    /// the same-process embedder path, like [`Self::submit_wait`].
+    pub fn group_by_wait(&self, id: SessionId, request: GroupedRequest) -> GroupedResponse {
+        let trace_id = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        match self.submit_grouped_traced(id, request, trace_id) {
+            Ok(rx) => rx.recv().unwrap_or(Err(ServerError::ShuttingDown)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Places a job on its session lane or the runnable queue (blocking on
+    /// a full queue) — the shared tail of every blocking submission path.
+    fn enqueue(&self, session: &Arc<Session>, job: Job) -> Result<(), ServerError> {
+        let id = session.id();
         // If the session already has a runnable job, append to its lane —
         // the finishing worker will chain into it (accepted work always
         // completes, even across shutdown). Otherwise this job is the
@@ -1288,7 +1492,7 @@ impl QueryService {
                             .map_or_else(VecDeque::new, |l| l.pending)
                     };
                     for job in stranded {
-                        job.responder.deliver(Err(ServerError::ShuttingDown));
+                        job.work.fail(ServerError::ShuttingDown);
                     }
                     return Err(ServerError::ShuttingDown);
                 }
@@ -1296,7 +1500,7 @@ impl QueryService {
         }
         session.mark_submitted();
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        Ok(rx)
+        Ok(())
     }
 
     /// Non-blocking submission with a completion callback — the
@@ -1331,11 +1535,75 @@ impl QueryService {
         };
         let job = Job {
             session: Arc::clone(&session),
-            request,
-            responder: Responder::Callback(on_done),
+            work: JobWork::Scalar {
+                request,
+                responder: Responder::Callback(on_done),
+            },
             trace_id,
             enqueued_at: self.metrics.start(),
         };
+        match self.try_enqueue(&session, job) {
+            Ok(()) => Ok(()),
+            Err(TryEnqueueError::Full(job)) => {
+                let JobWork::Scalar {
+                    request,
+                    responder: Responder::Callback(on_done),
+                } = job.work
+                else {
+                    unreachable!("try_submit_callback builds scalar callback jobs")
+                };
+                Err(TrySubmitError::Full { request, on_done })
+            }
+            Err(TryEnqueueError::Rejected(e)) => Err(TrySubmitError::Rejected(e)),
+        }
+    }
+
+    /// Non-blocking grouped submission with a completion callback — the
+    /// event-loop frontend's path for GROUP BY queries, with the same
+    /// park-and-retry backpressure contract as
+    /// [`Self::try_submit_callback`].
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit_grouped_callback(
+        &self,
+        id: SessionId,
+        request: GroupedRequest,
+        trace_id: u64,
+        on_done: GroupedCallback,
+    ) -> Result<(), TrySubmitGroupedError> {
+        let session = match self.sessions.get(id) {
+            Ok(s) => s,
+            Err(e) => return Err(TrySubmitGroupedError::Rejected(ServerError::Session(e))),
+        };
+        let job = Job {
+            session: Arc::clone(&session),
+            work: JobWork::Grouped {
+                request,
+                responder: GroupedResponder::Callback(on_done),
+            },
+            trace_id,
+            enqueued_at: self.metrics.start(),
+        };
+        match self.try_enqueue(&session, job) {
+            Ok(()) => Ok(()),
+            Err(TryEnqueueError::Full(job)) => {
+                let JobWork::Grouped {
+                    request,
+                    responder: GroupedResponder::Callback(on_done),
+                } = job.work
+                else {
+                    unreachable!("try_submit_grouped_callback builds grouped callback jobs")
+                };
+                Err(TrySubmitGroupedError::Full { request, on_done })
+            }
+            Err(TryEnqueueError::Rejected(e)) => Err(TrySubmitGroupedError::Rejected(e)),
+        }
+    }
+
+    /// The shared tail of the non-blocking submission paths: lane claim
+    /// plus queue reservation, handing the intact job back on a full
+    /// queue.
+    fn try_enqueue(&self, session: &Arc<Session>, job: Job) -> Result<(), TryEnqueueError> {
+        let id = session.id();
         // Hold the lane lock across the (non-blocking) queue reservation
         // so a `Full` verdict can undo the lane claim atomically — no
         // other submitter can slip a job into the lane's pending queue
@@ -1363,13 +1631,7 @@ impl QueryService {
                         lanes.remove(&id.0);
                     }
                     drop(lanes);
-                    let Job {
-                        request, responder, ..
-                    } = job;
-                    let Responder::Callback(on_done) = responder else {
-                        unreachable!("try_submit_callback builds callback responders")
-                    };
-                    return Err(TrySubmitError::Full { request, on_done });
+                    return Err(TryEnqueueError::Full(Box::new(job)));
                 }
                 Err(TryPushError::Closed(job)) => {
                     // Mirror the blocking path's shutdown handling: fail
@@ -1382,9 +1644,9 @@ impl QueryService {
                         .map_or_else(VecDeque::new, |l| l.pending);
                     drop(lanes);
                     for job in stranded {
-                        job.responder.deliver(Err(ServerError::ShuttingDown));
+                        job.work.fail(ServerError::ShuttingDown);
                     }
-                    return Err(TrySubmitError::Rejected(ServerError::ShuttingDown));
+                    return Err(TryEnqueueError::Rejected(ServerError::ShuttingDown));
                 }
             }
         }
@@ -1473,6 +1735,21 @@ impl QueryService {
     #[must_use]
     pub fn system(&self) -> &Arc<DProvDb> {
         &self.system
+    }
+
+    /// Runs the workload-aware planner against the live database, priced
+    /// by the system's own configuration: the cost model takes the
+    /// service's (δ, ψ_P) pair and calibrates its scan-amortisation
+    /// factor from the executor's observed counters. **Advisory**: the
+    /// running service keeps its configured catalog — the returned plan
+    /// says what a deployment provisioned for this workload should
+    /// materialise, it does not mutate this instance.
+    pub fn plan_workload(&self, workload: &DeclaredWorkload) -> Result<Plan, PlanError> {
+        let config = self.system.config();
+        let cost = CostModel::new(config.delta.value(), config.total_epsilon.value())
+            .with_exec_stats(&self.system.exec_stats());
+        let planner = Planner::new(cost).with_metrics(self.metrics.clone());
+        self.system.with_database(|db| planner.plan(db, workload))
     }
 
     /// The session registry.

@@ -1,0 +1,124 @@
+//! Planned workload: declare what you will ask, let the planner choose the
+//! view catalog, then run GROUP BY queries over a join-folded star schema
+//! through the concurrent service.
+//!
+//! The walk-through: (1) generate the star database (sales fact + store and
+//! item dimensions) and fold it into one wide table at ingest; (2) declare
+//! the expected workload (grouped templates with frequencies); (3) plan —
+//! the greedy set-cover picks the fewest views that answer everything and
+//! explains each choice; (4) build the system from the plan and serve it;
+//! (5) declare the same workload over the wire and get the advisory plan
+//! back; (6) run grouped queries and watch the per-(analyst, view) budget
+//! ledger.
+//!
+//! Run with `cargo run --release --example planned_workload`.
+
+use std::sync::Arc;
+
+use dprovdb::api::DProvClient;
+use dprovdb::core::analyst::{AnalystId, AnalystRegistry};
+use dprovdb::core::config::SystemConfig;
+use dprovdb::core::mechanism::MechanismKind;
+use dprovdb::core::processor::{GroupedRequest, QueryOutcome};
+use dprovdb::engine::group::GroupByQuery;
+use dprovdb::plan::cost::CostModel;
+use dprovdb::plan::planner::Planner;
+use dprovdb::server::{Frontend, QueryService, ServiceConfig};
+use dprovdb::workloads::star;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The star schema, folded at ingest: `sales_wide` carries every
+    //    dimension attribute (store.region, item.category, ...) so grouped
+    //    queries run as single-table scans.
+    let db = star::folded_star_database(20_000, 42);
+    println!(
+        "star database: {} fact rows folded with store x item dimensions",
+        db.table(star::SALES_TABLE)?.num_rows()
+    );
+
+    // 2. The declared workload: grouped templates plus a rare tail, with
+    //    frequencies. Declaring costs nothing and constrains nothing — it
+    //    only informs the planner.
+    let workload = star::planner_probe();
+    println!("declared workload: {} templates", workload.templates.len());
+
+    // 3. Plan. The cost model prices each candidate view's synopsis at the
+    //    workload's granularity; the greedy cover buys the cheapest set
+    //    that answers every template.
+    let planner = Planner::new(CostModel::new(1e-9, 8.0));
+    let plan = planner.plan(&db, &workload)?;
+    println!("\n{}", plan.report());
+    let baseline = planner.materialise_everything(&db, &workload)?;
+    println!(
+        "(materialise-everything would buy {} views and {:.0} cell-visits; \
+         the plan buys {} and {:.0})\n",
+        baseline.views.len(),
+        baseline.est_materialise_cells,
+        plan.views.len(),
+        plan.est_materialise_cells
+    );
+
+    // 4. Build the system from the plan and serve it concurrently.
+    let mut registry = AnalystRegistry::new();
+    registry.register("external-researcher", 1)?;
+    registry.register("internal-analyst", 4)?;
+    let system = Arc::new(plan.build(
+        db,
+        registry,
+        SystemConfig::new(8.0)?.with_seed(42),
+        MechanismKind::Vanilla,
+    )?);
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&system),
+        ServiceConfig::builder().workers(2).build()?,
+    ));
+    let frontend = Frontend::new(&service);
+
+    // 5. An analyst declares the same workload over the wire and receives
+    //    the advisory plan back — same planner, same explanation.
+    let mut client = DProvClient::connect(frontend.connect(), "planned-demo")?;
+    client.register("internal-analyst")?;
+    let advisory = client.declare_workload(&workload)?;
+    println!(
+        "service advisory: {} views, est eps {:.4}/analyst\n",
+        advisory.views, advisory.est_epsilon
+    );
+
+    // 6. GROUP BY over the wire: one submission, one DP answer per group
+    //    in the canonical enumeration order, each cell admitted through
+    //    the normal provenance path.
+    let gq = GroupByQuery::count(star::SALES_WIDE_TABLE, &["store.region"]);
+    let outcome = client.group_by(&GroupedRequest::with_accuracy(gq, 400.0))?;
+    println!("COUNT(*) GROUP BY store.region:");
+    for (key, cell) in outcome.keys.iter().zip(&outcome.outcomes) {
+        match cell {
+            QueryOutcome::Answered(a) => println!("  {key:?}: {:.1}", a.value),
+            QueryOutcome::Rejected { reason } => println!("  {key:?}: rejected ({reason})"),
+        }
+    }
+
+    let gq = GroupByQuery::sum(star::SALES_WIDE_TABLE, "quantity", &["item.category"]);
+    let outcome = client.group_by(&GroupedRequest::with_accuracy(gq, 60_000.0))?;
+    println!("SUM(quantity) GROUP BY item.category:");
+    for (key, cell) in outcome.keys.iter().zip(&outcome.outcomes) {
+        match cell {
+            QueryOutcome::Answered(a) => println!("  {key:?}: {:.1}", a.value),
+            QueryOutcome::Rejected { reason } => println!("  {key:?}: rejected ({reason})"),
+        }
+    }
+
+    // 7. The ledger after the grouped session: every cell's charge landed
+    //    on the view the planner bought for its template.
+    let provenance = system.provenance();
+    println!("\nper-view budget spent by internal-analyst:");
+    for view in provenance.view_names() {
+        let spent = provenance.entry(AnalystId(1), view);
+        if spent > 0.0 {
+            println!("  {view}: eps {spent:.4}");
+        }
+    }
+    println!("row total: eps {:.4}", provenance.row_total(AnalystId(1)));
+
+    client.close()?;
+    Ok(())
+}

@@ -39,6 +39,10 @@
 //!   frame decode, queue-coupled backpressure and idle-connection
 //!   reaping — selectable against the thread-per-connection `Frontend`
 //!   and proven bit-identical to it.
+//! * [`plan`] — the workload-aware view/synopsis planner: declared
+//!   workload templates with weights, a cost model over scan cost,
+//!   budget price and granularity, and a greedy set-cover view chooser
+//!   producing an explainable [`plan::planner::Plan`].
 //! * [`cluster`] — the distributed deployment: a majority-quorum
 //!   replicated budget ledger (simplified Raft over the storage WAL
 //!   records), the executor-node orchestrator with heartbeat/deadline
@@ -60,6 +64,7 @@ pub use dprov_engine as engine;
 pub use dprov_exec as exec;
 pub use dprov_net as net;
 pub use dprov_obs as obs;
+pub use dprov_plan as plan;
 pub use dprov_server as server;
 pub use dprov_storage as storage;
 pub use dprov_workloads as workloads;
